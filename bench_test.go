@@ -1,0 +1,216 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact, backed by internal/harness) plus
+// micro-benchmarks of the core mechanisms. The experiment scale defaults to
+// 0.25 to keep `go test -bench=.` tractable; set CGRAPH_BENCH_SCALE=1.0 for
+// the full reproduction scale used in EXPERIMENTS.md.
+package cgraph
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"cgraph/algo"
+	"cgraph/internal/exec"
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/internal/harness"
+	"cgraph/internal/memsim"
+	"cgraph/internal/sched"
+)
+
+func benchOpts() harness.Options {
+	scale := 0.25
+	if s := os.Getenv("CGRAPH_BENCH_SCALE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			scale = v
+		}
+	}
+	return harness.Options{Scale: scale, Workers: 8, Epsilon: 1e-3}
+}
+
+func benchTable(b *testing.B, fn func(harness.Options) (*harness.Table, error)) {
+	b.Helper()
+	opt := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTables(b *testing.B, fn func(harness.Options) ([]*harness.Table, error)) {
+	b.Helper()
+	opt := benchOpts()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkTable1(b *testing.B) { benchTable(b, harness.Table1) }
+func BenchmarkFig1(b *testing.B)   { benchTables(b, harness.Fig1) }
+func BenchmarkFig2(b *testing.B)   { benchTables(b, harness.Fig2) }
+func BenchmarkFig8(b *testing.B)   { benchTable(b, harness.Fig8) }
+func BenchmarkFig9(b *testing.B)   { benchTable(b, harness.Fig9) }
+func BenchmarkFig10(b *testing.B)  { benchTable(b, harness.Fig10) }
+func BenchmarkFig11(b *testing.B)  { benchTable(b, harness.Fig11) }
+func BenchmarkFig12(b *testing.B)  { benchTable(b, harness.Fig12) }
+func BenchmarkFig13(b *testing.B)  { benchTable(b, harness.Fig13) }
+func BenchmarkFig14(b *testing.B)  { benchTable(b, harness.Fig14) }
+func BenchmarkFig15(b *testing.B)  { benchTable(b, harness.Fig15) }
+func BenchmarkFig16(b *testing.B)  { benchTable(b, harness.Fig16) }
+func BenchmarkFig17(b *testing.B)  { benchTable(b, harness.Fig17) }
+func BenchmarkFig18(b *testing.B)  { benchTable(b, harness.Fig18) }
+func BenchmarkFig19(b *testing.B)  { benchTable(b, harness.Fig19) }
+
+// Ablation benches for the DESIGN.md design choices.
+
+func BenchmarkAblationStraggler(b *testing.B) { benchTable(b, harness.AblationStraggler) }
+func BenchmarkAblationScheduler(b *testing.B) { benchTable(b, harness.AblationScheduler) }
+func BenchmarkAblationBatching(b *testing.B)  { benchTable(b, harness.AblationBatching) }
+
+// Micro-benchmarks of the core mechanisms.
+
+func microGraph(b *testing.B) ([]Edge, *graph.Graph) {
+	b.Helper()
+	edges := gen.RMAT(77, 4000, 120000, 0.57, 0.19, 0.19)
+	return edges, graph.Build(4000, edges)
+}
+
+func BenchmarkVertexCutPartition(b *testing.B) {
+	edges, g := microGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Cut(g, edges, graph.Options{NumPartitions: 32}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreSubgraphPartition(b *testing.B) {
+	edges, g := microGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := graph.Cut(g, edges, graph.Options{NumPartitions: 32, CoreSubgraph: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTriggerIteration(b *testing.B) {
+	// One full apply+scatter sweep over all partitions (Algorithm 1).
+	edges, g := microGraph(b)
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := exec.NewJob(0, algo.NewPageRank(), pg)
+		sc := &exec.Scratch{}
+		for pid := range pg.Parts {
+			j.ProcessPartition(pid, sc)
+		}
+	}
+	b.SetBytes(int64(len(edges)) * 16)
+}
+
+func BenchmarkPushSync(b *testing.B) {
+	// Algorithm 2 over a first PageRank iteration's mirror deltas.
+	edges, g := microGraph(b)
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 32})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		j := exec.NewJob(0, algo.NewPageRank(), pg)
+		sc := &exec.Scratch{}
+		for pid := range pg.Parts {
+			j.ProcessPartition(pid, sc)
+		}
+		b.StartTimer()
+		j.Push()
+	}
+}
+
+func BenchmarkEndToEndFourJobs(b *testing.B) {
+	// Full CGraph runs of the 4-job workload on a mid-size graph.
+	edges, g := microGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 32, CoreSubgraph: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys := NewSystem(WithWorkers(8), WithPartitions(32))
+		b.StartTimer()
+		_ = pg
+		if err := sys.LoadEdges(4000, edges); err != nil {
+			b.Fatal(err)
+		}
+		sys.Submit(algo.NewPageRank())
+		sys.Submit(algo.NewSSSP(0))
+		sys.Submit(algo.NewSCC())
+		sys.Submit(algo.NewBFS(0))
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheLoadHit(b *testing.B) {
+	h := memsim.New(memsim.Config{CacheBytes: 1 << 20, Cost: memsim.DefaultCost()})
+	id := memsim.ItemID{Kind: memsim.Struct, UID: 1, Job: -1}
+	h.Load(id, 4096, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Load(id, 4096, false)
+	}
+}
+
+func BenchmarkCacheLoadEvict(b *testing.B) {
+	h := memsim.New(memsim.Config{CacheBytes: 64 << 10, Cost: memsim.DefaultCost()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := memsim.ItemID{Kind: memsim.Struct, UID: int64(i % 64), Job: -1}
+		h.Load(id, 4096, false)
+	}
+}
+
+func BenchmarkSchedulerOrder(b *testing.B) {
+	edges, g := microGraph(b)
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sched.New(sched.Priority, pg)
+	cands := make([]int, 128)
+	n := make([]int, 128)
+	c := make([]float64, 128)
+	for i := range cands {
+		cands[i] = i
+		n[i] = i % 9
+		c[i] = float64(i%13) * 0.7
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Order(cands, n, c)
+	}
+}

@@ -1,0 +1,361 @@
+// Package cgraph is a concurrent iterative graph-processing library
+// reproducing "CGraph: A Correlations-aware Approach for Efficient
+// Concurrent Iterative Graph Processing" (Zhang et al., USENIX ATC 2018).
+//
+// Many iterative analytics jobs (PageRank, SSSP, SCC, BFS, ...) often run
+// simultaneously over one shared graph. CGraph executes them with the
+// paper's data-centric Load-Trigger-Pushing model: the shared graph
+// structure is vertex-cut into partitions, streamed in a single common
+// order chosen by a correlations-aware scheduler, and every loaded
+// partition triggers all jobs that need it concurrently — so the dominant
+// data-access cost is paid once and amortized across jobs.
+//
+// Quick start:
+//
+//	sys := cgraph.NewSystem(cgraph.WithWorkers(8))
+//	sys.LoadEdges(0, edges)
+//	pr, _ := sys.Submit(algo.NewPageRank())
+//	ss, _ := sys.Submit(algo.NewSSSP(0))
+//	report, _ := sys.Run()
+//	ranks, _ := pr.Results()
+//
+// Custom algorithms implement model.Program (the paper's IsNotConvergent /
+// Compute / Acc triple); the bundled ones live in package algo.
+package cgraph
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cgraph/internal/core"
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/internal/memsim"
+	"cgraph/internal/sched"
+	"cgraph/internal/storage"
+	"cgraph/model"
+)
+
+// Convenient aliases so simple uses need only this package and algo.
+type (
+	// Edge is a directed weighted edge (alias of model.Edge).
+	Edge = model.Edge
+	// VertexID identifies a vertex (alias of model.VertexID).
+	VertexID = model.VertexID
+	// Program is a vertex program (alias of model.Program).
+	Program = model.Program
+)
+
+// Scheduler selects the partition-load ordering policy.
+type Scheduler int
+
+const (
+	// PriorityScheduler is the paper's Eq. 1 policy (default).
+	PriorityScheduler Scheduler = iota
+	// StaticScheduler loads partitions in index order.
+	StaticScheduler
+)
+
+type config struct {
+	workers       int
+	scheduler     Scheduler
+	coreSubgraph  bool
+	coreFraction  float64
+	numPartitions int
+	cacheBytes    int64
+	memoryBytes   int64
+	disableSplit  bool
+}
+
+// Option configures a System.
+type Option func(*config)
+
+// WithWorkers sets the worker (core) count; default runtime.GOMAXPROCS.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithScheduler selects the load-order policy.
+func WithScheduler(s Scheduler) Option { return func(c *config) { c.scheduler = s } }
+
+// WithCoreSubgraph toggles §3.3 core-subgraph partitioning (default on for
+// static graphs; forced off when snapshots are used, which require
+// slot-stable plain partitioning).
+func WithCoreSubgraph(on bool) Option { return func(c *config) { c.coreSubgraph = on } }
+
+// WithCoreFraction sets the fraction of vertices classified as core.
+func WithCoreFraction(f float64) Option { return func(c *config) { c.coreFraction = f } }
+
+// WithPartitions overrides the partition count; by default it is derived
+// from the simulated cache capacity via the §3.2.1 Pg formula (or a
+// worker-based heuristic without cache simulation).
+func WithPartitions(n int) Option { return func(c *config) { c.numPartitions = n } }
+
+// WithCacheSimulation enables the simulated memory hierarchy with the given
+// capacities, which populates the data-movement metrics in Report. Without
+// it the library runs at full speed over an unlimited hierarchy.
+func WithCacheSimulation(cacheBytes, memoryBytes int64) Option {
+	return func(c *config) {
+		c.cacheBytes = cacheBytes
+		c.memoryBytes = memoryBytes
+	}
+}
+
+// WithoutStragglerSplitting disables the Fig. 6 intra-partition load
+// balancing (ablation/debugging).
+func WithoutStragglerSplitting() Option { return func(c *config) { c.disableSplit = true } }
+
+// System is a CGraph instance: one shared (possibly evolving) graph plus
+// the concurrent jobs analysing it.
+type System struct {
+	cfg config
+
+	mu     sync.Mutex
+	store  *storage.SnapshotStore
+	edges  []model.Edge
+	engine *core.Engine
+	jobs   []*Job
+}
+
+// NewSystem builds an empty system; load a graph before submitting jobs.
+func NewSystem(opts ...Option) *System {
+	cfg := config{coreSubgraph: true, coreFraction: 0.05}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &System{cfg: cfg}
+}
+
+// LoadEdges ingests the base graph. numVertices of 0 infers the count from
+// the largest endpoint.
+func (s *System) LoadEdges(numVertices int, edges []Edge) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store != nil {
+		return fmt.Errorf("cgraph: graph already loaded")
+	}
+	if len(edges) == 0 {
+		return fmt.Errorf("cgraph: empty edge list")
+	}
+	g := graph.Build(numVertices, edges)
+	parts := s.cfg.numPartitions
+	if parts <= 0 {
+		if s.cfg.cacheBytes > 0 {
+			total := int64(len(edges))*16 + int64(g.N)*9
+			w := s.cfg.workers
+			if w <= 0 {
+				w = 8
+			}
+			parts = graph.SuggestNumPartitions(total, s.cfg.cacheBytes, w, 16, 16, s.cfg.cacheBytes/8)
+		} else {
+			parts = 4 * maxInt(1, s.cfg.workers)
+		}
+		if parts < 4 {
+			parts = 4
+		}
+	}
+	pg, err := graph.Cut(g, edges, graph.Options{
+		NumPartitions: parts,
+		CoreSubgraph:  s.cfg.coreSubgraph,
+		CoreFraction:  s.cfg.coreFraction,
+	})
+	if err != nil {
+		return err
+	}
+	s.edges = edges
+	s.store = storage.NewSnapshotStore(pg, 0)
+	return nil
+}
+
+// LoadEdgeFile ingests a TSV/whitespace edge list ("src dst [weight]").
+func (s *System) LoadEdgeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	edges, err := gen.ReadEdges(f)
+	if err != nil {
+		return err
+	}
+	return s.LoadEdges(0, edges)
+}
+
+// AddSnapshot registers a new graph version at the given timestamp
+// (§3.2.1): the edge list must have the same length as the base (slot
+// rewrites, see gen.Mutate), unchanged partitions are shared with the
+// previous snapshot, and jobs submitted with AtTimestamp ≥ timestamp see
+// the new version. Requires the system to have been built with
+// WithCoreSubgraph(false).
+func (s *System) AddSnapshot(edges []Edge, timestamp int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return fmt.Errorf("cgraph: load a base graph first")
+	}
+	prev := s.store.Latest().PG
+	if prev.NumCore != 0 {
+		return fmt.Errorf("cgraph: snapshots require WithCoreSubgraph(false)")
+	}
+	changed := diffSlots(s.edges, edges)
+	changedParts := graph.ChangedPartitions(changed, prev.ChunkSize, len(prev.Parts))
+	pg, err := graph.Overlay(prev, edges, changedParts)
+	if err != nil {
+		return err
+	}
+	if err := s.store.Add(pg, timestamp); err != nil {
+		return err
+	}
+	s.edges = edges
+	return nil
+}
+
+func diffSlots(a, b []model.Edge) []int {
+	var out []int
+	for i := range a {
+		if i < len(b) && a[i] != b[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// JobOption configures a submission.
+type JobOption func(*jobConfig)
+
+type jobConfig struct{ arrival int64 }
+
+// AtTimestamp binds the job to the newest snapshot not younger than ts.
+func AtTimestamp(ts int64) JobOption { return func(c *jobConfig) { c.arrival = ts } }
+
+// Job is a handle to one submitted CGP job.
+type Job struct {
+	sys  *System
+	id   int
+	name string
+}
+
+// Submit registers a job against the current graph. Jobs may be submitted
+// before Run or concurrently while Run executes (they are admitted at the
+// next round boundary). Programs with job-private bookkeeping (e.g.
+// algo.SCC) must not be shared between submissions.
+func (s *System) Submit(p Program, opts ...JobOption) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return nil, fmt.Errorf("cgraph: load a graph before submitting jobs")
+	}
+	var jc jobConfig
+	jc.arrival = s.store.Latest().Timestamp
+	for _, o := range opts {
+		o(&jc)
+	}
+	if s.engine == nil {
+		hier := memsim.Unlimited()
+		if s.cfg.cacheBytes > 0 {
+			hier = memsim.New(memsim.Config{
+				CacheBytes:  s.cfg.cacheBytes,
+				MemoryBytes: s.cfg.memoryBytes,
+				Cost:        memsim.DefaultCost(),
+			})
+		}
+		s.engine = core.New(core.Config{
+			Workers:               s.cfg.workers,
+			Hier:                  hier,
+			Scheduler:             schedKind(s.cfg.scheduler),
+			DisableStragglerSplit: s.cfg.disableSplit,
+		}, s.store)
+	}
+	id := s.engine.Submit(p, jc.arrival)
+	j := &Job{sys: s, id: id, name: p.Name()}
+	s.jobs = append(s.jobs, j)
+	return j, nil
+}
+
+func schedKind(s Scheduler) sched.Kind {
+	if s == StaticScheduler {
+		return sched.Static
+	}
+	return sched.Priority
+}
+
+// Run executes every submitted job to convergence and returns the run
+// report. It may be called again after further submissions.
+func (s *System) Run() (*Report, error) {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return nil, fmt.Errorf("cgraph: nothing submitted")
+	}
+	rep, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := &Report{
+		System:              rep.System,
+		Workers:             rep.Workers,
+		SimulatedMakespanUS: rep.Makespan,
+		CPUUtilization:      rep.CPUUtilization(),
+		CacheMissRate:       rep.Counters.MissRate(),
+		BytesIntoCache:      rep.Counters.BytesIntoCache,
+		BytesFromDisk:       rep.Counters.BytesFromDisk,
+		WallClock:           rep.WallClock,
+	}
+	for _, jm := range rep.Jobs {
+		out.Jobs = append(out.Jobs, JobReport{
+			Name:                jm.Name,
+			Iterations:          jm.Iterations,
+			SimulatedAccessUS:   jm.AccessTime,
+			SimulatedComputeUS:  jm.ComputeTime,
+			SimulatedFinishedUS: jm.FinishAt,
+			EdgesProcessed:      jm.Edges,
+		})
+	}
+	return out, nil
+}
+
+// Results returns the job's converged per-vertex values. Valid after a Run
+// that drained the job.
+func (j *Job) Results() ([]float64, error) {
+	j.sys.mu.Lock()
+	eng := j.sys.engine
+	j.sys.mu.Unlock()
+	if eng == nil {
+		return nil, fmt.Errorf("cgraph: job %q not run", j.name)
+	}
+	return eng.Results(j.id)
+}
+
+// Name returns the job's program name.
+func (j *Job) Name() string { return j.name }
+
+// Report summarizes one Run.
+type Report struct {
+	System              string
+	Workers             int
+	SimulatedMakespanUS float64
+	CPUUtilization      float64
+	CacheMissRate       float64
+	BytesIntoCache      int64
+	BytesFromDisk       int64
+	WallClock           time.Duration
+	Jobs                []JobReport
+}
+
+// JobReport summarizes one job within a Run.
+type JobReport struct {
+	Name                string
+	Iterations          int
+	SimulatedAccessUS   float64
+	SimulatedComputeUS  float64
+	SimulatedFinishedUS float64
+	EdgesProcessed      int64
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,203 @@
+package cgraph
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cgraph/algo"
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/internal/refimpl"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	edges := gen.RMAT(51, 300, 6000, 0.57, 0.19, 0.19)
+	sys := NewSystem(WithWorkers(4))
+	if err := sys.LoadEdges(0, edges); err != nil {
+		t.Fatal(err)
+	}
+	pr, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := sys.Submit(algo.NewSSSP(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 || rep.SimulatedMakespanUS <= 0 {
+		t.Fatalf("report malformed: %+v", rep)
+	}
+
+	g := graph.Build(0, edges)
+	wantPR := refimpl.PageRank(g, 0.85, 1e-12, 3000)
+	gotPR, err := pr.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range gotPR {
+		if math.Abs(gotPR[v]-wantPR[v]) > 1e-5 {
+			t.Fatalf("pagerank vertex %d: got %v want %v", v, gotPR[v], wantPR[v])
+		}
+	}
+	wantSS := refimpl.SSSP(g, 0)
+	gotSS, _ := ss.Results()
+	for v := range gotSS {
+		if gotSS[v] != wantSS[v] && !(math.IsInf(gotSS[v], 1) && math.IsInf(wantSS[v], 1)) {
+			t.Fatalf("sssp vertex %d wrong", v)
+		}
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	sys := NewSystem()
+	if _, err := sys.Submit(algo.NewBFS(0)); err == nil {
+		t.Fatal("submit before load must fail")
+	}
+	if _, err := sys.Run(); err == nil {
+		t.Fatal("run before submit must fail")
+	}
+	if err := sys.LoadEdges(0, nil); err == nil {
+		t.Fatal("empty edge list must fail")
+	}
+	edges := gen.ER(1, 50, 400)
+	if err := sys.LoadEdges(0, edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.LoadEdges(0, edges); err == nil {
+		t.Fatal("double load must fail")
+	}
+	// Snapshots need plain partitioning.
+	if err := sys.AddSnapshot(edges, 5); err == nil {
+		t.Fatal("snapshot on core-subgraph system must fail")
+	}
+}
+
+func TestSnapshotWorkflow(t *testing.T) {
+	edges := gen.ER(7, 120, 1500)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false))
+	if err := sys.LoadEdges(0, edges); err != nil {
+		t.Fatal(err)
+	}
+	mut, _ := gen.Mutate(edges, 0.02, 120, 9)
+	if err := sys.AddSnapshot(mut, 10); err != nil {
+		t.Fatal(err)
+	}
+	oldJob, err := sys.Submit(algo.NewBFS(0), AtTimestamp(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newJob, err := sys.Submit(algo.NewBFS(0), AtTimestamp(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantOld := refimpl.BFS(graph.Build(120, edges), 0)
+	wantNew := refimpl.BFS(graph.Build(120, mut), 0)
+	gotOld, _ := oldJob.Results()
+	gotNew, _ := newJob.Results()
+	for v := range gotOld {
+		if gotOld[v] != wantOld[v] && !(math.IsInf(gotOld[v], 1) && math.IsInf(wantOld[v], 1)) {
+			t.Fatalf("old snapshot vertex %d wrong", v)
+		}
+		if gotNew[v] != wantNew[v] && !(math.IsInf(gotNew[v], 1) && math.IsInf(wantNew[v], 1)) {
+			t.Fatalf("new snapshot vertex %d wrong", v)
+		}
+	}
+}
+
+func TestLoadEdgeFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.tsv")
+	edges := gen.ER(3, 60, 500)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.WriteEdges(f, edges); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sys := NewSystem(WithWorkers(2))
+	if err := sys.LoadEdgeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	j, err := sys.Submit(algo.NewDegree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.Build(0, edges)
+	for v := range res {
+		if res[v] != float64(g.OutDegree(VertexID(v))) {
+			t.Fatalf("degree vertex %d wrong", v)
+		}
+	}
+	if err := NewSystem().LoadEdgeFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}
+
+func TestCacheSimulationReportsMetrics(t *testing.T) {
+	edges := gen.RMAT(52, 200, 4000, 0.57, 0.19, 0.19)
+	sys := NewSystem(WithWorkers(4), WithCacheSimulation(64<<10, 1<<20))
+	if err := sys.LoadEdges(0, edges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(algo.NewWCC()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BytesIntoCache == 0 || rep.CacheMissRate <= 0 {
+		t.Fatalf("cache metrics empty: %+v", rep)
+	}
+	if rep.Jobs[0].Name != "WCC" || rep.Jobs[0].Iterations == 0 || rep.Jobs[0].EdgesProcessed == 0 {
+		t.Fatalf("job report empty: %+v", rep.Jobs[0])
+	}
+}
+
+func TestRerunAfterMoreSubmissions(t *testing.T) {
+	edges := gen.ER(8, 100, 900)
+	sys := NewSystem(WithWorkers(2), WithScheduler(StaticScheduler), WithoutStragglerSplitting(), WithPartitions(5))
+	if err := sys.LoadEdges(0, edges); err != nil {
+		t.Fatal(err)
+	}
+	j1, _ := sys.Submit(algo.NewBFS(0))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := sys.Submit(algo.NewBFS(1))
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j1.Results(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := j2.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refimpl.BFS(graph.Build(0, edges), 1)
+	for v := range res {
+		if res[v] != want[v] && !(math.IsInf(res[v], 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("second-run bfs vertex %d wrong", v)
+		}
+	}
+}

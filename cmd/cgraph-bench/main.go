@@ -1,0 +1,110 @@
+// Command cgraph-bench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	cgraph-bench [-scale 1.0] [-workers 8] [-eps 1e-3] [-out dir] [-csv] [-v] [experiment ...]
+//
+// With no experiment arguments every experiment runs in paper order.
+// Experiment names: table1, fig1, fig2, fig8..fig19, ablation-straggler,
+// ablation-scheduler, ablation-batching.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cgraph/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default reproduction scale)")
+	workers := flag.Int("workers", 8, "simulated worker (core) count")
+	eps := flag.Float64("eps", 1e-3, "PageRank convergence threshold")
+	outDir := flag.String("out", "", "also write each table as CSV into this directory")
+	verbose := flag.Bool("v", false, "stream progress to stderr")
+	flag.Parse()
+
+	opt := harness.Options{Scale: *scale, Workers: *workers, Epsilon: *eps}
+	if *verbose {
+		opt.Log = os.Stderr
+	}
+
+	single := map[string]func(harness.Options) (*harness.Table, error){
+		"table1": harness.Table1,
+		"fig8":   harness.Fig8, "fig9": harness.Fig9, "fig10": harness.Fig10,
+		"fig11": harness.Fig11, "fig12": harness.Fig12, "fig13": harness.Fig13,
+		"fig14": harness.Fig14, "fig15": harness.Fig15, "fig16": harness.Fig16,
+		"fig17": harness.Fig17, "fig18": harness.Fig18, "fig19": harness.Fig19,
+		"ablation-straggler": harness.AblationStraggler,
+		"ablation-scheduler": harness.AblationScheduler,
+		"ablation-batching":  harness.AblationBatching,
+	}
+	multi := map[string]func(harness.Options) ([]*harness.Table, error){
+		"fig1": harness.Fig1, "fig2": harness.Fig2,
+	}
+
+	var tables []*harness.Table
+	run := func(name string) error {
+		if fn, ok := single[name]; ok {
+			t, err := fn(opt)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+			return nil
+		}
+		if fn, ok := multi[name]; ok {
+			ts, err := fn(opt)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, ts...)
+			return nil
+		}
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+
+	var err error
+	if flag.NArg() == 0 {
+		tables, err = harness.All(opt)
+	} else {
+		for _, name := range flag.Args() {
+			if err = run(strings.ToLower(name)); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cgraph-bench:", err)
+		os.Exit(1)
+	}
+
+	for _, t := range tables {
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cgraph-bench:", err)
+			os.Exit(1)
+		}
+		if *outDir != "" {
+			if err := writeCSV(*outDir, t); err != nil {
+				fmt.Fprintln(os.Stderr, "cgraph-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *harness.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.CSV(f)
+}

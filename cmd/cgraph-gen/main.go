@@ -1,0 +1,116 @@
+// Command cgraph-gen generates synthetic graphs: the named Table 1
+// stand-ins, plain R-MAT/web/uniform graphs, and mutated snapshots for the
+// evolving-graph experiments.
+//
+// Usage:
+//
+//	cgraph-gen -list
+//	cgraph-gen -dataset ukunion-sim [-scale 1.0] -o edges.tsv
+//	cgraph-gen -kind rmat -vertices 1000 -edges 30000 -seed 7 -o edges.tsv
+//	cgraph-gen -mutate edges.tsv -ratio 0.05 -o edges2.tsv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cgraph/internal/gen"
+	"cgraph/model"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the named stand-in datasets")
+	dataset := flag.String("dataset", "", "generate a named stand-in")
+	scale := flag.Float64("scale", 1.0, "stand-in scale factor")
+	kind := flag.String("kind", "", "generator kind: rmat, web, uniform, ring, chain")
+	vertices := flag.Int("vertices", 1000, "vertex count")
+	edges := flag.Int("edges", 10000, "edge count")
+	seed := flag.Int64("seed", 1, "random seed")
+	mutate := flag.String("mutate", "", "edge file to mutate into a snapshot")
+	ratio := flag.Float64("ratio", 0.05, "mutation ratio for -mutate")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch {
+	case *list:
+		fmt.Println("name             stands for    kind    vertices  edges")
+		for _, d := range gen.StandIns(*scale) {
+			k := "social"
+			if d.Kind == gen.WebGraph {
+				k = "web"
+			}
+			fmt.Printf("%-16s %-13s %-7s %8d  %d\n", d.Name, d.PaperName, k, d.NumVertices, d.NumEdges)
+		}
+		return
+	case *dataset != "":
+		d, err := gen.StandIn(*dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := gen.WriteEdges(w, d.Generate()); err != nil {
+			fatal(err)
+		}
+	case *mutate != "":
+		f, err := os.Open(*mutate)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := gen.ReadEdges(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		n := 0
+		for _, e := range base {
+			if int(e.Src) >= n {
+				n = int(e.Src) + 1
+			}
+			if int(e.Dst) >= n {
+				n = int(e.Dst) + 1
+			}
+		}
+		mut, changed := gen.MutateClustered(base, *ratio, n, *seed, 32)
+		fmt.Fprintf(os.Stderr, "mutated %d of %d edge slots\n", len(changed), len(base))
+		if err := gen.WriteEdges(w, mut); err != nil {
+			fatal(err)
+		}
+	case *kind != "":
+		var es []model.Edge
+		switch *kind {
+		case "rmat":
+			es = gen.RMAT(*seed, *vertices, *edges, 0.57, 0.19, 0.19)
+		case "web":
+			es = gen.Web(*seed, *vertices, *edges)
+		case "uniform":
+			es = gen.ER(*seed, *vertices, *edges)
+		case "ring":
+			es = gen.Ring(*vertices)
+		case "chain":
+			es = gen.Chain(*vertices)
+		default:
+			fatal(fmt.Errorf("unknown kind %q", *kind))
+		}
+		if err := gen.WriteEdges(w, es); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cgraph-gen [-list | -dataset name | -kind k | -mutate file] [-o out]")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgraph-gen:", err)
+	os.Exit(1)
+}

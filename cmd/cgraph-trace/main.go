@@ -1,0 +1,60 @@
+// Command cgraph-trace regenerates the Figure 1 motivation panels from the
+// synthetic production trace: hourly concurrent CGP job counts and the
+// ratio of active partitions shared by more than 1/2/4/8/16 jobs.
+//
+// Usage:
+//
+//	cgraph-trace [-hours 160] [-seed 42] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cgraph/internal/gen"
+)
+
+func main() {
+	hours := flag.Int("hours", 160, "trace length in hours")
+	seed := flag.Int64("seed", 42, "trace seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of a summary")
+	flag.Parse()
+
+	points, shares := gen.JobTrace(*seed, *hours)
+	if *csv {
+		fmt.Println("hour,active,share_gt1,share_gt2,share_gt4,share_gt8,share_gt16")
+		for i, p := range points {
+			s := shares[i]
+			fmt.Printf("%.0f,%d,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+				p.Hour, p.Active, s.MoreThan[1], s.MoreThan[2], s.MoreThan[4], s.MoreThan[8], s.MoreThan[16])
+		}
+		return
+	}
+
+	peak, sum := 0, 0
+	for _, p := range points {
+		if p.Active > peak {
+			peak = p.Active
+		}
+		sum += p.Active
+	}
+	fmt.Printf("trace: %d hours, peak %d concurrent CGP jobs, mean %.1f\n\n",
+		*hours, peak, float64(sum)/float64(len(points)))
+
+	fmt.Println("hourly active jobs (each * is one job):")
+	for i := 0; i < len(points); i += 8 {
+		p := points[i]
+		fmt.Fprintf(os.Stdout, "h%-4.0f %3d %s\n", p.Hour, p.Active, strings.Repeat("*", p.Active))
+	}
+
+	fmt.Println("\nmean ratio of active partitions shared by more than k jobs:")
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		total := 0.0
+		for _, s := range shares {
+			total += s.MoreThan[k]
+		}
+		fmt.Printf("  >%2d jobs: %5.1f%%\n", k, total/float64(len(shares)))
+	}
+}

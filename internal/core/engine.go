@@ -1,0 +1,484 @@
+// Package core is the CGraph engine: the data-centric Load-Trigger-Pushing
+// execution model of §3 driving concurrent iterative graph-processing jobs
+// over one shared graph.
+//
+// Execution proceeds in rounds. A round snapshots, per job, the set of
+// partitions its active vertices live in; the union is ordered by the Eq. 1
+// scheduler and each partition is loaded into the (simulated) cache exactly
+// once. Loading a partition triggers every job that needs it: the jobs'
+// active vertices are processed concurrently on a real worker pool, with the
+// straggler's vertex range split across idle workers (Fig. 6) and jobs
+// batched when more jobs than workers share a partition (§3.2.3). A job that
+// exhausts its round-set pushes (Algorithm 2), advances to its next
+// iteration, and re-registers partitions for the next round — so jobs run in
+// different iterations of their own algorithms while sharing every load.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cgraph/internal/exec"
+	"cgraph/internal/graph"
+	"cgraph/internal/memsim"
+	"cgraph/internal/metrics"
+	"cgraph/internal/sched"
+	"cgraph/internal/storage"
+	"cgraph/model"
+)
+
+// Config tunes the engine.
+type Config struct {
+	// Workers is the number of cores (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Hier is the simulated memory hierarchy (default memsim.Unlimited,
+	// i.e. library mode without capacity pressure).
+	Hier *memsim.Hierarchy
+	// Scheduler selects the partition-load order policy (default
+	// sched.Priority; sched.Static is the Fig. 8 ablation).
+	Scheduler sched.Kind
+	// DisableStragglerSplit turns off the Fig. 6 load balancing, leaving
+	// each job's partition work on a single core (ablation).
+	DisableStragglerSplit bool
+	// MaxRounds bounds the total rounds as a safety net (default 1<<20).
+	MaxRounds int
+	// Label overrides the report's system name (default "CGraph").
+	Label string
+}
+
+type runJob struct {
+	*exec.Job
+	remaining map[int]bool
+	m         *metrics.JobMetrics
+}
+
+// Engine executes CGP jobs with the LTP model.
+type Engine struct {
+	cfg   Config
+	store *storage.SnapshotStore
+	sched *sched.Scheduler
+
+	mu      sync.Mutex
+	pending []*runJob
+
+	jobs   []*runJob
+	nextID int
+
+	now      float64
+	busyCore float64
+	cSums    []float64
+
+	// Clock attribution (diagnostics): how much of the virtual makespan
+	// went to structure loads, trigger phases, and pushes.
+	ClockStruct  float64
+	ClockTrigger float64
+	ClockPush    float64
+
+	// prefetchCredit is the trigger time of the previous partition that
+	// the loader can hide the next structure load behind: the common-order
+	// stream of the LTP model makes the next partition known in advance,
+	// so it is fetched into the reserve buffer (the b term of the Pg
+	// formula) while cores process the current one.
+	prefetchCredit float64
+
+	finished []*runJob
+}
+
+// New builds an engine over the snapshot store. Defaults are applied for
+// zero-valued Config fields.
+func New(cfg Config, store *storage.SnapshotStore) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Hier == nil {
+		cfg.Hier = memsim.Unlimited()
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1 << 20
+	}
+	if cfg.Label == "" {
+		cfg.Label = "CGraph"
+	}
+	base := store.Resolve(0).PG
+	return &Engine{
+		cfg:   cfg,
+		store: store,
+		sched: sched.New(cfg.Scheduler, base),
+		cSums: make([]float64, len(base.Parts)),
+	}
+}
+
+// NewSingle wraps a plain partitioned graph as a one-snapshot store.
+func NewSingle(cfg Config, pg *graph.PGraph) *Engine {
+	return New(cfg, storage.NewSnapshotStore(pg, 0))
+}
+
+// Submit registers a job. arrivalTS selects the snapshot: the job binds to
+// the newest snapshot with timestamp ≤ arrivalTS (§3.2.1). Submit may be
+// called before Run or concurrently while Run executes; runtime submissions
+// are admitted at the next round boundary (Algorithm 3 "allows to add new
+// jobs into SJobs at runtime"). It returns the job ID.
+func (e *Engine) Submit(prog model.Program, arrivalTS int64) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextID
+	e.nextID++
+	snap := e.store.Resolve(arrivalTS)
+	j := exec.NewJob(id, prog, snap.PG)
+	rj := &runJob{
+		Job:       j,
+		remaining: make(map[int]bool),
+		m:         &metrics.JobMetrics{JobID: id, Name: prog.Name()},
+	}
+	e.pending = append(e.pending, rj)
+	return id
+}
+
+func (e *Engine) admitPending() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, rj := range e.pending {
+		rj.SubmitTime = e.now
+		rj.m.SubmitAt = e.now
+		e.jobs = append(e.jobs, rj)
+	}
+	e.pending = e.pending[:0]
+}
+
+// Run executes all submitted jobs to convergence and returns the report.
+func (e *Engine) Run() (*metrics.RunReport, error) {
+	wall := time.Now()
+	rounds := 0
+	for {
+		e.admitPending()
+		if len(e.jobs) == 0 {
+			break
+		}
+		if rounds++; rounds > e.cfg.MaxRounds {
+			return nil, fmt.Errorf("core: exceeded %d rounds without convergence", e.cfg.MaxRounds)
+		}
+		e.round()
+	}
+	rep := &metrics.RunReport{
+		System:       e.cfg.Label,
+		Workers:      e.cfg.Workers,
+		Makespan:     e.now,
+		BusyCoreTime: e.busyCore,
+		Counters:     e.cfg.Hier.Counters(),
+		WallClock:    time.Since(wall),
+	}
+	for _, rj := range e.finished {
+		rep.Jobs = append(rep.Jobs, *rj.m)
+	}
+	return rep, nil
+}
+
+// Results returns the converged per-vertex values of the given job after
+// Run completes.
+func (e *Engine) Results(jobID int) ([]float64, error) {
+	for _, rj := range e.finished {
+		if rj.ID == jobID {
+			return rj.Job.Results(), nil
+		}
+	}
+	return nil, fmt.Errorf("core: job %d not finished or unknown", jobID)
+}
+
+// Job returns the finished exec job (testing/inspection).
+func (e *Engine) Job(jobID int) (*exec.Job, bool) {
+	for _, rj := range e.finished {
+		if rj.ID == jobID {
+			return rj.Job, true
+		}
+	}
+	return nil, false
+}
+
+// Now returns the engine's virtual clock in microseconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// round is one pass of the LTP loop: order the union of active partitions,
+// load each once, trigger all related jobs, and close iterations for jobs
+// whose round-set is exhausted.
+func (e *Engine) round() {
+	nStats := make([]int, len(e.cSums))
+	cands := make(map[int]bool)
+	for _, rj := range e.jobs {
+		rj.remaining = make(map[int]bool)
+		for _, pid := range rj.PT.ActiveParts() {
+			rj.remaining[pid] = true
+			nStats[pid]++
+			cands[pid] = true
+		}
+		// Jobs admitted with no active vertices (degenerate programs)
+		// finish immediately below.
+	}
+	candList := make([]int, 0, len(cands))
+	for pid := range cands {
+		candList = append(candList, pid)
+	}
+	order := e.sched.Order(candList, nStats, e.cSums)
+
+	for _, pid := range order {
+		var group []*runJob
+		for _, rj := range e.jobs {
+			if rj.remaining[pid] && !rj.Done {
+				group = append(group, rj)
+			}
+		}
+		if len(group) == 0 {
+			continue
+		}
+		// Jobs bound to different snapshots may see different versions of
+		// partition pid; group by the shared partition pointer so a
+		// version is loaded once for all its jobs (Fig. 5).
+		var parts []*graph.Partition
+		byPart := make(map[*graph.Partition][]*runJob)
+		for _, rj := range group {
+			p := rj.PG.Parts[pid]
+			if byPart[p] == nil {
+				parts = append(parts, p)
+			}
+			byPart[p] = append(byPart[p], rj)
+		}
+		for _, p := range parts {
+			e.processPartition(pid, p, byPart[p])
+		}
+		for _, rj := range group {
+			delete(rj.remaining, pid)
+			if len(rj.remaining) == 0 {
+				e.finishIteration(rj)
+			}
+		}
+	}
+
+	// Close iterations for jobs that had nothing to do this round and
+	// collect next-round C(P) statistics.
+	var still []*runJob
+	for _, rj := range e.jobs {
+		if !rj.Done && len(rj.remaining) == 0 && !rj.PT.HasActive() {
+			e.finishIteration(rj)
+		}
+		if rj.Done {
+			continue
+		}
+		still = append(still, rj)
+	}
+	for i := range e.cSums {
+		e.cSums[i] = 0
+	}
+	for _, rj := range still {
+		for pid, s := range rj.TakeDeltaStats() {
+			e.cSums[pid] += s
+		}
+	}
+	e.jobs = still
+}
+
+func structID(p *graph.Partition) memsim.ItemID {
+	return memsim.ItemID{Kind: memsim.Struct, UID: p.UID, Job: -1}
+}
+
+func privateID(p *graph.Partition, jobID int) memsim.ItemID {
+	return memsim.ItemID{Kind: memsim.Private, UID: p.UID, Job: int32(jobID)}
+}
+
+// processPartition loads one partition version and triggers its jobs,
+// batching when the job count exceeds the worker count. The structure load
+// is serial (one loader stream), but within the trigger phase each core
+// pulls its job's private-table slice itself, so private access overlaps
+// both across jobs (up to the channel's stream capacity) and with the
+// vertex processing of jobs already running.
+func (e *Engine) processPartition(pid int, p *graph.Partition, js []*runJob) {
+	h := e.cfg.Hier
+	streams := h.Cost().ChannelStreams
+	if streams <= 0 {
+		streams = 1
+	}
+	lr := h.Load(structID(p), p.StructBytes, true)
+	// The loader streams partitions in a known common order, so its
+	// sequential prefetch saturates the channel (lr.Time/streams), and the
+	// next load hides behind banked trigger/push time (prefetch credit).
+	loadTime := lr.Time / streams
+	visible := loadTime - e.prefetchCredit
+	if visible < 0 {
+		visible = 0
+	}
+	e.prefetchCredit -= loadTime - visible
+	e.now += visible
+	e.ClockStruct += visible
+	share := loadTime / float64(len(js))
+	for i, rj := range js {
+		rj.m.AccessTime += share
+		if i > 0 {
+			// Each additional triggered job touches the cached copy:
+			// free in time, but it is a real cache access (hit) that
+			// hardware counters — and Fig. 11 — would observe.
+			h.Load(structID(p), p.StructBytes, false)
+		}
+	}
+	batchSize := e.cfg.Workers
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	for start := 0; start < len(js); start += batchSize {
+		end := start + batchSize
+		if end > len(js) {
+			end = len(js)
+		}
+		batch := js[start:end]
+		var privAccess float64
+		for _, rj := range batch {
+			plr := h.Load(privateID(p, rj.ID), rj.PT.Bytes[pid], false)
+			privAccess += plr.Time
+			rj.m.AccessTime += plr.Time
+		}
+		computeElapsed := e.trigger(pid, batch)
+		elapsed := privAccess / streams
+		if computeElapsed > elapsed {
+			elapsed = computeElapsed
+		}
+		e.now += elapsed
+		e.ClockTrigger += elapsed
+		e.prefetchCredit += elapsed
+	}
+	h.Unpin(structID(p))
+}
+
+// trigger concurrently processes one loaded partition for a batch of jobs on
+// the worker pool, returning the virtual compute time of the phase. With
+// straggler splitting each job's active range is chunked so idle cores help
+// the heaviest job (Fig. 6); without it, each job's work stays on one core.
+func (e *Engine) trigger(pid int, batch []*runJob) float64 {
+	type task struct {
+		rj     *runJob
+		locals []uint32
+		sc     exec.Scratch
+		stats  exec.Stats
+	}
+	var tasks []*task
+	jobLocals := make([][]uint32, len(batch))
+	total := 0
+	for i, rj := range batch {
+		jobLocals[i] = rj.ActiveLocals(pid, nil)
+		total += len(jobLocals[i])
+	}
+	split := !e.cfg.DisableStragglerSplit
+	chunk := total/(e.cfg.Workers*2) + 1
+	if chunk < 32 {
+		chunk = 32
+	}
+	for i, rj := range batch {
+		locals := jobLocals[i]
+		if !split || len(locals) <= chunk {
+			tasks = append(tasks, &task{rj: rj, locals: locals})
+			continue
+		}
+		for lo := 0; lo < len(locals); lo += chunk {
+			hi := lo + chunk
+			if hi > len(locals) {
+				hi = len(locals)
+			}
+			tasks = append(tasks, &task{rj: rj, locals: locals[lo:hi]})
+		}
+	}
+
+	// Parallel apply phase: tasks touch disjoint vertex states.
+	var next atomic.Int64
+	workers := e.cfg.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				t := tasks[i]
+				t.stats = t.rj.ApplyChunk(pid, t.locals, &t.sc)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge phase: one goroutine per job folds its scratches in task
+	// order (deterministic float accumulation).
+	var mg sync.WaitGroup
+	perJob := make([]exec.Stats, len(batch))
+	for i, rj := range batch {
+		var scs []*exec.Scratch
+		for _, t := range tasks {
+			if t.rj == rj {
+				scs = append(scs, &t.sc)
+				perJob[i].Add(t.stats)
+			}
+		}
+		mg.Add(1)
+		go func(rj *runJob, scs []*exec.Scratch) {
+			defer mg.Done()
+			rj.Merge(pid, scs...)
+		}(rj, scs)
+	}
+	mg.Wait()
+
+	// Virtual-time accounting.
+	cost := e.cfg.Hier.Cost()
+	var totalWork, maxWork float64
+	for i, rj := range batch {
+		w := cost.ComputeTime(perJob[i].Edges, perJob[i].Vertices)
+		rj.m.ComputeTime += w
+		rj.EdgesProcessed += perJob[i].Edges
+		rj.VerticesApplied += perJob[i].Vertices
+		totalWork += w
+		if w > maxWork {
+			maxWork = w
+		}
+	}
+	var elapsed float64
+	if split {
+		elapsed = totalWork / float64(e.cfg.Workers)
+	} else {
+		// One core per job: the straggler dominates.
+		elapsed = maxWork
+	}
+	e.busyCore += totalWork
+	return elapsed
+}
+
+// finishIteration closes one job iteration: Algorithm 2 push with its data
+// movement charged, then bookkeeping for completion.
+func (e *Engine) finishIteration(rj *runJob) {
+	if rj.Done {
+		return
+	}
+	sum := rj.FinishIteration()
+	h := e.cfg.Hier
+	t := h.Cost().SyncTime(sum.Entries)
+	for _, tp := range sum.TouchedParts {
+		p := rj.PG.Parts[tp]
+		plr := h.Load(privateID(p, rj.ID), rj.PT.Bytes[tp], false)
+		t += plr.Time
+	}
+	e.now += t
+	e.ClockPush += t
+	e.prefetchCredit += t
+	rj.m.AccessTime += t
+	rj.m.SyncTime += t
+	if rj.Done {
+		rj.FinishTime = e.now
+		rj.m.FinishAt = e.now
+		rj.m.Iterations = rj.Iterations
+		rj.m.Edges = rj.EdgesProcessed
+		rj.m.Vertices = rj.VerticesApplied
+		rj.m.SyncEntries = rj.SyncEntries
+		e.finished = append(e.finished, rj)
+	}
+}

@@ -1,0 +1,80 @@
+// Package des is a minimal deterministic discrete-event simulator driving
+// the baseline engines: each job is a sequential process; the simulator
+// interleaves their steps in virtual-time order, which reproduces the
+// cache-interference patterns of concurrently running jobs without
+// real-time nondeterminism.
+package des
+
+import "cgraph/internal/pqueue"
+
+// Process is a simulated sequential actor. Step performs the next unit of
+// work at virtual time now and returns the simulated time it consumed and
+// whether the process has finished (the delay is still consumed).
+type Process interface {
+	Step(now float64) (delay float64, done bool)
+}
+
+type event struct {
+	t   float64
+	seq int64
+	p   Process
+}
+
+// Sim runs processes in virtual-time order, breaking ties by spawn order.
+type Sim struct {
+	h      *pqueue.Heap[event]
+	now    float64
+	seq    int64
+	active int
+}
+
+// New returns an empty simulator.
+func New() *Sim {
+	return &Sim{h: pqueue.New(func(a, b event) bool {
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		return a.seq < b.seq
+	})}
+}
+
+// Spawn schedules p's first step at time at.
+func (s *Sim) Spawn(p Process, at float64) {
+	s.seq++
+	s.active++
+	s.h.Push(event{t: at, seq: s.seq, p: p})
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Active returns the number of live processes (the processor-sharing
+// denominator for core and bandwidth allocation).
+func (s *Sim) Active() int { return s.active }
+
+// Run steps processes until none remain and returns the final virtual
+// time: the latest completion across all processes, including each final
+// step's delay.
+func (s *Sim) Run() float64 {
+	end := s.now
+	for s.h.Len() > 0 {
+		ev := s.h.Pop()
+		if ev.t > s.now {
+			s.now = ev.t
+		}
+		delay, done := ev.p.Step(s.now)
+		if done {
+			s.active--
+			if s.now+delay > end {
+				end = s.now + delay
+			}
+			continue
+		}
+		s.seq++
+		s.h.Push(event{t: s.now + delay, seq: s.seq, p: ev.p})
+	}
+	if end > s.now {
+		s.now = end
+	}
+	return s.now
+}

@@ -1,0 +1,102 @@
+package des
+
+import "testing"
+
+// stepper runs a fixed schedule of delays.
+type stepper struct {
+	delays []float64
+	i      int
+	log    *[]string
+	name   string
+}
+
+func (s *stepper) Step(now float64) (float64, bool) {
+	if s.log != nil {
+		*s.log = append(*s.log, s.name)
+	}
+	d := s.delays[s.i]
+	s.i++
+	return d, s.i >= len(s.delays)
+}
+
+func TestSingleProcessTiming(t *testing.T) {
+	s := New()
+	s.Spawn(&stepper{delays: []float64{10, 20, 30}}, 0)
+	if got := s.Run(); got != 60 {
+		t.Fatalf("Run = %v, want 60", got)
+	}
+}
+
+func TestFinalDelayCounts(t *testing.T) {
+	// A long final step must extend the makespan even when another
+	// process finishes later in event order but earlier in time.
+	s := New()
+	s.Spawn(&stepper{delays: []float64{100}}, 0)  // ends at 100
+	s.Spawn(&stepper{delays: []float64{5, 5}}, 0) // ends at 10
+	if got := s.Run(); got != 100 {
+		t.Fatalf("Run = %v, want 100", got)
+	}
+}
+
+func TestInterleavingOrder(t *testing.T) {
+	var log []string
+	s := New()
+	s.Spawn(&stepper{delays: []float64{10, 10}, log: &log, name: "a"}, 0)
+	s.Spawn(&stepper{delays: []float64{4, 4, 4}, log: &log, name: "b"}, 0)
+	s.Run()
+	// a@0 b@0 b@4 b@8 a@10: spawn order breaks the t=0 tie.
+	want := []string{"a", "b", "b", "b", "a"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestActiveCount(t *testing.T) {
+	s := New()
+	var sawActive int
+	probe := &funcProc{fn: func(now float64) (float64, bool) {
+		sawActive = s.Active()
+		return 1, true
+	}}
+	s.Spawn(probe, 0)
+	s.Spawn(&stepper{delays: []float64{5}}, 0)
+	s.Run()
+	if sawActive != 2 {
+		t.Fatalf("Active during run = %d, want 2", sawActive)
+	}
+	if s.Active() != 0 {
+		t.Fatalf("Active after run = %d, want 0", s.Active())
+	}
+}
+
+func TestLateSpawn(t *testing.T) {
+	s := New()
+	s.Spawn(&stepper{delays: []float64{3}}, 50)
+	if got := s.Run(); got != 53 {
+		t.Fatalf("Run = %v, want 53", got)
+	}
+}
+
+type funcProc struct {
+	fn func(now float64) (float64, bool)
+}
+
+func (p *funcProc) Step(now float64) (float64, bool) { return p.fn(now) }
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		s := New()
+		for i := 0; i < 5; i++ {
+			s.Spawn(&stepper{delays: []float64{float64(i + 1), float64(10 - i)}}, float64(i))
+		}
+		return s.Run()
+	}
+	if run() != run() {
+		t.Fatal("DES not deterministic")
+	}
+}

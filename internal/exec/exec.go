@@ -1,0 +1,480 @@
+// Package exec is the job runtime shared by the CGraph engine and every
+// baseline: the apply+scatter loop of Algorithm 1 over one partition (in a
+// synchronous/BSP variant and a CLIP-style eager-reentry variant) and the
+// batched replica synchronization of Algorithm 2. Centralizing the vertex
+// arithmetic guarantees that all engines compute identical results and
+// differ only in orchestration and data-movement behaviour.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cgraph/internal/bitset"
+	"cgraph/internal/graph"
+	"cgraph/internal/storage"
+	"cgraph/model"
+)
+
+// Stats counts the work of one processing call, the input to the simulated
+// compute-cost model.
+type Stats struct {
+	Edges    int64
+	Vertices int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Edges += other.Edges
+	s.Vertices += other.Vertices
+}
+
+// Job is one running CGP job: a program bound to a snapshot, its private
+// table, and its run-time counters.
+type Job struct {
+	ID   int
+	Prog model.Program
+	PG   *graph.PGraph
+	PT   *storage.PrivateTable
+	// Dir caches Prog.Direction() for the current phase.
+	Dir model.Direction
+
+	Iterations int
+	Phases     int
+	Done       bool
+
+	// SubmitTime/FinishTime are virtual timestamps managed by engines.
+	SubmitTime float64
+	FinishTime float64
+
+	// DeltaSum[p] accumulates |contribution| scattered into partition p
+	// this iteration; it feeds C(P) of the Eq. 1 scheduler.
+	DeltaSum []float64
+
+	// Cumulative counters.
+	EdgesProcessed  int64
+	VerticesApplied int64
+	SyncEntries     int64
+}
+
+// NewJob builds a job over the given snapshot, initializing its private
+// table and activity sets.
+func NewJob(id int, prog model.Program, pg *graph.PGraph) *Job {
+	return &Job{
+		ID:       id,
+		Prog:     prog,
+		PG:       pg,
+		PT:       storage.NewPrivateTable(id, pg, prog),
+		Dir:      prog.Direction(),
+		DeltaSum: make([]float64, len(pg.Parts)),
+	}
+}
+
+// Scratch is a per-worker buffer for the BSP scatter path, reusable across
+// partitions.
+type Scratch struct {
+	dst     []uint32
+	contrib []float64
+}
+
+// Reset empties the scratch, retaining capacity.
+func (sc *Scratch) Reset() {
+	sc.dst = sc.dst[:0]
+	sc.contrib = sc.contrib[:0]
+}
+
+// Len returns the number of buffered contributions.
+func (sc *Scratch) Len() int { return len(sc.dst) }
+
+// ActiveLocals appends the active local indices of partition pid to buf.
+func (j *Job) ActiveLocals(pid int, buf []uint32) []uint32 {
+	j.PT.Active[pid].Range(func(li int) bool {
+		buf = append(buf, uint32(li))
+		return true
+	})
+	return buf
+}
+
+// ApplyChunk applies the given active locals of partition pid, buffering
+// scattered contributions into sc. It touches only the locals' own states
+// plus sc, so disjoint chunks may run on different goroutines concurrently —
+// this is what the straggler-splitting of Fig. 6 builds on.
+func (j *Job) ApplyChunk(pid int, locals []uint32, sc *Scratch) Stats {
+	p := j.PG.Parts[pid]
+	states := j.PT.States[pid]
+	var st Stats
+	for _, li := range locals {
+		s := &states[li]
+		v := p.Globals[li]
+		deg := j.PG.G.Degree(v, j.Dir)
+		seed, scatter := j.Prog.Apply(v, s, deg)
+		st.Vertices++
+		if !scatter {
+			continue
+		}
+		if j.Dir == model.Out || j.Dir == model.Both {
+			for ei := p.OutOff[li]; ei < p.OutOff[li+1]; ei++ {
+				sc.dst = append(sc.dst, p.OutDst[ei])
+				sc.contrib = append(sc.contrib, j.Prog.Contribution(seed, p.OutW[ei]))
+				st.Edges++
+			}
+		}
+		if j.Dir == model.In || j.Dir == model.Both {
+			for ei := p.InOff[li]; ei < p.InOff[li+1]; ei++ {
+				sc.dst = append(sc.dst, p.InDst[ei])
+				sc.contrib = append(sc.contrib, j.Prog.Contribution(seed, p.InW[ei]))
+				st.Edges++
+			}
+		}
+	}
+	return st
+}
+
+// Merge folds buffered contributions into partition pid's states, marking
+// receivers. Contributions rejected by an optional model.Filterer are
+// dropped before the fold. Must be called from one goroutine per
+// (job, partition).
+func (j *Job) Merge(pid int, scratches ...*Scratch) {
+	states := j.PT.States[pid]
+	recv := j.PT.Received[pid]
+	filter, filtered := j.Prog.(model.Filterer)
+	var sum float64
+	for _, sc := range scratches {
+		for i, dst := range sc.dst {
+			c := sc.contrib[i]
+			if filtered && !filter.Accept(states[dst], c) {
+				continue
+			}
+			states[dst].Delta = j.Prog.Acc(states[dst].Delta, c)
+			recv.Set(int(dst))
+			sum += math.Abs(c)
+		}
+	}
+	j.DeltaSum[pid] += sum
+}
+
+// ProcessPartition runs the whole-partition BSP step serially: apply every
+// active vertex, then merge the buffered contributions. All engines except
+// CLIP use these synchronous semantics, so iteration counts are comparable
+// across systems.
+func (j *Job) ProcessPartition(pid int, sc *Scratch) Stats {
+	sc.Reset()
+	locals := localsPool(j.PT.ActiveCount[pid])
+	locals = j.ActiveLocals(pid, locals)
+	st := j.ApplyChunk(pid, locals, sc)
+	j.Merge(pid, sc)
+	j.EdgesProcessed += st.Edges
+	j.VerticesApplied += st.Vertices
+	return st
+}
+
+func localsPool(n int) []uint32 {
+	return make([]uint32, 0, n)
+}
+
+// PushSummary reports the cost-relevant effects of one Push for the
+// simulated accounting.
+type PushSummary struct {
+	// Entries is the number of Snew sync entries handled.
+	Entries int64
+	// TouchedParts lists the distinct partitions whose private slices were
+	// read or written, in ascending order.
+	TouchedParts []int
+}
+
+// Push is Algorithm 2: collect the Δ of every mirror replica that received
+// contributions into Snew entries, sort them by master location, fold them
+// into the masters, then — deviating from the paper's literal pseudocode as
+// documented in DESIGN.md — store the aggregated Δ into every replica of
+// each still-active vertex and mark those replicas active for the next
+// iteration. Residual sub-threshold deltas stay accumulated at the master so
+// no contribution mass is ever lost.
+func (j *Job) Push() PushSummary {
+	ident := j.Prog.Identity()
+	pg := j.PG
+
+	type entry struct {
+		v          model.VertexID
+		masterPart int32
+		delta      float64
+	}
+	var entries []entry
+	touched := make(map[int]bool)
+	type pv struct {
+		part  int32
+		local uint32
+	}
+	masterSeen := make(map[pv]bool)
+	var masters []pv
+
+	// Gather: mirrors hand their Δ to Snew and reset; masters with direct
+	// receipts join the aggregation set.
+	for pid := range pg.Parts {
+		states := j.PT.States[pid]
+		j.PT.Received[pid].Range(func(li int) bool {
+			if states[li].Delta == ident {
+				return true
+			}
+			touched[pid] = true
+			if pg.IsMaster(pid, uint32(li)) {
+				key := pv{int32(pid), uint32(li)}
+				if !masterSeen[key] {
+					masterSeen[key] = true
+					masters = append(masters, key)
+				}
+				return true
+			}
+			entries = append(entries, entry{
+				v:          pg.Parts[pid].Globals[li],
+				masterPart: pg.MasterPart(pid, uint32(li)),
+				delta:      states[li].Delta,
+			})
+			states[li].Delta = ident
+			return true
+		})
+	}
+
+	// SortD: batch entries by master partition so the master-side updates
+	// are sequential per private partition.
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].masterPart != entries[b].masterPart {
+			return entries[a].masterPart < entries[b].masterPart
+		}
+		return entries[a].v < entries[b].v
+	})
+
+	// Accumulate into masters.
+	for _, e := range entries {
+		m := pg.MasterOf[e.v]
+		st := &j.PT.States[m.Part][m.Local]
+		st.Delta = j.Prog.Acc(st.Delta, e.delta)
+		touched[int(m.Part)] = true
+		key := pv{m.Part, m.Local}
+		if !masterSeen[key] {
+			masterSeen[key] = true
+			masters = append(masters, key)
+		}
+	}
+
+	// Deterministic master order.
+	sort.Slice(masters, func(a, b int) bool {
+		if masters[a].part != masters[b].part {
+			return masters[a].part < masters[b].part
+		}
+		return masters[a].local < masters[b].local
+	})
+
+	// Decide activation and broadcast the aggregated Δ to the replicas of
+	// still-active vertices (SortS write-back, batched per partition by
+	// the ReplicaLocations ordering).
+	for _, m := range masters {
+		st := &j.PT.States[m.part][m.local]
+		if st.Delta == ident || !j.Prog.IsActive(*st) {
+			continue // residual stays at the master
+		}
+		v := pg.Parts[m.part].Globals[m.local]
+		final := st.Delta
+		for _, loc := range pg.ReplicaLocations(v) {
+			j.PT.States[loc.Part][loc.Local].Delta = final
+			j.PT.Next[loc.Part].Set(int(loc.Local))
+			touched[int(loc.Part)] = true
+		}
+	}
+
+	sum := PushSummary{Entries: int64(len(entries))}
+	for pid := range touched {
+		sum.TouchedParts = append(sum.TouchedParts, pid)
+	}
+	sort.Ints(sum.TouchedParts)
+	j.SyncEntries += sum.Entries
+	return sum
+}
+
+// FinishIteration runs Push, advances the activity sets, and — when the job
+// ran dry — steps phased programs forward or marks the job done.
+func (j *Job) FinishIteration() PushSummary {
+	sum := j.Push()
+	j.PT.Advance()
+	j.Iterations++
+	if !j.PT.HasActive() {
+		j.advancePhaseOrFinish()
+	}
+	return sum
+}
+
+func (j *Job) advancePhaseOrFinish() {
+	for {
+		if j.PT.HasActive() {
+			return
+		}
+		ph, ok := j.Prog.(model.Phased)
+		if !ok || !ph.NextPhase(stateView{j}) {
+			j.Done = true
+			return
+		}
+		j.Phases++
+		j.Dir = j.Prog.Direction()
+		j.recountActive()
+	}
+}
+
+func (j *Job) recountActive() {
+	for pid := range j.PT.Active {
+		j.PT.ActiveCount[pid] = j.PT.Active[pid].Count()
+	}
+}
+
+// TakeDeltaStats returns and resets the per-partition |Δ| sums, the C(P)
+// input sampled by the scheduler each round.
+func (j *Job) TakeDeltaStats() []float64 {
+	out := append([]float64(nil), j.DeltaSum...)
+	for i := range j.DeltaSum {
+		j.DeltaSum[i] = 0
+	}
+	return out
+}
+
+// Results materializes the job's per-vertex values.
+func (j *Job) Results() []float64 { return j.PT.Results(j.Prog) }
+
+// stateView adapts a Job for model.Phased.NextPhase.
+type stateView struct{ j *Job }
+
+func (v stateView) NumVertices() int { return v.j.PG.G.N }
+
+func (v stateView) Get(id model.VertexID) model.State {
+	m := v.j.PG.MasterOf[id]
+	if m.Part < 0 {
+		s, _ := v.j.Prog.Init(id, v.j.PG.G)
+		return s
+	}
+	return v.j.PT.States[m.Part][m.Local]
+}
+
+func (v stateView) Set(id model.VertexID, s model.State, active bool) {
+	for _, loc := range v.j.PG.ReplicaLocations(id) {
+		v.j.PT.States[loc.Part][loc.Local] = s
+		if active {
+			v.j.PT.Active[loc.Part].Set(int(loc.Local))
+		} else {
+			v.j.PT.Active[loc.Part].Clear(int(loc.Local))
+		}
+	}
+}
+
+// CheckReplicaConsistency verifies that every replica of every vertex holds
+// the same value (the Push invariant from DESIGN.md §5); used by tests.
+func (j *Job) CheckReplicaConsistency() error {
+	for v, locs := range j.PG.Replicas {
+		first := j.PT.States[locs[0].Part][locs[0].Local].Value
+		for _, loc := range locs[1:] {
+			got := j.PT.States[loc.Part][loc.Local].Value
+			if got != first && !(math.IsNaN(got) && math.IsNaN(first)) {
+				return fmt.Errorf("vertex %d: replica value %v != master value %v", v, got, first)
+			}
+		}
+	}
+	return nil
+}
+
+// RunToConvergence drives the job with synchronous whole-graph rounds until
+// completion — the minimal correct engine, used by tests and as the
+// inner loop of the sequential baseline. It fails if the job does not
+// converge within maxRounds iterations.
+func RunToConvergence(j *Job, maxRounds int) error {
+	sc := &Scratch{}
+	for r := 0; r < maxRounds; r++ {
+		if j.Done {
+			return nil
+		}
+		for pid := range j.PG.Parts {
+			if j.PT.ActiveCount[pid] > 0 {
+				j.ProcessPartition(pid, sc)
+			}
+		}
+		j.FinishIteration()
+	}
+	if j.Done {
+		return nil
+	}
+	return fmt.Errorf("exec: job %s did not converge in %d rounds", j.Prog.Name(), maxRounds)
+}
+
+// ProcessPartitionReentrant is CLIP's reentry discipline ("squeezing out
+// all the value of loaded data"): while the partition stays loaded, locally
+// re-activated vertices are re-processed immediately, up to maxPasses
+// sweeps. Soundness on the vertex-cut substrate requires two restrictions:
+// eager re-processing applies only to single-replica vertices (a replicated
+// vertex applied mid-iteration would strand the update on one replica), and
+// contributions to replicated vertices are buffered and folded only after
+// the local passes finish, exactly as in the BSP path, so every replica of
+// a vertex consumes identical deltas.
+func (j *Job) ProcessPartitionReentrant(pid, maxPasses int) Stats {
+	p := j.PG.Parts[pid]
+	states := j.PT.States[pid]
+	recv := j.PT.Received[pid]
+	filter, filtered := j.Prog.(model.Filterer)
+	var st Stats
+
+	work := bitset.New(p.NumVertices())
+	work.CopyFrom(j.PT.Active[pid])
+	next := bitset.New(p.NumVertices())
+	var deferred Scratch
+
+	scatterTo := func(dst uint32, c float64) {
+		if _, replicated := j.PG.Replicas[p.Globals[dst]]; replicated {
+			// Replicated receivers are reconciled by the push; fold
+			// after the eager passes to keep replicas consistent.
+			deferred.dst = append(deferred.dst, dst)
+			deferred.contrib = append(deferred.contrib, c)
+			return
+		}
+		if filtered && !filter.Accept(states[dst], c) {
+			return
+		}
+		states[dst].Delta = j.Prog.Acc(states[dst].Delta, c)
+		recv.Set(int(dst))
+		j.DeltaSum[pid] += math.Abs(c)
+		if j.Prog.IsActive(states[dst]) {
+			next.Set(int(dst))
+		}
+	}
+
+	for pass := 0; pass < maxPasses && work.Any(); pass++ {
+		work.Range(func(li int) bool {
+			s := &states[li]
+			v := p.Globals[li]
+			deg := j.PG.G.Degree(v, j.Dir)
+			seed, scatter := j.Prog.Apply(v, s, deg)
+			st.Vertices++
+			if pass > 0 {
+				// A re-processed single-replica vertex consumed its
+				// pending delta locally; nothing remains to push.
+				recv.Clear(li)
+			}
+			if !scatter {
+				return true
+			}
+			if j.Dir == model.Out || j.Dir == model.Both {
+				for ei := p.OutOff[li]; ei < p.OutOff[li+1]; ei++ {
+					scatterTo(p.OutDst[ei], j.Prog.Contribution(seed, p.OutW[ei]))
+					st.Edges++
+				}
+			}
+			if j.Dir == model.In || j.Dir == model.Both {
+				for ei := p.InOff[li]; ei < p.InOff[li+1]; ei++ {
+					scatterTo(p.InDst[ei], j.Prog.Contribution(seed, p.InW[ei]))
+					st.Edges++
+				}
+			}
+			return true
+		})
+		work.Swap(next)
+		next.Reset()
+	}
+	j.Merge(pid, &deferred)
+	j.EdgesProcessed += st.Edges
+	j.VerticesApplied += st.Vertices
+	return st
+}

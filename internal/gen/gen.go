@@ -1,0 +1,337 @@
+// Package gen produces the synthetic inputs of the reproduction: power-law
+// graphs standing in for the paper's web/social datasets (Table 1), edge
+// mutations for the evolving-graph experiments (§4.4), and the job-arrival
+// trace behind Figure 1.
+//
+// Everything is deterministic given a seed, so figures and tests reproduce
+// bit-for-bit.
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cgraph/model"
+)
+
+// RMAT generates an R-MAT graph with the given quadrant probabilities
+// (a, b, c; d = 1-a-b-c), the standard recipe for skewed web/social graphs.
+// Self-loops are permitted (they occur in the real datasets too); duplicate
+// edges are not deduplicated, matching multigraph web crawls.
+func RMAT(seed int64, numVertices, numEdges int, a, b, c float64) []model.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	// Round the vertex count up to a power of two for quadrant recursion,
+	// then reject edges falling outside the requested range.
+	levels := 0
+	for 1<<levels < numVertices {
+		levels++
+	}
+	edges := make([]model.Edge, 0, numEdges)
+	for len(edges) < numEdges {
+		src, dst := 0, 0
+		for l := 0; l < levels; l++ {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left: nothing to add
+			case r < a+b:
+				dst |= 1 << l
+			case r < a+b+c:
+				src |= 1 << l
+			default:
+				src |= 1 << l
+				dst |= 1 << l
+			}
+		}
+		if src >= numVertices || dst >= numVertices {
+			continue
+		}
+		edges = append(edges, model.Edge{
+			Src:    model.VertexID(src),
+			Dst:    model.VertexID(dst),
+			Weight: 1 + rng.Float32()*9,
+		})
+	}
+	return edges
+}
+
+// Zipf generates a graph whose out-degrees follow a Zipf distribution with
+// the given skew s > 1, modelling power-law social graphs.
+func Zipf(seed int64, numVertices, numEdges int, s float64) []model.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, s, 1, uint64(numVertices-1))
+	edges := make([]model.Edge, 0, numEdges)
+	for len(edges) < numEdges {
+		src := model.VertexID(z.Uint64())
+		dst := model.VertexID(rng.Intn(numVertices))
+		edges = append(edges, model.Edge{Src: src, Dst: dst, Weight: 1 + rng.Float32()*9})
+	}
+	return edges
+}
+
+// ER generates a uniform Erdős–Rényi style graph with exactly numEdges edges.
+func ER(seed int64, numVertices, numEdges int) []model.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]model.Edge, numEdges)
+	for i := range edges {
+		edges[i] = model.Edge{
+			Src:    model.VertexID(rng.Intn(numVertices)),
+			Dst:    model.VertexID(rng.Intn(numVertices)),
+			Weight: 1 + rng.Float32()*9,
+		}
+	}
+	return edges
+}
+
+// Ring generates a deterministic directed cycle 0→1→…→n-1→0, useful for
+// tests with a known diameter and SCC structure.
+func Ring(numVertices int) []model.Edge {
+	edges := make([]model.Edge, numVertices)
+	for i := 0; i < numVertices; i++ {
+		edges[i] = model.Edge{
+			Src:    model.VertexID(i),
+			Dst:    model.VertexID((i + 1) % numVertices),
+			Weight: 1,
+		}
+	}
+	return edges
+}
+
+// Chain generates a directed path 0→1→…→n-1 (no back edge).
+func Chain(numVertices int) []model.Edge {
+	edges := make([]model.Edge, numVertices-1)
+	for i := range edges {
+		edges[i] = model.Edge{Src: model.VertexID(i), Dst: model.VertexID(i + 1), Weight: 1}
+	}
+	return edges
+}
+
+// Kind distinguishes the two graph families of Table 1.
+type Kind int
+
+const (
+	// Social graphs (Twitter, Friendster): R-MAT skew, tiny diameter.
+	Social Kind = iota
+	// WebGraph crawls (uk2007, uk-union, hyperlink14): host-locality —
+	// most links stay near their source ID — and larger diameter.
+	WebGraph
+)
+
+// Web generates a host-locality web graph: sources advance sequentially
+// (crawl order) and most links land within a short ID distance (same-host
+// links), while a minority jump uniformly (cross-host links). Sequential
+// sources make slot-contiguous partitions highly local, the property
+// destination-sorted and reentrant engines exploit on real crawls.
+func Web(seed int64, numVertices, numEdges int) []model.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]model.Edge, numEdges)
+	for i := range edges {
+		src := i * numVertices / numEdges
+		var dst int
+		if rng.Float64() < 0.85 {
+			d := 1 + int(rng.ExpFloat64()*8)
+			if rng.Intn(2) == 0 {
+				d = -d
+			}
+			dst = src + d
+			if dst < 0 {
+				dst = 0
+			}
+			if dst >= numVertices {
+				dst = numVertices - 1
+			}
+		} else {
+			dst = rng.Intn(numVertices)
+		}
+		edges[i] = model.Edge{
+			Src:    model.VertexID(src),
+			Dst:    model.VertexID(dst),
+			Weight: 1 + rng.Float32()*9,
+		}
+	}
+	return edges
+}
+
+// Dataset is one named stand-in for a Table 1 graph.
+type Dataset struct {
+	Name        string
+	PaperName   string // name in the paper's Table 1
+	Kind        Kind
+	NumVertices int
+	NumEdges    int
+	Seed        int64
+	// ExceedsMem mirrors the paper's setup where hyperlink14 (480 GB) does
+	// not fit in the 64 GB of main memory; the harness sizes the simulated
+	// memory so that exactly these datasets spill to disk.
+	ExceedsMem bool
+}
+
+// Generate materializes the dataset's edge list.
+func (d Dataset) Generate() []model.Edge {
+	if d.Kind == WebGraph {
+		return Web(d.Seed, d.NumVertices, d.NumEdges)
+	}
+	// R-MAT quadrant weights typical for skewed social graphs.
+	return RMAT(d.Seed, d.NumVertices, d.NumEdges, 0.57, 0.19, 0.19)
+}
+
+// StandIns returns the five Table 1 stand-ins, scaled by the given factor
+// (1.0 = the default reproduction scale, roughly 1:40 000 of the paper's
+// edge counts with the paper's average degrees preserved).
+func StandIns(scale float64) []Dataset {
+	base := []Dataset{
+		{Name: "twitter-sim", PaperName: "Twitter", Kind: Social, NumVertices: 1050, NumEdges: 35000, Seed: 101},
+		{Name: "friendster-sim", PaperName: "Friendster", Kind: Social, NumVertices: 1600, NumEdges: 45000, Seed: 102},
+		{Name: "uk2007-sim", PaperName: "uk2007", Kind: WebGraph, NumVertices: 2650, NumEdges: 92500, Seed: 103},
+		{Name: "ukunion-sim", PaperName: "uk-union", Kind: WebGraph, NumVertices: 3350, NumEdges: 137500, Seed: 104},
+		{Name: "hyperlink14-sim", PaperName: "hyperlink14", Kind: WebGraph, NumVertices: 10600, NumEdges: 400000, Seed: 105, ExceedsMem: true},
+	}
+	if scale != 1.0 {
+		for i := range base {
+			base[i].NumVertices = max(16, int(float64(base[i].NumVertices)*scale))
+			base[i].NumEdges = max(32, int(float64(base[i].NumEdges)*scale))
+		}
+	}
+	return base
+}
+
+// StandIn returns the named stand-in at the given scale.
+func StandIn(name string, scale float64) (Dataset, error) {
+	for _, d := range StandIns(scale) {
+		if d.Name == name || d.PaperName == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q", name)
+}
+
+// Mutate applies the evolving-graph update model of §4.4: ratio×|E| edge
+// slots are rewritten in place (half standing for deletions re-filled by new
+// edges, half for added edges replacing expired ones). Rewriting slots keeps
+// the edge count and chunk boundaries stable, so snapshot overlays only
+// contain the partitions whose slots changed. It returns the mutated copy
+// and the sorted slot indices that changed.
+func Mutate(edges []model.Edge, ratio float64, numVertices int, seed int64) ([]model.Edge, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]model.Edge(nil), edges...)
+	n := int(float64(len(edges)) * ratio)
+	if n < 1 && ratio > 0 {
+		n = 1
+	}
+	changed := make([]int, 0, n)
+	seen := make(map[int]bool, n)
+	for len(changed) < n {
+		slot := rng.Intn(len(out))
+		if seen[slot] {
+			continue
+		}
+		seen[slot] = true
+		out[slot] = model.Edge{
+			Src:    model.VertexID(rng.Intn(numVertices)),
+			Dst:    model.VertexID(rng.Intn(numVertices)),
+			Weight: 1 + rng.Float32()*9,
+		}
+		changed = append(changed, slot)
+	}
+	sort.Ints(changed)
+	return out, changed
+}
+
+// MutateClustered is Mutate with update locality: slots are rewritten in
+// contiguous runs of runLen (graph updates cluster on hosts/communities), so
+// a given change ratio touches far fewer partitions than uniform rewrites —
+// the regime in which snapshot sharing (Fig. 5) pays off.
+func MutateClustered(edges []model.Edge, ratio float64, numVertices int, seed int64, runLen int) ([]model.Edge, []int) {
+	if runLen < 1 {
+		runLen = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]model.Edge(nil), edges...)
+	n := int(float64(len(edges)) * ratio)
+	if n < 1 && ratio > 0 {
+		n = 1
+	}
+	seen := make(map[int]bool, n)
+	changed := make([]int, 0, n)
+	for len(changed) < n {
+		start := rng.Intn(len(out))
+		for i := 0; i < runLen && len(changed) < n; i++ {
+			slot := (start + i) % len(out)
+			if seen[slot] {
+				continue
+			}
+			seen[slot] = true
+			out[slot] = model.Edge{
+				Src:    model.VertexID(rng.Intn(numVertices)),
+				Dst:    model.VertexID(rng.Intn(numVertices)),
+				Weight: 1 + rng.Float32()*9,
+			}
+			changed = append(changed, slot)
+		}
+	}
+	sort.Ints(changed)
+	return out, changed
+}
+
+// WriteEdges writes an edge list as "src\tdst\tweight" lines.
+func WriteEdges(w io.Writer, edges []model.Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", e.Src, e.Dst, e.Weight); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdges parses the WriteEdges format; the weight column is optional and
+// defaults to 1.
+func ReadEdges(r io.Reader) ([]model.Edge, error) {
+	var edges []model.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("gen: line %d: want at least 2 fields, got %d", line, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gen: line %d: bad src: %v", line, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("gen: line %d: bad dst: %v", line, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("gen: line %d: bad weight: %v", line, err)
+			}
+		}
+		edges = append(edges, model.Edge{Src: model.VertexID(src), Dst: model.VertexID(dst), Weight: float32(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

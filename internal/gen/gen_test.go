@@ -1,0 +1,235 @@
+package gen
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cgraph/model"
+)
+
+func TestRMATDeterministicAndSized(t *testing.T) {
+	a := RMAT(7, 1000, 5000, 0.57, 0.19, 0.19)
+	b := RMAT(7, 1000, 5000, 0.57, 0.19, 0.19)
+	if len(a) != 5000 {
+		t.Fatalf("len = %d, want 5000", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("edge %d differs between same-seed runs", i)
+		}
+	}
+	c := RMAT(8, 1000, 5000, 0.57, 0.19, 0.19)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATInRangeAndSkewed(t *testing.T) {
+	edges := RMAT(1, 512, 20000, 0.57, 0.19, 0.19)
+	deg := make([]int, 512)
+	for _, e := range edges {
+		if int(e.Src) >= 512 || int(e.Dst) >= 512 {
+			t.Fatalf("edge out of range: %v", e)
+		}
+		if e.Weight < 1 || e.Weight >= 10 {
+			t.Fatalf("weight out of range: %v", e.Weight)
+		}
+		deg[e.Src]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(deg)))
+	top := 0
+	for _, d := range deg[:26] { // top 5%
+		top += d
+	}
+	if float64(top)/20000 < 0.20 {
+		t.Fatalf("R-MAT not skewed: top 5%% vertices hold %.1f%% of edges", 100*float64(top)/20000)
+	}
+}
+
+func TestZipfAndER(t *testing.T) {
+	z := Zipf(3, 300, 4000, 1.5)
+	if len(z) != 4000 {
+		t.Fatalf("Zipf len = %d", len(z))
+	}
+	e := ER(3, 300, 4000)
+	if len(e) != 4000 {
+		t.Fatalf("ER len = %d", len(e))
+	}
+	for _, ed := range append(z, e...) {
+		if int(ed.Src) >= 300 || int(ed.Dst) >= 300 {
+			t.Fatalf("edge out of range: %v", ed)
+		}
+	}
+}
+
+func TestRingAndChain(t *testing.T) {
+	r := Ring(5)
+	if len(r) != 5 || r[4].Dst != 0 {
+		t.Fatalf("Ring wrong: %v", r)
+	}
+	c := Chain(5)
+	if len(c) != 4 || c[3].Dst != 4 {
+		t.Fatalf("Chain wrong: %v", c)
+	}
+}
+
+func TestStandIns(t *testing.T) {
+	ds := StandIns(1.0)
+	if len(ds) != 5 {
+		t.Fatalf("want 5 stand-ins, got %d", len(ds))
+	}
+	// Relative ordering of sizes must match the paper's Table 1.
+	for i := 1; i < len(ds); i++ {
+		if ds[i].NumEdges <= ds[i-1].NumEdges {
+			t.Fatalf("stand-ins not ordered by size: %s <= %s", ds[i].Name, ds[i-1].Name)
+		}
+	}
+	if !ds[4].ExceedsMem {
+		t.Fatal("hyperlink14-sim must exceed simulated memory")
+	}
+	d, err := StandIn("twitter-sim", 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEdges != 3500 {
+		t.Fatalf("scaled edges = %d, want 3500", d.NumEdges)
+	}
+	if _, err := StandIn("nope", 1); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+	edges := d.Generate()
+	if len(edges) != d.NumEdges {
+		t.Fatalf("Generate len = %d, want %d", len(edges), d.NumEdges)
+	}
+}
+
+func TestMutatePreservesCountAndReportsSlots(t *testing.T) {
+	base := ER(5, 100, 1000)
+	mut, changed := Mutate(base, 0.05, 100, 9)
+	if len(mut) != len(base) {
+		t.Fatalf("mutation changed edge count: %d != %d", len(mut), len(base))
+	}
+	if len(changed) != 50 {
+		t.Fatalf("changed slots = %d, want 50", len(changed))
+	}
+	if !sort.IntsAreSorted(changed) {
+		t.Fatal("changed slots not sorted")
+	}
+	diff := 0
+	for i := range base {
+		if base[i] != mut[i] {
+			diff++
+		}
+	}
+	// Every reported slot was rewritten (a rewrite may coincidentally equal
+	// the old edge, so diff <= len(changed)).
+	if diff > len(changed) {
+		t.Fatalf("%d edges differ but only %d slots reported", diff, len(changed))
+	}
+	isChanged := map[int]bool{}
+	for _, s := range changed {
+		isChanged[s] = true
+	}
+	for i := range base {
+		if base[i] != mut[i] && !isChanged[i] {
+			t.Fatalf("slot %d changed but not reported", i)
+		}
+	}
+}
+
+func TestMutateTinyRatioChangesAtLeastOneSlot(t *testing.T) {
+	base := ER(5, 100, 1000)
+	_, changed := Mutate(base, 0.00001, 100, 9)
+	if len(changed) != 1 {
+		t.Fatalf("want 1 changed slot for tiny ratio, got %d", len(changed))
+	}
+}
+
+func TestEdgeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		edges := ER(seed, 50, 200)
+		var buf bytes.Buffer
+		if err := WriteEdges(&buf, edges); err != nil {
+			return false
+		}
+		got, err := ReadEdges(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(edges) {
+			return false
+		}
+		for i := range got {
+			if got[i].Src != edges[i].Src || got[i].Dst != edges[i].Dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgesDefaultsAndComments(t *testing.T) {
+	in := "# comment\n1 2\n3\t4\t2.5\n\n"
+	edges, err := ReadEdges(bytes.NewBufferString(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 {
+		t.Fatalf("len = %d, want 2", len(edges))
+	}
+	if edges[0].Weight != 1 {
+		t.Fatalf("default weight = %v, want 1", edges[0].Weight)
+	}
+	if edges[1] != (model.Edge{Src: 3, Dst: 4, Weight: 2.5}) {
+		t.Fatalf("edge = %v", edges[1])
+	}
+	if _, err := ReadEdges(bytes.NewBufferString("x y\n")); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := ReadEdges(bytes.NewBufferString("1\n")); err == nil {
+		t.Fatal("want field-count error")
+	}
+}
+
+func TestJobTraceShape(t *testing.T) {
+	points, shares := JobTrace(11, 160)
+	if len(points) != 160 || len(shares) != 160 {
+		t.Fatalf("want 160 samples, got %d/%d", len(points), len(shares))
+	}
+	maxActive := 0
+	for _, p := range points {
+		if p.Active > maxActive {
+			maxActive = p.Active
+		}
+	}
+	// Figure 1(a) peaks above 20 concurrent jobs.
+	if maxActive < 15 {
+		t.Fatalf("trace peak = %d, want >= 15 concurrent jobs", maxActive)
+	}
+	// Sharing ratios are monotone in k and within [0,100].
+	for _, s := range shares {
+		prev := 101.0
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			v := s.MoreThan[k]
+			if v < 0 || v > 100 {
+				t.Fatalf("ratio out of range: %v", v)
+			}
+			if v > prev {
+				t.Fatalf("share ratios not monotone at hour %v", s.Hour)
+			}
+			prev = v
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// TracePoint is one hourly sample of the synthetic production trace behind
+// Figure 1(a): how many CGP jobs are concurrently analysing the shared graph.
+type TracePoint struct {
+	Hour   float64
+	Active int
+}
+
+// ShareRatios is one sample of Figure 1(b): of the partitions active for at
+// least one job, the percentage needed by more than 1, 2, 4, 8 and 16 jobs.
+type ShareRatios struct {
+	Hour     float64
+	MoreThan map[int]float64 // keys 1, 2, 4, 8, 16 → percentage 0..100
+}
+
+// traceJob is one synthetic CGP job instance in the trace.
+type traceJob struct {
+	start, end float64
+	// footprint is the fraction of graph partitions the job touches per
+	// iteration: ~1.0 for full-sweep jobs (PageRank variants), lower for
+	// frontier jobs (BFS/SSSP) late in their run.
+	footprint float64
+	seed      int64
+}
+
+// JobTrace simulates a diurnal Poisson arrival process over the given number
+// of hours, mimicking the Chinese social-network trace of Figure 1: the
+// arrival rate swings with time of day and peaks above 20 concurrent jobs.
+func JobTrace(seed int64, hours int) ([]TracePoint, []ShareRatios) {
+	rng := rand.New(rand.NewSource(seed))
+	var jobs []traceJob
+	// Hourly arrivals: base 2/h, diurnal amplitude 3/h; durations are
+	// log-normal around 2.5 h so day peaks accumulate ~20+ active jobs.
+	for h := 0; h < hours; h++ {
+		rate := 2.0 + 3.0*(1+math.Sin(2*math.Pi*float64(h)/24-math.Pi/2))/2*2
+		n := poisson(rng, rate)
+		for i := 0; i < n; i++ {
+			start := float64(h) + rng.Float64()
+			dur := math.Exp(rng.NormFloat64()*0.6 + 0.9) // median ~2.5h
+			foot := 1.0
+			if rng.Float64() < 0.4 { // frontier-style jobs
+				foot = 0.2 + 0.5*rng.Float64()
+			}
+			jobs = append(jobs, traceJob{start: start, end: start + dur, footprint: foot, seed: rng.Int63()})
+		}
+	}
+
+	const numPartitions = 64
+	points := make([]TracePoint, 0, hours)
+	shares := make([]ShareRatios, 0, hours)
+	for h := 0; h < hours; h++ {
+		t := float64(h)
+		active := 0
+		counts := make([]int, numPartitions)
+		for _, j := range jobs {
+			if j.start <= t && t < j.end {
+				active++
+				jr := rand.New(rand.NewSource(j.seed + int64(h)))
+				for p := 0; p < numPartitions; p++ {
+					if jr.Float64() < j.footprint {
+						counts[p]++
+					}
+				}
+			}
+		}
+		points = append(points, TracePoint{Hour: t, Active: active})
+		sr := ShareRatios{Hour: t, MoreThan: map[int]float64{}}
+		activeParts := 0
+		for _, c := range counts {
+			if c > 0 {
+				activeParts++
+			}
+		}
+		for _, k := range []int{1, 2, 4, 8, 16} {
+			over := 0
+			for _, c := range counts {
+				if c > k {
+					over++
+				}
+			}
+			if activeParts > 0 {
+				sr.MoreThan[k] = 100 * float64(over) / float64(activeParts)
+			}
+		}
+		shares = append(shares, sr)
+	}
+	return points, shares
+}
+
+// poisson draws a Poisson variate via Knuth's method (rates here are small).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,503 @@
+// Package graph implements the shared graph-structure substrate of §3.2.1:
+// a global CSR built from an edge list, vertex-cut partitioning into
+// same-sized (by edge count) partitions in plain or core-subgraph mode,
+// master/mirror replica assignment, and the partition-size formula that ties
+// partition bytes to the simulated cache capacity.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"cgraph/model"
+)
+
+// uidCounter hands out process-unique partition UIDs.
+var uidCounter atomic.Int64
+
+// Graph is the immutable global CSR over both edge directions. It implements
+// model.GraphInfo.
+type Graph struct {
+	N      int
+	OutOff []uint64
+	OutDst []model.VertexID
+	OutW   []float32
+	InOff  []uint64
+	InDst  []model.VertexID
+	InW    []float32
+}
+
+// Build constructs the global CSR. numVertices of 0 means "infer from the
+// largest endpoint".
+func Build(numVertices int, edges []model.Edge) *Graph {
+	n := numVertices
+	for _, e := range edges {
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
+		}
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
+		}
+	}
+	g := &Graph{
+		N:      n,
+		OutOff: make([]uint64, n+1),
+		OutDst: make([]model.VertexID, len(edges)),
+		OutW:   make([]float32, len(edges)),
+		InOff:  make([]uint64, n+1),
+		InDst:  make([]model.VertexID, len(edges)),
+		InW:    make([]float32, len(edges)),
+	}
+	for _, e := range edges {
+		g.OutOff[e.Src+1]++
+		g.InOff[e.Dst+1]++
+	}
+	for v := 0; v < n; v++ {
+		g.OutOff[v+1] += g.OutOff[v]
+		g.InOff[v+1] += g.InOff[v]
+	}
+	outPos := append([]uint64(nil), g.OutOff[:n]...)
+	inPos := append([]uint64(nil), g.InOff[:n]...)
+	for _, e := range edges {
+		g.OutDst[outPos[e.Src]] = e.Dst
+		g.OutW[outPos[e.Src]] = e.Weight
+		outPos[e.Src]++
+		g.InDst[inPos[e.Dst]] = e.Src
+		g.InW[inPos[e.Dst]] = e.Weight
+		inPos[e.Dst]++
+	}
+	return g
+}
+
+// NumVertices implements model.GraphInfo.
+func (g *Graph) NumVertices() int { return g.N }
+
+// OutDegree implements model.GraphInfo.
+func (g *Graph) OutDegree(v model.VertexID) int {
+	return int(g.OutOff[v+1] - g.OutOff[v])
+}
+
+// InDegree implements model.GraphInfo.
+func (g *Graph) InDegree(v model.VertexID) int {
+	return int(g.InOff[v+1] - g.InOff[v])
+}
+
+// Degree returns v's degree in the given direction (Both = out + in).
+func (g *Graph) Degree(v model.VertexID, d model.Direction) int {
+	switch d {
+	case model.Out:
+		return g.OutDegree(v)
+	case model.In:
+		return g.InDegree(v)
+	default:
+		return g.OutDegree(v) + g.InDegree(v)
+	}
+}
+
+// NumEdges returns the number of directed edges.
+func (g *Graph) NumEdges() int { return len(g.OutDst) }
+
+// PartVertex locates one replica of a vertex: the partition and the local
+// index within that partition's vertex table.
+type PartVertex struct {
+	Part  int32
+	Local uint32
+}
+
+// Partition is one graph-structure partition of the global table
+// (Fig. 4(b)): the local vertex table (vertex ID, replica flag, master
+// location) plus the partition-local out/in CSR over the edges assigned to
+// this partition by the vertex cut.
+type Partition struct {
+	ID int
+	// UID is unique across every partition built in the process, letting
+	// the memory-hierarchy simulator identify a partition shared by
+	// several snapshots (Fig. 5) as a single cacheable item.
+	UID int64
+
+	// Globals maps local index → global vertex ID, sorted ascending so
+	// LocalOf can binary-search.
+	Globals []model.VertexID
+
+	// Partition-local CSR over local indices (both endpoints of every
+	// assigned edge have replicas here, so Scatter never leaves the
+	// partition — the property Algorithm 1 relies on).
+	OutOff []uint32
+	OutDst []uint32
+	OutW   []float32
+	InOff  []uint32
+	InDst  []uint32
+	InW    []float32
+
+	NumEdges int
+	// AvgDegree is D(P) in Eq. 1: the mean global degree of the
+	// partition's vertices, fixed at preprocessing time.
+	AvgDegree float64
+	// Core marks partitions produced from the core subgraph (§3.3).
+	Core bool
+	// StructBytes is the simulated size of this partition's structure
+	// data, fed to the memory-hierarchy simulator.
+	StructBytes int64
+}
+
+// NumVertices returns the number of local replicas in the partition.
+func (p *Partition) NumVertices() int { return len(p.Globals) }
+
+// LocalOf returns the local index of global vertex v, if v has a replica in
+// this partition.
+func (p *Partition) LocalOf(v model.VertexID) (uint32, bool) {
+	i := sort.Search(len(p.Globals), func(i int) bool { return p.Globals[i] >= v })
+	if i < len(p.Globals) && p.Globals[i] == v {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// computeBytes accounts the structure bytes of the partition: 9 bytes per
+// local vertex (ID + flag + master location) and 8 per directed edge in each
+// CSR direction, plus a fixed header.
+func (p *Partition) computeBytes() {
+	p.StructBytes = 64 + int64(len(p.Globals))*9 + int64(len(p.OutDst))*8 + int64(len(p.InDst))*8
+}
+
+// PGraph is a partitioned graph: the content of one global-table snapshot.
+type PGraph struct {
+	G     *Graph
+	Parts []*Partition
+	// MasterOf locates the master replica of every vertex; vertices with
+	// no edges have Part == -1.
+	MasterOf []PartVertex
+	// Replicas lists every replica location (master first) for vertices
+	// with more than one replica; single-replica vertices are omitted.
+	Replicas map[model.VertexID][]PartVertex
+	// ChunkSize is the number of edge slots per partition, fixed so that
+	// snapshot mutations map slots to partitions stably.
+	ChunkSize int
+	// NumCore is the count of core-subgraph partitions (they come first).
+	NumCore int
+	// Masters flags the master replica per [partition][local]; exactly one
+	// partition holds the master of each vertex. Kept outside Partition so
+	// snapshots can share unchanged partition bytes while owning their own
+	// replica assignment.
+	Masters [][]bool
+	// MasterParts names the partition holding the master replica, per
+	// [partition][local].
+	MasterParts [][]int32
+}
+
+// IsMaster reports whether the replica at (part, local) is the master.
+func (pg *PGraph) IsMaster(part int, local uint32) bool {
+	return pg.Masters[part][local]
+}
+
+// MasterPart returns the partition holding the master of the replica at
+// (part, local).
+func (pg *PGraph) MasterPart(part int, local uint32) int32 {
+	return pg.MasterParts[part][local]
+}
+
+// Options configure partitioning.
+type Options struct {
+	// NumPartitions is the target partition count (≥1).
+	NumPartitions int
+	// CoreSubgraph enables §3.3 core-subgraph partitioning: edges between
+	// high-degree core vertices are grouped into their own partitions.
+	CoreSubgraph bool
+	// CoreFraction is the fraction of vertices classified as core when
+	// CoreSubgraph is set (default 0.05).
+	CoreFraction float64
+}
+
+// Cut builds a vertex-cut partitioned graph. Edges are divided into
+// same-sized chunks by slot order (plain mode) or after core/non-core
+// grouping (core-subgraph mode); each chunk becomes one partition whose
+// vertex table holds a replica of every endpoint.
+func Cut(g *Graph, edges []model.Edge, opt Options) (*PGraph, error) {
+	if opt.NumPartitions < 1 {
+		return nil, fmt.Errorf("graph: NumPartitions must be >= 1, got %d", opt.NumPartitions)
+	}
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("graph: cannot partition an empty edge list")
+	}
+	chunk := (len(edges) + opt.NumPartitions - 1) / opt.NumPartitions
+
+	var groups [][]model.Edge
+	numCore := 0
+	if opt.CoreSubgraph {
+		frac := opt.CoreFraction
+		if frac <= 0 {
+			frac = 0.05
+		}
+		core := coreSet(g, frac)
+		var coreEdges, rest []model.Edge
+		for _, e := range edges {
+			if core[e.Src] && core[e.Dst] {
+				coreEdges = append(coreEdges, e)
+			} else {
+				rest = append(rest, e)
+			}
+		}
+		coreChunks := chunkEdges(coreEdges, chunk)
+		numCore = len(coreChunks)
+		groups = append(coreChunks, chunkEdges(rest, chunk)...)
+	} else {
+		groups = chunkEdges(edges, chunk)
+	}
+
+	pg := &PGraph{
+		G:         g,
+		MasterOf:  make([]PartVertex, g.N),
+		Replicas:  make(map[model.VertexID][]PartVertex),
+		ChunkSize: chunk,
+		NumCore:   numCore,
+	}
+	for i := range pg.MasterOf {
+		pg.MasterOf[i] = PartVertex{Part: -1}
+	}
+	for id, group := range groups {
+		pg.Parts = append(pg.Parts, buildPartition(g, id, group, id < numCore))
+	}
+	pg.assignMasters()
+	return pg, nil
+}
+
+func chunkEdges(edges []model.Edge, chunk int) [][]model.Edge {
+	var out [][]model.Edge
+	for start := 0; start < len(edges); start += chunk {
+		end := start + chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		out = append(out, edges[start:end])
+	}
+	return out
+}
+
+// coreSet returns the set of "core" vertices: the top fraction by total
+// degree (the paper's degree-threshold rule).
+func coreSet(g *Graph, fraction float64) map[model.VertexID]bool {
+	k := int(float64(g.N) * fraction)
+	if k < 1 {
+		k = 1
+	}
+	type vd struct {
+		v model.VertexID
+		d int
+	}
+	all := make([]vd, g.N)
+	for v := 0; v < g.N; v++ {
+		all[v] = vd{model.VertexID(v), g.Degree(model.VertexID(v), model.Both)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d > all[j].d
+		}
+		return all[i].v < all[j].v
+	})
+	core := make(map[model.VertexID]bool, k)
+	for _, x := range all[:k] {
+		core[x.v] = true
+	}
+	return core
+}
+
+func buildPartition(g *Graph, id int, edges []model.Edge, core bool) *Partition {
+	// Collect the unique endpoints as the local vertex table.
+	seen := make(map[model.VertexID]bool, len(edges))
+	for _, e := range edges {
+		seen[e.Src] = true
+		seen[e.Dst] = true
+	}
+	globals := make([]model.VertexID, 0, len(seen))
+	for v := range seen {
+		globals = append(globals, v)
+	}
+	sort.Slice(globals, func(i, j int) bool { return globals[i] < globals[j] })
+	local := make(map[model.VertexID]uint32, len(globals))
+	for i, v := range globals {
+		local[v] = uint32(i)
+	}
+
+	p := &Partition{
+		ID:       id,
+		UID:      uidCounter.Add(1),
+		Globals:  globals,
+		NumEdges: len(edges),
+		Core:     core,
+	}
+	n := len(globals)
+	p.OutOff = make([]uint32, n+1)
+	p.InOff = make([]uint32, n+1)
+	for _, e := range edges {
+		p.OutOff[local[e.Src]+1]++
+		p.InOff[local[e.Dst]+1]++
+	}
+	for v := 0; v < n; v++ {
+		p.OutOff[v+1] += p.OutOff[v]
+		p.InOff[v+1] += p.InOff[v]
+	}
+	p.OutDst = make([]uint32, len(edges))
+	p.OutW = make([]float32, len(edges))
+	p.InDst = make([]uint32, len(edges))
+	p.InW = make([]float32, len(edges))
+	outPos := append([]uint32(nil), p.OutOff[:n]...)
+	inPos := append([]uint32(nil), p.InOff[:n]...)
+	for _, e := range edges {
+		ls, ld := local[e.Src], local[e.Dst]
+		p.OutDst[outPos[ls]] = ld
+		p.OutW[outPos[ls]] = e.Weight
+		outPos[ls]++
+		p.InDst[inPos[ld]] = ls
+		p.InW[inPos[ld]] = e.Weight
+		inPos[ld]++
+	}
+
+	totalDeg := 0
+	for _, v := range globals {
+		totalDeg += g.Degree(v, model.Both)
+	}
+	if n > 0 {
+		p.AvgDegree = float64(totalDeg) / float64(n)
+	}
+	p.computeBytes()
+	return p
+}
+
+// assignMasters nominates the lowest-numbered partition containing each
+// vertex as its master location and records replica lists for vertices that
+// appear in more than one partition.
+func (pg *PGraph) assignMasters() {
+	for _, p := range pg.Parts {
+		for li, v := range p.Globals {
+			if pg.MasterOf[v].Part == -1 {
+				pg.MasterOf[v] = PartVertex{Part: int32(p.ID), Local: uint32(li)}
+			} else {
+				pg.Replicas[v] = append(pg.Replicas[v], PartVertex{Part: int32(p.ID), Local: uint32(li)})
+			}
+		}
+	}
+	// Prepend the master so Replicas lists every location, master first.
+	for v, mirrors := range pg.Replicas {
+		pg.Replicas[v] = append([]PartVertex{pg.MasterOf[v]}, mirrors...)
+	}
+	pg.Masters = make([][]bool, len(pg.Parts))
+	pg.MasterParts = make([][]int32, len(pg.Parts))
+	for pi, p := range pg.Parts {
+		pg.Masters[pi] = make([]bool, len(p.Globals))
+		pg.MasterParts[pi] = make([]int32, len(p.Globals))
+		for li, v := range p.Globals {
+			m := pg.MasterOf[v]
+			pg.MasterParts[pi][li] = m.Part
+			pg.Masters[pi][li] = m.Part == int32(p.ID) && m.Local == uint32(li)
+		}
+	}
+}
+
+// ReplicaLocations returns every replica location of v (master first).
+func (pg *PGraph) ReplicaLocations(v model.VertexID) []PartVertex {
+	if r, ok := pg.Replicas[v]; ok {
+		return r
+	}
+	if pg.MasterOf[v].Part == -1 {
+		return nil
+	}
+	return []PartVertex{pg.MasterOf[v]}
+}
+
+// TotalStructBytes sums the structure bytes across partitions.
+func (pg *PGraph) TotalStructBytes() int64 {
+	var total int64
+	for _, p := range pg.Parts {
+		total += p.StructBytes
+	}
+	return total
+}
+
+// SuggestPartitionBytes solves the §3.2.1 sizing constraint
+// Pg + Pg/sg·sp·N + b ≤ C for the largest Pg: the cache should hold one
+// structure partition plus the private-table slices of N concurrently
+// triggered jobs with a reserve buffer b.
+func SuggestPartitionBytes(cacheBytes int64, cores int, structBytesPerItem, privateBytesPerItem float64, reserve int64) int64 {
+	usable := float64(cacheBytes - reserve)
+	if usable <= 0 {
+		return 0
+	}
+	pg := usable / (1 + privateBytesPerItem*float64(cores)/structBytesPerItem)
+	return int64(pg)
+}
+
+// SuggestNumPartitions converts the Pg formula into a partition count for a
+// graph with the given total structure bytes.
+func SuggestNumPartitions(totalStructBytes, cacheBytes int64, cores int, structBytesPerItem, privateBytesPerItem float64, reserve int64) int {
+	pg := SuggestPartitionBytes(cacheBytes, cores, structBytesPerItem, privateBytesPerItem, reserve)
+	if pg <= 0 {
+		return 1
+	}
+	n := int((totalStructBytes + pg - 1) / pg)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ChangedPartitions maps mutated edge-slot indices to the set of partitions
+// whose chunks contain them (plain partitioning only, where slot→partition
+// is slot/ChunkSize).
+func ChangedPartitions(changedSlots []int, chunkSize, numPartitions int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, s := range changedSlots {
+		p := s / chunkSize
+		if p >= numPartitions {
+			p = numPartitions - 1
+		}
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Overlay builds the partitioned graph of a new snapshot from a previous
+// plain-mode partitioning: only the partitions named in changedParts are
+// rebuilt from the mutated edge list, every other *Partition is shared by
+// pointer with prev (so the memory-hierarchy simulator sees one cacheable
+// item, the property Fig. 5 relies on). Replica assignment is recomputed for
+// the new snapshot at the PGraph level, leaving shared partition bytes
+// untouched.
+func Overlay(prev *PGraph, edges []model.Edge, changedParts []int) (*PGraph, error) {
+	if prev.NumCore != 0 {
+		return nil, fmt.Errorf("graph: Overlay requires plain partitioning (slot-stable chunks)")
+	}
+	wantParts := (len(edges) + prev.ChunkSize - 1) / prev.ChunkSize
+	if wantParts != len(prev.Parts) {
+		return nil, fmt.Errorf("graph: Overlay edge count changed partition count (%d -> %d)", len(prev.Parts), wantParts)
+	}
+	g := Build(prev.G.N, edges)
+	pg := &PGraph{
+		G:         g,
+		Parts:     append([]*Partition(nil), prev.Parts...),
+		MasterOf:  make([]PartVertex, g.N),
+		Replicas:  make(map[model.VertexID][]PartVertex),
+		ChunkSize: prev.ChunkSize,
+	}
+	for i := range pg.MasterOf {
+		pg.MasterOf[i] = PartVertex{Part: -1}
+	}
+	for _, id := range changedParts {
+		if id < 0 || id >= len(pg.Parts) {
+			return nil, fmt.Errorf("graph: Overlay changed partition %d out of range", id)
+		}
+		start := id * prev.ChunkSize
+		end := start + prev.ChunkSize
+		if end > len(edges) {
+			end = len(edges)
+		}
+		pg.Parts[id] = buildPartition(g, id, edges[start:end], false)
+	}
+	pg.assignMasters()
+	return pg, nil
+}

@@ -1,0 +1,287 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cgraph/internal/gen"
+	"cgraph/model"
+)
+
+func buildSmall(t *testing.T) (*Graph, []model.Edge) {
+	t.Helper()
+	edges := []model.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 2},
+		{Src: 1, Dst: 2, Weight: 3},
+		{Src: 2, Dst: 3, Weight: 4},
+		{Src: 3, Dst: 0, Weight: 5},
+		{Src: 3, Dst: 4, Weight: 6},
+	}
+	return Build(0, edges), edges
+}
+
+func TestBuildCSR(t *testing.T) {
+	g, _ := buildSmall(t)
+	if g.N != 5 {
+		t.Fatalf("N = %d, want 5", g.N)
+	}
+	if g.NumEdges() != 6 {
+		t.Fatalf("NumEdges = %d, want 6", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.OutDegree(3) != 2 || g.OutDegree(4) != 0 {
+		t.Fatal("wrong out degrees")
+	}
+	if g.InDegree(2) != 2 || g.InDegree(0) != 1 || g.InDegree(4) != 1 {
+		t.Fatal("wrong in degrees")
+	}
+	if g.Degree(0, model.Both) != 3 {
+		t.Fatalf("Degree(0, Both) = %d, want 3", g.Degree(0, model.Both))
+	}
+	// Out-neighbours of 0 are 1 and 2.
+	nbrs := map[model.VertexID]bool{}
+	for i := g.OutOff[0]; i < g.OutOff[1]; i++ {
+		nbrs[g.OutDst[i]] = true
+	}
+	if !nbrs[1] || !nbrs[2] {
+		t.Fatalf("out-neighbours of 0 = %v", nbrs)
+	}
+}
+
+func TestBuildInfersVertexCount(t *testing.T) {
+	g := Build(0, []model.Edge{{Src: 7, Dst: 3}})
+	if g.N != 8 {
+		t.Fatalf("N = %d, want 8", g.N)
+	}
+	g = Build(20, []model.Edge{{Src: 7, Dst: 3}})
+	if g.N != 20 {
+		t.Fatalf("N = %d, want 20 (explicit)", g.N)
+	}
+}
+
+func TestPartitionBasics(t *testing.T) {
+	g, edges := buildSmall(t)
+	pg, err := Cut(g, edges, Options{NumPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pg.Parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(pg.Parts))
+	}
+	if pg.Parts[0].NumEdges != 3 || pg.Parts[1].NumEdges != 3 {
+		t.Fatalf("edge split = %d/%d, want 3/3", pg.Parts[0].NumEdges, pg.Parts[1].NumEdges)
+	}
+	// Vertex 2 appears in both partitions: one master, one mirror.
+	locs := pg.ReplicaLocations(2)
+	if len(locs) != 2 {
+		t.Fatalf("vertex 2 replicas = %d, want 2", len(locs))
+	}
+	m := pg.MasterOf[2]
+	if locs[0] != m {
+		t.Fatal("ReplicaLocations must list master first")
+	}
+	if !pg.IsMaster(int(m.Part), m.Local) || pg.Parts[m.Part].Globals[m.Local] != 2 {
+		t.Fatal("master flag inconsistent")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g, edges := buildSmall(t)
+	if _, err := Cut(g, edges, Options{NumPartitions: 0}); err == nil {
+		t.Fatal("want error for 0 partitions")
+	}
+	if _, err := Cut(g, nil, Options{NumPartitions: 2}); err == nil {
+		t.Fatal("want error for empty edges")
+	}
+}
+
+// checkInvariants verifies the partitioning invariants from DESIGN.md §5.
+func checkInvariants(t *testing.T, g *Graph, edges []model.Edge, pg *PGraph) {
+	t.Helper()
+	// Every edge appears exactly once across partitions.
+	totalEdges := 0
+	for _, p := range pg.Parts {
+		totalEdges += p.NumEdges
+		if int(p.OutOff[len(p.Globals)]) != p.NumEdges {
+			t.Fatalf("part %d: out CSR edge count mismatch", p.ID)
+		}
+		if int(p.InOff[len(p.Globals)]) != p.NumEdges {
+			t.Fatalf("part %d: in CSR edge count mismatch", p.ID)
+		}
+		// Local vertex table sorted.
+		for i := 1; i < len(p.Globals); i++ {
+			if p.Globals[i-1] >= p.Globals[i] {
+				t.Fatalf("part %d: vertex table not sorted", p.ID)
+			}
+		}
+		// LocalOf agrees with Globals.
+		for li, v := range p.Globals {
+			got, ok := p.LocalOf(v)
+			if !ok || got != uint32(li) {
+				t.Fatalf("part %d: LocalOf(%d) = %d,%v", p.ID, v, got, ok)
+			}
+		}
+		if _, ok := p.LocalOf(model.VertexID(g.N + 100)); ok {
+			t.Fatalf("part %d: LocalOf found absent vertex", p.ID)
+		}
+	}
+	if totalEdges != len(edges) {
+		t.Fatalf("edges across partitions = %d, want %d", totalEdges, len(edges))
+	}
+	// Exactly one master per vertex with at least one edge.
+	masterCount := make(map[model.VertexID]int)
+	for pi, p := range pg.Parts {
+		for li, v := range p.Globals {
+			if pg.IsMaster(pi, uint32(li)) {
+				masterCount[v]++
+			}
+			// Mirror's MasterPart names a partition containing the master.
+			mp := pg.MasterPart(pi, uint32(li))
+			master := pg.Parts[mp]
+			ml, ok := master.LocalOf(v)
+			if !ok || !pg.IsMaster(int(mp), ml) {
+				t.Fatalf("part %d: MasterPart of %d broken", p.ID, v)
+			}
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		hasEdge := g.Degree(model.VertexID(v), model.Both) > 0
+		if hasEdge && masterCount[model.VertexID(v)] != 1 {
+			t.Fatalf("vertex %d has %d masters", v, masterCount[model.VertexID(v)])
+		}
+		if !hasEdge && masterCount[model.VertexID(v)] != 0 {
+			t.Fatalf("isolated vertex %d has a master", v)
+		}
+	}
+	// Replica lists invert membership.
+	for v := 0; v < g.N; v++ {
+		locs := pg.ReplicaLocations(model.VertexID(v))
+		for _, l := range locs {
+			if pg.Parts[l.Part].Globals[l.Local] != model.VertexID(v) {
+				t.Fatalf("replica list of %d names wrong slot", v)
+			}
+		}
+	}
+}
+
+func TestPartitionInvariantsQuick(t *testing.T) {
+	f := func(seed int64, nParts uint8) bool {
+		np := int(nParts)%8 + 1
+		edges := gen.ER(seed, 60, 400)
+		g := Build(0, edges)
+		pg, err := Cut(g, edges, Options{NumPartitions: np})
+		if err != nil {
+			return false
+		}
+		checkInvariants(t, g, edges, pg)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoreSubgraphPartitioning(t *testing.T) {
+	edges := gen.RMAT(17, 256, 4000, 0.57, 0.19, 0.19)
+	g := Build(0, edges)
+	pg, err := Cut(g, edges, Options{NumPartitions: 8, CoreSubgraph: true, CoreFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkInvariants(t, g, edges, pg)
+	if pg.NumCore == 0 {
+		t.Fatal("no core partitions produced for a skewed graph")
+	}
+	for i, p := range pg.Parts {
+		if (i < pg.NumCore) != p.Core {
+			t.Fatalf("core flag mismatch at partition %d", i)
+		}
+	}
+	// Core partitions collect high-degree vertices: their average degree
+	// must exceed the non-core average.
+	var coreAvg, restAvg float64
+	for _, p := range pg.Parts {
+		if p.Core {
+			coreAvg += p.AvgDegree
+		} else {
+			restAvg += p.AvgDegree
+		}
+	}
+	coreAvg /= float64(pg.NumCore)
+	restAvg /= float64(len(pg.Parts) - pg.NumCore)
+	if coreAvg <= restAvg {
+		t.Fatalf("core avg degree %.1f <= rest %.1f", coreAvg, restAvg)
+	}
+}
+
+func TestScatterNeverLeavesPartition(t *testing.T) {
+	// Every local CSR destination index must be a valid local vertex: the
+	// property that lets Algorithm 1 run with no cross-partition access.
+	edges := gen.RMAT(3, 128, 2000, 0.57, 0.19, 0.19)
+	g := Build(0, edges)
+	pg, err := Cut(g, edges, Options{NumPartitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pg.Parts {
+		n := uint32(len(p.Globals))
+		for _, d := range p.OutDst {
+			if d >= n {
+				t.Fatalf("part %d: out dst %d out of range %d", p.ID, d, n)
+			}
+		}
+		for _, s := range p.InDst {
+			if s >= n {
+				t.Fatalf("part %d: in src %d out of range %d", p.ID, s, n)
+			}
+		}
+	}
+}
+
+func TestSuggestPartitionBytes(t *testing.T) {
+	// With sp=16, sg=8, N=4: Pg(1 + 16*4/8) = Pg*9 = usable.
+	pg := SuggestPartitionBytes(9*1024+64, 4, 8, 16, 64)
+	if pg != 1024 {
+		t.Fatalf("Pg = %d, want 1024", pg)
+	}
+	if SuggestPartitionBytes(10, 4, 8, 16, 64) != 0 {
+		t.Fatal("want 0 when reserve exceeds cache")
+	}
+	n := SuggestNumPartitions(10240, 9*1024+64, 4, 8, 16, 64)
+	if n != 10 {
+		t.Fatalf("n = %d, want 10", n)
+	}
+	if SuggestNumPartitions(10240, 10, 4, 8, 16, 64) != 1 {
+		t.Fatal("degenerate cache must still give 1 partition")
+	}
+}
+
+func TestChangedPartitions(t *testing.T) {
+	got := ChangedPartitions([]int{0, 5, 99, 100, 250}, 100, 3)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPartitionByteAccounting(t *testing.T) {
+	g, edges := buildSmall(t)
+	pg, err := Cut(g, edges, Options{NumPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pg.Parts {
+		want := 64 + int64(len(p.Globals))*9 + int64(len(p.OutDst))*8 + int64(len(p.InDst))*8
+		if p.StructBytes != want {
+			t.Fatalf("part %d StructBytes = %d, want %d", p.ID, p.StructBytes, want)
+		}
+	}
+	if pg.TotalStructBytes() != pg.Parts[0].StructBytes+pg.Parts[1].StructBytes {
+		t.Fatal("TotalStructBytes mismatch")
+	}
+}

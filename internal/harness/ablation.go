@@ -1,0 +1,175 @@
+package harness
+
+import (
+	"fmt"
+
+	"cgraph/internal/core"
+	"cgraph/internal/gen"
+	"cgraph/internal/sched"
+)
+
+// AblationStraggler measures the Fig. 6 straggler-splitting mechanism: the
+// four-job workload with intra-partition work splitting on and off.
+func AblationStraggler(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	t := &Table{
+		ID:      "ablation-straggler",
+		Title:   "Straggler splitting ablation (makespan, split-off = 1.00)",
+		Columns: []string{"Data set", "Split off", "Split on"},
+		Notes:   "design choice of §3.2.3 / Fig. 6",
+	}
+	for _, d := range gen.StandIns(opt.Scale) {
+		opt.logf("ablation-straggler: %s", d.Name)
+		env := NewEnv(d, opt.Workers, opt.Scale)
+		specs := benchmarks(4, opt.Epsilon, func(int) int64 { return 0 })
+		run := func(disable bool) (float64, error) {
+			store, err := env.Store(true)
+			if err != nil {
+				return 0, err
+			}
+			eng := core.New(core.Config{
+				Workers:               opt.Workers,
+				Hier:                  env.Hier(),
+				Scheduler:             sched.Priority,
+				DisableStragglerSplit: disable,
+			}, store)
+			for _, s := range specs {
+				eng.Submit(s.Prog, s.Arrival)
+			}
+			rep, err := eng.Run()
+			if err != nil {
+				return 0, err
+			}
+			return rep.Makespan, nil
+		}
+		off, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		on, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{d.Name, "1.00", f2(on / off)})
+	}
+	return t, nil
+}
+
+// AblationScheduler separates the two halves of §3.3: core-subgraph
+// partitioning and Eq. 1 priority ordering, each toggled independently.
+func AblationScheduler(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	t := &Table{
+		ID:      "ablation-scheduler",
+		Title:   "Scheduler ablation (makespan, static+plain = 1.00)",
+		Columns: []string{"Data set", "static+plain", "priority+plain", "static+core", "priority+core"},
+		Notes:   "columns toggle Eq. 1 ordering and core-subgraph partitioning independently",
+	}
+	for _, d := range gen.StandIns(opt.Scale) {
+		opt.logf("ablation-scheduler: %s", d.Name)
+		env := NewEnv(d, opt.Workers, opt.Scale)
+		specs := benchmarks(4, opt.Epsilon, func(int) int64 { return 0 })
+		run := func(kind sched.Kind, coreSub bool) (float64, error) {
+			store, err := env.Store(coreSub)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := env.runCGraph(store, specs, kind, "CGraph", 0)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Makespan, nil
+		}
+		base, err := run(sched.Static, false)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{d.Name, "1.00"}
+		for _, cfg := range []struct {
+			kind sched.Kind
+			core bool
+		}{{sched.Priority, false}, {sched.Static, true}, {sched.Priority, true}} {
+			m, err := run(cfg.kind, cfg.core)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f2(m/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// AblationBatching sweeps the job count past the worker count to exercise
+// the §3.2.3 batching path (|J| > N).
+func AblationBatching(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	d, err := gen.StandIn("ukunion-sim", opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-batching",
+		Title:   fmt.Sprintf("Jobs beyond workers (N=%d), makespan per job normalized to 4 jobs", opt.Workers),
+		Columns: []string{"Jobs", "Makespan/job"},
+	}
+	env := NewEnv(d, opt.Workers, opt.Scale)
+	var base float64
+	for _, njobs := range []int{4, 8, 16, 32} {
+		opt.logf("ablation-batching: %d jobs", njobs)
+		store, err := env.Store(true)
+		if err != nil {
+			return nil, err
+		}
+		specs := benchmarks(njobs, opt.Epsilon, func(int) int64 { return 0 })
+		rep, err := env.runCGraph(store, specs, sched.Priority, "CGraph", 0)
+		if err != nil {
+			return nil, err
+		}
+		perJob := rep.Makespan / float64(njobs)
+		if base == 0 {
+			base = perJob
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", njobs), f2(perJob / base)})
+	}
+	return t, nil
+}
+
+// All runs every experiment at the given options, in paper order.
+func All(opt Options) ([]*Table, error) {
+	opt = opt.withDefaults()
+	var out []*Table
+	add := func(t *Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, t)
+		return nil
+	}
+	addN := func(ts []*Table, err error) error {
+		if err != nil {
+			return err
+		}
+		out = append(out, ts...)
+		return nil
+	}
+	if err := add(Table1(opt)); err != nil {
+		return nil, err
+	}
+	if err := addN(Fig1(opt)); err != nil {
+		return nil, err
+	}
+	if err := addN(Fig2(opt)); err != nil {
+		return nil, err
+	}
+	for _, fn := range []func(Options) (*Table, error){
+		Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14, Fig15,
+		Fig16, Fig17, Fig18, Fig19,
+		AblationStraggler, AblationScheduler, AblationBatching,
+	} {
+		if err := add(fn(opt)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

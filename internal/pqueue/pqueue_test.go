@@ -1,0 +1,108 @@
+package pqueue
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	for _, v := range []int{5, 3, 8, 1, 9, 2} {
+		h.Push(v)
+	}
+	want := []int{1, 2, 3, 5, 8, 9}
+	for _, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("Pop = %d, want %d", got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after draining", h.Len())
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(7)
+	h.Push(3)
+	if h.Peek() != 3 || h.Len() != 2 {
+		t.Fatal("Peek changed heap state")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	h.Push(1)
+	h.Push(2)
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatal("Reset did not empty heap")
+	}
+	h.Push(9)
+	if h.Pop() != 9 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestMaxHeapViaLess(t *testing.T) {
+	h := New(func(a, b float64) bool { return a > b })
+	for _, v := range []float64{1.5, -2, 10, 3} {
+		h.Push(v)
+	}
+	if got := h.Pop(); got != 10 {
+		t.Fatalf("max-heap Pop = %v, want 10", got)
+	}
+}
+
+// TestQuickSortsLikeSort property-tests that draining the heap yields a
+// sorted permutation of the input.
+func TestQuickSortsLikeSort(t *testing.T) {
+	f := func(vals []int64) bool {
+		h := New(func(a, b int64) bool { return a < b })
+		for _, v := range vals {
+			h.Push(v)
+		}
+		out := make([]int64, 0, len(vals))
+		for h.Len() > 0 {
+			out = append(out, h.Pop())
+		}
+		sorted := append([]int64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if len(out) != len(sorted) {
+			return false
+		}
+		for i := range out {
+			if out[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := New(func(a, b int) bool { return a < b })
+	live := 0
+	min := func() int {
+		return h.Peek()
+	}
+	_ = min
+	for i := 0; i < 10000; i++ {
+		if live == 0 || rng.Intn(2) == 0 {
+			h.Push(rng.Intn(1000))
+			live++
+		} else {
+			prev := h.Pop()
+			live--
+			if h.Len() > 0 && h.Peek() < prev {
+				t.Fatal("heap order violated")
+			}
+		}
+	}
+}

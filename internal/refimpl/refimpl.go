@@ -1,0 +1,385 @@
+// Package refimpl provides plain, single-threaded reference implementations
+// of the benchmark algorithms on the global CSR. They share no code with the
+// partitioned engines, so agreement between an engine and refimpl validates
+// the whole replica/sync machinery.
+package refimpl
+
+import (
+	"math"
+
+	"cgraph/internal/graph"
+	"cgraph/internal/pqueue"
+	"cgraph/model"
+)
+
+// PageRank iterates rank = (1-d) + d·Σ_in rank(u)/outdeg(u) with Jacobi
+// sweeps until the largest change falls below tol (dangling mass is not
+// redistributed, matching the delta-accumulative program).
+func PageRank(g *graph.Graph, damping, tol float64, maxIter int) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 - damping
+	}
+	for it := 0; it < maxIter; it++ {
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+				u := g.InDst[ei]
+				sum += rank[u] / float64(g.OutDegree(u))
+			}
+			next[v] = (1 - damping) + damping*sum
+		}
+		maxDiff := 0.0
+		for v := 0; v < n; v++ {
+			if d := math.Abs(next[v] - rank[v]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		rank, next = next, rank
+		if maxDiff < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// PPR is personalized PageRank with restart at source:
+// rank = (1-d)·1{v=source} + d·Σ_in rank(u)/outdeg(u).
+func PPR(g *graph.Graph, source model.VertexID, damping, tol float64, maxIter int) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	rank[source] = 1 - damping
+	for it := 0; it < maxIter; it++ {
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+				u := g.InDst[ei]
+				sum += rank[u] / float64(g.OutDegree(u))
+			}
+			next[v] = damping * sum
+			if v == int(source) {
+				next[v] += 1 - damping
+			}
+		}
+		maxDiff := 0.0
+		for v := 0; v < n; v++ {
+			if d := math.Abs(next[v] - rank[v]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		rank, next = next, rank
+		if maxDiff < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// SSSP runs Dijkstra from source over the out-edge weights.
+func SSSP(g *graph.Graph, source model.VertexID) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	type item struct {
+		v model.VertexID
+		d float64
+	}
+	h := pqueue.New(func(a, b item) bool { return a.d < b.d })
+	h.Push(item{source, 0})
+	for h.Len() > 0 {
+		it := h.Pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		for ei := g.OutOff[it.v]; ei < g.OutOff[it.v+1]; ei++ {
+			w := g.OutDst[ei]
+			nd := it.d + float64(g.OutW[ei])
+			if nd < dist[w] {
+				dist[w] = nd
+				h.Push(item{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// BFS returns hop counts from source over out-edges.
+func BFS(g *graph.Graph, source model.VertexID) []float64 {
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[source] = 0
+	queue := []model.VertexID{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for ei := g.OutOff[v]; ei < g.OutOff[v+1]; ei++ {
+			w := g.OutDst[ei]
+			if math.IsInf(dist[w], 1) {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// WCC labels every vertex with the minimum vertex ID of its weakly connected
+// component (union-find). Isolated vertices keep +Inf to match the
+// propagation program's init fallback of "never reached"; callers compare
+// only vertices with edges.
+func WCC(g *graph.Graph) []float64 {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for v := 0; v < g.N; v++ {
+		for ei := g.OutOff[v]; ei < g.OutOff[v+1]; ei++ {
+			union(int32(v), int32(g.OutDst[ei]))
+		}
+	}
+	minOf := make(map[int32]int32)
+	for v := 0; v < g.N; v++ {
+		r := find(int32(v))
+		if m, ok := minOf[r]; !ok || int32(v) < m {
+			minOf[r] = int32(v)
+		}
+	}
+	out := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		if g.Degree(model.VertexID(v), model.Both) == 0 {
+			out[v] = math.Inf(1)
+			continue
+		}
+		out[v] = float64(minOf[find(int32(v))])
+	}
+	return out
+}
+
+// SCC returns strongly-connected-component labels via iterative Tarjan
+// (labels are arbitrary; compare by grouping).
+func SCC(g *graph.Graph) []int {
+	n := g.N
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int32
+	next := int32(0)
+	nComp := 0
+
+	type frame struct {
+		v  int32
+		ei uint64
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		var call []frame
+		call = append(call, frame{v: int32(start), ei: g.OutOff[start]})
+		index[start] = next
+		low[start] = next
+		next++
+		stack = append(stack, int32(start))
+		onStack[start] = true
+
+		for len(call) > 0 {
+			f := &call[len(call)-1]
+			v := f.v
+			if f.ei < g.OutOff[v+1] {
+				w := int32(g.OutDst[f.ei])
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					call = append(call, frame{v: w, ei: g.OutOff[w]})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// Pop frame.
+			call = call[:len(call)-1]
+			if len(call) > 0 {
+				parent := call[len(call)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == v {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// KCore returns, for each vertex, whether it belongs to the k-core under
+// undirected degree (out+in), by iterative peeling.
+func KCore(g *graph.Graph, k int) []bool {
+	deg := make([]int, g.N)
+	alive := make([]bool, g.N)
+	for v := 0; v < g.N; v++ {
+		deg[v] = g.Degree(model.VertexID(v), model.Both)
+		alive[v] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			if alive[v] && deg[v] < k {
+				alive[v] = false
+				changed = true
+				for ei := g.OutOff[v]; ei < g.OutOff[v+1]; ei++ {
+					deg[g.OutDst[ei]]--
+				}
+				for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+					deg[g.InDst[ei]]--
+				}
+			}
+		}
+	}
+	return alive
+}
+
+// SSWP returns maximum-bottleneck path widths from source (Dijkstra with
+// max-min relaxation).
+func SSWP(g *graph.Graph, source model.VertexID) []float64 {
+	width := make([]float64, g.N)
+	width[source] = math.Inf(1)
+	type item struct {
+		v model.VertexID
+		w float64
+	}
+	h := pqueue.New(func(a, b item) bool { return a.w > b.w })
+	h.Push(item{source, math.Inf(1)})
+	for h.Len() > 0 {
+		it := h.Pop()
+		if it.w < width[it.v] {
+			continue
+		}
+		for ei := g.OutOff[it.v]; ei < g.OutOff[it.v+1]; ei++ {
+			t := g.OutDst[ei]
+			nw := math.Min(it.w, float64(g.OutW[ei]))
+			if nw > width[t] {
+				width[t] = nw
+				h.Push(item{t, nw})
+			}
+		}
+	}
+	return width
+}
+
+// HITS runs the reference hub/authority power iteration with L1
+// normalization per half-step, returning (authority, hub) vectors.
+func HITS(g *graph.Graph, rounds int) (auth, hub []float64) {
+	n := g.N
+	hub = make([]float64, n)
+	auth = make([]float64, n)
+	for i := range hub {
+		hub[i] = 1 / float64(n)
+	}
+	norm := func(x []float64) bool {
+		sum := 0.0
+		for _, v := range x {
+			sum += math.Abs(v)
+		}
+		if sum == 0 {
+			return false
+		}
+		for i := range x {
+			x[i] /= sum
+		}
+		return true
+	}
+	for r := 0; r < rounds; r++ {
+		for v := 0; v < n; v++ {
+			s := 0.0
+			for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+				s += hub[g.InDst[ei]]
+			}
+			auth[v] = s
+		}
+		if !norm(auth) {
+			break
+		}
+		for v := 0; v < n; v++ {
+			s := 0.0
+			for ei := g.OutOff[v]; ei < g.OutOff[v+1]; ei++ {
+				s += auth[g.OutDst[ei]]
+			}
+			hub[v] = s
+		}
+		if r == rounds-1 {
+			break // final hub vector stays unnormalized-harvested like the program
+		}
+		if !norm(hub) {
+			break
+		}
+	}
+	return auth, hub
+}
+
+// Katz iterates katz = β + α·Σ_in katz(u) to the fixed point.
+func Katz(g *graph.Graph, alpha, beta, tol float64, maxIter int) []float64 {
+	n := g.N
+	k := make([]float64, n)
+	next := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		for v := 0; v < n; v++ {
+			s := 0.0
+			for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+				s += k[g.InDst[ei]]
+			}
+			next[v] = beta + alpha*s
+		}
+		maxDiff := 0.0
+		for v := 0; v < n; v++ {
+			if d := math.Abs(next[v] - k[v]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		k, next = next, k
+		if maxDiff < tol {
+			break
+		}
+	}
+	return k
+}

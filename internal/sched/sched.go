@@ -1,0 +1,105 @@
+// Package sched implements the partition-load scheduling of §3.3: partitions
+// are loaded in descending priority Pri(P) = N(P) + θ·D(P)·C(P) (Eq. 1),
+// where N(P) is the number of jobs needing P, D(P) the partition's average
+// vertex degree (static), and C(P) the average vertex-state change observed
+// in the previous iteration. θ is fixed at preprocessing time below
+// 1/(Dmax·Cmax) so that N(P) always dominates: the partition serving the
+// most jobs is loaded first, and θ·D·C breaks ties toward hot, high-impact
+// partitions.
+package sched
+
+import (
+	"sort"
+
+	"cgraph/internal/graph"
+)
+
+// Kind selects the scheduling policy.
+type Kind int
+
+const (
+	// Static loads partitions in index order (the CGraph-without ablation
+	// of Fig. 8).
+	Static Kind = iota
+	// Priority applies Eq. 1.
+	Priority
+)
+
+func (k Kind) String() string {
+	if k == Static {
+		return "static"
+	}
+	return "priority"
+}
+
+// Scheduler orders partition loads for a round.
+type Scheduler struct {
+	kind Kind
+	// d is D(P), fixed at preprocessing.
+	d []float64
+	// theta is fixed on the first observation of C(P) maxima.
+	theta    float64
+	thetaSet bool
+}
+
+// New builds a scheduler over the partitions of pg.
+func New(kind Kind, pg *graph.PGraph) *Scheduler {
+	d := make([]float64, len(pg.Parts))
+	for i, p := range pg.Parts {
+		d[i] = p.AvgDegree
+	}
+	return &Scheduler{kind: kind, d: d}
+}
+
+// Kind returns the policy.
+func (s *Scheduler) Kind() Kind { return s.kind }
+
+// Order returns the load order for the candidate partitions. n[p] is N(P)
+// for this round, c[p] is C(P) from the previous round. Candidates are not
+// mutated. Ordering is deterministic: priority descending, index ascending
+// on ties.
+func (s *Scheduler) Order(cands []int, n []int, c []float64) []int {
+	out := append([]int(nil), cands...)
+	if s.kind == Static {
+		sort.Ints(out)
+		return out
+	}
+	if !s.thetaSet {
+		s.setTheta(c)
+	}
+	pri := make(map[int]float64, len(out))
+	for _, p := range out {
+		pri[p] = float64(n[p]) + s.theta*s.d[p]*c[p]
+	}
+	sort.Slice(out, func(a, b int) bool {
+		pa, pb := pri[out[a]], pri[out[b]]
+		if pa != pb {
+			return pa > pb
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// setTheta fixes θ strictly below 1/(Dmax·Cmax) using the first observed
+// state-change maxima (the paper's preprocessing-time profiling).
+func (s *Scheduler) setTheta(c []float64) {
+	var dmax, cmax float64
+	for i := range s.d {
+		if s.d[i] > dmax {
+			dmax = s.d[i]
+		}
+	}
+	for _, v := range c {
+		if v > cmax {
+			cmax = v
+		}
+	}
+	if dmax > 0 && cmax > 0 {
+		s.theta = 0.5 / (dmax * cmax)
+		s.thetaSet = true
+	}
+}
+
+// Theta exposes the fitted θ (0 until first non-zero observation).
+func (s *Scheduler) Theta() float64 { return s.theta }

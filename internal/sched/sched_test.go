@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"testing"
+
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+)
+
+func buildPG(t *testing.T) *graph.PGraph {
+	t.Helper()
+	edges := gen.RMAT(5, 200, 4000, 0.57, 0.19, 0.19)
+	g := graph.Build(200, edges)
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg
+}
+
+func TestStaticOrder(t *testing.T) {
+	s := New(Static, buildPG(t))
+	got := s.Order([]int{5, 1, 7, 0}, make([]int, 8), make([]float64, 8))
+	want := []int{0, 1, 5, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("static order = %v, want %v", got, want)
+		}
+	}
+	if s.Kind() != Static || s.Kind().String() != "static" {
+		t.Fatal("kind accessors broken")
+	}
+}
+
+func TestPriorityNDominates(t *testing.T) {
+	// Eq. 1: the partition needed by the most jobs loads first, whatever
+	// D(P)·C(P) says — guaranteed by the θ bound.
+	s := New(Priority, buildPG(t))
+	n := []int{1, 3, 2, 1, 0, 0, 0, 0}
+	c := []float64{100, 0.1, 50, 3, 0, 0, 0, 0}
+	got := s.Order([]int{0, 1, 2, 3}, n, c)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("priority order = %v, want N(P) to dominate (1,2 first)", got)
+	}
+	if s.Theta() <= 0 {
+		t.Fatal("theta not fitted from first observation")
+	}
+}
+
+func TestPriorityTieBreakByDC(t *testing.T) {
+	pg := buildPG(t)
+	s := New(Priority, pg)
+	// Equal N: ties broken toward the larger D(P)·C(P).
+	n := []int{2, 2, 2, 2, 0, 0, 0, 0}
+	c := []float64{0, 10, 5, 0, 0, 0, 0, 0}
+	got := s.Order([]int{0, 1, 2, 3}, n, c)
+	pos := map[int]int{}
+	for i, p := range got {
+		pos[p] = i
+	}
+	// Partition 1 has the largest C among equal-N candidates with a
+	// nonzero degree, so it must come before 0 and 3 (C = 0).
+	if pos[1] > pos[0] || pos[1] > pos[3] {
+		t.Fatalf("tie-break order = %v (D=%v)", got, []float64{pg.Parts[0].AvgDegree, pg.Parts[1].AvgDegree})
+	}
+}
+
+func TestThetaBound(t *testing.T) {
+	pg := buildPG(t)
+	s := New(Priority, pg)
+	c := []float64{9, 4, 7, 1, 0, 0, 0, 0}
+	s.Order([]int{0, 1, 2, 3}, make([]int, 8), c)
+	var dmax, cmax float64
+	for _, p := range pg.Parts {
+		if p.AvgDegree > dmax {
+			dmax = p.AvgDegree
+		}
+	}
+	for _, v := range c {
+		if v > cmax {
+			cmax = v
+		}
+	}
+	if s.Theta() >= 1/(dmax*cmax) {
+		t.Fatalf("theta %v violates the Eq. 1 bound 1/(Dmax*Cmax) = %v", s.Theta(), 1/(dmax*cmax))
+	}
+}
+
+func TestOrderDoesNotMutateInput(t *testing.T) {
+	s := New(Priority, buildPG(t))
+	cands := []int{3, 1, 2}
+	s.Order(cands, make([]int, 8), make([]float64, 8))
+	if cands[0] != 3 || cands[1] != 1 || cands[2] != 2 {
+		t.Fatal("Order mutated its input")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	s := New(Priority, buildPG(t))
+	n := []int{1, 1, 1, 1, 1, 1, 1, 1}
+	c := make([]float64, 8)
+	a := s.Order([]int{7, 3, 5, 0}, n, c)
+	b := s.Order([]int{0, 5, 3, 7}, n, c)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order depends on candidate permutation: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package storage implements the two table families of §3.2.1: the global
+// table (a series of timestamped graph snapshots stored incrementally, where
+// a job binds to the newest snapshot not younger than its arrival) and the
+// per-job private tables holding vertex states with the active-set
+// bookkeeping every engine shares.
+package storage
+
+import (
+	"fmt"
+
+	"cgraph/internal/bitset"
+	"cgraph/internal/graph"
+	"cgraph/model"
+)
+
+// Snapshot is one timestamped global-table version.
+type Snapshot struct {
+	Timestamp int64
+	PG        *graph.PGraph
+}
+
+// SnapshotStore keeps the snapshot series in timestamp order. Unchanged
+// partitions are shared by pointer between consecutive snapshots (built via
+// graph.Overlay), which is the incremental storage scheme of Fig. 5.
+type SnapshotStore struct {
+	snaps []Snapshot
+}
+
+// NewSnapshotStore starts the series with a base snapshot.
+func NewSnapshotStore(pg *graph.PGraph, timestamp int64) *SnapshotStore {
+	return &SnapshotStore{snaps: []Snapshot{{Timestamp: timestamp, PG: pg}}}
+}
+
+// Add appends a newer snapshot; timestamps must strictly increase.
+func (s *SnapshotStore) Add(pg *graph.PGraph, timestamp int64) error {
+	if timestamp <= s.snaps[len(s.snaps)-1].Timestamp {
+		return fmt.Errorf("storage: snapshot timestamp %d not after %d", timestamp, s.snaps[len(s.snaps)-1].Timestamp)
+	}
+	s.snaps = append(s.snaps, Snapshot{Timestamp: timestamp, PG: pg})
+	return nil
+}
+
+// Resolve returns the newest snapshot whose timestamp does not exceed the
+// job's arrival time; a job older than every snapshot sees the base.
+func (s *SnapshotStore) Resolve(arrival int64) Snapshot {
+	best := s.snaps[0]
+	for _, snap := range s.snaps[1:] {
+		if snap.Timestamp <= arrival {
+			best = snap
+		}
+	}
+	return best
+}
+
+// ResolveIndex is Resolve plus the snapshot's index in the series.
+func (s *SnapshotStore) ResolveIndex(arrival int64) (Snapshot, int) {
+	best, idx := s.snaps[0], 0
+	for i, snap := range s.snaps[1:] {
+		if snap.Timestamp <= arrival {
+			best, idx = snap, i+1
+		}
+	}
+	return best, idx
+}
+
+// Latest returns the newest snapshot.
+func (s *SnapshotStore) Latest() Snapshot { return s.snaps[len(s.snaps)-1] }
+
+// Len returns the number of snapshots.
+func (s *SnapshotStore) Len() int { return len(s.snaps) }
+
+// SharedParts counts partitions shared by pointer between snapshots i and j.
+func (s *SnapshotStore) SharedParts(i, j int) int {
+	a, b := s.snaps[i].PG.Parts, s.snaps[j].PG.Parts
+	n := 0
+	for k := range a {
+		if k < len(b) && a[k] == b[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// PrivateTable is one job's vertex-state table, laid out per partition of
+// the snapshot the job is bound to, with the three activity sets the
+// engines maintain: Active (this iteration), Next (activations discovered at
+// sync), and Received (locals that accumulated deltas this iteration).
+type PrivateTable struct {
+	JobID int
+	PG    *graph.PGraph
+
+	States   [][]model.State
+	Active   []*bitset.Set
+	Next     []*bitset.Set
+	Received []*bitset.Set
+	// ActiveCount caches Active[p].Count() per partition; it feeds N(P)
+	// in the Eq. 1 scheduler and the straggler detector for free.
+	ActiveCount []int
+	// Bytes is the simulated size of each private partition (the sp·N term
+	// of the Pg formula).
+	Bytes []int64
+}
+
+// NewPrivateTable initializes states by running prog.Init on every replica
+// and activates the replicas of initially-active vertices.
+func NewPrivateTable(jobID int, pg *graph.PGraph, prog model.Program) *PrivateTable {
+	np := len(pg.Parts)
+	pt := &PrivateTable{
+		JobID:       jobID,
+		PG:          pg,
+		States:      make([][]model.State, np),
+		Active:      make([]*bitset.Set, np),
+		Next:        make([]*bitset.Set, np),
+		Received:    make([]*bitset.Set, np),
+		ActiveCount: make([]int, np),
+		Bytes:       make([]int64, np),
+	}
+	for pi, p := range pg.Parts {
+		n := p.NumVertices()
+		pt.States[pi] = make([]model.State, n)
+		pt.Active[pi] = bitset.New(n)
+		pt.Next[pi] = bitset.New(n)
+		pt.Received[pi] = bitset.New(n)
+		pt.Bytes[pi] = 64 + int64(n)*16
+		for li, v := range p.Globals {
+			s, active := prog.Init(v, pg.G)
+			pt.States[pi][li] = s
+			if active {
+				pt.Active[pi].Set(li)
+			}
+		}
+		pt.ActiveCount[pi] = pt.Active[pi].Count()
+	}
+	return pt
+}
+
+// HasActive reports whether any partition has active vertices.
+func (pt *PrivateTable) HasActive() bool {
+	for _, c := range pt.ActiveCount {
+		if c > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TotalActive sums active vertices across partitions.
+func (pt *PrivateTable) TotalActive() int {
+	total := 0
+	for _, c := range pt.ActiveCount {
+		total += c
+	}
+	return total
+}
+
+// ActiveParts returns the IDs of partitions with at least one active vertex.
+func (pt *PrivateTable) ActiveParts() []int {
+	var out []int
+	for pi, c := range pt.ActiveCount {
+		if c > 0 {
+			out = append(out, pi)
+		}
+	}
+	return out
+}
+
+// Advance moves the job to its next iteration: Next becomes Active, Next and
+// Received are cleared, and the cached counts refresh.
+func (pt *PrivateTable) Advance() {
+	for pi := range pt.Active {
+		pt.Active[pi].Swap(pt.Next[pi])
+		pt.Next[pi].Reset()
+		pt.Received[pi].Reset()
+		pt.ActiveCount[pi] = pt.Active[pi].Count()
+	}
+}
+
+// Result returns the converged value of vertex v: its master replica's
+// value, or the program's init state with the initial delta applied for
+// edge-less vertices. Programs implementing model.Resulter override the
+// extraction.
+func (pt *PrivateTable) Result(v model.VertexID, prog model.Program) float64 {
+	m := pt.PG.MasterOf[v]
+	var s model.State
+	if m.Part < 0 {
+		// Edge-less vertex: it trivially converges after absorbing its
+		// initial delta (e.g. an isolated vertex's PageRank is 1-d).
+		s, _ = prog.Init(v, pt.PG.G)
+		prog.Apply(v, &s, 0)
+	} else {
+		s = pt.States[m.Part][m.Local]
+	}
+	if r, ok := prog.(model.Resulter); ok {
+		return r.Result(v, s)
+	}
+	return s.Value
+}
+
+// Results materializes the per-vertex values for all vertices.
+func (pt *PrivateTable) Results(prog model.Program) []float64 {
+	out := make([]float64, pt.PG.G.N)
+	for v := range out {
+		out[v] = pt.Result(model.VertexID(v), prog)
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package storage
+
+import (
+	"testing"
+
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/model"
+)
+
+// constProg is a trivial program for table tests: value = vertex id,
+// active iff id is even.
+type constProg struct{}
+
+func (constProg) Name() string                { return "const" }
+func (constProg) Direction() model.Direction  { return model.Out }
+func (constProg) Identity() float64           { return 0 }
+func (constProg) Acc(a, b float64) float64    { return a + b }
+func (constProg) IsActive(s model.State) bool { return s.Delta != 0 }
+func (constProg) Init(v model.VertexID, _ model.GraphInfo) (model.State, bool) {
+	return model.State{Value: float64(v)}, v%2 == 0
+}
+func (constProg) Apply(_ model.VertexID, s *model.State, _ int) (float64, bool) {
+	s.Delta = 0
+	return 0, false
+}
+func (constProg) Contribution(seed float64, _ float32) float64 { return seed }
+
+func buildPG(t *testing.T, seed int64, parts int) (*graph.PGraph, []model.Edge) {
+	t.Helper()
+	edges := gen.ER(seed, 80, 800)
+	g := graph.Build(0, edges)
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pg, edges
+}
+
+func TestSnapshotResolve(t *testing.T) {
+	pg, edges := buildPG(t, 1, 4)
+	store := NewSnapshotStore(pg, 100)
+
+	mut, slots := gen.Mutate(edges, 0.02, 80, 2)
+	changed := graph.ChangedPartitions(slots, pg.ChunkSize, len(pg.Parts))
+	pg2, err := graph.Overlay(pg, mut, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Add(pg2, 200); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := store.Resolve(50).Timestamp; got != 100 {
+		t.Fatalf("Resolve(50) = ts %d, want base 100", got)
+	}
+	if got := store.Resolve(150).Timestamp; got != 100 {
+		t.Fatalf("Resolve(150) = ts %d, want 100", got)
+	}
+	if got := store.Resolve(200).Timestamp; got != 200 {
+		t.Fatalf("Resolve(200) = ts %d, want 200", got)
+	}
+	if got := store.Resolve(999).Timestamp; got != 200 {
+		t.Fatalf("Resolve(999) = ts %d, want 200", got)
+	}
+	if store.Latest().Timestamp != 200 || store.Len() != 2 {
+		t.Fatal("Latest/Len broken")
+	}
+}
+
+func TestSnapshotTimestampMonotone(t *testing.T) {
+	pg, _ := buildPG(t, 1, 4)
+	store := NewSnapshotStore(pg, 100)
+	if err := store.Add(pg, 100); err == nil {
+		t.Fatal("want error for non-increasing timestamp")
+	}
+}
+
+func TestOverlaySharesUnchangedParts(t *testing.T) {
+	pg, edges := buildPG(t, 3, 8)
+	// Mutate a handful of slots all in partition 0's chunk.
+	mut := append([]model.Edge(nil), edges...)
+	mut[0] = model.Edge{Src: 1, Dst: 2, Weight: 1}
+	mut[1] = model.Edge{Src: 3, Dst: 4, Weight: 1}
+	pg2, err := graph.Overlay(pg, mut, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewSnapshotStore(pg, 1)
+	if err := store.Add(pg2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.SharedParts(0, 1); got != 7 {
+		t.Fatalf("shared parts = %d, want 7", got)
+	}
+	if pg2.Parts[0] == pg.Parts[0] {
+		t.Fatal("changed partition must be rebuilt")
+	}
+	if pg2.Parts[0].UID == pg.Parts[0].UID {
+		t.Fatal("rebuilt partition must get a fresh UID")
+	}
+	// Replica invariants hold on the overlay: one master per vertex.
+	masters := map[model.VertexID]int{}
+	for pi, p := range pg2.Parts {
+		for li, v := range p.Globals {
+			if pg2.IsMaster(pi, uint32(li)) {
+				masters[v]++
+			}
+		}
+	}
+	for v, c := range masters {
+		if c != 1 {
+			t.Fatalf("vertex %d has %d masters in overlay", v, c)
+		}
+	}
+}
+
+func TestOverlayErrors(t *testing.T) {
+	pg, edges := buildPG(t, 3, 4)
+	if _, err := graph.Overlay(pg, edges, []int{99}); err == nil {
+		t.Fatal("want error for out-of-range partition")
+	}
+	if _, err := graph.Overlay(pg, edges[:10], nil); err == nil {
+		t.Fatal("want error when edge count changes partition count")
+	}
+	g := graph.Build(0, edges)
+	corePG, err := graph.Cut(g, edges, graph.Options{NumPartitions: 4, CoreSubgraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := graph.Overlay(corePG, edges, nil); err == nil {
+		t.Fatal("want error for core-subgraph overlay")
+	}
+}
+
+func TestPrivateTableInit(t *testing.T) {
+	pg, _ := buildPG(t, 5, 4)
+	pt := NewPrivateTable(3, pg, constProg{})
+	if pt.JobID != 3 {
+		t.Fatal("job id lost")
+	}
+	for pi, p := range pg.Parts {
+		if len(pt.States[pi]) != p.NumVertices() {
+			t.Fatalf("part %d: state len mismatch", pi)
+		}
+		for li, v := range p.Globals {
+			if pt.States[pi][li].Value != float64(v) {
+				t.Fatalf("init value wrong for %d", v)
+			}
+			if pt.Active[pi].Test(li) != (v%2 == 0) {
+				t.Fatalf("activation wrong for %d", v)
+			}
+		}
+		if pt.ActiveCount[pi] != pt.Active[pi].Count() {
+			t.Fatalf("part %d: cached count stale", pi)
+		}
+		if pt.Bytes[pi] != 64+int64(p.NumVertices())*16 {
+			t.Fatalf("part %d: bytes accounting wrong", pi)
+		}
+	}
+	if !pt.HasActive() {
+		t.Fatal("table must start active")
+	}
+}
+
+func TestPrivateTableAdvance(t *testing.T) {
+	pg, _ := buildPG(t, 5, 4)
+	pt := NewPrivateTable(0, pg, constProg{})
+	pt.Next[1].Set(0)
+	pt.Next[1].Set(1)
+	pt.Received[1].Set(2)
+	pt.Advance()
+	if pt.ActiveCount[1] != 2 || !pt.Active[1].Test(0) || !pt.Active[1].Test(1) {
+		t.Fatal("Advance did not promote Next")
+	}
+	if pt.Next[1].Any() || pt.Received[1].Any() {
+		t.Fatal("Advance did not clear Next/Received")
+	}
+	if pt.ActiveCount[0] != 0 || pt.HasActive() != true {
+		t.Fatalf("counts wrong after Advance: %v", pt.ActiveCount)
+	}
+	if got := pt.TotalActive(); got != 2 {
+		t.Fatalf("TotalActive = %d, want 2", got)
+	}
+	parts := pt.ActiveParts()
+	if len(parts) != 1 || parts[0] != 1 {
+		t.Fatalf("ActiveParts = %v, want [1]", parts)
+	}
+}
+
+func TestResultUsesMasterAndInitFallback(t *testing.T) {
+	// Vertex 90 exists (N=100 explicit) but has no edges, so no replica.
+	edges := []model.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}
+	g := graph.Build(100, edges)
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := NewPrivateTable(0, pg, constProg{})
+	m := pg.MasterOf[1]
+	pt.States[m.Part][m.Local].Value = 42
+	if got := pt.Result(1, constProg{}); got != 42 {
+		t.Fatalf("Result(1) = %v, want master value 42", got)
+	}
+	if got := pt.Result(90, constProg{}); got != 90 {
+		t.Fatalf("Result(90) = %v, want init fallback 90", got)
+	}
+	res := pt.Results(constProg{})
+	if len(res) != 100 || res[1] != 42 || res[90] != 90 {
+		t.Fatal("Results materialization wrong")
+	}
+}

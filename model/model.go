@@ -1,0 +1,140 @@
+// Package model defines the vertex-centric programming model shared by the
+// CGraph engine, the baseline engines and the bundled algorithms.
+//
+// It is the Go rendering of the paper's three-function interface (§3.4):
+// IsNotConvergent() becomes IsActive, Acc() keeps its name, and Compute() is
+// split into Apply (merge the accumulated delta into the vertex value and
+// produce a scatter seed) plus Contribution (the delta sent along one edge).
+// Splitting Compute lets the engine iterate a partition's edges itself, which
+// is what makes the shared, load-once-trigger-many execution of the LTP model
+// possible: the engine owns the traversal, the program owns the arithmetic.
+package model
+
+import "math"
+
+// VertexID identifies a vertex in the global graph.
+type VertexID uint32
+
+// NoVertex is the sentinel for "no vertex".
+const NoVertex = VertexID(math.MaxUint32)
+
+// Edge is one directed, weighted edge of the input graph.
+type Edge struct {
+	Src, Dst VertexID
+	Weight   float32
+}
+
+// Direction selects which incident edges a program traverses when scattering.
+type Direction uint8
+
+const (
+	// Out scatters along out-edges (PageRank, SSSP, BFS).
+	Out Direction = iota
+	// In scatters along in-edges (backward phases, e.g. SCC confirmation).
+	In
+	// Both scatters along all incident edges (WCC, k-core).
+	Both
+)
+
+func (d Direction) String() string {
+	switch d {
+	case Out:
+		return "out"
+	case In:
+		return "in"
+	default:
+		return "both"
+	}
+}
+
+// State is the per-vertex, per-job state held in a job's private table: the
+// converged value so far plus the delta accumulated from neighbours since the
+// vertex was last applied (the paper's vh.value and vh.Δvalue).
+type State struct {
+	Value float64
+	Delta float64
+}
+
+// GraphInfo exposes the global graph facts a program may consult at
+// initialization time.
+type GraphInfo interface {
+	NumVertices() int
+	OutDegree(v VertexID) int
+	InDegree(v VertexID) int
+}
+
+// Program is one iterative graph algorithm. A program must be stateless with
+// respect to vertices except through State and its own job-private
+// bookkeeping (e.g. SCC's assignment table); engines may invoke Apply and
+// Contribution from multiple goroutines for different vertices concurrently.
+type Program interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+
+	// Direction reports which incident edges Scatter uses. Engines re-read
+	// it at every phase boundary, so phased programs may change it.
+	Direction() Direction
+
+	// Identity is the neutral element of Acc (0 for sum, +Inf for min,
+	// -Inf for max). A vertex whose Delta equals Identity has received
+	// nothing.
+	Identity() float64
+
+	// Acc folds a new contribution into an accumulated delta. It must be
+	// commutative and associative.
+	Acc(acc, contribution float64) float64
+
+	// IsActive is the paper's IsNotConvergent: given a state that has just
+	// accumulated deltas, does the vertex need processing next iteration?
+	IsActive(s State) bool
+
+	// Init returns the initial state of v and whether it starts active.
+	Init(v VertexID, g GraphInfo) (s State, active bool)
+
+	// Apply consumes s.Delta into s.Value and returns the scatter seed for
+	// Contribution. Apply must always reset s.Delta to Identity, even when
+	// it returns scatter=false. deg is v's degree in Direction().
+	Apply(v VertexID, s *State, deg int) (seed float64, scatter bool)
+
+	// Contribution returns the delta for a neighbour reached over an edge
+	// of weight w, given the seed from Apply.
+	Contribution(seed float64, w float32) float64
+}
+
+// StateView gives phased programs whole-graph access to their private state
+// between phases. Set writes the state to every replica of v and marks the
+// vertex active or inactive for the next phase.
+type StateView interface {
+	NumVertices() int
+	Get(v VertexID) State
+	Set(v VertexID, s State, active bool)
+}
+
+// Phased is implemented by programs with multiple propagation phases (e.g.
+// SCC's alternating forward/backward sweeps). When a job has no active
+// vertices left, the engine calls NextPhase; returning true restarts
+// iteration with the (possibly rewritten) states, returning false completes
+// the job. Engines re-read Direction() after NextPhase.
+type Phased interface {
+	Program
+	NextPhase(view StateView) bool
+}
+
+// Inf is a convenience alias used by min/max-propagation programs.
+var Inf = math.Inf(1)
+
+// Resulter is an optional Program extension overriding per-vertex result
+// extraction: programs whose answer lives in job-private bookkeeping rather
+// than the propagation state (e.g. SCC's assignment table) implement it.
+type Resulter interface {
+	Result(v VertexID, s State) float64
+}
+
+// Filterer is an optional Program extension that rejects a contribution
+// based on the receiver's current state before Acc folds it. Colour-
+// respecting flood phases need it: SCC's backward sweep must not let a
+// larger colour's flag mask the matching one inside a single Acc fold,
+// which would split true components.
+type Filterer interface {
+	Accept(s State, contribution float64) bool
+}
