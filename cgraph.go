@@ -24,6 +24,8 @@
 package cgraph
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -33,10 +35,14 @@ import (
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
 	"cgraph/internal/memsim"
+	"cgraph/internal/metrics"
 	"cgraph/internal/sched"
 	"cgraph/internal/storage"
 	"cgraph/model"
 )
+
+// ErrCancelled is returned by Job.Err for jobs retired via Job.Cancel.
+var ErrCancelled = errors.New("cgraph: job cancelled")
 
 // Convenient aliases so simple uses need only this package and algo.
 type (
@@ -106,7 +112,10 @@ func WithCacheSimulation(cacheBytes, memoryBytes int64) Option {
 func WithoutStragglerSplitting() Option { return func(c *config) { c.disableSplit = true } }
 
 // System is a CGraph instance: one shared (possibly evolving) graph plus
-// the concurrent jobs analysing it.
+// the concurrent jobs analysing it. It operates in two modes: the batch
+// Submit…Submit→Run API that drains every job and returns, and the resident
+// Serve mode where a long-running round loop accepts submissions,
+// cancellations, and snapshots continuously until Shutdown.
 type System struct {
 	cfg config
 
@@ -115,6 +124,10 @@ type System struct {
 	edges  []model.Edge
 	engine *core.Engine
 	jobs   []*Job
+	byID   map[int]*Job
+
+	serveCancel context.CancelFunc
+	serveDone   chan struct{}
 }
 
 // NewSystem builds an empty system; load a graph before submitting jobs.
@@ -148,7 +161,7 @@ func (s *System) LoadEdges(numVertices int, edges []Edge) error {
 			}
 			parts = graph.SuggestNumPartitions(total, s.cfg.cacheBytes, w, 16, 16, s.cfg.cacheBytes/8)
 		} else {
-			parts = 4 * maxInt(1, s.cfg.workers)
+			parts = 4 * max(1, s.cfg.workers)
 		}
 		if parts < 4 {
 			parts = 4
@@ -197,23 +210,36 @@ func (s *System) AddSnapshot(edges []Edge, timestamp int64) error {
 	if prev.NumCore != 0 {
 		return fmt.Errorf("cgraph: snapshots require WithCoreSubgraph(false)")
 	}
+	if len(edges) != len(s.edges) {
+		return fmt.Errorf("cgraph: snapshot edge list has %d slots, base has %d (snapshots are slot rewrites of the base list)", len(edges), len(s.edges))
+	}
 	changed := diffSlots(s.edges, edges)
 	changedParts := graph.ChangedPartitions(changed, prev.ChunkSize, len(prev.Parts))
 	pg, err := graph.Overlay(prev, edges, changedParts)
 	if err != nil {
 		return err
 	}
-	if err := s.store.Add(pg, timestamp); err != nil {
+	// Route the store append through the engine once it exists: its lock
+	// serializes the write against snapshot resolution in concurrent
+	// submissions while the system serves.
+	if s.engine != nil {
+		err = s.engine.AddSnapshot(pg, timestamp)
+	} else {
+		err = s.store.Add(pg, timestamp)
+	}
+	if err != nil {
 		return err
 	}
 	s.edges = edges
 	return nil
 }
 
+// diffSlots lists the rewritten slot indices of two equal-length edge
+// lists; AddSnapshot validates the lengths before calling.
 func diffSlots(a, b []model.Edge) []int {
 	var out []int
 	for i := range a {
-		if i < len(b) && a[i] != b[i] {
+		if a[i] != b[i] {
 			out = append(out, i)
 		}
 	}
@@ -223,53 +249,135 @@ func diffSlots(a, b []model.Edge) []int {
 // JobOption configures a submission.
 type JobOption func(*jobConfig)
 
-type jobConfig struct{ arrival int64 }
+type jobConfig struct {
+	arrival int64
+	ctx     context.Context
+}
 
 // AtTimestamp binds the job to the newest snapshot not younger than ts.
 func AtTimestamp(ts int64) JobOption { return func(c *jobConfig) { c.arrival = ts } }
+
+// WithContext scopes the job to ctx: when ctx is cancelled or its deadline
+// passes, the job is retired at the next round boundary and Job.Err reports
+// the context's error.
+func WithContext(ctx context.Context) JobOption { return func(c *jobConfig) { c.ctx = ctx } }
+
+// JobState is the lifecycle state of a submitted job.
+type JobState int
+
+const (
+	// JobQueued: submitted, awaiting admission at a round boundary.
+	JobQueued JobState = iota
+	// JobRunning: being iterated by the engine.
+	JobRunning
+	// JobDone: converged; results are available.
+	JobDone
+	// JobCancelled: retired by Cancel or an expired job context.
+	JobCancelled
+	// JobFailed: retired by the engine without converging.
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return "failed"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s >= JobDone }
 
 // Job is a handle to one submitted CGP job.
 type Job struct {
 	sys  *System
 	id   int
 	name string
+
+	done chan struct{}
+
+	mu      sync.Mutex
+	err     error
+	metrics *JobReport
 }
 
 // Submit registers a job against the current graph. Jobs may be submitted
-// before Run or concurrently while Run executes (they are admitted at the
-// next round boundary). Programs with job-private bookkeeping (e.g.
-// algo.SCC) must not be shared between submissions.
+// before Run, concurrently while Run executes, or at any time against a
+// serving system (they are admitted at the next round boundary). Programs
+// with job-private bookkeeping (e.g. algo.SCC) must not be shared between
+// submissions.
 func (s *System) Submit(p Program, opts ...JobOption) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.store == nil {
 		return nil, fmt.Errorf("cgraph: load a graph before submitting jobs")
 	}
-	var jc jobConfig
-	jc.arrival = s.store.Latest().Timestamp
+	jc := jobConfig{arrival: s.store.Latest().Timestamp, ctx: context.Background()}
 	for _, o := range opts {
 		o(&jc)
 	}
-	if s.engine == nil {
-		hier := memsim.Unlimited()
-		if s.cfg.cacheBytes > 0 {
-			hier = memsim.New(memsim.Config{
-				CacheBytes:  s.cfg.cacheBytes,
-				MemoryBytes: s.cfg.memoryBytes,
-				Cost:        memsim.DefaultCost(),
-			})
-		}
-		s.engine = core.New(core.Config{
-			Workers:               s.cfg.workers,
-			Hier:                  hier,
-			Scheduler:             schedKind(s.cfg.scheduler),
-			DisableStragglerSplit: s.cfg.disableSplit,
-		}, s.store)
-	}
-	id := s.engine.Submit(p, jc.arrival)
-	j := &Job{sys: s, id: id, name: p.Name()}
+	s.ensureEngineLocked()
+	id := s.engine.SubmitCtx(jc.ctx, p, jc.arrival)
+	j := &Job{sys: s, id: id, name: p.Name(), done: make(chan struct{})}
 	s.jobs = append(s.jobs, j)
+	s.byID[id] = j
 	return j, nil
+}
+
+func (s *System) ensureEngineLocked() {
+	if s.engine != nil {
+		return
+	}
+	hier := memsim.Unlimited()
+	if s.cfg.cacheBytes > 0 {
+		hier = memsim.New(memsim.Config{
+			CacheBytes:  s.cfg.cacheBytes,
+			MemoryBytes: s.cfg.memoryBytes,
+			Cost:        memsim.DefaultCost(),
+		})
+	}
+	s.byID = make(map[int]*Job)
+	s.engine = core.New(core.Config{
+		Workers:               s.cfg.workers,
+		Hier:                  hier,
+		Scheduler:             schedKind(s.cfg.scheduler),
+		DisableStragglerSplit: s.cfg.disableSplit,
+		OnJobEvent:            s.onJobEvent,
+	}, s.store)
+}
+
+// onJobEvent runs on the engine's round-loop goroutine whenever a job
+// reaches a terminal state; it resolves the public handle.
+func (s *System) onJobEvent(ev core.JobEvent) {
+	s.mu.Lock()
+	j := s.byID[ev.JobID]
+	s.mu.Unlock()
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	switch ev.State {
+	case core.JobDone:
+		j.metrics = jobReportOf(ev.Metrics)
+	case core.JobCancelled:
+		if errors.Is(ev.Err, core.ErrCancelled) {
+			j.err = ErrCancelled
+		} else {
+			j.err = ev.Err
+		}
+	case core.JobFailed:
+		j.err = ev.Err
+	}
+	j.mu.Unlock()
+	close(j.done)
 }
 
 func schedKind(s Scheduler) sched.Kind {
@@ -303,20 +411,106 @@ func (s *System) Run() (*Report, error) {
 		WallClock:           rep.WallClock,
 	}
 	for _, jm := range rep.Jobs {
-		out.Jobs = append(out.Jobs, JobReport{
-			Name:                jm.Name,
-			Iterations:          jm.Iterations,
-			SimulatedAccessUS:   jm.AccessTime,
-			SimulatedComputeUS:  jm.ComputeTime,
-			SimulatedFinishedUS: jm.FinishAt,
-			EdgesProcessed:      jm.Edges,
-		})
+		out.Jobs = append(out.Jobs, *jobReportOf(&jm))
 	}
 	return out, nil
 }
 
-// Results returns the job's converged per-vertex values. Valid after a Run
-// that drained the job.
+func jobReportOf(jm *metrics.JobMetrics) *JobReport {
+	return &JobReport{
+		Name:                jm.Name,
+		Iterations:          jm.Iterations,
+		SimulatedAccessUS:   jm.AccessTime,
+		SimulatedComputeUS:  jm.ComputeTime,
+		SimulatedFinishedUS: jm.FinishAt,
+		EdgesProcessed:      jm.Edges,
+	}
+}
+
+// Stats is a point-in-time snapshot of a system's engine counters,
+// populated in serve mode (and after batch runs).
+type Stats struct {
+	Queued, Running, Done, Cancelled, Failed int
+	Rounds                                   int64
+	VirtualTimeUS                            float64
+}
+
+// Stats reports current job-state counts and round-loop progress; safe to
+// call while the system serves. Before any submission it returns zeros.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return Stats{}
+	}
+	es := eng.ServeStats()
+	return Stats{
+		Queued:        es.Queued,
+		Running:       es.Running,
+		Done:          es.Done,
+		Cancelled:     es.Cancelled,
+		Failed:        es.Failed,
+		Rounds:        es.Rounds,
+		VirtualTimeUS: es.VirtualTimeUS,
+	}
+}
+
+// Serve runs the system as a resident service: the engine processes rounds
+// while any job is active, idles when the queue is empty, and admits new
+// submissions, cancellations, and snapshots continuously. Serve blocks
+// until ctx is cancelled or Shutdown is called, then returns nil (jobs
+// still in flight stay resident and a later Run or Serve resumes them).
+func (s *System) Serve(ctx context.Context) error {
+	s.mu.Lock()
+	if s.store == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("cgraph: load a graph before serving")
+	}
+	if s.serveCancel != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("cgraph: already serving")
+	}
+	s.ensureEngineLocked()
+	eng := s.engine
+	ctx, cancel := context.WithCancel(ctx)
+	done := make(chan struct{})
+	s.serveCancel = cancel
+	s.serveDone = done
+	s.mu.Unlock()
+
+	err := eng.Serve(ctx)
+
+	s.mu.Lock()
+	s.serveCancel = nil
+	s.serveDone = nil
+	s.mu.Unlock()
+	cancel()
+	close(done)
+	return err
+}
+
+// Shutdown gracefully stops a serving system: the round loop exits at the
+// next round boundary. It returns once Serve has returned, or with ctx's
+// error if ctx expires first. Shutdown of a non-serving system is a no-op.
+func (s *System) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	cancel, done := s.serveCancel, s.serveDone
+	s.mu.Unlock()
+	if cancel == nil {
+		return nil
+	}
+	cancel()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Results returns the job's converged per-vertex values. Valid after the
+// job completes (batch Run, or Job.Wait/Done in serve mode).
 func (j *Job) Results() ([]float64, error) {
 	j.sys.mu.Lock()
 	eng := j.sys.engine
@@ -329,6 +523,74 @@ func (j *Job) Results() ([]float64, error) {
 
 // Name returns the job's program name.
 func (j *Job) Name() string { return j.name }
+
+// ID returns the engine-assigned job ID.
+func (j *Job) ID() int { return j.id }
+
+// Done returns a channel closed when the job reaches a terminal state
+// (done, cancelled, or failed). The engine must be draining — via Run or
+// Serve — for that to happen.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job reaches a terminal state or ctx expires. On a
+// terminal state it returns Err (nil for a converged job).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Err reports why the job terminated: nil after convergence, ErrCancelled
+// after Cancel, the job context's error after an expired WithContext, or an
+// engine error for failed jobs. Before termination it returns nil.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// State reports the job's lifecycle state.
+func (j *Job) State() JobState {
+	j.sys.mu.Lock()
+	eng := j.sys.engine
+	j.sys.mu.Unlock()
+	st, ok := eng.JobState(j.id)
+	if !ok {
+		return JobQueued
+	}
+	return JobState(st)
+}
+
+// Cancel retires the job at the next round boundary. Cancelling a job that
+// already reached a terminal state is an error.
+func (j *Job) Cancel() error {
+	j.sys.mu.Lock()
+	eng := j.sys.engine
+	j.sys.mu.Unlock()
+	return eng.Cancel(j.id)
+}
+
+// Metrics returns the job's report after it converged, or nil before then
+// and for cancelled/failed jobs.
+func (j *Job) Metrics() *JobReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.metrics
+}
+
+// Release frees the engine-side state of a finished job (private table,
+// activity bitsets, result backing). Extract Results first: they become
+// unavailable afterwards. Resident services use it to keep memory bounded
+// as jobs flow through; releasing an unfinished job is a no-op.
+func (j *Job) Release() {
+	j.sys.mu.Lock()
+	eng := j.sys.engine
+	j.sys.mu.Unlock()
+	eng.Release(j.id)
+}
 
 // Report summarizes one Run.
 type Report struct {
@@ -351,11 +613,4 @@ type JobReport struct {
 	SimulatedComputeUS  float64
 	SimulatedFinishedUS float64
 	EdgesProcessed      int64
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

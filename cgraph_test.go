@@ -1,10 +1,13 @@
 package cgraph
 
 import (
+	"context"
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"cgraph/algo"
 	"cgraph/internal/gen"
@@ -199,5 +202,80 @@ func TestRerunAfterMoreSubmissions(t *testing.T) {
 		if res[v] != want[v] && !(math.IsInf(res[v], 1) && math.IsInf(want[v], 1)) {
 			t.Fatalf("second-run bfs vertex %d wrong", v)
 		}
+	}
+}
+
+func TestServeModeLifecycle(t *testing.T) {
+	edges := gen.RMAT(53, 250, 4000, 0.57, 0.19, 0.19)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false))
+	if err := sys.LoadEdges(250, edges); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sys.Serve(context.Background()) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	pr, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Wait(ctx); err != nil {
+		t.Fatalf("pagerank wait: %v", err)
+	}
+	if pr.State() != JobDone || pr.Err() != nil || pr.Metrics() == nil {
+		t.Fatalf("done handle wrong: state=%v err=%v", pr.State(), pr.Err())
+	}
+	res, err := pr.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refimpl.PageRank(graph.Build(250, edges), 0.85, 1e-12, 3000)
+	for v := range res {
+		if math.Abs(res[v]-want[v]) > 1e-5 {
+			t.Fatalf("pagerank vertex %d: got %v want %v", v, res[v], want[v])
+		}
+	}
+
+	// Cancellation via the handle: epsilon 0 keeps PageRank iterating far
+	// longer than the cancel takes to land.
+	long, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Wait(ctx); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("cancelled wait = %v, want ErrCancelled", err)
+	}
+	if long.State() != JobCancelled {
+		t.Fatalf("cancelled state = %v", long.State())
+	}
+
+	// Serving twice fails; batch Run is excluded while serving.
+	if err := sys.Serve(context.Background()); err == nil {
+		t.Fatal("second Serve must fail")
+	}
+
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("serve did not exit after shutdown")
+	}
+	// Shutdown when not serving is a no-op.
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Stats()
+	if st.Done < 1 || st.Cancelled < 1 || st.Rounds == 0 {
+		t.Fatalf("stats not populated: %+v", st)
 	}
 }

@@ -1,0 +1,108 @@
+// Command cgraph-serve runs a resident CGraph job service: one shared
+// (optionally evolving) graph held in memory, an HTTP/JSON control plane
+// accepting concurrent iterative jobs, and the engine's round loop sharing
+// every partition load across whatever jobs are in flight.
+//
+// Usage:
+//
+//	cgraph-serve -graph edges.tsv [-addr :8040] [-workers 8] [-max-inflight 16]
+//	cgraph-serve -dataset ukunion-sim [-scale 0.1]
+//
+// Control plane:
+//
+//	curl -X POST localhost:8040/jobs -d '{"algo":"pagerank"}'
+//	curl -X POST localhost:8040/jobs -d '{"algo":"sssp","source":3,"timeout_ms":5000}'
+//	curl localhost:8040/jobs                 # all jobs
+//	curl localhost:8040/jobs/job-0           # one job's lifecycle state
+//	curl -X DELETE localhost:8040/jobs/job-0 # cancel
+//	curl 'localhost:8040/results/job-1?top=5'
+//	curl -X POST localhost:8040/snapshots -d '{"timestamp":20,"edges":[[0,1,1],...]}'
+//	curl localhost:8040/metrics
+//
+// The graph is partitioned without the core-subgraph split by default so
+// that snapshot ingestion works (slot-stable partitions); pass
+// -core-subgraph to enable it for static graphs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cgraph"
+	"cgraph/internal/gen"
+	"cgraph/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8040", "listen address")
+	graphFile := flag.String("graph", "", "edge-list file (src dst [weight] per line)")
+	dataset := flag.String("dataset", "", "named stand-in dataset (see cgraph-gen -list)")
+	scale := flag.Float64("scale", 1.0, "stand-in scale factor")
+	workers := flag.Int("workers", 0, "worker count (default GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrently running jobs, 0 = unlimited")
+	defaultTimeout := flag.Duration("default-timeout", 0, "per-job timeout applied when a submission has none, 0 = none")
+	coreSubgraph := flag.Bool("core-subgraph", false, "enable §3.3 core-subgraph partitioning (disables snapshot ingestion)")
+	flag.Parse()
+
+	sys := cgraph.NewSystem(
+		cgraph.WithWorkers(*workers),
+		cgraph.WithCoreSubgraph(*coreSubgraph),
+	)
+	switch {
+	case *graphFile != "":
+		if err := sys.LoadEdgeFile(*graphFile); err != nil {
+			fatal(err)
+		}
+	case *dataset != "":
+		d, err := gen.StandIn(*dataset, *scale)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.LoadEdges(d.NumVertices, d.Generate()); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("one of -graph or -dataset is required"))
+	}
+
+	svc := server.New(sys, server.Config{
+		MaxInFlight:    *maxInflight,
+		DefaultTimeout: *defaultTimeout,
+	})
+	if err := svc.Start(); err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler(nil)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("cgraph-serve listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("received %v, shutting down", sig)
+	case err := <-errc:
+		log.Printf("http server: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := svc.Stop(ctx); err != nil {
+		log.Printf("service stop: %v", err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgraph-serve:", err)
+	os.Exit(1)
+}

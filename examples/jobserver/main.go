@@ -1,137 +1,40 @@
-// Job server: the "common platform" of §1 as a service — a resident graph
-// accepts analytics jobs over HTTP while the engine runs, demonstrating
-// runtime job submission (Algorithm 3 allows adding jobs to SJobs at any
-// time). Results are queried back by job ID.
+// Job server: the "common platform" of §1 as a service. This example is a
+// thin client of the server subsystem — it loads a synthetic graph, starts
+// the resident job service, and mounts its HTTP control plane. The engine
+// runs continuously: jobs submitted at any time are admitted at the next
+// round boundary (Algorithm 3), share every partition load with whatever
+// else is in flight, and can be cancelled or given deadlines mid-run.
 //
 //	go run ./examples/jobserver &
-//	curl 'localhost:8039/submit?job=pagerank'
-//	curl 'localhost:8039/submit?job=sssp&src=3'
-//	curl 'localhost:8039/result?id=0&top=5'
+//	curl -X POST localhost:8039/jobs -d '{"algo":"pagerank"}'
+//	curl -X POST localhost:8039/jobs -d '{"algo":"sssp","source":3}'
+//	curl localhost:8039/jobs/job-0
+//	curl 'localhost:8039/results/job-0?top=5'
+//	curl -X DELETE localhost:8039/jobs/job-1
+//	curl localhost:8039/metrics
 package main
 
 import (
-	"encoding/json"
 	"log"
 	"net/http"
-	"sort"
-	"strconv"
-	"sync"
 
 	"cgraph"
-	"cgraph/algo"
 	"cgraph/internal/gen"
-	"cgraph/model"
+	"cgraph/server"
 )
 
-type server struct {
-	sys *cgraph.System
-
-	mu   sync.Mutex
-	jobs []*cgraph.Job
-	done map[int]bool
-}
-
 func main() {
-	srv := &server{
-		sys:  cgraph.NewSystem(cgraph.WithWorkers(4)),
-		done: map[int]bool{},
-	}
+	sys := cgraph.NewSystem(cgraph.WithWorkers(4), cgraph.WithCoreSubgraph(false))
 	edges := gen.RMAT(99, 2000, 50000, 0.57, 0.19, 0.19)
-	if err := srv.sys.LoadEdges(2000, edges); err != nil {
+	if err := sys.LoadEdges(2000, edges); err != nil {
 		log.Fatal(err)
 	}
 
-	http.HandleFunc("/submit", srv.submit)
-	http.HandleFunc("/result", srv.result)
-	log.Println("cgraph job server on :8039 (graph: 2000 vertices, 50000 edges)")
-	log.Fatal(http.ListenAndServe("localhost:8039", nil))
-}
-
-func (s *server) submit(w http.ResponseWriter, r *http.Request) {
-	src64, _ := strconv.ParseUint(r.URL.Query().Get("src"), 10, 32)
-	src := model.VertexID(src64)
-	var prog model.Program
-	switch r.URL.Query().Get("job") {
-	case "pagerank":
-		prog = algo.NewPageRank()
-	case "sssp":
-		prog = algo.NewSSSP(src)
-	case "bfs":
-		prog = algo.NewBFS(src)
-	case "wcc":
-		prog = algo.NewWCC()
-	case "scc":
-		prog = algo.NewSCC()
-	default:
-		http.Error(w, "job must be pagerank|sssp|bfs|wcc|scc", http.StatusBadRequest)
-		return
+	svc := server.New(sys, server.Config{MaxInFlight: 8})
+	if err := svc.Start(); err != nil {
+		log.Fatal(err)
 	}
 
-	s.mu.Lock()
-	j, err := s.sys.Submit(prog)
-	if err != nil {
-		s.mu.Unlock()
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	id := len(s.jobs)
-	s.jobs = append(s.jobs, j)
-	s.mu.Unlock()
-
-	// Drain the engine in the background; concurrent submissions are
-	// admitted at round boundaries while it runs.
-	go func() {
-		if _, err := s.sys.Run(); err != nil {
-			log.Printf("run: %v", err)
-			return
-		}
-		s.mu.Lock()
-		for i := range s.jobs {
-			if _, err := s.jobs[i].Results(); err == nil {
-				s.done[i] = true
-			}
-		}
-		s.mu.Unlock()
-	}()
-
-	json.NewEncoder(w).Encode(map[string]any{"id": id, "job": j.Name()})
-}
-
-func (s *server) result(w http.ResponseWriter, r *http.Request) {
-	id, err := strconv.Atoi(r.URL.Query().Get("id"))
-	s.mu.Lock()
-	valid := err == nil && id >= 0 && id < len(s.jobs)
-	var job *cgraph.Job
-	if valid {
-		job = s.jobs[id]
-	}
-	s.mu.Unlock()
-	if !valid {
-		http.Error(w, "unknown job id", http.StatusNotFound)
-		return
-	}
-	res, err := job.Results()
-	if err != nil {
-		http.Error(w, "job still running, retry", http.StatusAccepted)
-		return
-	}
-	top, _ := strconv.Atoi(r.URL.Query().Get("top"))
-	if top <= 0 {
-		top = 10
-	}
-	type entry struct {
-		Vertex int     `json:"vertex"`
-		Value  float64 `json:"value"`
-	}
-	entries := make([]entry, 0, len(res))
-	for v, x := range res {
-		entries = append(entries, entry{v, x})
-	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].Value > entries[j].Value })
-	if top > len(entries) {
-		top = len(entries)
-	}
-	json.NewEncoder(w).Encode(map[string]any{
-		"job": job.Name(), "top": entries[:top],
-	})
+	log.Println("cgraph job service on :8039 (graph: 2000 vertices, 50000 edges)")
+	log.Fatal(http.ListenAndServe("localhost:8039", svc.Handler(nil)))
 }

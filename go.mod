@@ -1,0 +1,3 @@
+module cgraph
+
+go 1.24

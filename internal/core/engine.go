@@ -15,7 +15,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +33,56 @@ import (
 	"cgraph/model"
 )
 
+// ErrCancelled is the Err of a JobEvent for a job retired by Cancel (as
+// opposed to one whose context expired, which carries the context's error).
+var ErrCancelled = errors.New("core: job cancelled")
+
+// JobState is the engine-side lifecycle of one submitted job.
+type JobState uint8
+
+const (
+	// JobQueued: submitted, awaiting admission at the next round boundary.
+	JobQueued JobState = iota
+	// JobRunning: admitted into the round loop.
+	JobRunning
+	// JobDone: converged; results are available.
+	JobDone
+	// JobCancelled: retired by Cancel or an expired job context.
+	JobCancelled
+	// JobFailed: retired by the engine (exceeded the MaxRounds budget).
+	JobFailed
+)
+
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return "failed"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s >= JobDone }
+
+// JobEvent reports a job reaching a terminal state. Events fire from the
+// goroutine driving Run or Serve, outside engine locks, in retirement order.
+type JobEvent struct {
+	JobID int
+	State JobState
+	// Metrics is populated for JobDone events.
+	Metrics *metrics.JobMetrics
+	// Err explains JobCancelled (ErrCancelled or the job context's error)
+	// and JobFailed events; it is nil for JobDone.
+	Err error
+}
+
 // Config tunes the engine.
 type Config struct {
 	// Workers is the number of cores (default runtime.GOMAXPROCS(0)).
@@ -43,29 +96,59 @@ type Config struct {
 	// DisableStragglerSplit turns off the Fig. 6 load balancing, leaving
 	// each job's partition work on a single core (ablation).
 	DisableStragglerSplit bool
-	// MaxRounds bounds the total rounds as a safety net (default 1<<20).
+	// MaxRounds bounds the total rounds of a Run, and the per-job
+	// iteration budget under Serve, as a safety net (default 1<<20).
 	MaxRounds int
 	// Label overrides the report's system name (default "CGraph").
 	Label string
+	// OnJobEvent, when set, is invoked for every job that reaches a
+	// terminal state (done, cancelled, failed). It is called from the
+	// Run/Serve goroutine with no engine locks held; implementations may
+	// call back into the engine but must not block for long, since the
+	// round loop waits on them.
+	OnJobEvent func(JobEvent)
 }
 
 type runJob struct {
 	*exec.Job
 	remaining map[int]bool
 	m         *metrics.JobMetrics
+	// ctx carries the job's cancellation/deadline; checked at round
+	// boundaries (never mid-round).
+	ctx context.Context
 }
 
-// Engine executes CGP jobs with the LTP model.
+// Engine executes CGP jobs with the LTP model. It runs in two modes: the
+// batch Run, which drains every submitted job and returns, and the resident
+// Serve, which processes rounds while any job is active, idles when the
+// queue is empty, and admits/retires jobs at round boundaries until its
+// context is cancelled.
 type Engine struct {
 	cfg   Config
 	store *storage.SnapshotStore
 	sched *sched.Scheduler
 
-	mu      sync.Mutex
-	pending []*runJob
+	// mu guards pending, finished, state, cancelReq, and nextID — the
+	// fields shared between the round loop and concurrent Submit / Cancel
+	// / Results / Stats callers. jobs and the clocks below are touched
+	// only by the single goroutine driving Run or Serve.
+	mu        sync.Mutex
+	pending   []*runJob
+	nextID    int
+	state     map[int]JobState
+	cancelReq map[int]bool
 
-	jobs   []*runJob
-	nextID int
+	// wake nudges an idle Serve loop after Submit or Cancel.
+	wake chan struct{}
+	// driving excludes concurrent Run/Serve calls.
+	driving atomic.Bool
+
+	// rounds and nowBits mirror the loop-private round counter and virtual
+	// clock for lock-free Stats reads.
+	rounds  atomic.Int64
+	nowBits atomic.Uint64
+
+	jobs []*runJob
 
 	now      float64
 	busyCore float64
@@ -104,10 +187,13 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 	}
 	base := store.Resolve(0).PG
 	return &Engine{
-		cfg:   cfg,
-		store: store,
-		sched: sched.New(cfg.Scheduler, base),
-		cSums: make([]float64, len(base.Parts)),
+		cfg:       cfg,
+		store:     store,
+		sched:     sched.New(cfg.Scheduler, base),
+		cSums:     make([]float64, len(base.Parts)),
+		state:     make(map[int]JobState),
+		cancelReq: make(map[int]bool),
+		wake:      make(chan struct{}, 1),
 	}
 }
 
@@ -122,8 +208,14 @@ func NewSingle(cfg Config, pg *graph.PGraph) *Engine {
 // are admitted at the next round boundary (Algorithm 3 "allows to add new
 // jobs into SJobs at runtime"). It returns the job ID.
 func (e *Engine) Submit(prog model.Program, arrivalTS int64) int {
+	return e.SubmitCtx(context.Background(), prog, arrivalTS)
+}
+
+// SubmitCtx is Submit with a job-scoped context: when ctx is cancelled or
+// its deadline passes, the job is retired at the next round boundary with a
+// JobCancelled event carrying ctx's error.
+func (e *Engine) SubmitCtx(ctx context.Context, prog model.Program, arrivalTS int64) int {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	id := e.nextID
 	e.nextID++
 	snap := e.store.Resolve(arrivalTS)
@@ -132,9 +224,39 @@ func (e *Engine) Submit(prog model.Program, arrivalTS int64) int {
 		Job:       j,
 		remaining: make(map[int]bool),
 		m:         &metrics.JobMetrics{JobID: id, Name: prog.Name()},
+		ctx:       ctx,
 	}
 	e.pending = append(e.pending, rj)
+	e.state[id] = JobQueued
+	e.mu.Unlock()
+	e.signalWake()
 	return id
+}
+
+// Cancel requests that the job be retired at the next round boundary. It is
+// an error to cancel an unknown or already-terminal job.
+func (e *Engine) Cancel(jobID int) error {
+	e.mu.Lock()
+	st, ok := e.state[jobID]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("core: cancel: unknown job %d", jobID)
+	}
+	if st.Terminal() {
+		e.mu.Unlock()
+		return fmt.Errorf("core: cancel: job %d already %s", jobID, st)
+	}
+	e.cancelReq[jobID] = true
+	e.mu.Unlock()
+	e.signalWake()
+	return nil
+}
+
+func (e *Engine) signalWake() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
 }
 
 func (e *Engine) admitPending() {
@@ -144,15 +266,86 @@ func (e *Engine) admitPending() {
 		rj.SubmitTime = e.now
 		rj.m.SubmitAt = e.now
 		e.jobs = append(e.jobs, rj)
+		e.state[rj.ID] = JobRunning
 	}
 	e.pending = e.pending[:0]
 }
 
+// reapRetired removes cancelled, context-expired, and (under Serve)
+// over-budget jobs from the pending queue and the round loop, firing their
+// terminal events. Called only at round boundaries, so a reaped job is
+// never mid-round.
+func (e *Engine) reapRetired(enforceBudget bool) {
+	var events []JobEvent
+	e.mu.Lock()
+	keepPending := e.pending[:0]
+	for _, rj := range e.pending {
+		if ev, dead := e.retirementLocked(rj, false); dead {
+			events = append(events, ev)
+			continue
+		}
+		keepPending = append(keepPending, rj)
+	}
+	e.pending = keepPending
+	keepJobs := e.jobs[:0]
+	for _, rj := range e.jobs {
+		if ev, dead := e.retirementLocked(rj, enforceBudget); dead {
+			events = append(events, ev)
+			continue
+		}
+		keepJobs = append(keepJobs, rj)
+	}
+	e.jobs = keepJobs
+	e.mu.Unlock()
+	for _, ev := range events {
+		e.fireEvent(ev)
+	}
+}
+
+func (e *Engine) retirementLocked(rj *runJob, enforceBudget bool) (JobEvent, bool) {
+	var err error
+	state := JobCancelled
+	switch {
+	case e.cancelReq[rj.ID]:
+		err = ErrCancelled
+	case rj.ctx != nil && rj.ctx.Err() != nil:
+		err = rj.ctx.Err()
+	case enforceBudget && rj.Iterations >= e.cfg.MaxRounds:
+		state = JobFailed
+		err = fmt.Errorf("core: job %d exceeded %d iterations without convergence", rj.ID, e.cfg.MaxRounds)
+	default:
+		return JobEvent{}, false
+	}
+	delete(e.cancelReq, rj.ID)
+	e.state[rj.ID] = state
+	return JobEvent{JobID: rj.ID, State: state, Err: err}, true
+}
+
+func (e *Engine) fireEvent(ev JobEvent) {
+	if e.cfg.OnJobEvent != nil {
+		e.cfg.OnJobEvent(ev)
+	}
+}
+
+func (e *Engine) acquireLoop(mode string) error {
+	if !e.driving.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: %s: engine round loop already active", mode)
+	}
+	return nil
+}
+
 // Run executes all submitted jobs to convergence and returns the report.
+// Jobs cancelled (or context-expired) before convergence are retired
+// between rounds and excluded from the report.
 func (e *Engine) Run() (*metrics.RunReport, error) {
+	if err := e.acquireLoop("run"); err != nil {
+		return nil, err
+	}
+	defer e.driving.Store(false)
 	wall := time.Now()
 	rounds := 0
 	for {
+		e.reapRetired(false)
 		e.admitPending()
 		if len(e.jobs) == 0 {
 			break
@@ -170,25 +363,140 @@ func (e *Engine) Run() (*metrics.RunReport, error) {
 		Counters:     e.cfg.Hier.Counters(),
 		WallClock:    time.Since(wall),
 	}
+	e.mu.Lock()
 	for _, rj := range e.finished {
 		rep.Jobs = append(rep.Jobs, *rj.m)
 	}
+	e.mu.Unlock()
 	return rep, nil
 }
 
-// Results returns the converged per-vertex values of the given job after
-// Run completes.
+// Serve runs the engine as a resident service: it processes rounds while
+// any job is active, parks on the wake channel when the queue drains, and
+// admits newly submitted jobs at round boundaries. Cancel requests, expired
+// job contexts, and jobs exceeding the MaxRounds iteration budget are
+// retired between rounds. Serve returns nil when ctx is cancelled (a
+// graceful stop: in-flight jobs stay resident and a later Run or Serve
+// resumes them) and an error only on misuse.
+func (e *Engine) Serve(ctx context.Context) error {
+	if err := e.acquireLoop("serve"); err != nil {
+		return err
+	}
+	defer e.driving.Store(false)
+	for {
+		e.reapRetired(true)
+		e.admitPending()
+		if ctx.Err() != nil {
+			return nil
+		}
+		if len(e.jobs) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-e.wake:
+			}
+			continue
+		}
+		e.round()
+	}
+}
+
+// Results returns the converged per-vertex values of the given job once it
+// has finished. It is safe to call while the engine serves.
 func (e *Engine) Results(jobID int) ([]float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, rj := range e.finished {
 		if rj.ID == jobID {
 			return rj.Job.Results(), nil
 		}
 	}
+	if st, ok := e.state[jobID]; ok {
+		if st == JobDone {
+			return nil, fmt.Errorf("core: job %d results released", jobID)
+		}
+		return nil, fmt.Errorf("core: job %d is %s, results unavailable", jobID, st)
+	}
 	return nil, fmt.Errorf("core: job %d not finished or unknown", jobID)
+}
+
+// Release frees a finished job's engine-side state (private table, activity
+// bitsets, result backing), which otherwise stays resident for Results.
+// Long-running services call it after extracting results so memory does not
+// grow with every job ever served. Released jobs keep their JobDone state
+// but drop out of later Run reports; releasing an unfinished or unknown job
+// is a no-op.
+func (e *Engine) Release(jobID int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, rj := range e.finished {
+		if rj.ID == jobID {
+			e.finished = append(e.finished[:i], e.finished[i+1:]...)
+			return
+		}
+	}
+}
+
+// JobState reports the engine-side lifecycle state of a submitted job.
+func (e *Engine) JobState(jobID int) (JobState, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.state[jobID]
+	return st, ok
+}
+
+// AddSnapshot appends a newer graph version to the snapshot store, safely
+// with respect to a concurrent Serve loop; jobs submitted afterwards with a
+// matching arrival timestamp bind to it.
+func (e *Engine) AddSnapshot(pg *graph.PGraph, timestamp int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.store.Add(pg, timestamp)
+}
+
+// Stats is a point-in-time snapshot of the engine's service counters.
+type Stats struct {
+	Queued    int
+	Running   int
+	Done      int
+	Cancelled int
+	Failed    int
+	// Rounds is the number of LTP rounds processed so far.
+	Rounds int64
+	// VirtualTimeUS is the engine's virtual clock in simulated microseconds.
+	VirtualTimeUS float64
+}
+
+// ServeStats reports current job-state counts and loop progress. Safe to
+// call concurrently with Run or Serve.
+func (e *Engine) ServeStats() Stats {
+	s := Stats{
+		Rounds:        e.rounds.Load(),
+		VirtualTimeUS: math.Float64frombits(e.nowBits.Load()),
+	}
+	e.mu.Lock()
+	for _, st := range e.state {
+		switch st {
+		case JobQueued:
+			s.Queued++
+		case JobRunning:
+			s.Running++
+		case JobDone:
+			s.Done++
+		case JobCancelled:
+			s.Cancelled++
+		case JobFailed:
+			s.Failed++
+		}
+	}
+	e.mu.Unlock()
+	return s
 }
 
 // Job returns the finished exec job (testing/inspection).
 func (e *Engine) Job(jobID int) (*exec.Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	for _, rj := range e.finished {
 		if rj.ID == jobID {
 			return rj.Job, true
@@ -276,6 +584,8 @@ func (e *Engine) round() {
 		}
 	}
 	e.jobs = still
+	e.rounds.Add(1)
+	e.nowBits.Store(math.Float64bits(e.now))
 }
 
 func structID(p *graph.Partition) memsim.ItemID {
@@ -479,6 +789,12 @@ func (e *Engine) finishIteration(rj *runJob) {
 		rj.m.Edges = rj.EdgesProcessed
 		rj.m.Vertices = rj.VerticesApplied
 		rj.m.SyncEntries = rj.SyncEntries
+		e.mu.Lock()
 		e.finished = append(e.finished, rj)
+		e.state[rj.ID] = JobDone
+		// A cancel that raced with convergence loses: the job is done.
+		delete(e.cancelReq, rj.ID)
+		e.mu.Unlock()
+		e.fireEvent(JobEvent{JobID: rj.ID, State: JobDone, Metrics: rj.m})
 	}
 }

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"cgraph/algo"
+	"cgraph/internal/gen"
+	"cgraph/internal/refimpl"
+	"cgraph/model"
+)
+
+// spinProgram never converges: every vertex stays active forever. It gives
+// cancellation tests a job that is deterministically still running.
+type spinProgram struct{}
+
+func (spinProgram) Name() string                { return "Spin" }
+func (spinProgram) Direction() model.Direction  { return model.Out }
+func (spinProgram) Identity() float64           { return 0 }
+func (spinProgram) Acc(a, c float64) float64    { return a + c }
+func (spinProgram) IsActive(s model.State) bool { return true }
+func (spinProgram) Init(v model.VertexID, g model.GraphInfo) (model.State, bool) {
+	return model.State{}, true
+}
+func (spinProgram) Apply(v model.VertexID, s *model.State, deg int) (float64, bool) {
+	s.Delta = 0
+	return 1, true
+}
+func (spinProgram) Contribution(seed float64, w float32) float64 { return seed }
+
+type eventRecorder struct {
+	ch chan JobEvent
+}
+
+func newEventRecorder() *eventRecorder {
+	return &eventRecorder{ch: make(chan JobEvent, 64)}
+}
+
+func (r *eventRecorder) wait(t *testing.T, jobID int) JobEvent {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case ev := <-r.ch:
+			if ev.JobID == jobID {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("no terminal event for job %d", jobID)
+		}
+	}
+}
+
+func startServe(t *testing.T, e *Engine) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- e.Serve(ctx) }()
+	return func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("serve returned %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("serve did not stop")
+		}
+	}
+}
+
+func TestServeAdmitsSubmissionsWhileResident(t *testing.T) {
+	edges := gen.RMAT(31, 300, 5000, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 300, 6, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+
+	// First job against an idle, parked loop.
+	pr := e.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, 0)
+	// Second job lands mid-flight.
+	bf := e.Submit(algo.NewBFS(0), 0)
+
+	if ev := rec.wait(t, bf); ev.State != JobDone {
+		t.Fatalf("bfs terminal state = %v, want done", ev.State)
+	}
+	ev := rec.wait(t, pr)
+	if ev.State != JobDone || ev.Metrics == nil || ev.Metrics.Iterations == 0 {
+		t.Fatalf("pagerank event %+v not a populated done", ev)
+	}
+
+	res, err := e.Results(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refimpl.PageRank(pg.G, 0.85, 1e-12, 3000)
+	for v := range res {
+		if math.Abs(res[v]-want[v]) > 1e-6 {
+			t.Fatalf("pagerank vertex %d: got %v want %v", v, res[v], want[v])
+		}
+	}
+	if st, _ := e.JobState(pr); st != JobDone {
+		t.Fatalf("job state = %v, want done", st)
+	}
+}
+
+func TestServeCancelRetiresBetweenRounds(t *testing.T) {
+	edges := gen.RMAT(32, 200, 3000, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 200, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+
+	spin := e.Submit(spinProgram{}, 0)
+	bf := e.Submit(algo.NewBFS(0), 0)
+	rec.wait(t, bf) // engine is definitely rolling
+
+	if err := e.Cancel(spin); err != nil {
+		t.Fatal(err)
+	}
+	ev := rec.wait(t, spin)
+	if ev.State != JobCancelled || !errors.Is(ev.Err, ErrCancelled) {
+		t.Fatalf("spin event %+v, want cancelled/ErrCancelled", ev)
+	}
+	if _, err := e.Results(spin); err == nil {
+		t.Fatal("results of a cancelled job must error")
+	}
+	if err := e.Cancel(spin); err == nil {
+		t.Fatal("cancelling a terminal job must error")
+	}
+	if err := e.Cancel(12345); err == nil {
+		t.Fatal("cancelling an unknown job must error")
+	}
+}
+
+func TestServeJobContextDeadline(t *testing.T) {
+	edges := gen.RMAT(33, 200, 3000, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 200, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	spin := e.SubmitCtx(ctx, spinProgram{}, 0)
+	ev := rec.wait(t, spin)
+	if ev.State != JobCancelled || !errors.Is(ev.Err, context.DeadlineExceeded) {
+		t.Fatalf("deadline event %+v, want cancelled/DeadlineExceeded", ev)
+	}
+}
+
+func TestServeIterationBudget(t *testing.T) {
+	edges := gen.RMAT(34, 100, 1500, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 100, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), MaxRounds: 25, OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+
+	spin := e.Submit(spinProgram{}, 0)
+	ev := rec.wait(t, spin)
+	if ev.State != JobFailed || ev.Err == nil {
+		t.Fatalf("over-budget event %+v, want failed with error", ev)
+	}
+}
+
+func TestServeExcludesConcurrentLoops(t *testing.T) {
+	edges := gen.RMAT(35, 100, 1500, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 100, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+	// Prove the resident loop is active before contending with it.
+	rec.wait(t, e.Submit(algo.NewBFS(0), 0))
+	if err := e.Serve(context.Background()); err == nil {
+		t.Fatal("second Serve must fail while the loop is active")
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("Run must fail while Serve is active")
+	}
+}
+
+func TestServeStatsAndShutdownLeavesJobsResident(t *testing.T) {
+	edges := gen.RMAT(36, 150, 2500, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 150, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+
+	bf := e.Submit(algo.NewBFS(0), 0)
+	rec.wait(t, bf)
+	spin := e.Submit(spinProgram{}, 0)
+
+	// Wait until the spin job is admitted so stats see it running.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if st, _ := e.JobState(spin); st == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("spin job never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s := e.ServeStats()
+	if s.Done != 1 || s.Running != 1 {
+		t.Fatalf("stats %+v, want 1 done / 1 running", s)
+	}
+	if s.Rounds == 0 || s.VirtualTimeUS <= 0 {
+		t.Fatalf("stats %+v: loop progress not mirrored", s)
+	}
+
+	// Graceful stop with the spin job mid-flight: it stays resident.
+	stop()
+	if st, _ := e.JobState(spin); st != JobRunning {
+		t.Fatalf("post-shutdown spin state = %v, want running (resident)", st)
+	}
+}

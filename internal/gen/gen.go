@@ -328,10 +328,3 @@ func ReadEdges(r io.Reader) ([]model.Edge, error) {
 	}
 	return edges, nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,141 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TextExposition accumulates metric samples and renders them in the
+// Prometheus text exposition format (version 0.0.4): an optional
+// `# HELP` / `# TYPE` header per family followed by one
+// `name{label="value",...} value` line per sample. Families render in
+// declaration order and samples in insertion order, so output is
+// deterministic — the serve-mode `GET /metrics` endpoint is built on it.
+type TextExposition struct {
+	order    []string
+	families map[string]*family
+}
+
+type family struct {
+	typ, help string
+	samples   []expoSample
+}
+
+type expoSample struct {
+	labels string
+	value  float64
+}
+
+// NewTextExposition returns an empty exposition.
+func NewTextExposition() *TextExposition {
+	return &TextExposition{families: make(map[string]*family)}
+}
+
+// Declare registers a metric family with its type ("gauge" or "counter")
+// and help text. Declaring is optional — Add creates an undeclared family
+// on first use, rendered without a header — and idempotent: redeclaring
+// keeps the first type/help.
+func (t *TextExposition) Declare(name, typ, help string) {
+	t.family(name, typ, help)
+}
+
+func (t *TextExposition) family(name, typ, help string) *family {
+	if f, ok := t.families[name]; ok {
+		return f
+	}
+	f := &family{typ: typ, help: help}
+	t.families[name] = f
+	t.order = append(t.order, name)
+	return f
+}
+
+// Add records one sample. Labels may be nil; label names render in sorted
+// order so equal label sets always produce identical lines.
+func (t *TextExposition) Add(name string, labels map[string]string, value float64) {
+	f := t.family(name, "", "")
+	f.samples = append(f.samples, expoSample{labels: renderLabels(labels), value: value})
+}
+
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=\"%s\"", k, escapeLabel(labels[k]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the label-value escaping of the exposition format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// WriteTo renders the exposition.
+func (t *TextExposition) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, name := range t.order {
+		f := t.families[name]
+		if f.help != "" {
+			m, err := fmt.Fprintf(w, "# HELP %s %s\n", name, f.help)
+			n += int64(m)
+			if err != nil {
+				return n, err
+			}
+		}
+		if f.typ != "" {
+			m, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.typ)
+			n += int64(m)
+			if err != nil {
+				return n, err
+			}
+		}
+		for _, s := range f.samples {
+			m, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.value))
+			n += int64(m)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// String renders the exposition to a string.
+func (t *TextExposition) String() string {
+	var b strings.Builder
+	t.WriteTo(&b)
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTextExposition(t *testing.T) {
+	e := NewTextExposition()
+	e.Declare("cgraph_jobs", "gauge", "Jobs by lifecycle state.")
+	e.Add("cgraph_jobs", map[string]string{"state": "running"}, 2)
+	e.Add("cgraph_jobs", map[string]string{"state": "done"}, 5)
+	e.Declare("cgraph_rounds_total", "counter", "LTP rounds processed.")
+	e.Add("cgraph_rounds_total", nil, 123)
+	e.Add("cgraph_job_access_us", map[string]string{"id": "job-0", "algo": "PageRank"}, 1.5)
+
+	got := e.String()
+	want := strings.Join([]string{
+		"# HELP cgraph_jobs Jobs by lifecycle state.",
+		"# TYPE cgraph_jobs gauge",
+		`cgraph_jobs{state="running"} 2`,
+		`cgraph_jobs{state="done"} 5`,
+		"# HELP cgraph_rounds_total LTP rounds processed.",
+		"# TYPE cgraph_rounds_total counter",
+		"cgraph_rounds_total 123",
+		`cgraph_job_access_us{algo="PageRank",id="job-0"} 1.5`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestTextExpositionDeterministicLabels(t *testing.T) {
+	render := func() string {
+		e := NewTextExposition()
+		e.Add("m", map[string]string{"b": "2", "a": "1", "c": "3"}, 1)
+		return e.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("nondeterministic rendering: %q vs %q", got, first)
+		}
+	}
+	if first != "m{a=\"1\",b=\"2\",c=\"3\"} 1\n" {
+		t.Fatalf("labels not sorted: %q", first)
+	}
+}
+
+func TestTextExpositionSpecialValues(t *testing.T) {
+	e := NewTextExposition()
+	e.Add("inf", nil, math.Inf(1))
+	e.Add("ninf", nil, math.Inf(-1))
+	e.Add("esc", map[string]string{"p": "a\\b\nc"}, 0)
+	got := e.String()
+	for _, want := range []string{"inf +Inf\n", "ninf -Inf\n", `esc{p="a\\b\nc"} 0` + "\n"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("missing %q in:\n%s", want, got)
+		}
+	}
+	// Redeclare keeps the first header.
+	e2 := NewTextExposition()
+	e2.Declare("x", "gauge", "first")
+	e2.Declare("x", "counter", "second")
+	e2.Add("x", nil, 1)
+	if s := e2.String(); !strings.Contains(s, "# HELP x first") || strings.Contains(s, "second") {
+		t.Fatalf("redeclare not idempotent:\n%s", s)
+	}
+}

@@ -1,0 +1,188 @@
+package refimpl
+
+import (
+	"math"
+	"testing"
+
+	"cgraph/internal/graph"
+	"cgraph/model"
+)
+
+// diamond builds the weighted graph
+//
+//	0 → 1 (w=1)   0 → 2 (w=4)   1 → 2 (w=1)   2 → 3 (w=2)   3 → 0 (w=1)
+//
+// plus an isolated vertex 4.
+func diamond() *graph.Graph {
+	return graph.Build(5, []model.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 0, Dst: 2, Weight: 4},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 2},
+		{Src: 3, Dst: 0, Weight: 1},
+	})
+}
+
+func TestSSSPAndBFSHandmade(t *testing.T) {
+	g := diamond()
+	dist := SSSP(g, 0)
+	wantDist := []float64{0, 1, 2, 4, math.Inf(1)}
+	for v, want := range wantDist {
+		if dist[v] != want && !(math.IsInf(dist[v], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("sssp[%d] = %v, want %v", v, dist[v], want)
+		}
+	}
+	hops := BFS(g, 0)
+	wantHops := []float64{0, 1, 1, 2, math.Inf(1)}
+	for v, want := range wantHops {
+		if hops[v] != want && !(math.IsInf(hops[v], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("bfs[%d] = %v, want %v", v, hops[v], want)
+		}
+	}
+}
+
+func TestSSWPHandmade(t *testing.T) {
+	g := diamond()
+	w := SSWP(g, 0)
+	// Widest path 0→2 is direct (width 4); 0→3 bottlenecks at 2.
+	want := []float64{math.Inf(1), 1, 4, 2, 0}
+	for v := range want {
+		if w[v] != want[v] && !(math.IsInf(w[v], 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("sswp[%d] = %v, want %v", v, w[v], want[v])
+		}
+	}
+}
+
+func TestWCCComponents(t *testing.T) {
+	g := graph.Build(6, []model.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 2, Dst: 1, Weight: 1},
+		{Src: 3, Dst: 4, Weight: 1},
+	})
+	labels := WCC(g)
+	if labels[0] != 0 || labels[1] != 0 || labels[2] != 0 {
+		t.Fatalf("component {0,1,2} mislabelled: %v", labels[:3])
+	}
+	if labels[3] != 3 || labels[4] != 3 {
+		t.Fatalf("component {3,4} mislabelled: %v", labels[3:5])
+	}
+	if !math.IsInf(labels[5], 1) {
+		t.Fatalf("isolated vertex label = %v, want +Inf", labels[5])
+	}
+}
+
+func TestSCCGroups(t *testing.T) {
+	// Two cycles bridged by a one-way edge, plus a free vertex.
+	g := graph.Build(5, []model.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 0, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+		{Src: 3, Dst: 2, Weight: 1},
+	})
+	comp := SCC(g)
+	if comp[0] != comp[1] || comp[2] != comp[3] {
+		t.Fatalf("cycles split: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[4] == comp[0] || comp[4] == comp[2] {
+		t.Fatalf("distinct components merged: %v", comp)
+	}
+}
+
+func TestKCorePeeling(t *testing.T) {
+	// Triangle {0,1,2} with a pendant 3: the 2-core (undirected degree ≥ 2)
+	// is exactly the triangle — peeling 3 must not drag 2 out with it.
+	g := graph.Build(4, []model.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 1},
+		{Src: 2, Dst: 0, Weight: 1},
+		{Src: 2, Dst: 3, Weight: 1},
+	})
+	alive := KCore(g, 2)
+	want := []bool{true, true, true, false}
+	for v := range want {
+		if alive[v] != want[v] {
+			t.Fatalf("kcore[%d] = %v, want %v", v, alive[v], want[v])
+		}
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := diamond()
+	rank := PageRank(g, 0.85, 1e-12, 5000)
+	// Fixed point: rank = (1-d) + d·Σ_in rank(u)/outdeg(u).
+	for v := 0; v < g.N; v++ {
+		sum := 0.0
+		for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+			u := g.InDst[ei]
+			sum += rank[u] / float64(g.OutDegree(u))
+		}
+		want := 0.15 + 0.85*sum
+		if math.Abs(rank[v]-want) > 1e-9 {
+			t.Fatalf("pagerank[%d] = %v not at fixed point (want %v)", v, rank[v], want)
+		}
+	}
+	if math.Abs(rank[4]-0.15) > 1e-12 {
+		t.Fatalf("isolated vertex rank = %v, want 0.15", rank[4])
+	}
+}
+
+func TestPPRRestartsAtSource(t *testing.T) {
+	g := diamond()
+	ppr := PPR(g, 0, 0.85, 1e-12, 5000)
+	for v := 0; v < g.N; v++ {
+		sum := 0.0
+		for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+			u := g.InDst[ei]
+			sum += ppr[u] / float64(g.OutDegree(u))
+		}
+		want := 0.85 * sum
+		if v == 0 {
+			want += 0.15
+		}
+		if math.Abs(ppr[v]-want) > 1e-9 {
+			t.Fatalf("ppr[%d] = %v not at fixed point (want %v)", v, ppr[v], want)
+		}
+	}
+	if ppr[4] != 0 {
+		t.Fatalf("mass leaked to isolated vertex: %v", ppr[4])
+	}
+}
+
+func TestKatzFixedPoint(t *testing.T) {
+	g := diamond()
+	k := Katz(g, 0.005, 1, 1e-12, 5000)
+	for v := 0; v < g.N; v++ {
+		sum := 0.0
+		for ei := g.InOff[v]; ei < g.InOff[v+1]; ei++ {
+			sum += k[g.InDst[ei]]
+		}
+		if want := 1 + 0.005*sum; math.Abs(k[v]-want) > 1e-9 {
+			t.Fatalf("katz[%d] = %v not at fixed point (want %v)", v, k[v], want)
+		}
+	}
+}
+
+func TestHITSNormalization(t *testing.T) {
+	g := diamond()
+	auth, hub := HITS(g, 30)
+	var authSum float64
+	for _, a := range auth {
+		if a < 0 {
+			t.Fatalf("negative authority: %v", auth)
+		}
+		authSum += a
+	}
+	if math.Abs(authSum-1) > 1e-9 {
+		t.Fatalf("authority L1 mass = %v, want 1", authSum)
+	}
+	// Vertex 2 has the most (and heaviest-hub) in-links.
+	for v, a := range auth {
+		if v != 2 && a > auth[2] {
+			t.Fatalf("authority[%d]=%v exceeds hub-rich vertex 2 (%v)", v, a, auth[2])
+		}
+	}
+	if len(hub) != g.N {
+		t.Fatalf("hub vector length %d", len(hub))
+	}
+}

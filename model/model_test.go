@@ -1,0 +1,74 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectionString(t *testing.T) {
+	cases := map[Direction]string{Out: "out", In: "in", Both: "both", Direction(9): "both"}
+	for d, want := range cases {
+		if got := d.String(); got != want {
+			t.Errorf("Direction(%d).String() = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if NoVertex != VertexID(math.MaxUint32) {
+		t.Fatalf("NoVertex = %d, want MaxUint32", NoVertex)
+	}
+	if !math.IsInf(Inf, 1) {
+		t.Fatal("Inf must be +infinity")
+	}
+}
+
+// counterProgram is a minimal Program used to exercise the interface
+// contract: sum accumulator, one-shot activity.
+type counterProgram struct{}
+
+func (counterProgram) Name() string             { return "Counter" }
+func (counterProgram) Direction() Direction     { return Out }
+func (counterProgram) Identity() float64        { return 0 }
+func (counterProgram) Acc(a, c float64) float64 { return a + c }
+func (counterProgram) IsActive(s State) bool    { return s.Delta != 0 }
+func (counterProgram) Init(v VertexID, g GraphInfo) (State, bool) {
+	return State{}, v == 0
+}
+func (counterProgram) Apply(v VertexID, s *State, deg int) (float64, bool) {
+	s.Value += s.Delta
+	s.Delta = 0
+	return 1, deg > 0
+}
+func (counterProgram) Contribution(seed float64, w float32) float64 { return seed * float64(w) }
+
+func TestProgramContract(t *testing.T) {
+	var p Program = counterProgram{}
+	if p.Identity() != 0 {
+		t.Fatal("identity")
+	}
+	if got := p.Acc(p.Acc(p.Identity(), 2), 3); got != 5 {
+		t.Fatalf("Acc fold = %v, want 5", got)
+	}
+	s := State{Value: 1, Delta: 4}
+	seed, scatter := p.Apply(0, &s, 2)
+	if !scatter || seed != 1 || s.Value != 5 || s.Delta != p.Identity() {
+		t.Fatalf("Apply contract violated: seed=%v scatter=%v state=%+v", seed, scatter, s)
+	}
+	if p.IsActive(s) {
+		t.Fatal("state with identity delta must be inactive")
+	}
+	if got := p.Contribution(2, 1.5); got != 3 {
+		t.Fatalf("Contribution = %v, want 3", got)
+	}
+	// Optional extensions are absent on the plain program.
+	if _, ok := p.(Phased); ok {
+		t.Fatal("counterProgram must not be Phased")
+	}
+	if _, ok := p.(Resulter); ok {
+		t.Fatal("counterProgram must not be Resulter")
+	}
+	if _, ok := p.(Filterer); ok {
+		t.Fatal("counterProgram must not be Filterer")
+	}
+}

@@ -1,0 +1,245 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"cgraph/internal/metrics"
+	"cgraph/model"
+)
+
+// jsonFloat renders non-finite vertex values (e.g. +Inf for unreachable
+// vertices in SSSP) as strings, which encoding/json otherwise rejects.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// Handler returns the HTTP/JSON control plane over the service:
+//
+//	POST   /jobs          {"algo":"sssp","source":3,"timeout_ms":5000,"at_timestamp":20}
+//	GET    /jobs          list all jobs
+//	GET    /jobs/{id}     one job's status
+//	DELETE /jobs/{id}     cancel
+//	GET    /results/{id}  converged values (?top=K for the K largest)
+//	POST   /snapshots     {"timestamp":20,"edges":[[src,dst,weight],...]}
+//	GET    /metrics       Prometheus text exposition
+//
+// The registry resolves algorithm names; pass nil for DefaultRegistry.
+func (s *Service) Handler(reg Registry) http.Handler {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	h := &httpAPI{svc: s, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", h.submit)
+	mux.HandleFunc("GET /jobs", h.list)
+	mux.HandleFunc("GET /jobs/{id}", h.get)
+	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
+	mux.HandleFunc("GET /results/{id}", h.results)
+	mux.HandleFunc("POST /snapshots", h.snapshot)
+	mux.HandleFunc("GET /metrics", h.metrics)
+	return mux
+}
+
+type httpAPI struct {
+	svc *Service
+	reg Registry
+}
+
+type submitRequest struct {
+	Algo string `json:"algo"`
+	// Source is the source vertex for traversal algorithms.
+	Source uint32 `json:"source"`
+	// K is the k-core threshold.
+	K int `json:"k"`
+	// TimeoutMS bounds the job's wall-clock lifetime in milliseconds.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// AtTimestamp binds the job to the newest snapshot not younger than
+	// this; absent means the latest snapshot.
+	AtTimestamp *int64 `json:"at_timestamp"`
+}
+
+func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	prog, err := h.reg.Build(req.Algo, ProgramParams{Source: model.VertexID(req.Source), K: req.K})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := Spec{Program: prog, Arrival: req.AtTimestamp}
+	if req.TimeoutMS > 0 {
+		spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	j, err := h.svc.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": h.svc.List()})
+}
+
+func (h *httpAPI) get(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.svc.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (h *httpAPI) cancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.svc.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	if err := j.Cancel(); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (h *httpAPI) results(w http.ResponseWriter, r *http.Request) {
+	j, ok := h.svc.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	res, err := j.Results()
+	if err != nil {
+		status := http.StatusConflict
+		if st := j.State(); st == StateQueued || st == StateRunning {
+			// Not an error, just not done yet.
+			status = http.StatusAccepted
+		}
+		httpError(w, status, err)
+		return
+	}
+	type entry struct {
+		Vertex int       `json:"vertex"`
+		Value  jsonFloat `json:"value"`
+	}
+	resp := map[string]any{"id": j.ID(), "algo": j.Name(), "num_vertices": len(res)}
+	if topStr := r.URL.Query().Get("top"); topStr != "" {
+		top, err := strconv.Atoi(topStr)
+		if err != nil || top <= 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", topStr))
+			return
+		}
+		entries := make([]entry, 0, len(res))
+		for v, x := range res {
+			entries = append(entries, entry{v, jsonFloat(x)})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Value > entries[j].Value })
+		if top > len(entries) {
+			top = len(entries)
+		}
+		resp["top"] = entries[:top]
+	} else {
+		values := make([]jsonFloat, len(res))
+		for i, x := range res {
+			values[i] = jsonFloat(x)
+		}
+		resp["values"] = values
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type snapshotRequest struct {
+	Timestamp int64 `json:"timestamp"`
+	// Edges is the full rewritten edge list, one [src, dst, weight]
+	// triple per slot of the base list.
+	Edges [][3]float64 `json:"edges"`
+}
+
+func (h *httpAPI) snapshot(w http.ResponseWriter, r *http.Request) {
+	var req snapshotRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	edges := make([]model.Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		edges[i] = model.Edge{
+			Src:    model.VertexID(e[0]),
+			Dst:    model.VertexID(e[1]),
+			Weight: float32(e[2]),
+		}
+	}
+	if err := h.svc.AddSnapshot(edges, req.Timestamp); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"timestamp": req.Timestamp, "edges": len(edges)})
+}
+
+func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
+	e := metrics.NewTextExposition()
+	e.Declare("cgraph_jobs", "gauge", "Jobs by lifecycle state.")
+	counts := map[State]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0, StateCancelled: 0, StateFailed: 0,
+	}
+	statuses := h.svc.List()
+	for _, st := range statuses {
+		counts[st.State]++
+	}
+	for _, state := range []State{StateQueued, StateRunning, StateDone, StateCancelled, StateFailed} {
+		e.Add("cgraph_jobs", map[string]string{"state": string(state)}, float64(counts[state]))
+	}
+	stats := h.svc.System().Stats()
+	e.Declare("cgraph_engine_rounds_total", "counter", "LTP rounds processed by the engine.")
+	e.Add("cgraph_engine_rounds_total", nil, float64(stats.Rounds))
+	e.Declare("cgraph_engine_virtual_time_us", "gauge", "Engine virtual clock, simulated microseconds.")
+	e.Add("cgraph_engine_virtual_time_us", nil, stats.VirtualTimeUS)
+	e.Declare("cgraph_job_iterations", "gauge", "Iterations to convergence, per finished job.")
+	e.Declare("cgraph_job_edges_processed", "counter", "Edges processed, per finished job.")
+	e.Declare("cgraph_job_simulated_access_us", "gauge", "Simulated data-access time, per finished job.")
+	e.Declare("cgraph_job_simulated_compute_us", "gauge", "Simulated compute time, per finished job.")
+	for _, st := range statuses {
+		if st.State != StateDone {
+			continue
+		}
+		labels := map[string]string{"id": st.ID, "algo": st.Algo}
+		e.Add("cgraph_job_iterations", labels, float64(st.Iterations))
+		e.Add("cgraph_job_edges_processed", labels, float64(st.EdgesProcessed))
+		e.Add("cgraph_job_simulated_access_us", labels, st.SimulatedAccessUS)
+		e.Add("cgraph_job_simulated_compute_us", labels, st.SimulatedComputeUS)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.WriteTo(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

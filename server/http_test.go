@@ -1,0 +1,245 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cgraph"
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/internal/refimpl"
+	"cgraph/model"
+	"cgraph/server"
+)
+
+func httpJSON(t *testing.T, client *http.Client, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatalf("%s %s: bad JSON: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func pollState(t *testing.T, client *http.Client, base, id string, want server.State) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		code, st := httpJSON(t, client, "GET", base+"/jobs/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET /jobs/%s = %d (%v)", id, code, st)
+		}
+		if st["state"] == string(want) {
+			return st
+		}
+		if s, _ := st["state"].(string); server.State(s).Terminal() {
+			t.Fatalf("job %s reached %s, want %s", id, s, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s (last %v)", id, want, st["state"])
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHTTPControlPlaneDemo is the acceptance demo: start Serve, submit
+// PageRank, submit SSSP mid-flight, cancel one job, expire another via its
+// context deadline, ingest a snapshot, and retrieve results for the
+// surviving jobs — all without restarting the engine, with every lifecycle
+// transition observable over the HTTP API.
+func TestHTTPControlPlaneDemo(t *testing.T) {
+	edges := gen.RMAT(42, 400, 8000, 0.57, 0.19, 0.19)
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
+	if err := sys.LoadEdges(400, edges); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(sys, server.Config{})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := contextWithTimeout(t)
+		defer cancel()
+		svc.Stop(ctx)
+	}()
+
+	// Expose the bundled algorithms plus a never-converging one so the
+	// cancellation legs are deterministic.
+	reg := server.DefaultRegistry()
+	reg["spin"] = func(server.ProgramParams) model.Program { return spinProgram{} }
+	ts := httptest.NewServer(svc.Handler(reg))
+	defer ts.Close()
+	c := ts.Client()
+
+	// Submit PageRank; the resident loop starts iterating it.
+	code, pr := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "pagerank"})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs pagerank = %d (%v)", code, pr)
+	}
+	prID := pr["id"].(string)
+
+	// Submit SSSP mid-flight.
+	code, ss := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "sssp", "source": 1})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs sssp = %d (%v)", code, ss)
+	}
+	ssID := ss["id"].(string)
+
+	// A spin job, cancelled over the control plane.
+	_, spin := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "spin"})
+	spinID := spin["id"].(string)
+	pollState(t, c, ts.URL, spinID, server.StateRunning)
+	if code, st := httpJSON(t, c, "DELETE", ts.URL+"/jobs/"+spinID, nil); code != http.StatusOK {
+		t.Fatalf("DELETE /jobs/%s = %d (%v)", spinID, code, st)
+	}
+	pollState(t, c, ts.URL, spinID, server.StateCancelled)
+
+	// Another spin job, retired by its context deadline.
+	_, dl := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "spin", "timeout_ms": 40})
+	dlID := dl["id"].(string)
+	dlSt := pollState(t, c, ts.URL, dlID, server.StateFailed)
+	if msg, _ := dlSt["error"].(string); !strings.Contains(msg, "deadline") {
+		t.Fatalf("deadline job error = %q, want context deadline", msg)
+	}
+
+	// Ingest a snapshot while serving, and bind a new job to it.
+	mut, _ := gen.Mutate(edges, 0.05, 400, 7)
+	snapEdges := make([][3]float64, len(mut))
+	for i, e := range mut {
+		snapEdges[i] = [3]float64{float64(e.Src), float64(e.Dst), float64(e.Weight)}
+	}
+	code, snap := httpJSON(t, c, "POST", ts.URL+"/snapshots", map[string]any{"timestamp": 20, "edges": snapEdges})
+	if code != http.StatusOK {
+		t.Fatalf("POST /snapshots = %d (%v)", code, snap)
+	}
+	code, ss2 := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "sssp", "source": 1, "at_timestamp": 20})
+	if code != http.StatusAccepted {
+		t.Fatalf("POST /jobs post-snapshot sssp = %d (%v)", code, ss2)
+	}
+	ss2ID := ss2["id"].(string)
+
+	// The surviving jobs converge; pull and verify their results.
+	pollState(t, c, ts.URL, prID, server.StateDone)
+	pollState(t, c, ts.URL, ssID, server.StateDone)
+	pollState(t, c, ts.URL, ss2ID, server.StateDone)
+
+	g := graph.Build(400, edges)
+	verify := func(id string, want []float64, tol float64) {
+		t.Helper()
+		code, res := httpJSON(t, c, "GET", ts.URL+"/results/"+id, nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET /results/%s = %d (%v)", id, code, res)
+		}
+		values := res["values"].([]any)
+		if len(values) != len(want) {
+			t.Fatalf("job %s: %d values, want %d", id, len(values), len(want))
+		}
+		for v, raw := range values {
+			if math.IsInf(want[v], 1) {
+				if s, ok := raw.(string); !ok || s != "+Inf" {
+					t.Fatalf("job %s vertex %d: got %v want +Inf", id, v, raw)
+				}
+				continue
+			}
+			got, ok := raw.(float64)
+			if !ok || math.Abs(got-want[v]) > tol*math.Max(1, math.Abs(want[v])) {
+				t.Fatalf("job %s vertex %d: got %v want %v", id, v, raw, want[v])
+			}
+		}
+	}
+	// The registry's PageRank runs at its default epsilon (1e-3), so
+	// compare with a matching relative tolerance; tight-epsilon numeric
+	// fidelity is covered by the core engine tests.
+	verify(prID, refimpl.PageRank(g, 0.85, 1e-12, 3000), 1e-2)
+
+	// Top-k results for the pre-snapshot SSSP.
+	code, topRes := httpJSON(t, c, "GET", ts.URL+"/results/"+ssID+"?top=5", nil)
+	if code != http.StatusOK || len(topRes["top"].([]any)) != 5 {
+		t.Fatalf("GET /results top=5 failed: %d %v", code, topRes)
+	}
+
+	// The cancelled job has no results.
+	if code, _ := httpJSON(t, c, "GET", ts.URL+"/results/"+spinID, nil); code != http.StatusConflict {
+		t.Fatalf("GET /results of cancelled job = %d, want 409", code)
+	}
+
+	// Job list shows every lifecycle outcome side by side.
+	_, list := httpJSON(t, c, "GET", ts.URL+"/jobs", nil)
+	states := map[string]int{}
+	for _, item := range list["jobs"].([]any) {
+		states[item.(map[string]any)["state"].(string)]++
+	}
+	if states["done"] != 3 || states["cancelled"] != 1 || states["failed"] != 1 {
+		t.Fatalf("lifecycle mix wrong: %v", states)
+	}
+
+	// Metrics expose the same picture in Prometheus text format.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`cgraph_jobs{state="done"} 3`,
+		`cgraph_jobs{state="cancelled"} 1`,
+		`cgraph_jobs{state="failed"} 1`,
+		"cgraph_engine_rounds_total",
+		fmt.Sprintf(`cgraph_job_iterations{algo="PageRank",id="%s"}`, prID),
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	svc := startService(t, server.Config{}, testEdges(), 300)
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	if code, _ := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "nope"}); code != http.StatusBadRequest {
+		t.Fatalf("unknown algo = %d, want 400", code)
+	}
+	if code, _ := httpJSON(t, c, "GET", ts.URL+"/jobs/job-404", nil); code != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", code)
+	}
+	if code, _ := httpJSON(t, c, "DELETE", ts.URL+"/jobs/job-404", nil); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job = %d, want 404", code)
+	}
+	if code, _ := httpJSON(t, c, "POST", ts.URL+"/snapshots", map[string]any{"timestamp": 5, "edges": [][3]float64{{0, 1, 1}}}); code != http.StatusBadRequest {
+		t.Fatalf("short snapshot = %d, want 400", code)
+	}
+}
+
+func contextWithTimeout(t *testing.T) (ctx context.Context, cancel context.CancelFunc) {
+	t.Helper()
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"cgraph/algo"
+	"cgraph/model"
+)
+
+// ProgramParams carries the per-submission knobs an algorithm constructor
+// may consume.
+type ProgramParams struct {
+	// Source is the source vertex of traversal algorithms (sssp, bfs,
+	// ppr, sswp).
+	Source model.VertexID
+	// K is the k-core threshold.
+	K int
+}
+
+// ProgramFactory builds a fresh Program per submission — programs with
+// job-private bookkeeping (e.g. SCC) must never be shared between jobs.
+type ProgramFactory func(ProgramParams) model.Program
+
+// Registry maps control-plane algorithm names to factories.
+type Registry map[string]ProgramFactory
+
+// DefaultRegistry exposes the bundled algorithms under their cgraph-run
+// names.
+func DefaultRegistry() Registry {
+	return Registry{
+		"pagerank": func(ProgramParams) model.Program { return algo.NewPageRank() },
+		"ppr":      func(p ProgramParams) model.Program { return algo.NewPPR(p.Source) },
+		"sssp":     func(p ProgramParams) model.Program { return algo.NewSSSP(p.Source) },
+		"bfs":      func(p ProgramParams) model.Program { return algo.NewBFS(p.Source) },
+		"sswp":     func(p ProgramParams) model.Program { return algo.NewSSWP(p.Source) },
+		"wcc":      func(ProgramParams) model.Program { return algo.NewWCC() },
+		"scc":      func(ProgramParams) model.Program { return algo.NewSCC() },
+		"kcore":    func(p ProgramParams) model.Program { return algo.NewKCore(p.K) },
+		"degree":   func(ProgramParams) model.Program { return algo.NewDegree() },
+		"hits":     func(ProgramParams) model.Program { return algo.NewHITS() },
+		"katz":     func(ProgramParams) model.Program { return algo.NewKatz() },
+	}
+}
+
+// Build instantiates the named program.
+func (r Registry) Build(name string, p ProgramParams) (model.Program, error) {
+	f, ok := r[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown algorithm %q (have: %v)", name, r.Names())
+	}
+	return f(p), nil
+}
+
+// Names lists the registered algorithm names, sorted.
+func (r Registry) Names() []string {
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,557 @@
+// Package server is the CGraph job service: the "common platform" of §1
+// run as a resident subsystem rather than a batch library call. A Service
+// owns one serving cgraph.System and layers on top of it the job lifecycle
+// (Queued → Running → Done / Cancelled / Failed), durable string job IDs,
+// handles with Wait/Status/Results, admission control (a maximum number of
+// in-flight jobs with FIFO backpressure, leaning on the §3.2.3
+// more-jobs-than-workers batching to pick a useful in-flight width), and
+// snapshot ingestion for evolving graphs while jobs run. The HTTP/JSON
+// control plane over a Service lives in http.go; cmd/cgraph-serve wires it
+// to a listener.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cgraph"
+	"cgraph/model"
+)
+
+// ErrStopped is the terminal error of jobs still queued or running when the
+// service stops.
+var ErrStopped = errors.New("server: service stopped")
+
+// State is a job's lifecycle state as reported by the control plane.
+type State string
+
+const (
+	// StateQueued: accepted, waiting for an in-flight slot.
+	StateQueued State = "queued"
+	// StateRunning: submitted to the engine and being iterated.
+	StateRunning State = "running"
+	// StateDone: converged; results are available.
+	StateDone State = "done"
+	// StateCancelled: retired by an explicit cancel before convergence.
+	StateCancelled State = "cancelled"
+	// StateFailed: retired without converging (deadline expiry, engine
+	// failure, or service shutdown).
+	StateFailed State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// Config tunes a Service.
+type Config struct {
+	// MaxInFlight caps the jobs submitted to the engine at once; further
+	// submissions queue FIFO until a slot frees. Zero means unlimited —
+	// the engine batches jobs beyond the worker count per §3.2.3, so
+	// unlimited is safe, just unbounded in memory.
+	MaxInFlight int
+	// DefaultTimeout applies to submissions without an explicit timeout.
+	// Zero means no deadline.
+	DefaultTimeout time.Duration
+}
+
+// Spec describes one job submission.
+type Spec struct {
+	// Program is the vertex program to run. Required. Programs with
+	// job-private bookkeeping must not be shared between submissions.
+	Program model.Program
+	// Timeout, when positive, bounds the job's wall-clock lifetime from
+	// submission — queue wait included; on expiry the job fails with
+	// context.DeadlineExceeded.
+	Timeout time.Duration
+	// Arrival, when non-nil, binds the job to the newest snapshot not
+	// younger than *Arrival; nil binds to the latest snapshot at launch.
+	Arrival *int64
+}
+
+// Service is a resident CGraph job service over one shared graph.
+type Service struct {
+	sys *cgraph.System
+	cfg Config
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	runErr   error // sticky: why the round loop died, if it failed
+	jobs     map[string]*Job
+	order    []string
+	queue    []*Job
+	inflight int
+	nextID   int
+	stop     context.CancelFunc
+	serveErr chan error
+	// stopCh closes once the round loop has exited and resident jobs were
+	// failed; watchers parked on engine handles unblock on it.
+	stopCh   chan struct{}
+	stopOnce sync.Once
+}
+
+// New builds a Service over sys. The graph must be loaded before Start;
+// the system must not be used for batch Run concurrently.
+func New(sys *cgraph.System, cfg Config) *Service {
+	return &Service{
+		sys:      sys,
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		serveErr: make(chan error, 1),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// System returns the underlying cgraph.System (snapshot ingestion, stats).
+func (s *Service) System() *cgraph.System { return s.sys }
+
+// Start launches the resident round loop on its own goroutine and begins
+// accepting submissions. It is an error to start twice or after Stop.
+func (s *Service) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("server: already started")
+	}
+	if s.stopped {
+		return fmt.Errorf("server: service stopped")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.stop = cancel
+	s.started = true
+	go func() {
+		err := s.sys.Serve(ctx)
+		if err != nil {
+			// The loop never ran (e.g. the system was mid-batch-Run).
+			// Surface the cause: further submissions fail with it and
+			// every accepted job resolves instead of hanging.
+			s.mu.Lock()
+			if !s.stopped {
+				s.stopped = true
+				s.runErr = err
+				s.queue = nil
+			}
+			s.mu.Unlock()
+			s.finalizeStop(err)
+		}
+		s.serveErr <- err
+	}()
+	return nil
+}
+
+// Stop gracefully shuts the service down: no further submissions are
+// accepted, the round loop exits at the next round boundary, and every job
+// not yet terminal fails with ErrStopped. Stop returns once the loop has
+// exited, or with ctx's error if ctx expires first (teardown then
+// completes in the background when the loop lands).
+func (s *Service) Stop(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started || s.stopped {
+		s.stopped = true
+		s.mu.Unlock()
+		return nil
+	}
+	s.stopped = true
+	stop := s.stop
+	s.queue = nil
+	s.mu.Unlock()
+
+	stop()
+	select {
+	case err := <-s.serveErr:
+		s.finalizeStop(ErrStopped)
+		return err
+	case <-ctx.Done():
+		go func() {
+			<-s.serveErr
+			s.finalizeStop(ErrStopped)
+		}()
+		return ctx.Err()
+	}
+}
+
+// finalizeStop runs once the round loop has exited: every non-terminal job
+// fails with cause so waiters unblock, then stopCh releases the watchers
+// still parked on engine handles.
+func (s *Service) finalizeStop(cause error) {
+	s.stopOnce.Do(func() {
+		s.mu.Lock()
+		ids := append([]string(nil), s.order...)
+		s.mu.Unlock()
+		for _, id := range ids {
+			if j, ok := s.Get(id); ok {
+				j.finish(StateFailed, cause, nil)
+			}
+		}
+		close(s.stopCh)
+	})
+}
+
+// Submit accepts a job. When the service has a free in-flight slot the job
+// launches immediately (Running as soon as the engine admits it at a round
+// boundary); otherwise it queues FIFO. The returned handle is valid for the
+// lifetime of the service.
+func (s *Service) Submit(spec Spec) (*Job, error) {
+	if spec.Program == nil {
+		return nil, fmt.Errorf("server: submit: nil program")
+	}
+	if spec.Timeout == 0 {
+		spec.Timeout = s.cfg.DefaultTimeout
+	}
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: submit before Start")
+	}
+	if s.stopped {
+		err := s.runErr
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return nil, ErrStopped
+	}
+	id := fmt.Sprintf("job-%d", s.nextID)
+	s.nextID++
+	jctx := context.Background()
+	jcancel := context.CancelFunc(func() {})
+	if spec.Timeout > 0 {
+		// The deadline clock starts now, so time spent queued counts.
+		jctx, jcancel = context.WithTimeout(jctx, spec.Timeout)
+	}
+	j := &Job{
+		svc:       s,
+		id:        id,
+		name:      spec.Program.Name(),
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		ctx:       jctx,
+		cancelCtx: jcancel,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if s.cfg.MaxInFlight > 0 && s.inflight >= s.cfg.MaxInFlight {
+		s.queue = append(s.queue, j)
+		s.mu.Unlock()
+		if spec.Timeout > 0 {
+			// A queued job must honour its deadline even if no slot ever
+			// frees; the watcher dissolves once the job leaves the queue.
+			go func() {
+				select {
+				case <-j.ctx.Done():
+					j.failIfQueued(j.ctx.Err())
+				case <-j.done:
+				}
+			}()
+		}
+		return j, nil
+	}
+	s.inflight++
+	s.mu.Unlock()
+	if err := s.launch(j); err != nil {
+		j.finish(StateFailed, err, nil)
+		s.releaseSlot()
+		return j, err
+	}
+	return j, nil
+}
+
+// launch submits j to the engine and spawns its completion watcher.
+func (s *Service) launch(j *Job) error {
+	opts := []cgraph.JobOption{cgraph.WithContext(j.ctx)}
+	if j.spec.Arrival != nil {
+		opts = append(opts, cgraph.AtTimestamp(*j.spec.Arrival))
+	}
+	h, err := s.sys.Submit(j.spec.Program, opts...)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	// A cancel or deadline may have landed between the slot grab and the
+	// engine submission; the job is already terminal, so drop the
+	// engine-side twin and free the slot.
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		h.Cancel()
+		s.releaseSlot()
+		return nil
+	}
+	j.state = StateRunning
+	j.handle = h
+	j.started = time.Now()
+	j.mu.Unlock()
+	go s.watch(j, h)
+	return nil
+}
+
+// watch resolves j's terminal state once the engine retires its job — or,
+// if the service stops first, leaves j to finalizeStop and unparks.
+func (s *Service) watch(j *Job, h *cgraph.Job) {
+	select {
+	case <-h.Done():
+	case <-s.stopCh:
+		// The loop exited with this job resident; finalizeStop failed it.
+		return
+	}
+	err := h.Err()
+	var state State
+	var results []float64
+	switch {
+	case err == nil:
+		results, err = h.Results()
+		if err != nil {
+			state = StateFailed
+		} else {
+			state = StateDone
+		}
+	case errors.Is(err, cgraph.ErrCancelled), errors.Is(err, context.Canceled):
+		state = StateCancelled
+	default:
+		// Deadline expiry and engine-side failures.
+		state = StateFailed
+	}
+	j.mu.Lock()
+	j.metrics = h.Metrics()
+	j.mu.Unlock()
+	j.finish(state, err, results)
+	// The service keeps the results; drop the engine-side private table so
+	// resident memory stays bounded as jobs flow through.
+	h.Release()
+	s.releaseSlot()
+}
+
+// releaseSlot frees one in-flight slot and launches queued jobs while
+// capacity remains.
+func (s *Service) releaseSlot() {
+	s.mu.Lock()
+	s.inflight--
+	for !s.stopped && len(s.queue) > 0 && (s.cfg.MaxInFlight <= 0 || s.inflight < s.cfg.MaxInFlight) {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		if j.State() != StateQueued {
+			continue // cancelled while waiting
+		}
+		s.inflight++
+		s.mu.Unlock()
+		if err := s.launch(j); err != nil {
+			j.finish(StateFailed, err, nil)
+			s.mu.Lock()
+			s.inflight--
+			continue
+		}
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the handle of a known job ID.
+func (s *Service) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel retires the identified job: a queued job is cancelled on the spot,
+// a running one at the engine's next round boundary. Cancelling a terminal
+// job is an error.
+func (s *Service) Cancel(id string) error {
+	j, ok := s.Get(id)
+	if !ok {
+		return fmt.Errorf("server: cancel: unknown job %q", id)
+	}
+	return j.Cancel()
+}
+
+// List returns the status of every job in submission order.
+func (s *Service) List() []Status {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Get(id); ok {
+			out = append(out, j.Status())
+		}
+	}
+	return out
+}
+
+// AddSnapshot ingests a new graph version at the given timestamp while the
+// service runs; jobs submitted afterwards (or with a matching Arrival) see
+// it. The edge list must be a slot rewrite of the base list.
+func (s *Service) AddSnapshot(edges []model.Edge, timestamp int64) error {
+	return s.sys.AddSnapshot(edges, timestamp)
+}
+
+// Job is the service-side handle of one submitted job.
+type Job struct {
+	svc  *Service
+	id   string
+	name string
+	spec Spec
+	done chan struct{}
+
+	// ctx carries the job's deadline from submission; cancelCtx releases
+	// its timer once the job is terminal.
+	ctx       context.Context
+	cancelCtx context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       error
+	handle    *cgraph.Job
+	results   []float64
+	metrics   *cgraph.JobReport
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// ID returns the service-assigned job ID.
+func (j *Job) ID() string { return j.id }
+
+// Name returns the program name.
+func (j *Job) Name() string { return j.name }
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Err reports why the job terminated; nil before termination and after a
+// clean convergence.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job reaches a terminal state or ctx expires; on a
+// terminal state it returns Err.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Cancel retires the job. Queued jobs cancel immediately; running jobs at
+// the engine's next round boundary.
+func (j *Job) Cancel() error {
+	j.mu.Lock()
+	switch {
+	case j.state == StateQueued:
+		j.mu.Unlock()
+		j.finish(StateCancelled, cgraph.ErrCancelled, nil)
+		return nil
+	case j.state == StateRunning:
+		h := j.handle
+		j.mu.Unlock()
+		return h.Cancel()
+	default:
+		st := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("server: cancel: job %s already %s", j.id, st)
+	}
+}
+
+// Results returns the converged per-vertex values; an error before the job
+// is done.
+func (j *Job) Results() ([]float64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, fmt.Errorf("server: job %s is %s, results unavailable", j.id, j.state)
+	}
+	return j.results, nil
+}
+
+// finish transitions the job to a terminal state exactly once.
+func (j *Job) finish(state State, err error, results []float64) {
+	j.finishIf(nil, state, err, results)
+}
+
+// failIfQueued fails the job only if it is still waiting in the FIFO —
+// the deadline watcher's transition, which must lose to a concurrent
+// launch.
+func (j *Job) failIfQueued(err error) {
+	j.finishIf(func(s State) bool { return s == StateQueued }, StateFailed, err, nil)
+}
+
+func (j *Job) finishIf(cond func(State) bool, state State, err error, results []float64) {
+	j.mu.Lock()
+	if j.state.Terminal() || (cond != nil && !cond(j.state)) {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	if state != StateDone {
+		j.err = err
+	}
+	j.results = results
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancelCtx()
+	close(j.done)
+}
+
+// Status is the JSON-facing snapshot of a job.
+type Status struct {
+	ID        string     `json:"id"`
+	Algo      string     `json:"algo"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+	// Engine metrics, populated once the job converges.
+	Iterations         int     `json:"iterations,omitempty"`
+	EdgesProcessed     int64   `json:"edges_processed,omitempty"`
+	SimulatedAccessUS  float64 `json:"simulated_access_us,omitempty"`
+	SimulatedComputeUS float64 `json:"simulated_compute_us,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:        j.id,
+		Algo:      j.name,
+		State:     j.state,
+		Submitted: j.submitted,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	if j.metrics != nil {
+		st.Iterations = j.metrics.Iterations
+		st.EdgesProcessed = j.metrics.EdgesProcessed
+		st.SimulatedAccessUS = j.metrics.SimulatedAccessUS
+		st.SimulatedComputeUS = j.metrics.SimulatedComputeUS
+	}
+	return st
+}
