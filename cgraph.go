@@ -58,11 +58,36 @@ type (
 type Scheduler int
 
 const (
-	// PriorityScheduler is the paper's Eq. 1 policy (default).
+	// PriorityScheduler is the paper's Eq. 1 policy applied over the union
+	// of every job's footprint (one-level; default).
 	PriorityScheduler Scheduler = iota
 	// StaticScheduler loads partitions in index order.
 	StaticScheduler
+	// TwoLevelScheduler first groups jobs whose active footprints share
+	// snapshot partition versions, then applies Eq. 1 within each group —
+	// the snapshot-aware two-level policy.
+	TwoLevelScheduler
 )
+
+// String names the policy ("priority", "static", "two-level").
+func (s Scheduler) String() string { return schedKind(s).String() }
+
+// ParseScheduler resolves a policy name ("static", "priority",
+// "two-level") to its Scheduler value.
+func ParseScheduler(name string) (Scheduler, error) {
+	k, err := sched.ParseKind(name)
+	if err != nil {
+		return PriorityScheduler, fmt.Errorf("cgraph: %w", err)
+	}
+	switch k {
+	case sched.Static:
+		return StaticScheduler, nil
+	case sched.TwoLevel:
+		return TwoLevelScheduler, nil
+	default:
+		return PriorityScheduler, nil
+	}
+}
 
 type config struct {
 	workers       int
@@ -307,6 +332,9 @@ type Job struct {
 	mu      sync.Mutex
 	err     error
 	metrics *JobReport
+	// terminal caches the final state once the engine retires the job, so
+	// State stays correct after Release drops the engine-side entry.
+	terminal JobState
 }
 
 // Submit registers a job against the current graph. Jobs may be submitted
@@ -364,6 +392,7 @@ func (s *System) onJobEvent(ev core.JobEvent) {
 		return
 	}
 	j.mu.Lock()
+	j.terminal = JobState(ev.State)
 	switch ev.State {
 	case core.JobDone:
 		j.metrics = jobReportOf(ev.Metrics)
@@ -381,10 +410,14 @@ func (s *System) onJobEvent(ev core.JobEvent) {
 }
 
 func schedKind(s Scheduler) sched.Kind {
-	if s == StaticScheduler {
+	switch s {
+	case StaticScheduler:
 		return sched.Static
+	case TwoLevelScheduler:
+		return sched.TwoLevel
+	default:
+		return sched.Priority
 	}
-	return sched.Priority
 }
 
 // Run executes every submitted job to convergence and returns the run
@@ -454,6 +487,50 @@ func (s *System) Stats() Stats {
 		Rounds:        es.Rounds,
 		VirtualTimeUS: es.VirtualTimeUS,
 	}
+}
+
+// SchedGroup reports one correlation group from the engine's last round.
+type SchedGroup struct {
+	// JobIDs are the engine job IDs scheduled together (Job.ID values).
+	JobIDs []int
+	// Parts is the unit load order: each partition's index within its own
+	// snapshot, parallel to UIDs.
+	Parts []int
+	// UIDs identifies the partition versions loaded, in load order.
+	UIDs []int64
+}
+
+// SchedInfo reports the scheduler's state as of the engine's last round:
+// the policy, the current θ fit and how often it was refitted, and the
+// chosen group/load order.
+type SchedInfo struct {
+	Policy      string
+	Theta       float64
+	ThetaRefits int
+	Round       int64
+	Groups      []SchedGroup
+}
+
+// SchedInfo reports the latest scheduling decision; safe to call while the
+// system serves. Before any submission it reports only the policy.
+func (s *System) SchedInfo() SchedInfo {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return SchedInfo{Policy: schedKind(s.cfg.scheduler).String()}
+	}
+	ci := eng.SchedInfo()
+	out := SchedInfo{
+		Policy:      ci.Policy,
+		Theta:       ci.Theta,
+		ThetaRefits: ci.Refits,
+		Round:       ci.Round,
+	}
+	for _, g := range ci.Groups {
+		out.Groups = append(out.Groups, SchedGroup{JobIDs: g.Jobs, Parts: g.Parts, UIDs: g.UIDs})
+	}
+	return out
 }
 
 // Serve runs the system as a resident service: the engine processes rounds
@@ -552,8 +629,15 @@ func (j *Job) Err() error {
 	return j.err
 }
 
-// State reports the job's lifecycle state.
+// State reports the job's lifecycle state. Once terminal it is served from
+// the handle itself, so it remains correct after Release.
 func (j *Job) State() JobState {
+	j.mu.Lock()
+	term := j.terminal
+	j.mu.Unlock()
+	if term.Terminal() {
+		return term
+	}
 	j.sys.mu.Lock()
 	eng := j.sys.engine
 	j.sys.mu.Unlock()
@@ -581,10 +665,13 @@ func (j *Job) Metrics() *JobReport {
 	return j.metrics
 }
 
-// Release frees the engine-side state of a finished job (private table,
-// activity bitsets, result backing). Extract Results first: they become
-// unavailable afterwards. Resident services use it to keep memory bounded
-// as jobs flow through; releasing an unfinished job is a no-op.
+// Release frees the engine-side state of a terminal job: for finished jobs
+// the private table, activity bitsets, and result backing, and for every
+// terminal job its lifecycle-map entry (compacted into aggregate Stats
+// counters). Extract Results first: they become unavailable afterwards.
+// Resident services use it to keep memory bounded as jobs flow through;
+// releasing an unfinished job is a no-op. The handle's State/Err/Metrics
+// remain valid.
 func (j *Job) Release() {
 	j.sys.mu.Lock()
 	eng := j.sys.engine

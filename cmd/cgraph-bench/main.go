@@ -7,7 +7,7 @@
 //
 // With no experiment arguments every experiment runs in paper order.
 // Experiment names: table1, fig1, fig2, fig8..fig19, ablation-straggler,
-// ablation-scheduler, ablation-batching.
+// ablation-scheduler, ablation-batching, ablation-two-level.
 package main
 
 import (
@@ -42,6 +42,7 @@ func main() {
 		"ablation-straggler": harness.AblationStraggler,
 		"ablation-scheduler": harness.AblationScheduler,
 		"ablation-batching":  harness.AblationBatching,
+		"ablation-two-level": harness.AblationTwoLevel,
 	}
 	multi := map[string]func(harness.Options) ([]*harness.Table, error){
 		"fig1": harness.Fig1, "fig2": harness.Fig2,

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	cgraph-serve -graph edges.tsv [-addr :8040] [-workers 8] [-max-inflight 16]
-//	cgraph-serve -dataset ukunion-sim [-scale 0.1]
+//	cgraph-serve -dataset ukunion-sim [-scale 0.1] [-scheduler two-level]
 //
 // Control plane:
 //
@@ -17,6 +17,7 @@
 //	curl -X DELETE localhost:8040/jobs/job-0 # cancel
 //	curl 'localhost:8040/results/job-1?top=5'
 //	curl -X POST localhost:8040/snapshots -d '{"timestamp":20,"edges":[[0,1,1],...]}'
+//	curl localhost:8040/sched                # last round's groups and load order
 //	curl localhost:8040/metrics
 //
 // The graph is partitioned without the core-subgraph split by default so
@@ -49,11 +50,17 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently running jobs, 0 = unlimited")
 	defaultTimeout := flag.Duration("default-timeout", 0, "per-job timeout applied when a submission has none, 0 = none")
 	coreSubgraph := flag.Bool("core-subgraph", false, "enable §3.3 core-subgraph partitioning (disables snapshot ingestion)")
+	scheduler := flag.String("scheduler", "two-level", "partition-load policy: static, priority (one-level Eq. 1), or two-level (correlation groups + Eq. 1)")
 	flag.Parse()
 
+	policy, err := cgraph.ParseScheduler(*scheduler)
+	if err != nil {
+		fatal(err)
+	}
 	sys := cgraph.NewSystem(
 		cgraph.WithWorkers(*workers),
 		cgraph.WithCoreSubgraph(*coreSubgraph),
+		cgraph.WithScheduler(policy),
 	)
 	switch {
 	case *graphFile != "":

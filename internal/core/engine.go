@@ -91,7 +91,9 @@ type Config struct {
 	// i.e. library mode without capacity pressure).
 	Hier *memsim.Hierarchy
 	// Scheduler selects the partition-load order policy (default
-	// sched.Priority; sched.Static is the Fig. 8 ablation).
+	// sched.Priority, the one-level Eq. 1 order; sched.Static is the
+	// Fig. 8 ablation; sched.TwoLevel groups correlated jobs before
+	// applying Eq. 1 within each group).
 	Scheduler sched.Kind
 	// DisableStragglerSplit turns off the Fig. 6 load balancing, leaving
 	// each job's partition work on a single core (ablation).
@@ -111,7 +113,9 @@ type Config struct {
 
 type runJob struct {
 	*exec.Job
-	remaining map[int]bool
+	// remaining maps the UID of each partition version still to be loaded
+	// this round to its index within the job's own snapshot.
+	remaining map[int64]int
 	m         *metrics.JobMetrics
 	// ctx carries the job's cancellation/deadline; checked at round
 	// boundaries (never mid-round).
@@ -128,15 +132,25 @@ type Engine struct {
 	store *storage.SnapshotStore
 	sched *sched.Scheduler
 
-	// mu guards pending, finished, state, cancelReq, and nextID — the
-	// fields shared between the round loop and concurrent Submit / Cancel
-	// / Results / Stats callers. jobs and the clocks below are touched
-	// only by the single goroutine driving Run or Serve.
+	// mu guards pending, finished, state, cancelReq, nextID, snapObs,
+	// lastSched, and the released counters — the fields shared between the
+	// round loop and concurrent Submit / Cancel / Results / Stats callers.
+	// jobs and the clocks below are touched only by the single goroutine
+	// driving Run or Serve.
 	mu        sync.Mutex
 	pending   []*runJob
 	nextID    int
 	state     map[int]JobState
 	cancelReq map[int]bool
+	// snapObs queues snapshots added while the loop runs; the round loop
+	// drains it so the scheduler (single-goroutine) can refit θ.
+	snapObs []*graph.PGraph
+	// lastSched summarizes the plan of the most recent round for the
+	// control plane.
+	lastSched SchedInfo
+	// released compacts the state entries of Release-d jobs into counters
+	// so ServeStats stays accurate while the state map stays bounded.
+	releasedDone, releasedCancelled, releasedFailed int
 
 	// wake nudges an idle Serve loop after Submit or Cancel.
 	wake chan struct{}
@@ -152,7 +166,9 @@ type Engine struct {
 
 	now      float64
 	busyCore float64
-	cSums    []float64
+	// cPrev holds last round's C(U) keyed by partition-version UID, so
+	// snapshots with any partition count feed the scheduler correctly.
+	cPrev map[int64]float64
 
 	// Clock attribution (diagnostics): how much of the virtual makespan
 	// went to structure loads, trigger phases, and pushes.
@@ -185,16 +201,20 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 	if cfg.Label == "" {
 		cfg.Label = "CGraph"
 	}
-	base := store.Resolve(0).PG
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		store:     store,
-		sched:     sched.New(cfg.Scheduler, base),
-		cSums:     make([]float64, len(base.Parts)),
+		sched:     sched.New(cfg.Scheduler),
+		cPrev:     make(map[int64]float64),
 		state:     make(map[int]JobState),
 		cancelReq: make(map[int]bool),
 		wake:      make(chan struct{}, 1),
 	}
+	for i := 0; i < store.Len(); i++ {
+		e.sched.ObserveSnapshot(store.At(i).PG)
+	}
+	e.lastSched = SchedInfo{Policy: cfg.Scheduler.String(), Theta: e.sched.Theta(), Refits: e.sched.Refits()}
+	return e
 }
 
 // NewSingle wraps a plain partitioned graph as a one-snapshot store.
@@ -222,7 +242,7 @@ func (e *Engine) SubmitCtx(ctx context.Context, prog model.Program, arrivalTS in
 	j := exec.NewJob(id, prog, snap.PG)
 	rj := &runJob{
 		Job:       j,
-		remaining: make(map[int]bool),
+		remaining: make(map[int64]int),
 		m:         &metrics.JobMetrics{JobID: id, Name: prog.Name()},
 		ctx:       ctx,
 	}
@@ -412,28 +432,37 @@ func (e *Engine) Results(jobID int) ([]float64, error) {
 		}
 	}
 	if st, ok := e.state[jobID]; ok {
-		if st == JobDone {
-			return nil, fmt.Errorf("core: job %d results released", jobID)
-		}
 		return nil, fmt.Errorf("core: job %d is %s, results unavailable", jobID, st)
 	}
-	return nil, fmt.Errorf("core: job %d not finished or unknown", jobID)
+	return nil, fmt.Errorf("core: job %d not finished, released, or unknown", jobID)
 }
 
-// Release frees a finished job's engine-side state (private table, activity
-// bitsets, result backing), which otherwise stays resident for Results.
-// Long-running services call it after extracting results so memory does not
-// grow with every job ever served. Released jobs keep their JobDone state
-// but drop out of later Run reports; releasing an unfinished or unknown job
-// is a no-op.
+// Release frees a terminal job's engine-side state: for finished jobs the
+// private table, activity bitsets, and result backing, and for every
+// terminal job its lifecycle-map entry, which is compacted into aggregate
+// counters so ServeStats stays accurate while the engine's memory stays
+// bounded as jobs flow through a long-lived service. Released jobs drop out
+// of later Run reports and report no per-job state; releasing an unfinished
+// or unknown job is a no-op.
 func (e *Engine) Release(jobID int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for i, rj := range e.finished {
 		if rj.ID == jobID {
 			e.finished = append(e.finished[:i], e.finished[i+1:]...)
+			delete(e.state, jobID)
+			e.releasedDone++
 			return
 		}
+	}
+	switch st, ok := e.state[jobID]; {
+	case !ok:
+	case st == JobCancelled:
+		delete(e.state, jobID)
+		e.releasedCancelled++
+	case st == JobFailed:
+		delete(e.state, jobID)
+		e.releasedFailed++
 	}
 }
 
@@ -447,11 +476,16 @@ func (e *Engine) JobState(jobID int) (JobState, bool) {
 
 // AddSnapshot appends a newer graph version to the snapshot store, safely
 // with respect to a concurrent Serve loop; jobs submitted afterwards with a
-// matching arrival timestamp bind to it.
+// matching arrival timestamp bind to it. The scheduler observes the new
+// version at the next round boundary (refitting θ if its degrees demand it).
 func (e *Engine) AddSnapshot(pg *graph.PGraph, timestamp int64) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.store.Add(pg, timestamp)
+	if err := e.store.Add(pg, timestamp); err != nil {
+		return err
+	}
+	e.snapObs = append(e.snapObs, pg)
+	return nil
 }
 
 // Stats is a point-in-time snapshot of the engine's service counters.
@@ -468,13 +502,17 @@ type Stats struct {
 }
 
 // ServeStats reports current job-state counts and loop progress. Safe to
-// call concurrently with Run or Serve.
+// call concurrently with Run or Serve. Released jobs stay counted in their
+// terminal bucket.
 func (e *Engine) ServeStats() Stats {
 	s := Stats{
 		Rounds:        e.rounds.Load(),
 		VirtualTimeUS: math.Float64frombits(e.nowBits.Load()),
 	}
 	e.mu.Lock()
+	s.Done += e.releasedDone
+	s.Cancelled += e.releasedCancelled
+	s.Failed += e.releasedFailed
 	for _, st := range e.state {
 		switch st {
 		case JobQueued:
@@ -505,66 +543,96 @@ func (e *Engine) Job(jobID int) (*exec.Job, bool) {
 	return nil, false
 }
 
-// Now returns the engine's virtual clock in microseconds.
-func (e *Engine) Now() float64 { return e.now }
+// Now returns the engine's virtual clock in microseconds, as of the last
+// round boundary. It reads the atomic mirror of the loop-private clock, so
+// it is safe to call concurrently with Run or Serve.
+func (e *Engine) Now() float64 { return math.Float64frombits(e.nowBits.Load()) }
 
-// round is one pass of the LTP loop: order the union of active partitions,
-// load each once, trigger all related jobs, and close iterations for jobs
-// whose round-set is exhausted.
+// SchedGroup reports one correlation group of the last scheduled round.
+type SchedGroup struct {
+	// Jobs lists the engine job IDs grouped together.
+	Jobs []int
+	// Parts is the unit load order: each partition's index within its own
+	// snapshot, parallel to UIDs.
+	Parts []int
+	// UIDs identifies the partition versions loaded, in load order.
+	UIDs []int64
+}
+
+// SchedInfo is a point-in-time snapshot of the scheduler's state: the
+// policy, the current θ fit, and the group/load order chosen in the most
+// recent round.
+type SchedInfo struct {
+	Policy string
+	Theta  float64
+	Refits int
+	// Round is the round the plan below was computed for (0 before any).
+	Round  int64
+	Groups []SchedGroup
+}
+
+// SchedInfo reports the scheduler's latest plan. Safe to call concurrently
+// with Run or Serve: recordPlan replaces lastSched wholesale and published
+// plans are never mutated in place, so the shared slices are immutable.
+func (e *Engine) SchedInfo() SchedInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastSched
+}
+
+// round is one pass of the LTP loop: plan the round's scheduling units —
+// each a (snapshot, partition) version keyed by UID, so jobs bound to
+// snapshots with any partition count coexist — load each unit once in the
+// planned group/priority order, trigger its jobs, and close iterations for
+// jobs whose round-set is exhausted.
 func (e *Engine) round() {
-	nStats := make([]int, len(e.cSums))
-	cands := make(map[int]bool)
+	e.drainSnapshotObservations()
+	foot := make([]sched.JobFootprint, 0, len(e.jobs))
+	byID := make(map[int]*runJob, len(e.jobs))
 	for _, rj := range e.jobs {
-		rj.remaining = make(map[int]bool)
+		byID[rj.ID] = rj
+		rj.remaining = make(map[int64]int)
+		jf := sched.JobFootprint{JobID: rj.ID}
 		for _, pid := range rj.PT.ActiveParts() {
-			rj.remaining[pid] = true
-			nStats[pid]++
-			cands[pid] = true
+			p := rj.PG.Parts[pid]
+			rj.remaining[p.UID] = pid
+			jf.Units = append(jf.Units, p)
 		}
+		foot = append(foot, jf)
 		// Jobs admitted with no active vertices (degenerate programs)
 		// finish immediately below.
 	}
-	candList := make([]int, 0, len(cands))
-	for pid := range cands {
-		candList = append(candList, pid)
-	}
-	order := e.sched.Order(candList, nStats, e.cSums)
+	plan := e.sched.Plan(foot, e.cPrev)
 
-	for _, pid := range order {
-		var group []*runJob
-		for _, rj := range e.jobs {
-			if rj.remaining[pid] && !rj.Done {
-				group = append(group, rj)
+	for _, g := range plan {
+		for _, u := range g.Units {
+			var items []unitJob
+			for _, id := range u.Jobs {
+				rj := byID[id]
+				if rj.Done {
+					continue
+				}
+				pid, ok := rj.remaining[u.Part.UID]
+				if !ok {
+					continue
+				}
+				items = append(items, unitJob{rj: rj, pid: pid})
 			}
-		}
-		if len(group) == 0 {
-			continue
-		}
-		// Jobs bound to different snapshots may see different versions of
-		// partition pid; group by the shared partition pointer so a
-		// version is loaded once for all its jobs (Fig. 5).
-		var parts []*graph.Partition
-		byPart := make(map[*graph.Partition][]*runJob)
-		for _, rj := range group {
-			p := rj.PG.Parts[pid]
-			if byPart[p] == nil {
-				parts = append(parts, p)
+			if len(items) == 0 {
+				continue
 			}
-			byPart[p] = append(byPart[p], rj)
-		}
-		for _, p := range parts {
-			e.processPartition(pid, p, byPart[p])
-		}
-		for _, rj := range group {
-			delete(rj.remaining, pid)
-			if len(rj.remaining) == 0 {
-				e.finishIteration(rj)
+			e.processUnit(u.Part, items)
+			for _, it := range items {
+				delete(it.rj.remaining, u.Part.UID)
+				if len(it.rj.remaining) == 0 {
+					e.finishIteration(it.rj)
+				}
 			}
 		}
 	}
 
 	// Close iterations for jobs that had nothing to do this round and
-	// collect next-round C(P) statistics.
+	// collect next-round C(U) statistics, keyed by partition version.
 	var still []*runJob
 	for _, rj := range e.jobs {
 		if !rj.Done && len(rj.remaining) == 0 && !rj.PT.HasActive() {
@@ -575,17 +643,52 @@ func (e *Engine) round() {
 		}
 		still = append(still, rj)
 	}
-	for i := range e.cSums {
-		e.cSums[i] = 0
-	}
+	clear(e.cPrev)
 	for _, rj := range still {
 		for pid, s := range rj.TakeDeltaStats() {
-			e.cSums[pid] += s
+			if s != 0 {
+				e.cPrev[rj.PG.Parts[pid].UID] += s
+			}
 		}
 	}
 	e.jobs = still
+	e.recordPlan(plan)
 	e.rounds.Add(1)
 	e.nowBits.Store(math.Float64bits(e.now))
+}
+
+// drainSnapshotObservations feeds snapshots added since the last round to
+// the scheduler, on the loop goroutine, so θ refits for new versions.
+func (e *Engine) drainSnapshotObservations() {
+	e.mu.Lock()
+	obs := e.snapObs
+	e.snapObs = nil
+	e.mu.Unlock()
+	for _, pg := range obs {
+		e.sched.ObserveSnapshot(pg)
+	}
+}
+
+// recordPlan publishes the round's chosen groups and load order for the
+// control plane.
+func (e *Engine) recordPlan(plan []sched.Group) {
+	info := SchedInfo{
+		Policy: e.cfg.Scheduler.String(),
+		Theta:  e.sched.Theta(),
+		Refits: e.sched.Refits(),
+		Round:  e.rounds.Load() + 1,
+	}
+	for _, g := range plan {
+		sg := SchedGroup{Jobs: g.Jobs}
+		for _, u := range g.Units {
+			sg.Parts = append(sg.Parts, u.Part.ID)
+			sg.UIDs = append(sg.UIDs, u.Part.UID)
+		}
+		info.Groups = append(info.Groups, sg)
+	}
+	e.mu.Lock()
+	e.lastSched = info
+	e.mu.Unlock()
 }
 
 func structID(p *graph.Partition) memsim.ItemID {
@@ -596,13 +699,21 @@ func privateID(p *graph.Partition, jobID int) memsim.ItemID {
 	return memsim.ItemID{Kind: memsim.Private, UID: p.UID, Job: int32(jobID)}
 }
 
-// processPartition loads one partition version and triggers its jobs,
-// batching when the job count exceeds the worker count. The structure load
-// is serial (one loader stream), but within the trigger phase each core
-// pulls its job's private-table slice itself, so private access overlaps
-// both across jobs (up to the channel's stream capacity) and with the
-// vertex processing of jobs already running.
-func (e *Engine) processPartition(pid int, p *graph.Partition, js []*runJob) {
+// unitJob binds one triggered job to its view of a scheduling unit: pid is
+// the partition's index within the job's own snapshot (private tables are
+// laid out per snapshot, so the index is job-local).
+type unitJob struct {
+	rj  *runJob
+	pid int
+}
+
+// processUnit loads one partition version and triggers its jobs, batching
+// when the job count exceeds the worker count. The structure load is serial
+// (one loader stream), but within the trigger phase each core pulls its
+// job's private-table slice itself, so private access overlaps both across
+// jobs (up to the channel's stream capacity) and with the vertex processing
+// of jobs already running.
+func (e *Engine) processUnit(p *graph.Partition, items []unitJob) {
 	h := e.cfg.Hier
 	streams := h.Cost().ChannelStreams
 	if streams <= 0 {
@@ -620,9 +731,9 @@ func (e *Engine) processPartition(pid int, p *graph.Partition, js []*runJob) {
 	e.prefetchCredit -= loadTime - visible
 	e.now += visible
 	e.ClockStruct += visible
-	share := loadTime / float64(len(js))
-	for i, rj := range js {
-		rj.m.AccessTime += share
+	share := loadTime / float64(len(items))
+	for i, it := range items {
+		it.rj.m.AccessTime += share
 		if i > 0 {
 			// Each additional triggered job touches the cached copy:
 			// free in time, but it is a real cache access (hit) that
@@ -634,19 +745,19 @@ func (e *Engine) processPartition(pid int, p *graph.Partition, js []*runJob) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	for start := 0; start < len(js); start += batchSize {
+	for start := 0; start < len(items); start += batchSize {
 		end := start + batchSize
-		if end > len(js) {
-			end = len(js)
+		if end > len(items) {
+			end = len(items)
 		}
-		batch := js[start:end]
+		batch := items[start:end]
 		var privAccess float64
-		for _, rj := range batch {
-			plr := h.Load(privateID(p, rj.ID), rj.PT.Bytes[pid], false)
+		for _, it := range batch {
+			plr := h.Load(privateID(p, it.rj.ID), it.rj.PT.Bytes[it.pid], false)
 			privAccess += plr.Time
-			rj.m.AccessTime += plr.Time
+			it.rj.m.AccessTime += plr.Time
 		}
-		computeElapsed := e.trigger(pid, batch)
+		computeElapsed := e.trigger(batch)
 		elapsed := privAccess / streams
 		if computeElapsed > elapsed {
 			elapsed = computeElapsed
@@ -658,13 +769,15 @@ func (e *Engine) processPartition(pid int, p *graph.Partition, js []*runJob) {
 	h.Unpin(structID(p))
 }
 
-// trigger concurrently processes one loaded partition for a batch of jobs on
-// the worker pool, returning the virtual compute time of the phase. With
-// straggler splitting each job's active range is chunked so idle cores help
-// the heaviest job (Fig. 6); without it, each job's work stays on one core.
-func (e *Engine) trigger(pid int, batch []*runJob) float64 {
+// trigger concurrently processes one loaded partition version for a batch
+// of jobs on the worker pool, returning the virtual compute time of the
+// phase. Each item carries its job-local partition index. With straggler
+// splitting each job's active range is chunked so idle cores help the
+// heaviest job (Fig. 6); without it, each job's work stays on one core.
+func (e *Engine) trigger(batch []unitJob) float64 {
 	type task struct {
 		rj     *runJob
+		pid    int
 		locals []uint32
 		sc     exec.Scratch
 		stats  exec.Stats
@@ -672,8 +785,8 @@ func (e *Engine) trigger(pid int, batch []*runJob) float64 {
 	var tasks []*task
 	jobLocals := make([][]uint32, len(batch))
 	total := 0
-	for i, rj := range batch {
-		jobLocals[i] = rj.ActiveLocals(pid, nil)
+	for i, it := range batch {
+		jobLocals[i] = it.rj.ActiveLocals(it.pid, nil)
 		total += len(jobLocals[i])
 	}
 	split := !e.cfg.DisableStragglerSplit
@@ -681,10 +794,10 @@ func (e *Engine) trigger(pid int, batch []*runJob) float64 {
 	if chunk < 32 {
 		chunk = 32
 	}
-	for i, rj := range batch {
+	for i, it := range batch {
 		locals := jobLocals[i]
 		if !split || len(locals) <= chunk {
-			tasks = append(tasks, &task{rj: rj, locals: locals})
+			tasks = append(tasks, &task{rj: it.rj, pid: it.pid, locals: locals})
 			continue
 		}
 		for lo := 0; lo < len(locals); lo += chunk {
@@ -692,7 +805,7 @@ func (e *Engine) trigger(pid int, batch []*runJob) float64 {
 			if hi > len(locals) {
 				hi = len(locals)
 			}
-			tasks = append(tasks, &task{rj: rj, locals: locals[lo:hi]})
+			tasks = append(tasks, &task{rj: it.rj, pid: it.pid, locals: locals[lo:hi]})
 		}
 	}
 
@@ -713,7 +826,7 @@ func (e *Engine) trigger(pid int, batch []*runJob) float64 {
 					return
 				}
 				t := tasks[i]
-				t.stats = t.rj.ApplyChunk(pid, t.locals, &t.sc)
+				t.stats = t.rj.ApplyChunk(t.pid, t.locals, &t.sc)
 			}
 		}()
 	}
@@ -723,30 +836,30 @@ func (e *Engine) trigger(pid int, batch []*runJob) float64 {
 	// order (deterministic float accumulation).
 	var mg sync.WaitGroup
 	perJob := make([]exec.Stats, len(batch))
-	for i, rj := range batch {
+	for i, it := range batch {
 		var scs []*exec.Scratch
 		for _, t := range tasks {
-			if t.rj == rj {
+			if t.rj == it.rj {
 				scs = append(scs, &t.sc)
 				perJob[i].Add(t.stats)
 			}
 		}
 		mg.Add(1)
-		go func(rj *runJob, scs []*exec.Scratch) {
+		go func(it unitJob, scs []*exec.Scratch) {
 			defer mg.Done()
-			rj.Merge(pid, scs...)
-		}(rj, scs)
+			it.rj.Merge(it.pid, scs...)
+		}(it, scs)
 	}
 	mg.Wait()
 
 	// Virtual-time accounting.
 	cost := e.cfg.Hier.Cost()
 	var totalWork, maxWork float64
-	for i, rj := range batch {
+	for i, it := range batch {
 		w := cost.ComputeTime(perJob[i].Edges, perJob[i].Vertices)
-		rj.m.ComputeTime += w
-		rj.EdgesProcessed += perJob[i].Edges
-		rj.VerticesApplied += perJob[i].Vertices
+		it.rj.m.ComputeTime += w
+		it.rj.EdgesProcessed += perJob[i].Edges
+		it.rj.VerticesApplied += perJob[i].Vertices
 		totalWork += w
 		if w > maxWork {
 			maxWork = w

@@ -205,7 +205,7 @@ func TestEngineSnapshotBinding(t *testing.T) {
 func TestEngineSchedulerAblation(t *testing.T) {
 	// Priority scheduling must not change results, only order/cost.
 	edges := gen.RMAT(25, 250, 5000, 0.57, 0.19, 0.19)
-	for _, kind := range []sched.Kind{sched.Static, sched.Priority} {
+	for _, kind := range []sched.Kind{sched.Static, sched.Priority, sched.TwoLevel} {
 		pg := buildPG(t, edges, 250, 6, true)
 		e := NewSingle(Config{Workers: 4, Hier: smallHier(), Scheduler: kind}, pg)
 		id := e.Submit(algo.NewSSSP(1), 0)

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
 	"cgraph/algo"
 	"cgraph/internal/gen"
 	"cgraph/internal/refimpl"
+	"cgraph/internal/sched"
+	"cgraph/internal/storage"
 	"cgraph/model"
 )
 
@@ -221,5 +224,159 @@ func TestServeStatsAndShutdownLeavesJobsResident(t *testing.T) {
 	stop()
 	if st, _ := e.JobState(spin); st != JobRunning {
 		t.Fatalf("post-shutdown spin state = %v, want running (resident)", st)
+	}
+}
+
+// TestServeSnapshotWithDifferentPartitionCount is the regression for the
+// base-snapshot-sized scheduler state: a job bound to a later snapshot with
+// a different partition count used to index the engine's base-sized arrays
+// out of range and panic the resident Serve loop. With unit-keyed
+// scheduling it must simply converge.
+func TestServeSnapshotWithDifferentPartitionCount(t *testing.T) {
+	for _, kind := range []sched.Kind{sched.Priority, sched.TwoLevel} {
+		edges := gen.RMAT(41, 200, 3500, 0.57, 0.19, 0.19)
+		base := buildPG(t, edges, 200, 4, false)
+		rec := newEventRecorder()
+		e := New(Config{Workers: 2, Hier: smallHier(), Scheduler: kind, OnJobEvent: func(ev JobEvent) { rec.ch <- ev }},
+			storage.NewSnapshotStore(base, 0))
+		stop := startServe(t, e)
+
+		// Warm the loop on the base snapshot.
+		rec.wait(t, e.Submit(algo.NewBFS(0), 0))
+
+		// A rewired graph, partitioned into twice as many parts.
+		edges2 := gen.RMAT(42, 200, 3500, 0.57, 0.19, 0.19)
+		next := buildPG(t, edges2, 200, 8, false)
+		if err := e.AddSnapshot(next, 10); err != nil {
+			t.Fatal(err)
+		}
+
+		// One job on the new 8-part snapshot, one concurrently on the old
+		// 4-part base: both footprints schedule side by side.
+		ssNew := e.Submit(algo.NewSSSP(0), 10)
+		ssOld := e.Submit(algo.NewSSSP(0), 0)
+		// Completion order is not deterministic; collect both events.
+		states := map[int]JobState{}
+		deadline := time.After(30 * time.Second)
+		for len(states) < 2 {
+			select {
+			case ev := <-rec.ch:
+				if ev.JobID == ssNew || ev.JobID == ssOld {
+					states[ev.JobID] = ev.State
+				}
+			case <-deadline:
+				t.Fatalf("%v: no terminal events for both sssp jobs (got %v)", kind, states)
+			}
+		}
+		if states[ssNew] != JobDone || states[ssOld] != JobDone {
+			t.Fatalf("%v: states new=%v old=%v, want done/done", kind, states[ssNew], states[ssOld])
+		}
+		for _, c := range []struct {
+			id   int
+			want []float64
+		}{
+			{ssNew, refimpl.SSSP(next.G, 0)},
+			{ssOld, refimpl.SSSP(base.G, 0)},
+		} {
+			res, err := e.Results(c.id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range res {
+				if res[v] != c.want[v] && !(math.IsInf(res[v], 1) && math.IsInf(c.want[v], 1)) {
+					t.Fatalf("%v: job %d sssp vertex %d: got %v want %v", kind, c.id, v, res[v], c.want[v])
+				}
+			}
+		}
+
+		// The plan must name both snapshot versions' units at some point;
+		// at minimum the info endpoint stays coherent.
+		info := e.SchedInfo()
+		if info.Policy != kind.String() {
+			t.Fatalf("sched info policy %q, want %q", info.Policy, kind)
+		}
+		stop()
+	}
+}
+
+// TestServeConcurrentStatsReaders hammers the lock-free mirrors while the
+// loop runs; under -race it is the regression for the unlocked Now() read.
+func TestServeConcurrentStatsReaders(t *testing.T) {
+	edges := gen.RMAT(43, 200, 3000, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 200, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = e.Now()
+				_ = e.ServeStats()
+				_ = e.SchedInfo()
+			}
+		}()
+	}
+	pr := e.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, 0)
+	ev := rec.wait(t, pr)
+	close(done)
+	wg.Wait()
+	if ev.State != JobDone {
+		t.Fatalf("pagerank state %v, want done", ev.State)
+	}
+	if e.Now() <= 0 {
+		t.Fatal("Now() did not advance with the loop")
+	}
+}
+
+// TestReleaseCompactsTerminalState is the regression for the per-job state
+// leak: Release must drop the lifecycle-map entry while ServeStats keeps
+// counting released jobs in their terminal bucket.
+func TestReleaseCompactsTerminalState(t *testing.T) {
+	edges := gen.RMAT(44, 150, 2500, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 150, 4, false)
+	rec := newEventRecorder()
+	e := NewSingle(Config{Workers: 2, Hier: smallHier(), OnJobEvent: func(ev JobEvent) { rec.ch <- ev }}, pg)
+	stop := startServe(t, e)
+	defer stop()
+
+	bf := e.Submit(algo.NewBFS(0), 0)
+	rec.wait(t, bf)
+	spin := e.Submit(spinProgram{}, 0)
+	rec.wait(t, e.Submit(algo.NewBFS(1), 0)) // ensure spin admitted and rolling
+	if err := e.Cancel(spin); err != nil {
+		t.Fatal(err)
+	}
+	rec.wait(t, spin)
+
+	before := e.ServeStats()
+	e.Release(bf)
+	e.Release(spin)
+	e.Release(98765) // unknown: no-op
+
+	if _, ok := e.JobState(bf); ok {
+		t.Fatal("released job still has a state entry")
+	}
+	if _, err := e.Results(bf); err == nil {
+		t.Fatal("results of a released job must error")
+	}
+	after := e.ServeStats()
+	if after.Done != before.Done || after.Cancelled != before.Cancelled {
+		t.Fatalf("stats drifted across release: before %+v after %+v", before, after)
+	}
+	// Double release stays a no-op.
+	e.Release(bf)
+	if got := e.ServeStats(); got.Done != after.Done {
+		t.Fatalf("double release inflated done count: %+v", got)
 	}
 }

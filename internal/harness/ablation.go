@@ -135,6 +135,46 @@ func AblationBatching(opt Options) (*Table, error) {
 	return t, nil
 }
 
+// AblationTwoLevel compares one-level scheduling (Eq. 1 over the union of
+// every job's footprint) against the snapshot-aware two-level policy
+// (correlation groups first, Eq. 1 within each group) on the §4.4
+// multi-snapshot workload: job i binds to snapshot i of a series with 5%
+// edge change between consecutive versions.
+func AblationTwoLevel(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	d, err := evolvingDataset(opt)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-two-level",
+		Title:   "Two-level scheduling on the multi-snapshot workload (makespan, one-level = 1.00)",
+		Columns: []string{"Jobs", "one-level", "two-level"},
+		Notes:   "job i bound to snapshot i (5% change per snapshot); two-level groups jobs by shared partition versions",
+	}
+	for _, njobs := range []int{2, 4, 8} {
+		opt.logf("ablation-two-level: %d jobs", njobs)
+		env := NewEnv(d, opt.Workers, opt.Scale)
+		store, err := env.SnapshotSeries(njobs, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		specs := benchmarks(njobs, opt.Epsilon, func(i int) int64 { return int64(i) })
+		one, err := env.runCGraph(store, specs, sched.Priority, "CGraph", 0)
+		if err != nil {
+			return nil, err
+		}
+		two, err := env.runCGraph(store, specs, sched.TwoLevel, "CGraph-2L", 0)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", njobs), "1.00", f2(two.Makespan / one.Makespan),
+		})
+	}
+	return t, nil
+}
+
 // All runs every experiment at the given options, in paper order.
 func All(opt Options) ([]*Table, error) {
 	opt = opt.withDefaults()
@@ -166,6 +206,7 @@ func All(opt Options) ([]*Table, error) {
 		Fig8, Fig9, Fig10, Fig11, Fig12, Fig13, Fig14, Fig15,
 		Fig16, Fig17, Fig18, Fig19,
 		AblationStraggler, AblationScheduler, AblationBatching,
+		AblationTwoLevel,
 	} {
 		if err := add(fn(opt)); err != nil {
 			return nil, err

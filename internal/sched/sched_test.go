@@ -1,26 +1,79 @@
 package sched
 
 import (
+	"math"
 	"testing"
 
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
 )
 
-func buildPG(t *testing.T) *graph.PGraph {
+func buildPG(t testing.TB, parts int) *graph.PGraph {
 	t.Helper()
 	edges := gen.RMAT(5, 200, 4000, 0.57, 0.19, 0.19)
 	g := graph.Build(200, edges)
-	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: 8})
+	pg, err := graph.Cut(g, edges, graph.Options{NumPartitions: parts})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return pg
 }
 
+// footprints builds one footprint per job over the given partition indices.
+func footprints(pg *graph.PGraph, jobs map[int][]int) []JobFootprint {
+	ids := make([]int, 0, len(jobs))
+	for id := range jobs {
+		ids = append(ids, id)
+	}
+	// Deterministic submission order.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	var out []JobFootprint
+	for _, id := range ids {
+		jf := JobFootprint{JobID: id}
+		for _, pid := range jobs[id] {
+			jf.Units = append(jf.Units, pg.Parts[pid])
+		}
+		out = append(out, jf)
+	}
+	return out
+}
+
+// loadOrder flattens a plan into the sequence of partition IDs loaded.
+func loadOrder(plan []Group) []int {
+	var out []int
+	for _, g := range plan {
+		for _, u := range g.Units {
+			out = append(out, u.Part.ID)
+		}
+	}
+	return out
+}
+
+func cmap(pg *graph.PGraph, c []float64) map[int64]float64 {
+	m := make(map[int64]float64)
+	for pid, v := range c {
+		if v != 0 {
+			m[pg.Parts[pid].UID] = v
+		}
+	}
+	return m
+}
+
 func TestStaticOrder(t *testing.T) {
-	s := New(Static, buildPG(t))
-	got := s.Order([]int{5, 1, 7, 0}, make([]int, 8), make([]float64, 8))
+	pg := buildPG(t, 8)
+	s := New(Static)
+	s.ObserveSnapshot(pg)
+	plan := s.Plan(footprints(pg, map[int][]int{0: {5, 1}, 1: {7, 0}}), nil)
+	if len(plan) != 1 {
+		t.Fatalf("static plan has %d groups, want 1", len(plan))
+	}
+	got := loadOrder(plan)
 	want := []int{0, 1, 5, 7}
 	for i := range want {
 		if got[i] != want[i] {
@@ -35,10 +88,16 @@ func TestStaticOrder(t *testing.T) {
 func TestPriorityNDominates(t *testing.T) {
 	// Eq. 1: the partition needed by the most jobs loads first, whatever
 	// D(P)·C(P) says — guaranteed by the θ bound.
-	s := New(Priority, buildPG(t))
-	n := []int{1, 3, 2, 1, 0, 0, 0, 0}
-	c := []float64{100, 0.1, 50, 3, 0, 0, 0, 0}
-	got := s.Order([]int{0, 1, 2, 3}, n, c)
+	pg := buildPG(t, 8)
+	s := New(Priority)
+	s.ObserveSnapshot(pg)
+	jobs := map[int][]int{
+		0: {0, 1, 2, 3},
+		1: {1, 2},
+		2: {1},
+	}
+	c := cmap(pg, []float64{100, 0.1, 50, 3, 0, 0, 0, 0})
+	got := loadOrder(s.Plan(footprints(pg, jobs), c))
 	if got[0] != 1 || got[1] != 2 {
 		t.Fatalf("priority order = %v, want N(P) to dominate (1,2 first)", got)
 	}
@@ -48,12 +107,13 @@ func TestPriorityNDominates(t *testing.T) {
 }
 
 func TestPriorityTieBreakByDC(t *testing.T) {
-	pg := buildPG(t)
-	s := New(Priority, pg)
+	pg := buildPG(t, 8)
+	s := New(Priority)
+	s.ObserveSnapshot(pg)
 	// Equal N: ties broken toward the larger D(P)·C(P).
-	n := []int{2, 2, 2, 2, 0, 0, 0, 0}
-	c := []float64{0, 10, 5, 0, 0, 0, 0, 0}
-	got := s.Order([]int{0, 1, 2, 3}, n, c)
+	jobs := map[int][]int{0: {0, 1, 2, 3}, 1: {0, 1, 2, 3}}
+	c := cmap(pg, []float64{0, 10, 5, 0, 0, 0, 0, 0})
+	got := loadOrder(s.Plan(footprints(pg, jobs), c))
 	pos := map[int]int{}
 	for i, p := range got {
 		pos[p] = i
@@ -66,10 +126,11 @@ func TestPriorityTieBreakByDC(t *testing.T) {
 }
 
 func TestThetaBound(t *testing.T) {
-	pg := buildPG(t)
-	s := New(Priority, pg)
-	c := []float64{9, 4, 7, 1, 0, 0, 0, 0}
-	s.Order([]int{0, 1, 2, 3}, make([]int, 8), c)
+	pg := buildPG(t, 8)
+	s := New(Priority)
+	s.ObserveSnapshot(pg)
+	c := cmap(pg, []float64{9, 4, 7, 1, 0, 0, 0, 0})
+	s.Plan(footprints(pg, map[int][]int{0: {0, 1, 2, 3}}), c)
 	var dmax, cmax float64
 	for _, p := range pg.Parts {
 		if p.AvgDegree > dmax {
@@ -86,24 +147,175 @@ func TestThetaBound(t *testing.T) {
 	}
 }
 
-func TestOrderDoesNotMutateInput(t *testing.T) {
-	s := New(Priority, buildPG(t))
-	cands := []int{3, 1, 2}
-	s.Order(cands, make([]int, 8), make([]float64, 8))
-	if cands[0] != 3 || cands[1] != 1 || cands[2] != 2 {
-		t.Fatal("Order mutated its input")
+// TestThetaRefitsOnSnapshotAndDrift is the regression for the fit-once
+// staleness: θ must change when a new snapshot introduces higher-degree
+// partitions, and when observed C maxima drift upward.
+func TestThetaRefitsOnSnapshotAndDrift(t *testing.T) {
+	pg := buildPG(t, 8)
+	s := New(Priority)
+	s.ObserveSnapshot(pg)
+	s.Plan(footprints(pg, map[int][]int{0: {0, 1}}), cmap(pg, []float64{3, 1}))
+	theta1 := s.Theta()
+	if theta1 <= 0 {
+		t.Fatal("theta not fitted")
+	}
+
+	// A snapshot with far denser partitions must refit θ downward.
+	dense := gen.RMAT(9, 50, 6000, 0.57, 0.19, 0.19)
+	g2 := graph.Build(50, dense)
+	pg2, err := graph.Cut(g2, dense, graph.Options{NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refits := s.Refits()
+	s.ObserveSnapshot(pg2)
+	if s.Theta() >= theta1 {
+		t.Fatalf("theta %v did not shrink after higher-degree snapshot (was %v)", s.Theta(), theta1)
+	}
+	if s.Refits() <= refits {
+		t.Fatal("refit not counted for snapshot arrival")
+	}
+
+	// Upward C drift refits again. Drift refits are rate-limited to one
+	// per refitMinInterval plans, so keep planning until the window opens.
+	theta2 := s.Theta()
+	for i := 0; i < refitMinInterval+1; i++ {
+		s.Plan(footprints(pg, map[int][]int{0: {0, 1}}), cmap(pg, []float64{300, 1}))
+	}
+	if s.Theta() >= theta2 {
+		t.Fatalf("theta %v did not shrink after C drift (was %v)", s.Theta(), theta2)
+	}
+
+	// A diverging job cannot drive θ to zero: non-finite and
+	// beyond-ceiling observations are ignored.
+	for i := 0; i < 2*refitMinInterval; i++ {
+		s.Plan(footprints(pg, map[int][]int{0: {0, 1}}), cmap(pg, []float64{1e200, math.Inf(1)}))
+	}
+	if s.Theta() <= 0 {
+		t.Fatalf("theta collapsed to %v under diverging observations", s.Theta())
 	}
 }
 
-func TestDeterministicOrder(t *testing.T) {
-	s := New(Priority, buildPG(t))
-	n := []int{1, 1, 1, 1, 1, 1, 1, 1}
-	c := make([]float64, 8)
-	a := s.Order([]int{7, 3, 5, 0}, n, c)
-	b := s.Order([]int{0, 5, 3, 7}, n, c)
-	for i := range a {
-		if a[i] != b[i] {
-			t.Fatalf("order depends on candidate permutation: %v vs %v", a, b)
+func TestTwoLevelGroupsDisjointFootprints(t *testing.T) {
+	pg := buildPG(t, 8)
+	s := New(TwoLevel)
+	s.ObserveSnapshot(pg)
+	// Jobs {0,1,2} share partitions 0-2; job 3 runs alone on 5-6.
+	jobs := map[int][]int{
+		0: {0, 1},
+		1: {1, 2},
+		2: {2, 0},
+		3: {5, 6},
+	}
+	plan := s.Plan(footprints(pg, jobs), nil)
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d groups, want 2: %+v", len(plan), plan)
+	}
+	// Larger group first.
+	if len(plan[0].Jobs) != 3 || plan[0].Jobs[0] != 0 || plan[0].Jobs[2] != 2 {
+		t.Fatalf("first group jobs = %v, want [0 1 2]", plan[0].Jobs)
+	}
+	if len(plan[1].Jobs) != 1 || plan[1].Jobs[0] != 3 {
+		t.Fatalf("second group jobs = %v, want [3]", plan[1].Jobs)
+	}
+	// Every unit lands in exactly one group.
+	seen := map[int64]bool{}
+	for _, g := range plan {
+		for _, u := range g.Units {
+			if seen[u.Part.UID] {
+				t.Fatalf("unit %d planned twice", u.Part.ID)
+			}
+			seen[u.Part.UID] = true
 		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("planned %d units, want 5", len(seen))
+	}
+}
+
+func TestTwoLevelDistinguishesSnapshotVersions(t *testing.T) {
+	// Two snapshots with different partition counts: units are keyed by
+	// version (UID), so both versions schedule side by side without any
+	// shared index space.
+	pgA := buildPG(t, 4)
+	pgB := buildPG(t, 8)
+	s := New(TwoLevel)
+	s.ObserveSnapshot(pgA)
+	s.ObserveSnapshot(pgB)
+	foot := []JobFootprint{
+		{JobID: 0, Units: []*graph.Partition{pgA.Parts[0], pgA.Parts[3]}},
+		{JobID: 1, Units: []*graph.Partition{pgB.Parts[0], pgB.Parts[7]}},
+	}
+	plan := s.Plan(foot, nil)
+	if len(plan) != 2 {
+		t.Fatalf("disjoint snapshot jobs must form 2 groups, got %d", len(plan))
+	}
+	total := 0
+	for _, g := range plan {
+		total += len(g.Units)
+	}
+	if total != 4 {
+		t.Fatalf("planned %d units, want 4 distinct versions", total)
+	}
+
+	// A shared partition pointer (same UID) correlates the jobs.
+	foot2 := []JobFootprint{
+		{JobID: 0, Units: []*graph.Partition{pgA.Parts[0]}},
+		{JobID: 1, Units: []*graph.Partition{pgA.Parts[0], pgB.Parts[1]}},
+	}
+	plan2 := s.Plan(foot2, nil)
+	if len(plan2) != 1 {
+		t.Fatalf("jobs sharing a partition version must group together, got %d groups", len(plan2))
+	}
+	if len(plan2[0].Units[0].Jobs) != 2 && len(plan2[0].Units) != 2 {
+		t.Fatalf("shared unit not triggered for both jobs: %+v", plan2[0])
+	}
+}
+
+func TestPlanDoesNotMutateInputs(t *testing.T) {
+	pg := buildPG(t, 8)
+	s := New(TwoLevel)
+	s.ObserveSnapshot(pg)
+	foot := footprints(pg, map[int][]int{0: {3, 1, 2}})
+	c := cmap(pg, []float64{1, 2, 3, 4})
+	s.Plan(foot, c)
+	if foot[0].Units[0].ID != 3 || foot[0].Units[1].ID != 1 || foot[0].Units[2].ID != 2 {
+		t.Fatal("Plan mutated a job footprint")
+	}
+	if len(c) != 4 {
+		t.Fatal("Plan mutated the C map")
+	}
+}
+
+func TestDeterministicPlan(t *testing.T) {
+	pg := buildPG(t, 8)
+	for _, kind := range []Kind{Static, Priority, TwoLevel} {
+		s := New(kind)
+		s.ObserveSnapshot(pg)
+		jobs := map[int][]int{0: {7, 3, 5, 0}, 1: {3, 5}, 2: {6}}
+		a := loadOrder(s.Plan(footprints(pg, jobs), nil))
+		b := loadOrder(s.Plan(footprints(pg, jobs), nil))
+		if len(a) != len(b) {
+			t.Fatalf("%v: plan lengths differ", kind)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: plan not deterministic: %v vs %v", kind, a, b)
+			}
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for in, want := range map[string]Kind{
+		"static": Static, "priority": Priority, "two-level": TwoLevel,
+	} {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Fatal("ParseKind must reject unknown names")
 	}
 }

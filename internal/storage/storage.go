@@ -66,6 +66,9 @@ func (s *SnapshotStore) ResolveIndex(arrival int64) (Snapshot, int) {
 // Latest returns the newest snapshot.
 func (s *SnapshotStore) Latest() Snapshot { return s.snaps[len(s.snaps)-1] }
 
+// At returns the i-th snapshot in timestamp order.
+func (s *SnapshotStore) At(i int) Snapshot { return s.snaps[i] }
+
 // Len returns the number of snapshots.
 func (s *SnapshotStore) Len() int { return len(s.snaps) }
 

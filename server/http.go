@@ -38,6 +38,7 @@ func (f jsonFloat) MarshalJSON() ([]byte, error) {
 //	DELETE /jobs/{id}     cancel
 //	GET    /results/{id}  converged values (?top=K for the K largest)
 //	POST   /snapshots     {"timestamp":20,"edges":[[src,dst,weight],...]}
+//	GET    /sched         the scheduler's last plan (policy, θ, groups)
 //	GET    /metrics       Prometheus text exposition
 //
 // The registry resolves algorithm names; pass nil for DefaultRegistry.
@@ -53,6 +54,7 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
 	mux.HandleFunc("GET /results/{id}", h.results)
 	mux.HandleFunc("POST /snapshots", h.snapshot)
+	mux.HandleFunc("GET /sched", h.sched)
 	mux.HandleFunc("GET /metrics", h.metrics)
 	return mux
 }
@@ -99,7 +101,14 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": h.svc.List()})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":  h.svc.List(),
+		"sched": h.svc.SchedInfo(),
+	})
+}
+
+func (h *httpAPI) sched(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.SchedInfo())
 }
 
 func (h *httpAPI) get(w http.ResponseWriter, r *http.Request) {
@@ -216,6 +225,13 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("cgraph_engine_rounds_total", nil, float64(stats.Rounds))
 	e.Declare("cgraph_engine_virtual_time_us", "gauge", "Engine virtual clock, simulated microseconds.")
 	e.Add("cgraph_engine_virtual_time_us", nil, stats.VirtualTimeUS)
+	sched := h.svc.SchedInfo()
+	e.Declare("cgraph_sched_theta", "gauge", "Fitted Eq. 1 theta of the partition scheduler.")
+	e.Add("cgraph_sched_theta", map[string]string{"policy": sched.Policy}, sched.Theta)
+	e.Declare("cgraph_sched_theta_refits_total", "counter", "Times theta was (re)fitted after snapshot arrivals or C drift.")
+	e.Add("cgraph_sched_theta_refits_total", nil, float64(sched.ThetaRefits))
+	e.Declare("cgraph_sched_groups", "gauge", "Correlation groups chosen in the engine's last round.")
+	e.Add("cgraph_sched_groups", nil, float64(len(sched.Groups)))
 	e.Declare("cgraph_job_iterations", "gauge", "Iterations to convergence, per finished job.")
 	e.Declare("cgraph_job_edges_processed", "counter", "Edges processed, per finished job.")
 	e.Declare("cgraph_job_simulated_access_us", "gauge", "Simulated data-access time, per finished job.")

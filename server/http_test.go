@@ -189,7 +189,8 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 		t.Fatalf("GET /results of cancelled job = %d, want 409", code)
 	}
 
-	// Job list shows every lifecycle outcome side by side.
+	// Job list shows every lifecycle outcome side by side, plus the
+	// scheduler's last plan.
 	_, list := httpJSON(t, c, "GET", ts.URL+"/jobs", nil)
 	states := map[string]int{}
 	for _, item := range list["jobs"].([]any) {
@@ -197,6 +198,22 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 	}
 	if states["done"] != 3 || states["cancelled"] != 1 || states["failed"] != 1 {
 		t.Fatalf("lifecycle mix wrong: %v", states)
+	}
+	if _, ok := list["sched"].(map[string]any); !ok {
+		t.Fatalf("/jobs response missing sched summary: %v", list)
+	}
+
+	// The scheduler's decision is directly observable: policy, fitted θ,
+	// and the group/load order of the last round.
+	code, schedInfo := httpJSON(t, c, "GET", ts.URL+"/sched", nil)
+	if code != http.StatusOK || schedInfo["policy"] != "priority" {
+		t.Fatalf("GET /sched = %d (%v)", code, schedInfo)
+	}
+	if th, _ := schedInfo["theta"].(float64); th <= 0 {
+		t.Fatalf("sched theta not fitted: %v", schedInfo)
+	}
+	if groups, ok := schedInfo["groups"].([]any); !ok || len(groups) == 0 {
+		t.Fatalf("sched groups not reported: %v", schedInfo)
 	}
 
 	// Metrics expose the same picture in Prometheus text format.
@@ -211,6 +228,9 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 		`cgraph_jobs{state="cancelled"} 1`,
 		`cgraph_jobs{state="failed"} 1`,
 		"cgraph_engine_rounds_total",
+		`cgraph_sched_theta{policy="priority"}`,
+		"cgraph_sched_theta_refits_total",
+		"cgraph_sched_groups",
 		fmt.Sprintf(`cgraph_job_iterations{algo="PageRank",id="%s"}`, prID),
 	} {
 		if !strings.Contains(string(body), want) {

@@ -391,6 +391,65 @@ func (s *Service) AddSnapshot(edges []model.Edge, timestamp int64) error {
 	return s.sys.AddSnapshot(edges, timestamp)
 }
 
+// SchedGroup is one correlation group of the engine's last round, with
+// engine job IDs translated to service job IDs.
+type SchedGroup struct {
+	Jobs []string `json:"jobs"`
+	// Parts is the unit load order (partition index within its snapshot),
+	// parallel to PartUIDs, which names the exact version loaded.
+	Parts    []int   `json:"parts"`
+	PartUIDs []int64 `json:"part_uids"`
+}
+
+// SchedInfo is the JSON-facing view of the engine's latest scheduling
+// decision: policy, θ fit, and the per-round group/load order.
+type SchedInfo struct {
+	Policy      string       `json:"policy"`
+	Theta       float64      `json:"theta"`
+	ThetaRefits int          `json:"theta_refits"`
+	Round       int64        `json:"round"`
+	Groups      []SchedGroup `json:"groups"`
+}
+
+// SchedInfo reports the scheduler's last plan with service job IDs.
+func (s *Service) SchedInfo() SchedInfo {
+	ci := s.sys.SchedInfo()
+	s.mu.Lock()
+	js := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	byEngine := make(map[int]string, len(js))
+	for _, j := range js {
+		j.mu.Lock()
+		if j.handle != nil {
+			byEngine[j.handle.ID()] = j.id
+		}
+		j.mu.Unlock()
+	}
+	out := SchedInfo{
+		Policy:      ci.Policy,
+		Theta:       ci.Theta,
+		ThetaRefits: ci.ThetaRefits,
+		Round:       ci.Round,
+	}
+	for _, g := range ci.Groups {
+		sg := SchedGroup{Parts: g.Parts, PartUIDs: g.UIDs}
+		for _, id := range g.JobIDs {
+			if sid, ok := byEngine[id]; ok {
+				sg.Jobs = append(sg.Jobs, sid)
+			} else {
+				// A job submitted directly on the System, outside this
+				// service.
+				sg.Jobs = append(sg.Jobs, fmt.Sprintf("engine-%d", id))
+			}
+		}
+		out.Groups = append(out.Groups, sg)
+	}
+	return out
+}
+
 // Job is the service-side handle of one submitted job.
 type Job struct {
 	svc  *Service
