@@ -1,0 +1,233 @@
+// Package api is the versioned wire contract of the CGraph job service.
+// Every request and response body exchanged over the HTTP control plane —
+// and every value passed through a cgraph.Client, in-process or remote —
+// is one of these types, so the two transports cannot drift apart.
+//
+// Versioning policy: the HTTP control plane mounts these shapes under the
+// /v1 route prefix. Within v1, changes are strictly additive (new optional
+// fields, new error codes); renames or semantic changes require a new
+// prefix and a new package revision. Unknown fields in requests are
+// rejected, so clients discover their own drift early instead of being
+// silently misread.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Version is the wire-contract version implemented by this package.
+const Version = "v1"
+
+// PathPrefix is the HTTP route prefix all v1 endpoints are mounted under.
+const PathPrefix = "/" + Version
+
+// JobState is a job's lifecycle state on the wire.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for an in-flight slot.
+	JobQueued JobState = "queued"
+	// JobRunning: submitted to the engine and being iterated.
+	JobRunning JobState = "running"
+	// JobDone: converged; results are available.
+	JobDone JobState = "done"
+	// JobCancelled: retired by an explicit cancel before convergence.
+	JobCancelled JobState = "cancelled"
+	// JobFailed: retired without converging (deadline expiry, engine
+	// failure, or service shutdown).
+	JobFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobCancelled || s == JobFailed
+}
+
+// JobSpec describes one job submission: the algorithm, its parameters, and
+// the scheduling envelope (labels, priority, deadline, snapshot binding).
+type JobSpec struct {
+	// Algo names the algorithm to run (see the service's registry; the
+	// bundled names are pagerank, ppr, sssp, bfs, sswp, wcc, scc, kcore,
+	// degree, hits, katz).
+	Algo string `json:"algo"`
+	// Source is the source vertex for traversal algorithms (sssp, bfs,
+	// ppr, sswp).
+	Source uint32 `json:"source,omitempty"`
+	// K is the k-core threshold.
+	K int `json:"k,omitempty"`
+	// Labels are free-form key/value annotations echoed back in the job's
+	// status; use them for tenant, trace, or experiment tagging.
+	Labels map[string]string `json:"labels,omitempty"`
+	// Priority orders admission when the service is at its in-flight cap:
+	// higher-priority submissions leave the wait queue first, FIFO within
+	// a priority. Zero is the default priority.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS bounds the job's wall-clock lifetime from submission
+	// (queue wait included) in milliseconds; on expiry the job fails. Zero
+	// applies the service's default deadline, if any.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// AtTimestamp binds the job to the newest graph snapshot not younger
+	// than this; absent means the latest snapshot at launch.
+	AtTimestamp *int64 `json:"at_timestamp,omitempty"`
+}
+
+// JobStatus is the wire snapshot of one job's lifecycle.
+type JobStatus struct {
+	ID       string            `json:"id"`
+	Algo     string            `json:"algo"`
+	State    JobState          `json:"state"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Priority int               `json:"priority,omitempty"`
+	// Error explains cancelled and failed jobs.
+	Error     *Error     `json:"error,omitempty"`
+	Submitted time.Time  `json:"submitted_at"`
+	Started   *time.Time `json:"started_at,omitempty"`
+	Finished  *time.Time `json:"finished_at,omitempty"`
+	// Released marks a job compacted into the service's history ring:
+	// its status remains listable but its results have been dropped.
+	Released bool `json:"released,omitempty"`
+	// Iterations counts completed iterations; it advances while the job
+	// runs and is final once the job is terminal.
+	Iterations int `json:"iterations,omitempty"`
+	// Engine metrics, populated once the job converges.
+	EdgesProcessed     int64   `json:"edges_processed,omitempty"`
+	SimulatedAccessUS  float64 `json:"simulated_access_us,omitempty"`
+	SimulatedComputeUS float64 `json:"simulated_compute_us,omitempty"`
+}
+
+// ListOptions selects a page of the job listing.
+type ListOptions struct {
+	// Limit caps the returned jobs; 0 means no cap.
+	Limit int
+	// Offset skips that many jobs from the start of the listing (oldest
+	// first, compacted history included).
+	Offset int
+}
+
+// JobList is one page of the job listing: compacted history first (oldest
+// to newest), then live jobs in submission order.
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
+	// Total is the full listing size before pagination.
+	Total int `json:"total"`
+	// Offset echoes the requested page start.
+	Offset int `json:"offset,omitempty"`
+	// Sched summarizes the scheduler's last plan.
+	Sched *SchedInfo `json:"sched,omitempty"`
+}
+
+// ResultsOptions selects how much of a job's converged values to return.
+type ResultsOptions struct {
+	// Top, when positive, returns only the K largest values (with their
+	// vertex IDs) instead of the full per-vertex vector.
+	Top int
+}
+
+// VertexValue is one (vertex, value) pair of a top-K result.
+type VertexValue struct {
+	Vertex int   `json:"vertex"`
+	Value  Float `json:"value"`
+}
+
+// Results carries a finished job's converged per-vertex values: either the
+// full vector (Values) or the K largest entries (Top).
+type Results struct {
+	ID          string        `json:"id"`
+	Algo        string        `json:"algo"`
+	NumVertices int           `json:"num_vertices"`
+	Values      []Float       `json:"values,omitempty"`
+	Top         []VertexValue `json:"top,omitempty"`
+}
+
+// Snapshot is one evolving-graph version: the full rewritten edge list,
+// one [src, dst, weight] triple per slot of the base list.
+type Snapshot struct {
+	Timestamp int64        `json:"timestamp"`
+	Edges     [][3]float64 `json:"edges"`
+}
+
+// SnapshotAck confirms an ingested snapshot.
+type SnapshotAck struct {
+	Timestamp int64 `json:"timestamp"`
+	Edges     int   `json:"edges"`
+}
+
+// SchedGroup is one correlation group of the engine's last round.
+type SchedGroup struct {
+	Jobs []string `json:"jobs"`
+	// Parts is the unit load order (partition index within its snapshot),
+	// parallel to PartUIDs, which names the exact version loaded.
+	Parts    []int   `json:"parts"`
+	PartUIDs []int64 `json:"part_uids"`
+}
+
+// SchedInfo is the wire view of the engine's latest scheduling decision:
+// policy, θ fit, and the per-round group/load order.
+type SchedInfo struct {
+	Policy      string       `json:"policy"`
+	Theta       float64      `json:"theta"`
+	ThetaRefits int          `json:"theta_refits"`
+	Round       int64        `json:"round"`
+	Groups      []SchedGroup `json:"groups"`
+}
+
+// Metrics is the structured (JSON) counterpart of the Prometheus text
+// exposition: job-state counts, round-loop progress, and scheduler state.
+type Metrics struct {
+	// Jobs counts jobs by lifecycle state, compacted history included.
+	Jobs map[JobState]int `json:"jobs"`
+	// Rounds is the number of LTP rounds processed so far.
+	Rounds int64 `json:"rounds"`
+	// VirtualTimeUS is the engine's virtual clock in simulated microseconds.
+	VirtualTimeUS float64   `json:"virtual_time_us"`
+	Sched         SchedInfo `json:"sched"`
+}
+
+// Float is a float64 that survives JSON round-trips of non-finite values
+// (e.g. +Inf for unreachable vertices in SSSP), which encoding/json
+// otherwise rejects: they are encoded as the strings "+Inf", "-Inf", "NaN".
+type Float float64
+
+// MarshalJSON renders non-finite values as strings.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON accepts numbers and the non-finite string spellings.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf", "Inf":
+			*f = Float(math.Inf(1))
+		case "-Inf":
+			*f = Float(math.Inf(-1))
+		case "NaN":
+			*f = Float(math.NaN())
+		default:
+			return fmt.Errorf("api: bad float %q", s)
+		}
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}

@@ -1,0 +1,113 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+)
+
+func TestFloatRoundTrip(t *testing.T) {
+	in := []Float{1.5, 0, Float(math.Inf(1)), Float(math.Inf(-1)), Float(math.NaN()), -2.25}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[1.5,0,"+Inf","-Inf","NaN",-2.25]`
+	if string(b) != want {
+		t.Fatalf("marshal = %s, want %s", b, want)
+	}
+	var out []Float
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		a, o := float64(in[i]), float64(out[i])
+		if a != o && !(math.IsNaN(a) && math.IsNaN(o)) {
+			t.Fatalf("slot %d: %v != %v", i, a, o)
+		}
+	}
+	var bad Float
+	if err := json.Unmarshal([]byte(`"nope"`), &bad); err == nil {
+		t.Fatal("bad float string must be rejected")
+	}
+}
+
+func TestErrorContract(t *testing.T) {
+	e := Errorf(CodeNotFound, "unknown job %q", "job-7")
+	if e.Error() != `not_found: unknown job "job-7"` {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+	wrapped := fmt.Errorf("request failed: %w", e)
+	if !IsCode(wrapped, CodeNotFound) || IsCode(wrapped, CodeConflict) {
+		t.Fatal("IsCode must match through wrapping, by code")
+	}
+	var ae *Error
+	if !errors.As(wrapped, &ae) || ae.Code != CodeNotFound {
+		t.Fatal("errors.As must recover the *Error")
+	}
+	if IsCode(errors.New("plain"), CodeNotFound) {
+		t.Fatal("plain errors carry no code")
+	}
+
+	// The envelope round-trips.
+	b, _ := json.Marshal(ErrorBody{Error: e})
+	var eb ErrorBody
+	if err := json.Unmarshal(b, &eb); err != nil || eb.Error.Code != CodeNotFound {
+		t.Fatalf("envelope round-trip: %v %+v", err, eb)
+	}
+
+	// Every code maps to a non-2xx status, so errors never hide inside
+	// successful responses.
+	for _, code := range []ErrorCode{
+		CodeBadRequest, CodeUnknownAlgorithm, CodeNotFound, CodeMethodNotAllowed,
+		CodeConflict, CodeNotReady, CodeReleased, CodeCancelled,
+		CodeDeadlineExceeded, CodeUnavailable, CodeInternal,
+	} {
+		if st := (&Error{Code: code}).HTTPStatus(); st < 400 {
+			t.Fatalf("code %s maps to %d, every error must be non-2xx", code, st)
+		}
+	}
+	if CodeForHTTPStatus(http.StatusBadGateway) != CodeInternal {
+		t.Fatal("unmapped statuses fall back to internal")
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for st, want := range map[JobState]bool{
+		JobQueued: false, JobRunning: false,
+		JobDone: true, JobCancelled: true, JobFailed: true,
+	} {
+		if st.Terminal() != want {
+			t.Fatalf("%s.Terminal() = %v", st, !want)
+		}
+	}
+}
+
+func TestEventTerminal(t *testing.T) {
+	if (Event{Type: EventProgress, State: JobDone}).Terminal() {
+		t.Fatal("progress events never end the stream")
+	}
+	if (Event{Type: EventState, State: JobRunning}).Terminal() {
+		t.Fatal("running is not terminal")
+	}
+	if !(Event{Type: EventState, State: JobCancelled}).Terminal() {
+		t.Fatal("cancelled state event ends the stream")
+	}
+}
+
+// TestJobSpecWireCompat pins the v1 request shape: the flat fields the
+// pre-versioning control plane accepted decode unchanged, so legacy
+// bodies replayed through the 308 redirect keep working.
+func TestJobSpecWireCompat(t *testing.T) {
+	var spec JobSpec
+	legacy := `{"algo":"sssp","source":3,"timeout_ms":5000,"at_timestamp":20}`
+	if err := json.Unmarshal([]byte(legacy), &spec); err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algo != "sssp" || spec.Source != 3 || spec.TimeoutMS != 5000 || *spec.AtTimestamp != 20 {
+		t.Fatalf("legacy decode = %+v", spec)
+	}
+}

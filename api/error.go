@@ -1,0 +1,111 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrorCode is a machine-readable error category, stable within a wire
+// version. Clients should branch on codes, not message text.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request body or parameters were malformed
+	// (bad JSON, unknown fields, invalid values).
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeUnknownAlgorithm: the submission named an algorithm absent from
+	// the service's registry.
+	CodeUnknownAlgorithm ErrorCode = "unknown_algorithm"
+	// CodeNotFound: no job (or route) with that identity exists.
+	CodeNotFound ErrorCode = "not_found"
+	// CodeMethodNotAllowed: the route exists but not for that HTTP method.
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	// CodeConflict: the operation is invalid in the job's current state
+	// (e.g. cancelling an already-terminal job).
+	CodeConflict ErrorCode = "conflict"
+	// CodeNotReady: the job exists but has not converged yet, so results
+	// are not available. Retry after the job reaches "done".
+	CodeNotReady ErrorCode = "not_ready"
+	// CodeReleased: the job was compacted into the history ring; its
+	// status remains listable but its results were dropped.
+	CodeReleased ErrorCode = "released"
+	// CodeCancelled: the job was retired by an explicit cancel.
+	CodeCancelled ErrorCode = "cancelled"
+	// CodeDeadlineExceeded: the job's deadline expired before convergence.
+	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeUnavailable: the service is stopped or cannot accept work.
+	CodeUnavailable ErrorCode = "unavailable"
+	// CodeInternal: an unexpected server-side failure.
+	CodeInternal ErrorCode = "internal"
+)
+
+// Error is the wire error: a stable machine-readable code plus a
+// human-readable message. It implements the error interface, and both
+// Client implementations return *Error for every service-side failure, so
+// callers can branch with errors.As / IsCode identically over HTTP and
+// in-process transports.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// Error renders "code: message".
+func (e *Error) Error() string { return string(e.Code) + ": " + e.Message }
+
+// Errorf builds an *Error with a formatted message.
+func Errorf(code ErrorCode, format string, args ...any) *Error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// IsCode reports whether err is (or wraps) an *Error with the given code.
+func IsCode(err error, code ErrorCode) bool {
+	var ae *Error
+	return errors.As(err, &ae) && ae.Code == code
+}
+
+// ErrorBody is the JSON envelope of every non-2xx HTTP response.
+type ErrorBody struct {
+	Error *Error `json:"error"`
+}
+
+// HTTPStatus maps the code to its canonical HTTP status.
+func (e *Error) HTTPStatus() int {
+	switch e.Code {
+	case CodeBadRequest, CodeUnknownAlgorithm:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeMethodNotAllowed:
+		return http.StatusMethodNotAllowed
+	case CodeConflict, CodeCancelled, CodeDeadlineExceeded, CodeNotReady:
+		return http.StatusConflict
+	case CodeReleased:
+		return http.StatusGone
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeForHTTPStatus picks a fallback code for a response whose body did
+// not carry a structured error (e.g. a proxy-generated 502).
+func CodeForHTTPStatus(status int) ErrorCode {
+	switch status {
+	case http.StatusBadRequest:
+		return CodeBadRequest
+	case http.StatusNotFound:
+		return CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return CodeMethodNotAllowed
+	case http.StatusConflict:
+		return CodeConflict
+	case http.StatusGone:
+		return CodeReleased
+	case http.StatusServiceUnavailable:
+		return CodeUnavailable
+	default:
+		return CodeInternal
+	}
+}

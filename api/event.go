@@ -1,0 +1,44 @@
+package api
+
+// EventType classifies a job event.
+type EventType string
+
+const (
+	// EventState: the job changed lifecycle state (queued, running, or a
+	// terminal state). Terminal state events end the stream.
+	EventState EventType = "state"
+	// EventProgress: the job completed one iteration; Iteration,
+	// EdgesProcessed, and VirtualTimeUS carry the running totals.
+	EventProgress EventType = "progress"
+)
+
+// Event is one entry of a job's event stream, delivered over
+// GET /v1/jobs/{id}/events as server-sent events (the SSE "event" field is
+// the Type, the "data" field this JSON document, the "id" field Seq) and
+// over Client.Watch as a channel. A watcher attached late first receives a
+// replay of the job's state transitions (and latest progress), then live
+// events; the stream ends after a terminal state event.
+type Event struct {
+	Type EventType `json:"type"`
+	// JobID names the job the event belongs to.
+	JobID string `json:"job_id"`
+	// Seq orders events within one job's stream, starting at 1. Progress
+	// events are coalesced under backpressure, so consumers may observe
+	// gaps — but never reordering.
+	Seq int64 `json:"seq"`
+	// State is set on state events.
+	State JobState `json:"state,omitempty"`
+	// Error explains terminal cancelled/failed state events.
+	Error *Error `json:"error,omitempty"`
+	// Iteration counts completed iterations (progress events, and final
+	// on the terminal state event).
+	Iteration int `json:"iteration,omitempty"`
+	// EdgesProcessed is the job's running edge total (progress events).
+	EdgesProcessed int64 `json:"edges_processed,omitempty"`
+	// VirtualTimeUS is the engine's virtual clock when the event fired
+	// (progress events).
+	VirtualTimeUS float64 `json:"virtual_time_us,omitempty"`
+}
+
+// Terminal reports whether the event ends its job's stream.
+func (e Event) Terminal() bool { return e.Type == EventState && e.State.Terminal() }

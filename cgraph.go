@@ -10,7 +10,7 @@
 // partition triggers all jobs that need it concurrently — so the dominant
 // data-access cost is paid once and amortized across jobs.
 //
-// Quick start:
+// Quick start (batch mode):
 //
 //	sys := cgraph.NewSystem(cgraph.WithWorkers(8))
 //	sys.LoadEdges(0, edges)
@@ -18,6 +18,19 @@
 //	ss, _ := sys.Submit(algo.NewSSSP(0))
 //	report, _ := sys.Run()
 //	ranks, _ := pr.Results()
+//
+// Quick start (as a platform client): the Client interface is the unified
+// job-service surface over the versioned wire types of package api. The
+// server package implements it in-process (server.NewLocalClient) and the
+// client package speaks the same contract to a remote cgraph-serve
+// instance over HTTP — the two are interchangeable:
+//
+//	var c cgraph.Client = client.New("http://localhost:8040")
+//	st, _ := c.Submit(ctx, api.JobSpec{Algo: "pagerank"})
+//	events, _ := c.Watch(ctx, st.ID)
+//	for ev := range events { // replay + live: queued, running, progress…
+//	}
+//	res, _ := c.Results(ctx, st.ID, api.ResultsOptions{Top: 10})
 //
 // Custom algorithms implement model.Program (the paper's IsNotConvergent /
 // Compute / Acc triple); the bundled ones live in package algo.
@@ -28,9 +41,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"cgraph/api"
 	"cgraph/internal/core"
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
@@ -43,6 +58,44 @@ import (
 
 // ErrCancelled is returned by Job.Err for jobs retired via Job.Cancel.
 var ErrCancelled = errors.New("cgraph: job cancelled")
+
+// Client is the unified job-service surface: submit, observe, and control
+// concurrent iterative jobs against one resident graph, speaking the
+// versioned wire types of package api. Two implementations exist with
+// identical observable behaviour — server.NewLocalClient adapts an
+// in-process server.Service, and package client speaks HTTP to a
+// serve-mode instance — so code written against Client runs unchanged
+// embedded or remote. Service-side failures are returned as *api.Error
+// with machine-readable codes on both transports.
+type Client interface {
+	// Submit registers a job and returns its initial status (queued or
+	// running). The spec's Algo must name an algorithm in the service's
+	// registry.
+	Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, error)
+	// Get returns one job's current status.
+	Get(ctx context.Context, id string) (api.JobStatus, error)
+	// List returns a page of the job listing: compacted history first,
+	// then live jobs in submission order, with the scheduler summary.
+	List(ctx context.Context, opts api.ListOptions) (api.JobList, error)
+	// Watch streams the job's events: a replay of its state transitions
+	// so far (plus latest progress), then live progress and state events.
+	// The channel closes after a terminal state event, or when ctx ends.
+	Watch(ctx context.Context, id string) (<-chan api.Event, error)
+	// Results returns a finished job's converged values (api.CodeNotReady
+	// before convergence, api.CodeReleased after history compaction).
+	Results(ctx context.Context, id string, opts api.ResultsOptions) (api.Results, error)
+	// Cancel retires the job and returns its status; cancelling a
+	// terminal job fails with api.CodeConflict.
+	Cancel(ctx context.Context, id string) (api.JobStatus, error)
+	// AddSnapshot ingests a new graph version (a slot rewrite of the base
+	// edge list) at the given timestamp.
+	AddSnapshot(ctx context.Context, snap api.Snapshot) (api.SnapshotAck, error)
+	// SchedInfo reports the scheduler's last plan.
+	SchedInfo(ctx context.Context) (api.SchedInfo, error)
+	// Metrics reports job-state counts, round-loop progress, and
+	// scheduler state.
+	Metrics(ctx context.Context) (api.Metrics, error)
+}
 
 // Convenient aliases so simple uses need only this package and algo.
 type (
@@ -153,6 +206,93 @@ type System struct {
 
 	serveCancel context.CancelFunc
 	serveDone   chan struct{}
+
+	// progressFns observe every completed job iteration, keyed by
+	// registration order for removal; progressList is the copy-on-write
+	// call order the round-loop hot path reads, rebuilt on mutation.
+	progressFns  map[int]func(JobUpdate)
+	progressSeq  int
+	progressList []func(JobUpdate)
+}
+
+// JobUpdate reports one completed iteration of a submitted job: the
+// running totals as of the iteration's closing push.
+type JobUpdate struct {
+	// JobID is the engine-assigned ID (Job.ID).
+	JobID int
+	// Iteration is the number of completed iterations, 1-based.
+	Iteration int
+	// EdgesProcessed is the job's running edge total.
+	EdgesProcessed int64
+	// VirtualTimeUS is the engine's virtual clock at the iteration close.
+	VirtualTimeUS float64
+}
+
+// OnJobProgress registers fn to observe every completed job iteration
+// (serve mode and batch runs alike). Observers accumulate: each
+// registered fn receives every update, so a server.Service and user code
+// can observe the same System without displacing one another. The
+// returned func unregisters fn — call it when the observer's lifetime
+// ends (a stopped service, say) so the System does not keep it alive.
+// fn runs on the engine's round-loop goroutine and must not block for
+// long; the final iteration's update is delivered strictly before the
+// job's Done channel closes. Resident services use this to feed
+// job-event streams without polling. A nil fn is ignored.
+func (s *System) OnJobProgress(fn func(JobUpdate)) (unregister func()) {
+	if fn == nil {
+		return func() {}
+	}
+	s.mu.Lock()
+	if s.progressFns == nil {
+		s.progressFns = make(map[int]func(JobUpdate))
+	}
+	id := s.progressSeq
+	s.progressSeq++
+	s.progressFns[id] = fn
+	s.rebuildProgressListLocked()
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		delete(s.progressFns, id)
+		s.rebuildProgressListLocked()
+		s.mu.Unlock()
+	}
+}
+
+// rebuildProgressListLocked recomputes the registration-ordered call list.
+// Mutations are rare; the per-iteration hot path just reads the slice.
+func (s *System) rebuildProgressListLocked() {
+	ids := make([]int, 0, len(s.progressFns))
+	for id := range s.progressFns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	list := make([]func(JobUpdate), len(ids))
+	for i, id := range ids {
+		list[i] = s.progressFns[id]
+	}
+	s.progressList = list
+}
+
+// onJobProgress forwards engine progress to the registered observers, in
+// registration order. Runs once per completed job iteration on the
+// engine's round loop, so it only snapshots the prebuilt call list.
+func (s *System) onJobProgress(p core.JobProgress) {
+	s.mu.Lock()
+	fns := s.progressList
+	s.mu.Unlock()
+	if len(fns) == 0 {
+		return
+	}
+	u := JobUpdate{
+		JobID:          p.JobID,
+		Iteration:      p.Iteration,
+		EdgesProcessed: p.EdgesProcessed,
+		VirtualTimeUS:  p.VirtualTimeUS,
+	}
+	for _, fn := range fns {
+		fn(u)
+	}
 }
 
 // NewSystem builds an empty system; load a graph before submitting jobs.
@@ -379,6 +519,7 @@ func (s *System) ensureEngineLocked() {
 		Scheduler:             schedKind(s.cfg.scheduler),
 		DisableStragglerSplit: s.cfg.disableSplit,
 		OnJobEvent:            s.onJobEvent,
+		OnJobProgress:         s.onJobProgress,
 	}, s.store)
 }
 

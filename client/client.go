@@ -1,0 +1,305 @@
+// Package client is the Go HTTP client of the CGraph job service: a
+// cgraph.Client implementation speaking the versioned wire contract of
+// package api to a serve-mode instance (cmd/cgraph-serve or any
+// server.Service handler). It is interchangeable with the in-process
+// client returned by server.NewLocalClient — same types, same error
+// codes, same watch semantics — so programs written against cgraph.Client
+// run unchanged embedded or remote.
+//
+//	c := client.New("http://localhost:8040")
+//	st, err := c.Submit(ctx, api.JobSpec{Algo: "pagerank"})
+//	events, err := c.Watch(ctx, st.ID)
+//	for ev := range events {
+//		// queued, running, progress…, done
+//	}
+//	res, err := c.Results(ctx, st.ID, api.ResultsOptions{Top: 10})
+//
+// Service-side failures are returned as *api.Error with machine-readable
+// codes (api.IsCode / errors.As); transport failures are returned as the
+// underlying error. Idempotent requests (GETs) are retried with backoff on
+// transport errors and 5xx responses; mutating requests are never retried.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"cgraph"
+	"cgraph/api"
+)
+
+// Client speaks the /v1 control plane over HTTP. The zero value is not
+// usable; construct with New.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+var _ cgraph.Client = (*Client)(nil)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient). The client must follow redirects for the legacy
+// routes to keep working; the default does.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times idempotent (GET) requests are retried
+// after transport errors or 5xx responses (default 2), waiting backoff,
+// 2·backoff, … between attempts (default 100ms). Mutating requests are
+// never retried. Negative values are clamped to 0 (no retries — the
+// request itself always runs once).
+func WithRetries(n int, backoff time.Duration) Option {
+	return func(c *Client) {
+		c.retries = max(n, 0)
+		c.backoff = backoff
+	}
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://localhost:8040"). The URL is used as-is apart from a trailing
+// slash; a malformed URL surfaces on the first request.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one request and decodes the JSON response into out (unless
+// out is nil). Non-2xx responses are decoded into *api.Error. GETs are
+// retried on transport errors and 5xx responses.
+func (c *Client) do(ctx context.Context, method, path string, query url.Values, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	u := c.base + path
+	if len(query) > 0 {
+		u += "?" + query.Encode()
+	}
+	attempts := 1
+	if method == http.MethodGet {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(c.backoff << (attempt - 1)):
+			}
+		}
+		var rd io.Reader
+		if in != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u, rd)
+		if err != nil {
+			return fmt.Errorf("client: %w", err)
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
+			if ctx.Err() != nil {
+				return lastErr
+			}
+			continue
+		}
+		retry, err := c.handle(resp, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retry {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// handle consumes one response; retry reports whether the failure is a
+// server-side 5xx worth retrying on an idempotent request.
+func (c *Client) handle(resp *http.Response, out any) (retry bool, err error) {
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		if out == nil {
+			return false, nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return false, fmt.Errorf("client: decode response: %w", err)
+		}
+		return false, nil
+	}
+	var eb api.ErrorBody
+	if derr := json.NewDecoder(resp.Body).Decode(&eb); derr == nil && eb.Error != nil {
+		return resp.StatusCode >= 500, eb.Error
+	}
+	return resp.StatusCode >= 500, &api.Error{
+		Code:    api.CodeForHTTPStatus(resp.StatusCode),
+		Message: fmt.Sprintf("%s (no structured error body)", resp.Status),
+	}
+}
+
+// Submit registers a job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodPost, api.PathPrefix+"/jobs", nil, spec, &st)
+	return st, err
+}
+
+// Get returns one job's current status.
+func (c *Client) Get(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/jobs/"+url.PathEscape(id), nil, nil, &st)
+	return st, err
+}
+
+// List returns a page of the job listing (compacted history first, then
+// live jobs in submission order).
+func (c *Client) List(ctx context.Context, opts api.ListOptions) (api.JobList, error) {
+	q := url.Values{}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	if opts.Offset > 0 {
+		q.Set("offset", strconv.Itoa(opts.Offset))
+	}
+	var list api.JobList
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/jobs", q, nil, &list)
+	return list, err
+}
+
+// Results returns a finished job's converged values.
+func (c *Client) Results(ctx context.Context, id string, opts api.ResultsOptions) (api.Results, error) {
+	if opts.Top < 0 {
+		// Rejected client-side with the code and message the in-process
+		// client produces, keeping the two transports in lockstep.
+		return api.Results{}, api.Errorf(api.CodeBadRequest, "negative top %d", opts.Top)
+	}
+	q := url.Values{}
+	if opts.Top > 0 {
+		q.Set("top", strconv.Itoa(opts.Top))
+	}
+	var res api.Results
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/jobs/"+url.PathEscape(id)+"/results", q, nil, &res)
+	return res, err
+}
+
+// Cancel retires the job and returns its status as of the request.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodDelete, api.PathPrefix+"/jobs/"+url.PathEscape(id), nil, nil, &st)
+	return st, err
+}
+
+// AddSnapshot ingests a new graph version.
+func (c *Client) AddSnapshot(ctx context.Context, snap api.Snapshot) (api.SnapshotAck, error) {
+	var ack api.SnapshotAck
+	err := c.do(ctx, http.MethodPost, api.PathPrefix+"/snapshots", nil, snap, &ack)
+	return ack, err
+}
+
+// SchedInfo reports the scheduler's last plan.
+func (c *Client) SchedInfo(ctx context.Context) (api.SchedInfo, error) {
+	var si api.SchedInfo
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/sched", nil, nil, &si)
+	return si, err
+}
+
+// Metrics reports job-state counts, round-loop progress, and scheduler
+// state in structured form.
+func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
+	var m api.Metrics
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/metrics", nil, nil, &m)
+	return m, err
+}
+
+// Watch subscribes to the job's server-sent event stream: a replay of its
+// lifecycle so far, then live progress and state events. The returned
+// channel closes after a terminal state event, when ctx ends, or when the
+// stream drops; call Get afterwards to distinguish a finished job from a
+// broken connection if the last event seen was not terminal.
+func (c *Client) Watch(ctx context.Context, id string) (<-chan api.Event, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+api.PathPrefix+"/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: watch %s: %w", id, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		_, herr := c.handle(resp, nil)
+		if herr == nil {
+			herr = &api.Error{Code: api.CodeForHTTPStatus(resp.StatusCode), Message: resp.Status}
+		}
+		return nil, herr
+	}
+	ch := make(chan api.Event)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		var data []byte
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "data:"):
+				data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+			case line == "":
+				if len(data) == 0 {
+					continue
+				}
+				var ev api.Event
+				if err := json.Unmarshal(data, &ev); err != nil {
+					return
+				}
+				data = data[:0]
+				select {
+				case ch <- ev:
+				case <-ctx.Done():
+					return
+				}
+				if ev.Terminal() {
+					return
+				}
+			default:
+				// "id:" and "event:" fields duplicate the JSON document;
+				// comments and unknown fields are ignored per the SSE spec.
+			}
+		}
+	}()
+	return ch, nil
+}

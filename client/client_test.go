@@ -1,0 +1,369 @@
+package client_test
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cgraph"
+	"cgraph/api"
+	"cgraph/client"
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/internal/refimpl"
+	"cgraph/model"
+	"cgraph/server"
+)
+
+// spinProgram never converges; cancellation legs stay deterministic.
+type spinProgram struct{}
+
+func (spinProgram) Name() string                { return "Spin" }
+func (spinProgram) Direction() model.Direction  { return model.Out }
+func (spinProgram) Identity() float64           { return 0 }
+func (spinProgram) Acc(a, c float64) float64    { return a + c }
+func (spinProgram) IsActive(s model.State) bool { return true }
+func (spinProgram) Init(v model.VertexID, g model.GraphInfo) (model.State, bool) {
+	return model.State{}, true
+}
+func (spinProgram) Apply(v model.VertexID, s *model.State, deg int) (float64, bool) {
+	s.Delta = 0
+	return 1, true
+}
+func (spinProgram) Contribution(seed float64, w float32) float64 { return seed }
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// harness starts a service with its HTTP control plane and returns both
+// Client implementations over it, plus the edge list for verification.
+func harness(t *testing.T, cfg server.Config) (local, remote cgraph.Client, edges []model.Edge) {
+	t.Helper()
+	edges = gen.RMAT(41, 300, 5000, 0.57, 0.19, 0.19)
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
+	if err := sys.LoadEdges(300, edges); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(sys, cfg)
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Stop(ctx)
+	})
+	reg := server.DefaultRegistry()
+	reg["spin"] = func(server.ProgramParams) model.Program { return spinProgram{} }
+	ts := httptest.NewServer(svc.Handler(reg))
+	t.Cleanup(ts.Close)
+	return server.NewLocalClient(svc, reg), client.New(ts.URL, client.WithHTTPClient(ts.Client())), edges
+}
+
+// lifecycle drives one submit→watch→results cycle through a Client and
+// returns the observed event sequence (type/state pairs) and final status.
+func lifecycle(t *testing.T, ctx context.Context, c cgraph.Client, spec api.JobSpec) (seq []string, st api.JobStatus, res api.Results) {
+	t.Helper()
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	events, err := c.Watch(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	sawProgress := false
+	var lastSeq int64
+	for ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("events out of order: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Type {
+		case api.EventState:
+			seq = append(seq, "state:"+string(ev.State))
+		case api.EventProgress:
+			// Coalesce for comparison: progress cadence is timing-dependent.
+			if !sawProgress {
+				seq = append(seq, "progress")
+				sawProgress = true
+			}
+			if ev.Iteration <= 0 {
+				t.Fatalf("progress event without iteration: %+v", ev)
+			}
+		}
+	}
+	st, err = c.Get(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if st.State == api.JobDone {
+		res, err = c.Results(ctx, st.ID, api.ResultsOptions{})
+		if err != nil {
+			t.Fatalf("results: %v", err)
+		}
+	}
+	return seq, st, res
+}
+
+// TestEndToEndHTTP drives submit→watch→results through a live HTTP server
+// and verifies the result values against the reference implementation.
+func TestEndToEndHTTP(t *testing.T) {
+	_, remote, edges := harness(t, server.Config{})
+	ctx := testCtx(t)
+
+	seq, st, res := lifecycle(t, ctx, remote, api.JobSpec{
+		Algo:   "pagerank",
+		Labels: map[string]string{"tenant": "e2e"},
+	})
+	if st.State != api.JobDone || st.Iterations == 0 || st.Labels["tenant"] != "e2e" {
+		t.Fatalf("final status = %+v", st)
+	}
+	if len(seq) < 2 || seq[len(seq)-1] != "state:done" {
+		t.Fatalf("event sequence = %v, want …state:done", seq)
+	}
+	want := refimpl.PageRank(graph.Build(300, edges), 0.85, 1e-12, 3000)
+	if len(res.Values) != len(want) {
+		t.Fatalf("%d values, want %d", len(res.Values), len(want))
+	}
+	for v := range want {
+		if math.Abs(float64(res.Values[v])-want[v]) > 1e-2*math.Max(1, want[v]) {
+			t.Fatalf("vertex %d: got %v want %v", v, res.Values[v], want[v])
+		}
+	}
+
+	// Top-K through the client.
+	top, err := remote.Results(ctx, st.ID, api.ResultsOptions{Top: 7})
+	if err != nil || len(top.Top) != 7 {
+		t.Fatalf("top results: %v %+v", err, top)
+	}
+
+	// Typed errors round-trip: unknown job, unknown algorithm, not-ready.
+	if _, err := remote.Get(ctx, "job-404"); !api.IsCode(err, api.CodeNotFound) {
+		t.Fatalf("get unknown = %v, want not_found", err)
+	}
+	if _, err := remote.Submit(ctx, api.JobSpec{Algo: "nope"}); !api.IsCode(err, api.CodeUnknownAlgorithm) {
+		t.Fatalf("unknown algo = %v, want unknown_algorithm", err)
+	}
+	spin, err := remote.Submit(ctx, api.JobSpec{Algo: "spin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remote.Results(ctx, spin.ID, api.ResultsOptions{}); !api.IsCode(err, api.CodeNotReady) {
+		t.Fatalf("results of running job = %v, want not_ready", err)
+	}
+	if _, err := remote.Cancel(ctx, spin.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+
+	// Snapshot ingestion and a snapshot-bound job through the client.
+	mut, _ := gen.Mutate(edges, 0.05, 300, 7)
+	snapEdges := make([][3]float64, len(mut))
+	for i, e := range mut {
+		snapEdges[i] = [3]float64{float64(e.Src), float64(e.Dst), float64(e.Weight)}
+	}
+	ack, err := remote.AddSnapshot(ctx, api.Snapshot{Timestamp: 20, Edges: snapEdges})
+	if err != nil || ack.Edges != len(mut) {
+		t.Fatalf("snapshot: %v %+v", err, ack)
+	}
+	ts := int64(20)
+	seq2, st2, res2 := lifecycle(t, ctx, remote, api.JobSpec{Algo: "sssp", Source: 0, AtTimestamp: &ts})
+	if st2.State != api.JobDone || seq2[len(seq2)-1] != "state:done" {
+		t.Fatalf("snapshot job: %+v %v", st2, seq2)
+	}
+	wantSS := refimpl.SSSP(graph.Build(300, mut), 0)
+	for v := range wantSS {
+		got := float64(res2.Values[v])
+		if got != wantSS[v] && !(math.IsInf(got, 1) && math.IsInf(wantSS[v], 1)) {
+			t.Fatalf("post-snapshot sssp vertex %d: got %v want %v", v, got, wantSS[v])
+		}
+	}
+
+	// Sched and metrics are reachable through the client.
+	if si, err := remote.SchedInfo(ctx); err != nil || si.Policy == "" {
+		t.Fatalf("sched: %v %+v", err, si)
+	}
+	if m, err := remote.Metrics(ctx); err != nil || m.Jobs[api.JobDone] < 2 {
+		t.Fatalf("metrics: %v %+v", err, m)
+	}
+}
+
+// TestClientParity is the acceptance check for the unified Client
+// contract: the in-process and HTTP implementations observe identical job
+// lifecycles — same event sequences, same terminal states, same values,
+// same error codes — for a converging, a cancelled, and an erroneous flow.
+func TestClientParity(t *testing.T) {
+	local, remote, edges := harness(t, server.Config{})
+	ctx := testCtx(t)
+	want := refimpl.SSSP(graph.Build(300, edges), 2)
+
+	type outcome struct {
+		seq    []string
+		state  api.JobState
+		values []api.Float
+	}
+	run := func(c cgraph.Client) outcome {
+		seq, st, res := lifecycle(t, ctx, c, api.JobSpec{Algo: "sssp", Source: 2})
+		return outcome{seq: seq, state: st.State, values: res.Values}
+	}
+	a, b := run(local), run(remote)
+
+	if a.state != api.JobDone || b.state != api.JobDone {
+		t.Fatalf("states: local %v, http %v", a.state, b.state)
+	}
+	if len(a.seq) != len(b.seq) {
+		t.Fatalf("event sequences differ: local %v, http %v", a.seq, b.seq)
+	}
+	for i := range a.seq {
+		if a.seq[i] != b.seq[i] {
+			t.Fatalf("event sequences differ at %d: local %v, http %v", i, a.seq, b.seq)
+		}
+	}
+	for _, o := range []outcome{a, b} {
+		if o.seq[0] != "state:queued" || o.seq[len(o.seq)-1] != "state:done" {
+			t.Fatalf("lifecycle replay wrong: %v", o.seq)
+		}
+	}
+	for v := range want {
+		av, bv := float64(a.values[v]), float64(b.values[v])
+		if av != bv && !(math.IsInf(av, 1) && math.IsInf(bv, 1)) {
+			t.Fatalf("vertex %d: local %v, http %v", v, av, bv)
+		}
+		if av != want[v] && !(math.IsInf(av, 1) && math.IsInf(want[v], 1)) {
+			t.Fatalf("vertex %d: got %v want %v", v, av, want[v])
+		}
+	}
+
+	// Cancelled flow: identical terminal events and error codes.
+	cancelSeq := func(c cgraph.Client) (string, api.ErrorCode) {
+		st, err := c.Submit(ctx, api.JobSpec{Algo: "spin"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		events, err := c.Watch(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Cancel(ctx, st.ID); err != nil {
+			t.Fatal(err)
+		}
+		var last api.Event
+		for ev := range events {
+			last = ev
+		}
+		if !last.Terminal() || last.Error == nil {
+			t.Fatalf("cancel watch ended on %+v", last)
+		}
+		// Double cancel: both transports answer conflict.
+		if _, err := c.Cancel(ctx, st.ID); !api.IsCode(err, api.CodeConflict) {
+			t.Fatalf("double cancel = %v, want conflict", err)
+		}
+		return string(last.State), last.Error.Code
+	}
+	ls, lc := cancelSeq(local)
+	rs, rc := cancelSeq(remote)
+	if ls != rs || lc != rc {
+		t.Fatalf("cancel parity: local (%s, %s) vs http (%s, %s)", ls, lc, rs, rc)
+	}
+	if ls != string(api.JobCancelled) || lc != api.CodeCancelled {
+		t.Fatalf("cancel outcome = (%s, %s)", ls, lc)
+	}
+
+	// Bad-input parity: both transports reject a negative top identically.
+	for name, c := range map[string]cgraph.Client{"local": local, "http": remote} {
+		if _, err := c.Results(ctx, "job-0", api.ResultsOptions{Top: -1}); !api.IsCode(err, api.CodeBadRequest) {
+			t.Fatalf("%s: negative top = %v, want bad_request", name, err)
+		}
+	}
+}
+
+// TestClientParityHistoryCompaction: both transports agree on compacted
+// jobs too — listable history, released statuses, 410-coded results.
+func TestClientParityHistoryCompaction(t *testing.T) {
+	local, remote, _ := harness(t, server.Config{RetainTerminal: 1})
+	ctx := testCtx(t)
+
+	var first string
+	for i := 0; i < 3; i++ {
+		seq, st, _ := lifecycle(t, ctx, local, api.JobSpec{Algo: "bfs", Source: uint32(i)})
+		if st.State != api.JobDone {
+			t.Fatalf("job %d: %+v %v", i, st, seq)
+		}
+		if i == 0 {
+			first = st.ID
+		}
+	}
+	for name, c := range map[string]cgraph.Client{"local": local, "http": remote} {
+		st, err := c.Get(ctx, first)
+		if err != nil || !st.Released || st.State != api.JobDone {
+			t.Fatalf("%s: compacted status = %+v, %v", name, st, err)
+		}
+		if _, err := c.Results(ctx, first, api.ResultsOptions{}); !api.IsCode(err, api.CodeReleased) {
+			t.Fatalf("%s: compacted results = %v, want released", name, err)
+		}
+		list, err := c.List(ctx, api.ListOptions{Limit: 2})
+		if err != nil || list.Total != 3 || len(list.Jobs) != 2 || list.Jobs[0].ID != first {
+			t.Fatalf("%s: list = %+v, %v", name, list, err)
+		}
+		events, err := c.Watch(ctx, first)
+		if err != nil {
+			t.Fatalf("%s: watch compacted: %v", name, err)
+		}
+		var evs []api.Event
+		for ev := range events {
+			evs = append(evs, ev)
+		}
+		if len(evs) != 1 || !evs[0].Terminal() || evs[0].State != api.JobDone {
+			t.Fatalf("%s: compacted replay = %+v", name, evs)
+		}
+	}
+}
+
+// TestClientRetriesIdempotent: GETs retry through transient 5xx failures;
+// mutating requests do not.
+func TestClientRetriesIdempotent(t *testing.T) {
+	var gets, posts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			if gets.Add(1) < 3 {
+				http.Error(w, "boom", http.StatusBadGateway)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"id":"job-0","algo":"pagerank","state":"done","submitted_at":"2026-01-01T00:00:00Z"}`))
+		case http.MethodPost:
+			posts.Add(1)
+			http.Error(w, "boom", http.StatusBadGateway)
+		}
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(3, time.Millisecond))
+	st, err := c.Get(testCtx(t), "job-0")
+	if err != nil || st.State != api.JobDone {
+		t.Fatalf("get after retries = %+v, %v", st, err)
+	}
+	if got := gets.Load(); got != 3 {
+		t.Fatalf("gets = %d, want 3", got)
+	}
+	if _, err := c.Submit(testCtx(t), api.JobSpec{Algo: "pagerank"}); err == nil {
+		t.Fatal("submit through 502 must fail")
+	}
+	if got := posts.Load(); got != 1 {
+		t.Fatalf("posts = %d, want 1 (no retry on mutation)", got)
+	}
+	// The fallback error code is derived from the status when the body
+	// carries no structured error.
+	if _, err := c.Submit(testCtx(t), api.JobSpec{Algo: "x"}); !api.IsCode(err, api.CodeInternal) {
+		t.Fatalf("unstructured 502 = %v, want internal", err)
+	}
+}

@@ -1,24 +1,36 @@
-// Command cgraph-serve runs a resident CGraph job service: one shared
-// (optionally evolving) graph held in memory, an HTTP/JSON control plane
-// accepting concurrent iterative jobs, and the engine's round loop sharing
-// every partition load across whatever jobs are in flight.
+// Command cgraph-serve runs a resident CGraph job service — one shared
+// (optionally evolving) graph held in memory, the versioned /v1 HTTP/JSON
+// control plane accepting concurrent iterative jobs, and the engine's
+// round loop sharing every partition load across whatever jobs are in
+// flight — and doubles as its admin CLI: with -connect it drives a running
+// instance through the Go HTTP client instead of serving.
 //
-// Usage:
+// Serve:
 //
 //	cgraph-serve -graph edges.tsv [-addr :8040] [-workers 8] [-max-inflight 16]
-//	cgraph-serve -dataset ukunion-sim [-scale 0.1] [-scheduler two-level]
+//	cgraph-serve -dataset ukunion-sim [-scale 0.1] [-scheduler two-level] [-retain-terminal 64]
 //
-// Control plane:
+// Admin (all wire shapes are api types; errors carry machine-readable codes):
 //
-//	curl -X POST localhost:8040/jobs -d '{"algo":"pagerank"}'
-//	curl -X POST localhost:8040/jobs -d '{"algo":"sssp","source":3,"timeout_ms":5000}'
-//	curl localhost:8040/jobs                 # all jobs
-//	curl localhost:8040/jobs/job-0           # one job's lifecycle state
-//	curl -X DELETE localhost:8040/jobs/job-0 # cancel
-//	curl 'localhost:8040/results/job-1?top=5'
-//	curl -X POST localhost:8040/snapshots -d '{"timestamp":20,"edges":[[0,1,1],...]}'
-//	curl localhost:8040/sched                # last round's groups and load order
-//	curl localhost:8040/metrics
+//	cgraph-serve -connect http://localhost:8040 submit pagerank priority=2
+//	cgraph-serve -connect http://localhost:8040 submit sssp source=3 timeout_ms=5000
+//	cgraph-serve -connect http://localhost:8040 list
+//	cgraph-serve -connect http://localhost:8040 get job-0
+//	cgraph-serve -connect http://localhost:8040 watch job-0
+//	cgraph-serve -connect http://localhost:8040 results job-0 5
+//	cgraph-serve -connect http://localhost:8040 cancel job-1
+//	cgraph-serve -connect http://localhost:8040 sched
+//	cgraph-serve -connect http://localhost:8040 metrics
+//
+// Raw control plane (curl):
+//
+//	curl -X POST localhost:8040/v1/jobs -d '{"algo":"pagerank"}'
+//	curl localhost:8040/v1/jobs                     # list (?limit/&offset paginate)
+//	curl -N localhost:8040/v1/jobs/job-0/events     # server-sent event stream
+//	curl 'localhost:8040/v1/jobs/job-1/results?top=5'
+//	curl -X POST localhost:8040/v1/snapshots -d '{"timestamp":20,"edges":[[0,1,1],...]}'
+//	curl localhost:8040/v1/sched
+//	curl localhost:8040/metrics                     # Prometheus text exposition
 //
 // The graph is partitioned without the core-subgraph split by default so
 // that snapshot ingestion works (slot-stable partitions); pass
@@ -27,31 +39,45 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"cgraph"
+	"cgraph/api"
+	"cgraph/client"
 	"cgraph/internal/gen"
 	"cgraph/server"
 )
 
 func main() {
 	addr := flag.String("addr", ":8040", "listen address")
+	connect := flag.String("connect", "", "admin mode: drive the instance at this base URL instead of serving")
 	graphFile := flag.String("graph", "", "edge-list file (src dst [weight] per line)")
 	dataset := flag.String("dataset", "", "named stand-in dataset (see cgraph-gen -list)")
 	scale := flag.Float64("scale", 1.0, "stand-in scale factor")
 	workers := flag.Int("workers", 0, "worker count (default GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently running jobs, 0 = unlimited")
 	defaultTimeout := flag.Duration("default-timeout", 0, "per-job timeout applied when a submission has none, 0 = none")
+	retainTerminal := flag.Int("retain-terminal", 0, "terminal jobs kept with results before compacting to the history ring, 0 = keep all")
 	coreSubgraph := flag.Bool("core-subgraph", false, "enable §3.3 core-subgraph partitioning (disables snapshot ingestion)")
 	scheduler := flag.String("scheduler", "two-level", "partition-load policy: static, priority (one-level Eq. 1), or two-level (correlation groups + Eq. 1)")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := admin(*connect, flag.Args()); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	policy, err := cgraph.ParseScheduler(*scheduler)
 	if err != nil {
@@ -76,12 +102,13 @@ func main() {
 			fatal(err)
 		}
 	default:
-		fatal(fmt.Errorf("one of -graph or -dataset is required"))
+		fatal(fmt.Errorf("one of -graph or -dataset is required (or -connect for admin mode)"))
 	}
 
 	svc := server.New(sys, server.Config{
 		MaxInFlight:    *maxInflight,
 		DefaultTimeout: *defaultTimeout,
+		RetainTerminal: *retainTerminal,
 	})
 	if err := svc.Start(); err != nil {
 		fatal(err)
@@ -107,6 +134,148 @@ func main() {
 	if err := svc.Stop(ctx); err != nil {
 		log.Printf("service stop: %v", err)
 	}
+}
+
+// admin drives a running instance through the HTTP client.
+func admin(base string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, sched, metrics")
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	c := client.New(base)
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "submit":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: submit <algo> [source=N] [k=N] [priority=N] [timeout_ms=N] [at=TS] [label.key=val]")
+		}
+		spec, err := parseSpec(rest)
+		if err != nil {
+			return err
+		}
+		st, err := c.Submit(ctx, spec)
+		if err != nil {
+			return err
+		}
+		return dump(st)
+	case "get":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: get <job-id>")
+		}
+		st, err := c.Get(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		return dump(st)
+	case "list":
+		list, err := c.List(ctx, api.ListOptions{})
+		if err != nil {
+			return err
+		}
+		return dump(list)
+	case "watch":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: watch <job-id>")
+		}
+		events, err := c.Watch(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		for ev := range events {
+			if err := dump(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "results":
+		if len(rest) < 1 || len(rest) > 2 {
+			return fmt.Errorf("usage: results <job-id> [top]")
+		}
+		var opts api.ResultsOptions
+		if len(rest) == 2 {
+			top, err := strconv.Atoi(rest[1])
+			if err != nil {
+				return fmt.Errorf("bad top %q", rest[1])
+			}
+			opts.Top = top
+		}
+		res, err := c.Results(ctx, rest[0], opts)
+		if err != nil {
+			return err
+		}
+		return dump(res)
+	case "cancel":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: cancel <job-id>")
+		}
+		st, err := c.Cancel(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		return dump(st)
+	case "sched":
+		si, err := c.SchedInfo(ctx)
+		if err != nil {
+			return err
+		}
+		return dump(si)
+	case "metrics":
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			return err
+		}
+		return dump(m)
+	default:
+		return fmt.Errorf("unknown admin command %q", cmd)
+	}
+}
+
+// parseSpec builds an api.JobSpec from "submit <algo> key=value..." args.
+func parseSpec(args []string) (api.JobSpec, error) {
+	spec := api.JobSpec{Algo: args[0]}
+	for _, kv := range args[1:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return spec, fmt.Errorf("bad argument %q, want key=value", kv)
+		}
+		if lbl, ok := strings.CutPrefix(key, "label."); ok {
+			if spec.Labels == nil {
+				spec.Labels = map[string]string{}
+			}
+			spec.Labels[lbl] = val
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad %s %q", key, val)
+		}
+		switch key {
+		case "source":
+			spec.Source = uint32(n)
+		case "k":
+			spec.K = int(n)
+		case "priority":
+			spec.Priority = int(n)
+		case "timeout_ms":
+			spec.TimeoutMS = n
+		case "at":
+			ts := n
+			spec.AtTimestamp = &ts
+		default:
+			return spec, fmt.Errorf("unknown submit option %q", key)
+		}
+	}
+	return spec, nil
+}
+
+// dump pretty-prints one wire value.
+func dump(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
 }
 
 func fatal(err error) {

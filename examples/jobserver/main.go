@@ -1,24 +1,29 @@
-// Job server: the "common platform" of §1 as a service. This example is a
-// thin client of the server subsystem — it loads a synthetic graph, starts
-// the resident job service, and mounts its HTTP control plane. The engine
-// runs continuously: jobs submitted at any time are admitted at the next
-// round boundary (Algorithm 3), share every partition load with whatever
-// else is in flight, and can be cancelled or given deadlines mid-run.
+// Job server: the "common platform" of §1 as a service, driven end to end
+// through the versioned client API. This example loads a synthetic graph,
+// starts the resident job service with its /v1 HTTP control plane, then —
+// acting as its own first tenant — submits concurrent jobs through the Go
+// HTTP client, watches one job's event stream (lifecycle transitions plus
+// per-iteration progress, no polling), and fetches top-K results. Every
+// wire shape is an api type; swap client.New for server.NewLocalClient and
+// the same code runs in-process.
 //
 //	go run ./examples/jobserver &
-//	curl -X POST localhost:8039/jobs -d '{"algo":"pagerank"}'
-//	curl -X POST localhost:8039/jobs -d '{"algo":"sssp","source":3}'
-//	curl localhost:8039/jobs/job-0
-//	curl 'localhost:8039/results/job-0?top=5'
-//	curl -X DELETE localhost:8039/jobs/job-1
-//	curl localhost:8039/metrics
+//	curl -X POST localhost:8039/v1/jobs -d '{"algo":"sssp","source":3}'
+//	curl localhost:8039/v1/jobs/job-2
+//	curl -N localhost:8039/v1/jobs/job-2/events
+//	curl 'localhost:8039/v1/jobs/job-2/results?top=5'
 package main
 
 import (
+	"context"
 	"log"
+	"net"
 	"net/http"
+	"time"
 
 	"cgraph"
+	"cgraph/api"
+	"cgraph/client"
 	"cgraph/internal/gen"
 	"cgraph/server"
 )
@@ -30,11 +35,58 @@ func main() {
 		log.Fatal(err)
 	}
 
-	svc := server.New(sys, server.Config{MaxInFlight: 8})
+	svc := server.New(sys, server.Config{MaxInFlight: 8, RetainTerminal: 64})
 	if err := svc.Start(); err != nil {
 		log.Fatal(err)
 	}
 
+	ln, err := net.Listen("tcp", "localhost:8039")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, svc.Handler(nil))
 	log.Println("cgraph job service on :8039 (graph: 2000 vertices, 50000 edges)")
-	log.Fatal(http.ListenAndServe("localhost:8039", svc.Handler(nil)))
+
+	// The service is its own first tenant: everything below goes through
+	// the HTTP client and the versioned wire types.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := client.New("http://localhost:8039")
+
+	pr, err := c.Submit(ctx, api.JobSpec{
+		Algo:   "pagerank",
+		Labels: map[string]string{"tenant": "example", "kind": "rank"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.Submit(ctx, api.JobSpec{Algo: "sssp", Source: 3, Priority: 1}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch replaces polling: state transitions and per-iteration progress
+	// stream until the terminal event.
+	events, err := c.Watch(ctx, pr.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for ev := range events {
+		switch ev.Type {
+		case api.EventState:
+			log.Printf("%s: state=%s", pr.ID, ev.State)
+		case api.EventProgress:
+			log.Printf("%s: iteration=%d edges=%d", pr.ID, ev.Iteration, ev.EdgesProcessed)
+		}
+	}
+
+	res, err := c.Results(ctx, pr.ID, api.ResultsOptions{Top: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, vv := range res.Top {
+		log.Printf("%s: vertex %d rank %.6f", pr.ID, vv.Vertex, float64(vv.Value))
+	}
+
+	log.Println("serving; submit more jobs against /v1 (Ctrl-C to stop)")
+	select {}
 }

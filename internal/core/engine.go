@@ -83,6 +83,20 @@ type JobEvent struct {
 	Err error
 }
 
+// JobProgress reports one completed job iteration: the running totals as
+// of the iteration's closing push. Progress fires from the goroutine
+// driving Run or Serve, outside engine locks, strictly before the job's
+// terminal JobEvent.
+type JobProgress struct {
+	JobID int
+	// Iteration is the number of completed iterations, 1-based.
+	Iteration int
+	// EdgesProcessed is the job's running edge total.
+	EdgesProcessed int64
+	// VirtualTimeUS is the engine's virtual clock at the iteration close.
+	VirtualTimeUS float64
+}
+
 // Config tunes the engine.
 type Config struct {
 	// Workers is the number of cores (default runtime.GOMAXPROCS(0)).
@@ -109,6 +123,11 @@ type Config struct {
 	// call back into the engine but must not block for long, since the
 	// round loop waits on them.
 	OnJobEvent func(JobEvent)
+	// OnJobProgress, when set, is invoked after every completed job
+	// iteration (the terminal JobEvent follows the final one). Same
+	// calling discipline as OnJobEvent: round-loop goroutine, no engine
+	// locks held, must not block for long.
+	OnJobProgress func(JobProgress)
 }
 
 type runJob struct {
@@ -895,6 +914,14 @@ func (e *Engine) finishIteration(rj *runJob) {
 	e.prefetchCredit += t
 	rj.m.AccessTime += t
 	rj.m.SyncTime += t
+	if e.cfg.OnJobProgress != nil {
+		e.cfg.OnJobProgress(JobProgress{
+			JobID:          rj.ID,
+			Iteration:      rj.Iterations,
+			EdgesProcessed: rj.EdgesProcessed,
+			VirtualTimeUS:  e.now,
+		})
+	}
 	if rj.Done {
 		rj.FinishTime = e.now
 		rj.m.FinishAt = e.now

@@ -111,6 +111,56 @@ func TestServeAdmitsSubmissionsWhileResident(t *testing.T) {
 	}
 }
 
+// TestProgressEventsPrecedeTerminal: OnJobProgress fires once per
+// completed iteration with monotone totals, and the final progress update
+// lands strictly before the terminal JobEvent.
+func TestProgressEventsPrecedeTerminal(t *testing.T) {
+	edges := gen.RMAT(33, 300, 5000, 0.57, 0.19, 0.19)
+	pg := buildPG(t, edges, 300, 6, false)
+	var mu sync.Mutex
+	var progress []JobProgress
+	terminalAt := -1
+	e := NewSingle(Config{
+		Workers: 2,
+		Hier:    smallHier(),
+		OnJobProgress: func(p JobProgress) {
+			mu.Lock()
+			progress = append(progress, p)
+			mu.Unlock()
+		},
+		OnJobEvent: func(ev JobEvent) {
+			mu.Lock()
+			terminalAt = len(progress)
+			mu.Unlock()
+		},
+	}, pg)
+	id := e.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, 0)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(progress) == 0 {
+		t.Fatal("no progress events")
+	}
+	for i, p := range progress {
+		if p.JobID != id || p.Iteration != i+1 {
+			t.Fatalf("progress %d = %+v, want iteration %d", i, p, i+1)
+		}
+		if i > 0 && (p.EdgesProcessed < progress[i-1].EdgesProcessed || p.VirtualTimeUS < progress[i-1].VirtualTimeUS) {
+			t.Fatalf("progress totals not monotone: %+v after %+v", p, progress[i-1])
+		}
+	}
+	if terminalAt != len(progress) {
+		t.Fatalf("terminal event at progress count %d, want after all %d", terminalAt, len(progress))
+	}
+	final := progress[len(progress)-1]
+	j, ok := e.Job(id)
+	if !ok || final.Iteration != j.Iterations {
+		t.Fatalf("final progress iteration %d, job ran %d", final.Iteration, j.Iterations)
+	}
+}
+
 func TestServeCancelRetiresBetweenRounds(t *testing.T) {
 	edges := gen.RMAT(32, 200, 3000, 0.57, 0.19, 0.19)
 	pg := buildPG(t, edges, 200, 4, false)

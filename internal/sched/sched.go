@@ -12,7 +12,9 @@
 // C(U) the average vertex-state change observed for that version in the
 // previous round. θ is kept strictly below 1/(Dmax·Cmax) so that N always
 // dominates, and — unlike the original fit-once preprocessing — is refitted
-// whenever a new snapshot raises Dmax or the observed C maxima drift upward.
+// whenever a new snapshot raises Dmax or the windowed (decayed) D/C maxima
+// drift out of the hysteresis band in either direction, so the fit tracks
+// shrinking workloads as well as upward drift.
 //
 // A scheduling unit is one snapshot version of a partition, not a base
 // partition index: snapshots with arbitrary partition counts schedule
@@ -102,6 +104,13 @@ const (
 	dominanceBudget  = 0.5
 	refitMinInterval = 32
 	cmaxCeiling      = 1e150
+	// windowDecay ages the running D/C maxima a little every plan
+	// (half-life ≈ 23 plans), so the estimates — and through them θ —
+	// also track *shrinking* workloads: when dense snapshots or hot jobs
+	// retire, the window drifts down and a rate-limited refit raises θ
+	// back toward the live regime instead of staying pinned to an
+	// all-time peak. The dominance clamp keeps Eq. 1 correct either way.
+	windowDecay = 0.97
 )
 
 // Scheduler orders partition loads for a round. It is driven by a single
@@ -110,10 +119,14 @@ const (
 type Scheduler struct {
 	kind Kind
 
-	// dmax / cmax are the largest average degree and state-change sums
-	// observed so far; cmaxFit is the C maximum θ was last fitted against.
-	dmax    float64
-	cmax    float64
+	// dmaxWin / cmaxWin are windowed (decayed running) maxima of the
+	// average degrees and state-change sums: each Plan ages them by
+	// windowDecay, then folds in the round's observations, so they rise
+	// instantly with the workload and drift back down as it shrinks.
+	// dmaxFit / cmaxFit are the values θ was last fitted against.
+	dmaxWin float64
+	cmaxWin float64
+	dmaxFit float64
 	cmaxFit float64
 	theta   float64
 	// fitted distinguishes "never fitted" from small-θ regimes; plans and
@@ -136,26 +149,28 @@ func (s *Scheduler) Theta() float64 { return s.theta }
 // Refits counts how many times θ was (re)fitted.
 func (s *Scheduler) Refits() int { return s.refits }
 
-// ObserveSnapshot folds a snapshot's partition degrees into Dmax and refits
-// θ when a new version raised it.
+// ObserveSnapshot folds a snapshot's partition degrees into the windowed
+// Dmax and refits θ immediately when the new version raised it beyond the
+// fitted value. Merely topping up the decayed window (a steady stream of
+// same-density snapshots) does not refit — downward tracking is Plan's
+// rate-limited job — so snapshot ingestion cadence cannot churn θ.
 func (s *Scheduler) ObserveSnapshot(pg *graph.PGraph) {
-	grew := false
 	for _, p := range pg.Parts {
-		if p.AvgDegree > s.dmax {
-			s.dmax = p.AvgDegree
-			grew = true
+		if p.AvgDegree > s.dmaxWin {
+			s.dmaxWin = p.AvgDegree
 		}
 	}
-	if grew {
+	if !s.fitted || s.dmaxWin > s.dmaxFit {
 		s.refit()
 	}
 }
 
-// refit pins θ strictly below 1/(Dmax·Cmax) from the current maxima.
+// refit pins θ strictly below 1/(Dmax·Cmax) from the windowed maxima.
 func (s *Scheduler) refit() {
-	if s.dmax > 0 && s.cmax > 0 {
-		s.theta = dominanceBudget / (s.dmax * s.cmax)
-		s.cmaxFit = s.cmax
+	if s.dmaxWin > 0 && s.cmaxWin > 0 {
+		s.theta = dominanceBudget / (s.dmaxWin * s.cmaxWin)
+		s.dmaxFit = s.dmaxWin
+		s.cmaxFit = s.cmaxWin
 		s.fitted = true
 		s.refits++
 		s.lastFitPlan = s.plans
@@ -176,18 +191,32 @@ type unit struct {
 // group.
 func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 	s.plans++
+	// Age the window, then fold in this round's observations: the C sums
+	// of the previous round and the degrees of the footprints actually
+	// being scheduled (snapshot arrivals feed ObserveSnapshot directly).
+	s.cmaxWin *= windowDecay
+	s.dmaxWin *= windowDecay
 	for _, v := range c {
-		if v > s.cmax && v < cmaxCeiling && !math.IsNaN(v) {
-			s.cmax = v
+		if v > s.cmaxWin && v < cmaxCeiling && !math.IsNaN(v) {
+			s.cmaxWin = v
 		}
 	}
-	// First fit as soon as both maxima exist; afterwards only when the C
-	// maxima drift past the hysteresis band, at most once per
-	// refitMinInterval plans.
+	for _, jf := range jobs {
+		for _, p := range jf.Units {
+			if p.AvgDegree > s.dmaxWin {
+				s.dmaxWin = p.AvgDegree
+			}
+		}
+	}
+	// First fit as soon as both maxima exist; afterwards whenever the
+	// windowed maxima drift out of the hysteresis band in either
+	// direction, at most once per refitMinInterval plans.
+	drifted := s.cmaxWin > s.cmaxFit*driftFactor || s.dmaxWin > s.dmaxFit*driftFactor ||
+		s.cmaxWin < s.cmaxFit/driftFactor || s.dmaxWin < s.dmaxFit/driftFactor
 	switch {
-	case !s.fitted && s.cmax > 0:
+	case !s.fitted && s.cmaxWin > 0:
 		s.refit()
-	case s.fitted && s.cmax > s.cmaxFit*driftFactor && s.plans-s.lastFitPlan >= refitMinInterval:
+	case s.fitted && drifted && s.plans-s.lastFitPlan >= refitMinInterval:
 		s.refit()
 	}
 

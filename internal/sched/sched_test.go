@@ -196,6 +196,44 @@ func TestThetaRefitsOnSnapshotAndDrift(t *testing.T) {
 	}
 }
 
+// TestThetaWindowTracksShrinkingWorkload: the windowed D/C estimate must
+// decay once the hot regime ends, so a rate-limited downward refit raises
+// θ back toward the live workload instead of staying pinned to the
+// all-time peak.
+func TestThetaWindowTracksShrinkingWorkload(t *testing.T) {
+	pg := buildPG(t, 8)
+	s := New(Priority)
+	s.ObserveSnapshot(pg)
+
+	// Fit against a hot regime.
+	s.Plan(footprints(pg, map[int][]int{0: {0, 1}}), cmap(pg, []float64{500, 100}))
+	hot := s.Theta()
+	if hot <= 0 {
+		t.Fatal("theta not fitted")
+	}
+
+	// The workload cools: tiny C observations for long enough that the
+	// decayed window leaves the hysteresis band and the rate limit opens.
+	refits := s.Refits()
+	for i := 0; i < 4*refitMinInterval; i++ {
+		s.Plan(footprints(pg, map[int][]int{0: {0, 1}}), cmap(pg, []float64{2, 1}))
+	}
+	if s.Refits() <= refits {
+		t.Fatal("no downward refit despite a shrunken workload")
+	}
+	if s.Theta() <= hot {
+		t.Fatalf("theta %v did not grow after the workload shrank (was %v)", s.Theta(), hot)
+	}
+
+	// N(U) dominance survives the larger θ: a sudden C spike between
+	// refits is absorbed by the dominance clamp.
+	jobs := map[int][]int{0: {0, 1, 2, 3}, 1: {1, 2}, 2: {1}}
+	got := loadOrder(s.Plan(footprints(pg, jobs), cmap(pg, []float64{1e9, 0.1, 1e9, 1e9})))
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("order = %v, want N(P) to dominate (1,2 first) despite stale θ", got)
+	}
+}
+
 func TestTwoLevelGroupsDisjointFootprints(t *testing.T) {
 	pg := buildPG(t, 8)
 	s := New(TwoLevel)

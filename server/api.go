@@ -1,0 +1,200 @@
+package server
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"cgraph/api"
+	"cgraph/model"
+)
+
+// This file is the transport-neutral face of the Service: every operation
+// of the cgraph.Client contract, speaking api types and returning
+// *api.Error. The /v1 HTTP handlers (http.go) and the in-process client
+// (local.go) are both thin shims over these methods, so the two transports
+// cannot diverge in behaviour or error codes.
+
+// SubmitSpec accepts one wire-form submission: the registry resolves the
+// algorithm name, and the spec's labels, priority, deadline, and snapshot
+// binding carry through to the service job.
+func (s *Service) SubmitSpec(reg Registry, spec api.JobSpec) (api.JobStatus, *api.Error) {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	if spec.TimeoutMS < 0 {
+		return api.JobStatus{}, api.Errorf(api.CodeBadRequest, "negative timeout_ms %d", spec.TimeoutMS)
+	}
+	prog, err := reg.Build(spec.Algo, ProgramParams{Source: model.VertexID(spec.Source), K: spec.K})
+	if err != nil {
+		return api.JobStatus{}, &api.Error{Code: api.CodeUnknownAlgorithm, Message: err.Error()}
+	}
+	sspec := Spec{
+		Program:  prog,
+		Arrival:  spec.AtTimestamp,
+		Labels:   spec.Labels,
+		Priority: spec.Priority,
+	}
+	if spec.TimeoutMS > 0 {
+		sspec.Timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	j, err := s.Submit(sspec)
+	if err != nil {
+		return api.JobStatus{}, &api.Error{Code: api.CodeUnavailable, Message: err.Error()}
+	}
+	return j.Status(), nil
+}
+
+// StatusOf reports one job's wire status, live or compacted.
+func (s *Service) StatusOf(id string) (api.JobStatus, *api.Error) {
+	if j, ok := s.Get(id); ok {
+		return j.Status(), nil
+	}
+	if st, ok := s.historyLookup(id); ok {
+		return st, nil
+	}
+	return api.JobStatus{}, api.Errorf(api.CodeNotFound, "unknown job %q", id)
+}
+
+// CancelJob retires the identified job and returns its status as of the
+// cancel request (running jobs retire at the engine's next round
+// boundary, so the returned state may still be "running").
+func (s *Service) CancelJob(id string) (api.JobStatus, *api.Error) {
+	j, ok := s.Get(id)
+	if !ok {
+		if st, ok := s.historyLookup(id); ok {
+			return api.JobStatus{}, api.Errorf(api.CodeConflict, "job %s already %s (compacted)", id, st.State)
+		}
+		return api.JobStatus{}, api.Errorf(api.CodeNotFound, "unknown job %q", id)
+	}
+	if err := j.Cancel(); err != nil {
+		return api.JobStatus{}, &api.Error{Code: api.CodeConflict, Message: err.Error()}
+	}
+	return j.Status(), nil
+}
+
+// ResultsOf returns a finished job's converged values, full or top-K.
+func (s *Service) ResultsOf(id string, opts api.ResultsOptions) (api.Results, *api.Error) {
+	j, ok := s.Get(id)
+	if !ok {
+		if _, ok := s.historyLookup(id); ok {
+			return api.Results{}, api.Errorf(api.CodeReleased, "job %s was compacted to history; results dropped", id)
+		}
+		return api.Results{}, api.Errorf(api.CodeNotFound, "unknown job %q", id)
+	}
+	if opts.Top < 0 {
+		return api.Results{}, api.Errorf(api.CodeBadRequest, "negative top %d", opts.Top)
+	}
+	values, err := j.Results()
+	if err != nil {
+		code := api.CodeConflict
+		if st := j.State(); st == StateQueued || st == StateRunning {
+			// Not an error, just not done yet.
+			code = api.CodeNotReady
+		}
+		return api.Results{}, &api.Error{Code: code, Message: err.Error()}
+	}
+	res := api.Results{ID: j.ID(), Algo: j.Name(), NumVertices: len(values)}
+	if opts.Top > 0 {
+		top := make([]api.VertexValue, 0, len(values))
+		for v, x := range values {
+			top = append(top, api.VertexValue{Vertex: v, Value: api.Float(x)})
+		}
+		sort.Slice(top, func(i, j int) bool { return top[i].Value > top[j].Value })
+		if opts.Top < len(top) {
+			top = top[:opts.Top]
+		}
+		res.Top = top
+		return res, nil
+	}
+	res.Values = make([]api.Float, len(values))
+	for i, x := range values {
+		res.Values[i] = api.Float(x)
+	}
+	return res, nil
+}
+
+// IngestSnapshot applies one wire-form snapshot (a slot rewrite of the
+// base edge list) at the given timestamp.
+func (s *Service) IngestSnapshot(snap api.Snapshot) (api.SnapshotAck, *api.Error) {
+	edges := make([]model.Edge, len(snap.Edges))
+	for i, e := range snap.Edges {
+		edges[i] = model.Edge{
+			Src:    model.VertexID(e[0]),
+			Dst:    model.VertexID(e[1]),
+			Weight: float32(e[2]),
+		}
+	}
+	if err := s.AddSnapshot(edges, snap.Timestamp); err != nil {
+		return api.SnapshotAck{}, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+	}
+	return api.SnapshotAck{Timestamp: snap.Timestamp, Edges: len(edges)}, nil
+}
+
+// MetricsInfo reports job-state counts (compacted history included),
+// round-loop progress, and the scheduler's last plan in wire form.
+func (s *Service) MetricsInfo() api.Metrics {
+	m, _ := s.metricsSnapshot()
+	return m
+}
+
+// metricsSnapshot builds MetricsInfo and returns the live statuses it
+// counted, so the Prometheus handler lists jobs once per scrape. History,
+// live handles, and eviction counters are copied under one lock hold
+// (snapshotJobs): a job compacted mid-scrape is counted in exactly one
+// bucket, and jobs evicted off the bounded ring stay counted, so the
+// per-state totals never run backwards.
+func (s *Service) metricsSnapshot() (api.Metrics, []api.JobStatus) {
+	m := api.Metrics{
+		Jobs: map[api.JobState]int{
+			StateQueued: 0, StateRunning: 0, StateDone: 0, StateCancelled: 0, StateFailed: 0,
+		},
+		Sched: s.SchedInfo(),
+	}
+	history, jobs, evicted := s.snapshotJobs()
+	for state, n := range evicted {
+		m.Jobs[state] += n
+	}
+	for _, st := range history {
+		m.Jobs[st.State]++
+	}
+	live := make([]api.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		st := j.Status()
+		live = append(live, st)
+		m.Jobs[st.State]++
+	}
+	stats := s.sys.Stats()
+	m.Rounds = stats.Rounds
+	m.VirtualTimeUS = stats.VirtualTimeUS
+	return m, live
+}
+
+// WatchJob streams the job's events: a replay of its lifecycle so far,
+// then live progress and state events. The channel closes after a
+// terminal state event or when ctx ends. Compacted jobs replay their
+// terminal summary.
+func (s *Service) WatchJob(ctx context.Context, id string) (<-chan api.Event, *api.Error) {
+	if _, ok := s.Get(id); ok {
+		if ch, ok := s.events.subscribe(ctx, id); ok {
+			return ch, nil
+		}
+		// Compacted between the lookup and the subscription; fall through.
+	}
+	if st, ok := s.historyLookup(id); ok {
+		return replayTerminal(ctx, st), nil
+	}
+	return nil, api.Errorf(api.CodeNotFound, "unknown job %q", id)
+}
+
+// historyLookup finds a compacted job's summary in the history ring.
+func (s *Service) historyLookup(id string) (api.JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.history) - 1; i >= 0; i-- {
+		if s.history[i].st.ID == id {
+			return s.history[i].st, true
+		}
+	}
+	return api.JobStatus{}, false
+}

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"cgraph/api"
+)
+
+// hub fans job events out to watchers. Each job owns one stream: the
+// service publishes lifecycle transitions and per-iteration progress into
+// it, and any number of subscribers (SSE handlers, local-client Watch
+// calls) consume it. A subscriber attached late first receives a replay of
+// the job's state transitions so far (plus its latest progress event),
+// then live events; the stream ends after a terminal state event.
+//
+// Publishing never blocks on slow subscribers: each subscription buffers
+// events in its own queue and coalesces consecutive progress events, so
+// the engine's round loop is insulated from consumer backpressure while
+// state transitions are still delivered losslessly and in order.
+type hub struct {
+	mu   sync.Mutex
+	jobs map[string]*stream
+}
+
+// stream is one job's event history and live subscriber set.
+type stream struct {
+	seq int64
+	// states holds every state-transition event in order (at most one per
+	// lifecycle state, so the slice stays tiny).
+	states []api.Event
+	// progress is the latest progress event; older ones are superseded.
+	progress *api.Event
+	done     bool
+	subs     map[*subscriber]struct{}
+}
+
+// subscriber is one Watch attachment: a private queue drained by its own
+// goroutine into the consumer-facing channel.
+type subscriber struct {
+	mu     sync.Mutex
+	queue  []api.Event
+	notify chan struct{}
+	out    chan api.Event
+}
+
+func newHub() *hub {
+	return &hub{jobs: make(map[string]*stream)}
+}
+
+// create registers a job's stream; publish and subscribe on unknown jobs
+// are no-ops/errors, so creation marks the job's existence.
+func (h *hub) create(id string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.jobs[id]; !ok {
+		h.jobs[id] = &stream{subs: make(map[*subscriber]struct{})}
+	}
+}
+
+// remove drops a compacted job's stream; late watchers are served a
+// synthesized terminal replay from the history ring instead.
+func (h *hub) remove(id string) {
+	h.mu.Lock()
+	delete(h.jobs, id)
+	h.mu.Unlock()
+}
+
+// publish appends one event to the job's stream and forwards it to every
+// subscriber. Events for unknown (never created or already removed) jobs
+// are dropped.
+func (h *hub) publish(id string, ev api.Event) {
+	h.mu.Lock()
+	st, ok := h.jobs[id]
+	if !ok || st.done {
+		h.mu.Unlock()
+		return
+	}
+	st.seq++
+	ev.Seq = st.seq
+	ev.JobID = id
+	if ev.Type == api.EventProgress {
+		st.progress = &ev
+	} else {
+		st.states = append(st.states, ev)
+		if ev.Terminal() {
+			st.done = true
+		}
+	}
+	for sub := range st.subs {
+		sub.enqueue(ev)
+	}
+	if st.done {
+		// Terminal delivered; subscriber goroutines exit after draining.
+		clear(st.subs)
+	}
+	h.mu.Unlock()
+}
+
+// subscribe attaches a watcher to the job's stream: the returned channel
+// replays the stream so far, then carries live events, and closes after a
+// terminal event or when ctx ends. The bool is false for unknown jobs.
+func (h *hub) subscribe(ctx context.Context, id string) (<-chan api.Event, bool) {
+	h.mu.Lock()
+	st, ok := h.jobs[id]
+	if !ok {
+		h.mu.Unlock()
+		return nil, false
+	}
+	sub := &subscriber{
+		notify: make(chan struct{}, 1),
+		out:    make(chan api.Event),
+	}
+	// Seed the replay under the hub lock so no live event can interleave:
+	// states in order, with the latest progress inserted before a trailing
+	// terminal event (matching the order a live watcher would have seen).
+	replay := make([]api.Event, 0, len(st.states)+1)
+	replay = append(replay, st.states...)
+	if st.progress != nil {
+		if st.done && len(replay) > 0 {
+			last := replay[len(replay)-1]
+			replay = append(replay[:len(replay)-1], *st.progress, last)
+		} else {
+			replay = append(replay, *st.progress)
+		}
+	}
+	sub.queue = replay
+	if !st.done {
+		st.subs[sub] = struct{}{}
+	}
+	h.mu.Unlock()
+
+	go sub.run(ctx, func() {
+		h.mu.Lock()
+		if s, ok := h.jobs[id]; ok {
+			delete(s.subs, sub)
+		}
+		h.mu.Unlock()
+	})
+	return sub.out, true
+}
+
+// replayTerminal serves a watcher of an already-compacted job: it delivers
+// one synthesized terminal state event and closes.
+func replayTerminal(ctx context.Context, status api.JobStatus) <-chan api.Event {
+	out := make(chan api.Event, 1)
+	go func() {
+		defer close(out)
+		ev := api.Event{
+			Type:      api.EventState,
+			JobID:     status.ID,
+			Seq:       1,
+			State:     status.State,
+			Error:     status.Error,
+			Iteration: status.Iterations,
+		}
+		select {
+		case out <- ev:
+		case <-ctx.Done():
+		}
+	}()
+	return out
+}
+
+// enqueue adds one event to the subscriber's private queue, coalescing
+// consecutive progress events so a slow consumer sees the freshest totals
+// rather than an unbounded backlog.
+func (s *subscriber) enqueue(ev api.Event) {
+	s.mu.Lock()
+	if n := len(s.queue); ev.Type == api.EventProgress && n > 0 && s.queue[n-1].Type == api.EventProgress {
+		s.queue[n-1] = ev
+	} else {
+		s.queue = append(s.queue, ev)
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// run drains the queue into the out channel until a terminal event is
+// delivered or ctx ends.
+func (s *subscriber) run(ctx context.Context, unsubscribe func()) {
+	defer close(s.out)
+	defer unsubscribe()
+	for {
+		s.mu.Lock()
+		var ev api.Event
+		have := len(s.queue) > 0
+		if have {
+			ev = s.queue[0]
+			s.queue = s.queue[1:]
+		}
+		s.mu.Unlock()
+		if !have {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.notify:
+				continue
+			}
+		}
+		select {
+		case s.out <- ev:
+		case <-ctx.Done():
+			return
+		}
+		if ev.Terminal() {
+			return
+		}
+	}
+}

@@ -3,43 +3,36 @@ package server
 import (
 	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"sort"
 	"strconv"
-	"time"
+	"strings"
 
+	"cgraph/api"
 	"cgraph/internal/metrics"
-	"cgraph/model"
 )
 
-// jsonFloat renders non-finite vertex values (e.g. +Inf for unreachable
-// vertices in SSSP) as strings, which encoding/json otherwise rejects.
-type jsonFloat float64
-
-func (f jsonFloat) MarshalJSON() ([]byte, error) {
-	v := float64(f)
-	switch {
-	case math.IsInf(v, 1):
-		return []byte(`"+Inf"`), nil
-	case math.IsInf(v, -1):
-		return []byte(`"-Inf"`), nil
-	case math.IsNaN(v):
-		return []byte(`"NaN"`), nil
-	}
-	return json.Marshal(v)
-}
-
-// Handler returns the HTTP/JSON control plane over the service:
+// Handler returns the versioned HTTP/JSON control plane over the service.
+// Every request and response body is a wire type of package api, mounted
+// under the api.PathPrefix ("/v1") route prefix:
 //
-//	POST   /jobs          {"algo":"sssp","source":3,"timeout_ms":5000,"at_timestamp":20}
-//	GET    /jobs          list all jobs
-//	GET    /jobs/{id}     one job's status
-//	DELETE /jobs/{id}     cancel
-//	GET    /results/{id}  converged values (?top=K for the K largest)
-//	POST   /snapshots     {"timestamp":20,"edges":[[src,dst,weight],...]}
-//	GET    /sched         the scheduler's last plan (policy, θ, groups)
-//	GET    /metrics       Prometheus text exposition
+//	POST   /v1/jobs               submit (api.JobSpec → api.JobStatus)
+//	GET    /v1/jobs               list, ?limit=N&offset=M paginates history
+//	GET    /v1/jobs/{id}          one job's status
+//	DELETE /v1/jobs/{id}          cancel
+//	GET    /v1/jobs/{id}/results  converged values (?top=K for the K largest)
+//	GET    /v1/jobs/{id}/events   server-sent event stream (api.Event)
+//	POST   /v1/snapshots          ingest a graph version (api.Snapshot)
+//	GET    /v1/sched              the scheduler's last plan
+//	GET    /v1/metrics            structured metrics (api.Metrics)
+//	GET    /metrics               Prometheus text exposition (unversioned)
+//
+// Errors are api.ErrorBody envelopes with machine-readable codes and
+// never ride a 2xx status (results of an unfinished job answer 409
+// not_ready, where the pre-versioning API used a bare 202); known routes
+// hit with a wrong method answer 405 with an Allow header; the
+// pre-versioning routes (/jobs, /results/{id}, /snapshots, /sched) answer
+// 308 permanent redirects to their /v1 successors.
 //
 // The registry resolves algorithm names; pass nil for DefaultRegistry.
 func (s *Service) Handler(reg Registry) http.Handler {
@@ -48,14 +41,57 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	}
 	h := &httpAPI{svc: s, reg: reg}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", h.submit)
-	mux.HandleFunc("GET /jobs", h.list)
-	mux.HandleFunc("GET /jobs/{id}", h.get)
-	mux.HandleFunc("DELETE /jobs/{id}", h.cancel)
-	mux.HandleFunc("GET /results/{id}", h.results)
-	mux.HandleFunc("POST /snapshots", h.snapshot)
-	mux.HandleFunc("GET /sched", h.sched)
-	mux.HandleFunc("GET /metrics", h.metrics)
+	mux.HandleFunc(api.PathPrefix+"/jobs", methods(map[string]http.HandlerFunc{
+		http.MethodPost: h.submit,
+		http.MethodGet:  h.list,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/jobs/{id}", methods(map[string]http.HandlerFunc{
+		http.MethodGet:    h.get,
+		http.MethodDelete: h.cancel,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/jobs/{id}/results", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.results,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/jobs/{id}/events", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.events,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/snapshots", methods(map[string]http.HandlerFunc{
+		http.MethodPost: h.snapshot,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/sched", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.sched,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/metrics", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.metricsJSON,
+	}))
+	mux.HandleFunc("/metrics", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.metrics,
+	}))
+
+	// Pre-versioning routes redirect permanently to their /v1 successors;
+	// 308 preserves the method and body, so old clients keep working.
+	legacy := func(target func(r *http.Request) string) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			http.Redirect(w, r, target(r), http.StatusPermanentRedirect)
+		}
+	}
+	mux.HandleFunc("/jobs", legacy(func(r *http.Request) string { return api.PathPrefix + "/jobs" }))
+	mux.HandleFunc("/jobs/{id}", legacy(func(r *http.Request) string {
+		return api.PathPrefix + "/jobs/" + r.PathValue("id")
+	}))
+	mux.HandleFunc("/results/{id}", legacy(func(r *http.Request) string {
+		u := api.PathPrefix + "/jobs/" + r.PathValue("id") + "/results"
+		if q := r.URL.RawQuery; q != "" {
+			u += "?" + q
+		}
+		return u
+	}))
+	mux.HandleFunc("/snapshots", legacy(func(r *http.Request) string { return api.PathPrefix + "/snapshots" }))
+	mux.HandleFunc("/sched", legacy(func(r *http.Request) string { return api.PathPrefix + "/sched" }))
+
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, api.Errorf(api.CodeNotFound, "no route %s", r.URL.Path))
+	})
 	return mux
 }
 
@@ -64,47 +100,62 @@ type httpAPI struct {
 	reg Registry
 }
 
-type submitRequest struct {
-	Algo string `json:"algo"`
-	// Source is the source vertex for traversal algorithms.
-	Source uint32 `json:"source"`
-	// K is the k-core threshold.
-	K int `json:"k"`
-	// TimeoutMS bounds the job's wall-clock lifetime in milliseconds.
-	TimeoutMS int64 `json:"timeout_ms"`
-	// AtTimestamp binds the job to the newest snapshot not younger than
-	// this; absent means the latest snapshot.
-	AtTimestamp *int64 `json:"at_timestamp"`
+// methods dispatches by HTTP method and answers 405 (with an Allow header
+// and an api.Error body) for known routes hit with the wrong method.
+func methods(m map[string]http.HandlerFunc) http.HandlerFunc {
+	allowed := make([]string, 0, len(m))
+	for k := range m {
+		allowed = append(allowed, k)
+	}
+	sort.Strings(allowed)
+	allow := strings.Join(allowed, ", ")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := m[r.Method]; ok {
+			h(w, r)
+			return
+		}
+		// HEAD rides the GET handler (net/http elides the body), matching
+		// ServeMux's method-pattern semantics for probes like `curl -I`.
+		if r.Method == http.MethodHead {
+			if h, ok := m[http.MethodGet]; ok {
+				h(w, r)
+				return
+			}
+		}
+		w.Header().Set("Allow", allow)
+		writeError(w, api.Errorf(api.CodeMethodNotAllowed,
+			"method %s not allowed on %s (allow: %s)", r.Method, r.URL.Path, allow))
+	}
 }
 
 func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec api.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
-	prog, err := h.reg.Build(req.Algo, ProgramParams{Source: model.VertexID(req.Source), K: req.K})
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	st, aerr := h.svc.SubmitSpec(h.reg, spec)
+	if aerr != nil {
+		writeError(w, aerr)
 		return
 	}
-	spec := Spec{Program: prog, Arrival: req.AtTimestamp}
-	if req.TimeoutMS > 0 {
-		spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
-	}
-	j, err := h.svc.Submit(spec)
-	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, j.Status())
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"jobs":  h.svc.List(),
-		"sched": h.svc.SchedInfo(),
-	})
+	var opts api.ListOptions
+	var err error
+	if opts.Limit, err = queryInt(r, "limit"); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	if opts.Offset, err = queryInt(r, "offset"); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, h.svc.ListPage(opts))
 }
 
 func (h *httpAPI) sched(w http.ResponseWriter, r *http.Request) {
@@ -112,120 +163,101 @@ func (h *httpAPI) sched(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpAPI) get(w http.ResponseWriter, r *http.Request) {
-	j, ok := h.svc.Get(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	st, aerr := h.svc.StatusOf(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Status())
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (h *httpAPI) cancel(w http.ResponseWriter, r *http.Request) {
-	j, ok := h.svc.Get(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	st, aerr := h.svc.CancelJob(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr)
 		return
 	}
-	if err := j.Cancel(); err != nil {
-		httpError(w, http.StatusConflict, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, j.Status())
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (h *httpAPI) results(w http.ResponseWriter, r *http.Request) {
-	j, ok := h.svc.Get(r.PathValue("id"))
-	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+	var opts api.ResultsOptions
+	var err error
+	if opts.Top, err = queryInt(r, "top"); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
 	}
-	res, err := j.Results()
-	if err != nil {
-		status := http.StatusConflict
-		if st := j.State(); st == StateQueued || st == StateRunning {
-			// Not an error, just not done yet.
-			status = http.StatusAccepted
-		}
-		httpError(w, status, err)
+	res, aerr := h.svc.ResultsOf(r.PathValue("id"), opts)
+	if aerr != nil {
+		writeError(w, aerr)
 		return
 	}
-	type entry struct {
-		Vertex int       `json:"vertex"`
-		Value  jsonFloat `json:"value"`
-	}
-	resp := map[string]any{"id": j.ID(), "algo": j.Name(), "num_vertices": len(res)}
-	if topStr := r.URL.Query().Get("top"); topStr != "" {
-		top, err := strconv.Atoi(topStr)
-		if err != nil || top <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", topStr))
-			return
-		}
-		entries := make([]entry, 0, len(res))
-		for v, x := range res {
-			entries = append(entries, entry{v, jsonFloat(x)})
-		}
-		sort.Slice(entries, func(i, j int) bool { return entries[i].Value > entries[j].Value })
-		if top > len(entries) {
-			top = len(entries)
-		}
-		resp["top"] = entries[:top]
-	} else {
-		values := make([]jsonFloat, len(res))
-		for i, x := range res {
-			values[i] = jsonFloat(x)
-		}
-		resp["values"] = values
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, res)
 }
 
-type snapshotRequest struct {
-	Timestamp int64 `json:"timestamp"`
-	// Edges is the full rewritten edge list, one [src, dst, weight]
-	// triple per slot of the base list.
-	Edges [][3]float64 `json:"edges"`
+// events streams the job's event channel as server-sent events: the SSE
+// "id" field carries Event.Seq, "event" the Event.Type, and "data" the
+// api.Event JSON document. The stream ends after a terminal state event.
+func (h *httpAPI) events(w http.ResponseWriter, r *http.Request) {
+	ch, aerr := h.svc.WatchJob(r.Context(), r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	for ev := range ch {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
 }
 
 func (h *httpAPI) snapshot(w http.ResponseWriter, r *http.Request) {
-	var req snapshotRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var snap api.Snapshot
+	if err := dec.Decode(&snap); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
-	edges := make([]model.Edge, len(req.Edges))
-	for i, e := range req.Edges {
-		edges[i] = model.Edge{
-			Src:    model.VertexID(e[0]),
-			Dst:    model.VertexID(e[1]),
-			Weight: float32(e[2]),
-		}
-	}
-	if err := h.svc.AddSnapshot(edges, req.Timestamp); err != nil {
-		httpError(w, http.StatusBadRequest, err)
+	ack, aerr := h.svc.IngestSnapshot(snap)
+	if aerr != nil {
+		writeError(w, aerr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"timestamp": req.Timestamp, "edges": len(edges)})
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (h *httpAPI) metricsJSON(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.MetricsInfo())
 }
 
 func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e := metrics.NewTextExposition()
-	e.Declare("cgraph_jobs", "gauge", "Jobs by lifecycle state.")
-	counts := map[State]int{
-		StateQueued: 0, StateRunning: 0, StateDone: 0, StateCancelled: 0, StateFailed: 0,
-	}
-	statuses := h.svc.List()
-	for _, st := range statuses {
-		counts[st.State]++
-	}
+	e.Declare("cgraph_jobs", "gauge", "Jobs by lifecycle state, compacted history included.")
+	info, statuses := h.svc.metricsSnapshot()
 	for _, state := range []State{StateQueued, StateRunning, StateDone, StateCancelled, StateFailed} {
-		e.Add("cgraph_jobs", map[string]string{"state": string(state)}, float64(counts[state]))
+		e.Add("cgraph_jobs", map[string]string{"state": string(state)}, float64(info.Jobs[state]))
 	}
-	stats := h.svc.System().Stats()
 	e.Declare("cgraph_engine_rounds_total", "counter", "LTP rounds processed by the engine.")
-	e.Add("cgraph_engine_rounds_total", nil, float64(stats.Rounds))
+	e.Add("cgraph_engine_rounds_total", nil, float64(info.Rounds))
 	e.Declare("cgraph_engine_virtual_time_us", "gauge", "Engine virtual clock, simulated microseconds.")
-	e.Add("cgraph_engine_virtual_time_us", nil, stats.VirtualTimeUS)
-	sched := h.svc.SchedInfo()
+	e.Add("cgraph_engine_virtual_time_us", nil, info.VirtualTimeUS)
+	sched := info.Sched
 	e.Declare("cgraph_sched_theta", "gauge", "Fitted Eq. 1 theta of the partition scheduler.")
 	e.Add("cgraph_sched_theta", map[string]string{"policy": sched.Policy}, sched.Theta)
 	e.Declare("cgraph_sched_theta_refits_total", "counter", "Times theta was (re)fitted after snapshot arrivals or C drift.")
@@ -250,12 +282,25 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.WriteTo(w)
 }
 
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+func writeError(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, e.HTTPStatus(), api.ErrorBody{Error: e})
 }

@@ -1,6 +1,7 @@
 package server_test
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"cgraph"
+	"cgraph/api"
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
 	"cgraph/internal/refimpl"
@@ -47,13 +49,24 @@ func httpJSON(t *testing.T, client *http.Client, method, url string, body any) (
 	return resp.StatusCode, out
 }
 
+// errCode digs the machine-readable code out of an api.ErrorBody envelope.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	e, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("response has no error envelope: %v", body)
+	}
+	code, _ := e["code"].(string)
+	return code
+}
+
 func pollState(t *testing.T, client *http.Client, base, id string, want server.State) map[string]any {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for {
-		code, st := httpJSON(t, client, "GET", base+"/jobs/"+id, nil)
+		code, st := httpJSON(t, client, "GET", base+"/v1/jobs/"+id, nil)
 		if code != http.StatusOK {
-			t.Fatalf("GET /jobs/%s = %d (%v)", id, code, st)
+			t.Fatalf("GET /v1/jobs/%s = %d (%v)", id, code, st)
 		}
 		if st["state"] == string(want) {
 			return st
@@ -72,7 +85,7 @@ func pollState(t *testing.T, client *http.Client, base, id string, want server.S
 // PageRank, submit SSSP mid-flight, cancel one job, expire another via its
 // context deadline, ingest a snapshot, and retrieve results for the
 // surviving jobs — all without restarting the engine, with every lifecycle
-// transition observable over the HTTP API.
+// transition observable over the versioned /v1 API.
 func TestHTTPControlPlaneDemo(t *testing.T) {
 	edges := gen.RMAT(42, 400, 8000, 0.57, 0.19, 0.19)
 	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
@@ -97,35 +110,43 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 	defer ts.Close()
 	c := ts.Client()
 
-	// Submit PageRank; the resident loop starts iterating it.
-	code, pr := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "pagerank"})
+	// Submit PageRank with labels; the resident loop starts iterating it.
+	code, pr := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{
+		"algo": "pagerank", "labels": map[string]string{"tenant": "demo"},
+	})
 	if code != http.StatusAccepted {
-		t.Fatalf("POST /jobs pagerank = %d (%v)", code, pr)
+		t.Fatalf("POST /v1/jobs pagerank = %d (%v)", code, pr)
 	}
 	prID := pr["id"].(string)
+	if lbl, _ := pr["labels"].(map[string]any); lbl["tenant"] != "demo" {
+		t.Fatalf("labels not echoed: %v", pr)
+	}
 
 	// Submit SSSP mid-flight.
-	code, ss := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "sssp", "source": 1})
+	code, ss := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "sssp", "source": 1})
 	if code != http.StatusAccepted {
-		t.Fatalf("POST /jobs sssp = %d (%v)", code, ss)
+		t.Fatalf("POST /v1/jobs sssp = %d (%v)", code, ss)
 	}
 	ssID := ss["id"].(string)
 
 	// A spin job, cancelled over the control plane.
-	_, spin := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "spin"})
+	_, spin := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "spin"})
 	spinID := spin["id"].(string)
 	pollState(t, c, ts.URL, spinID, server.StateRunning)
-	if code, st := httpJSON(t, c, "DELETE", ts.URL+"/jobs/"+spinID, nil); code != http.StatusOK {
-		t.Fatalf("DELETE /jobs/%s = %d (%v)", spinID, code, st)
+	if code, st := httpJSON(t, c, "DELETE", ts.URL+"/v1/jobs/"+spinID, nil); code != http.StatusOK {
+		t.Fatalf("DELETE /v1/jobs/%s = %d (%v)", spinID, code, st)
 	}
-	pollState(t, c, ts.URL, spinID, server.StateCancelled)
+	cancelled := pollState(t, c, ts.URL, spinID, server.StateCancelled)
+	if e, _ := cancelled["error"].(map[string]any); e["code"] != string(api.CodeCancelled) {
+		t.Fatalf("cancelled job error = %v, want code %q", cancelled["error"], api.CodeCancelled)
+	}
 
 	// Another spin job, retired by its context deadline.
-	_, dl := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "spin", "timeout_ms": 40})
+	_, dl := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "spin", "timeout_ms": 40})
 	dlID := dl["id"].(string)
 	dlSt := pollState(t, c, ts.URL, dlID, server.StateFailed)
-	if msg, _ := dlSt["error"].(string); !strings.Contains(msg, "deadline") {
-		t.Fatalf("deadline job error = %q, want context deadline", msg)
+	if e, _ := dlSt["error"].(map[string]any); e["code"] != string(api.CodeDeadlineExceeded) {
+		t.Fatalf("deadline job error = %v, want code %q", dlSt["error"], api.CodeDeadlineExceeded)
 	}
 
 	// Ingest a snapshot while serving, and bind a new job to it.
@@ -134,13 +155,13 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 	for i, e := range mut {
 		snapEdges[i] = [3]float64{float64(e.Src), float64(e.Dst), float64(e.Weight)}
 	}
-	code, snap := httpJSON(t, c, "POST", ts.URL+"/snapshots", map[string]any{"timestamp": 20, "edges": snapEdges})
+	code, snap := httpJSON(t, c, "POST", ts.URL+"/v1/snapshots", map[string]any{"timestamp": 20, "edges": snapEdges})
 	if code != http.StatusOK {
-		t.Fatalf("POST /snapshots = %d (%v)", code, snap)
+		t.Fatalf("POST /v1/snapshots = %d (%v)", code, snap)
 	}
-	code, ss2 := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "sssp", "source": 1, "at_timestamp": 20})
+	code, ss2 := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "sssp", "source": 1, "at_timestamp": 20})
 	if code != http.StatusAccepted {
-		t.Fatalf("POST /jobs post-snapshot sssp = %d (%v)", code, ss2)
+		t.Fatalf("POST /v1/jobs post-snapshot sssp = %d (%v)", code, ss2)
 	}
 	ss2ID := ss2["id"].(string)
 
@@ -152,9 +173,9 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 	g := graph.Build(400, edges)
 	verify := func(id string, want []float64, tol float64) {
 		t.Helper()
-		code, res := httpJSON(t, c, "GET", ts.URL+"/results/"+id, nil)
+		code, res := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+id+"/results", nil)
 		if code != http.StatusOK {
-			t.Fatalf("GET /results/%s = %d (%v)", id, code, res)
+			t.Fatalf("GET /v1/jobs/%s/results = %d (%v)", id, code, res)
 		}
 		values := res["values"].([]any)
 		if len(values) != len(want) {
@@ -179,19 +200,19 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 	verify(prID, refimpl.PageRank(g, 0.85, 1e-12, 3000), 1e-2)
 
 	// Top-k results for the pre-snapshot SSSP.
-	code, topRes := httpJSON(t, c, "GET", ts.URL+"/results/"+ssID+"?top=5", nil)
+	code, topRes := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+ssID+"/results?top=5", nil)
 	if code != http.StatusOK || len(topRes["top"].([]any)) != 5 {
-		t.Fatalf("GET /results top=5 failed: %d %v", code, topRes)
+		t.Fatalf("GET results top=5 failed: %d %v", code, topRes)
 	}
 
 	// The cancelled job has no results.
-	if code, _ := httpJSON(t, c, "GET", ts.URL+"/results/"+spinID, nil); code != http.StatusConflict {
-		t.Fatalf("GET /results of cancelled job = %d, want 409", code)
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+spinID+"/results", nil); code != http.StatusConflict || errCode(t, body) != string(api.CodeConflict) {
+		t.Fatalf("GET results of cancelled job = %d (%v), want 409 conflict", code, body)
 	}
 
 	// Job list shows every lifecycle outcome side by side, plus the
-	// scheduler's last plan.
-	_, list := httpJSON(t, c, "GET", ts.URL+"/jobs", nil)
+	// scheduler's last plan and a total for pagination.
+	_, list := httpJSON(t, c, "GET", ts.URL+"/v1/jobs", nil)
 	states := map[string]int{}
 	for _, item := range list["jobs"].([]any) {
 		states[item.(map[string]any)["state"].(string)]++
@@ -200,20 +221,32 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 		t.Fatalf("lifecycle mix wrong: %v", states)
 	}
 	if _, ok := list["sched"].(map[string]any); !ok {
-		t.Fatalf("/jobs response missing sched summary: %v", list)
+		t.Fatalf("/v1/jobs response missing sched summary: %v", list)
+	}
+	if total, _ := list["total"].(float64); int(total) != 5 {
+		t.Fatalf("list total = %v, want 5", list["total"])
 	}
 
 	// The scheduler's decision is directly observable: policy, fitted θ,
 	// and the group/load order of the last round.
-	code, schedInfo := httpJSON(t, c, "GET", ts.URL+"/sched", nil)
+	code, schedInfo := httpJSON(t, c, "GET", ts.URL+"/v1/sched", nil)
 	if code != http.StatusOK || schedInfo["policy"] != "priority" {
-		t.Fatalf("GET /sched = %d (%v)", code, schedInfo)
+		t.Fatalf("GET /v1/sched = %d (%v)", code, schedInfo)
 	}
 	if th, _ := schedInfo["theta"].(float64); th <= 0 {
 		t.Fatalf("sched theta not fitted: %v", schedInfo)
 	}
 	if groups, ok := schedInfo["groups"].([]any); !ok || len(groups) == 0 {
 		t.Fatalf("sched groups not reported: %v", schedInfo)
+	}
+
+	// Structured metrics mirror the Prometheus exposition.
+	code, jm := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", code)
+	}
+	if jobs, _ := jm["jobs"].(map[string]any); jobs["done"].(float64) != 3 {
+		t.Fatalf("metrics job counts wrong: %v", jm)
 	}
 
 	// Metrics expose the same picture in Prometheus text format.
@@ -239,24 +272,310 @@ func TestHTTPControlPlaneDemo(t *testing.T) {
 	}
 }
 
-func TestHTTPErrors(t *testing.T) {
+// TestHTTPErrorPaths pins the machine-readable error contract: malformed
+// bodies, unknown fields, unknown algorithms, wrong methods, double
+// cancels, and results in every unavailable flavour.
+func TestHTTPErrorPaths(t *testing.T) {
+	svc := startService(t, server.Config{}, testEdges(), 300)
+	reg := server.DefaultRegistry()
+	reg["spin"] = func(server.ProgramParams) model.Program { return spinProgram{} }
+	ts := httptest.NewServer(svc.Handler(reg))
+	defer ts.Close()
+	c := ts.Client()
+
+	// Malformed JSON body.
+	resp, err := c.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eb map[string]any
+	json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, eb) != string(api.CodeBadRequest) {
+		t.Fatalf("malformed JSON = %d (%v), want 400 bad_request", resp.StatusCode, eb)
+	}
+
+	// Unknown fields are rejected, not silently dropped.
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "pagerank", "sourcee": 3}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("unknown field = %d (%v), want 400 bad_request", code, body)
+	}
+
+	// Unknown algorithm name has its own code.
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "nope"}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeUnknownAlgorithm) {
+		t.Fatalf("unknown algo = %d (%v), want 400 unknown_algorithm", code, body)
+	}
+
+	// Unknown jobs.
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/job-404", nil); code != http.StatusNotFound || errCode(t, body) != string(api.CodeNotFound) {
+		t.Fatalf("unknown job = %d (%v), want 404 not_found", code, body)
+	}
+	if code, _ := httpJSON(t, c, "DELETE", ts.URL+"/v1/jobs/job-404", nil); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job = %d, want 404", code)
+	}
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/job-404/events", nil); code != http.StatusNotFound || errCode(t, body) != string(api.CodeNotFound) {
+		t.Fatalf("events of unknown job = %d (%v), want 404", code, body)
+	}
+
+	// Unknown routes are JSON errors too.
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/nope", nil); code != http.StatusNotFound || errCode(t, body) != string(api.CodeNotFound) {
+		t.Fatalf("unknown route = %d (%v), want 404 not_found", code, body)
+	}
+
+	// Wrong method on a known route: 405 with Allow and an api.Error body.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/jobs", nil)
+	resp, err = c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb = nil
+	json.NewDecoder(resp.Body).Decode(&eb)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || errCode(t, eb) != string(api.CodeMethodNotAllowed) {
+		t.Fatalf("PUT /v1/jobs = %d (%v), want 405 method_not_allowed", resp.StatusCode, eb)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, POST" {
+		t.Fatalf("Allow = %q, want \"GET, POST\"", allow)
+	}
+
+	// HEAD rides GET (health probes, curl -I) instead of 405ing.
+	headReq, _ := http.NewRequest(http.MethodHead, ts.URL+"/metrics", nil)
+	resp, err = c.Do(headReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD /metrics = %d, want 200", resp.StatusCode)
+	}
+
+	// Bad snapshot: a short edge list violates the slot-rewrite contract.
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/snapshots", map[string]any{"timestamp": 5, "edges": [][3]float64{{0, 1, 1}}}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("short snapshot = %d (%v), want 400", code, body)
+	}
+
+	// Results of a live-but-unfinished job: 409 with the not_ready code
+	// (distinct from terminal-state conflicts), then a double cancel:
+	// first OK, second 409 conflict.
+	_, spin := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "spin"})
+	spinID := spin["id"].(string)
+	pollState(t, c, ts.URL, spinID, server.StateRunning)
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+spinID+"/results", nil); code != http.StatusConflict || errCode(t, body) != string(api.CodeNotReady) {
+		t.Fatalf("results of running job = %d (%v), want 409 not_ready", code, body)
+	}
+	if code, _ := httpJSON(t, c, "DELETE", ts.URL+"/v1/jobs/"+spinID, nil); code != http.StatusOK {
+		t.Fatalf("first cancel = %d, want 200", code)
+	}
+	pollState(t, c, ts.URL, spinID, server.StateCancelled)
+	if code, body := httpJSON(t, c, "DELETE", ts.URL+"/v1/jobs/"+spinID, nil); code != http.StatusConflict || errCode(t, body) != string(api.CodeConflict) {
+		t.Fatalf("double cancel = %d (%v), want 409 conflict", code, body)
+	}
+}
+
+// TestHTTPLegacyRoutesRedirect pins the compat contract: the
+// pre-versioning routes answer 308 to their /v1 successors, and a client
+// that follows redirects (the default) keeps working end to end.
+func TestHTTPLegacyRoutesRedirect(t *testing.T) {
+	svc := startService(t, server.Config{}, testEdges(), 300)
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+
+	// Raw redirect: method and target preserved.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	for _, tc := range []struct{ method, path, want string }{
+		{"POST", "/jobs", "/v1/jobs"},
+		{"GET", "/jobs", "/v1/jobs"},
+		{"GET", "/jobs/job-0", "/v1/jobs/job-0"},
+		{"DELETE", "/jobs/job-0", "/v1/jobs/job-0"},
+		{"GET", "/results/job-0?top=3", "/v1/jobs/job-0/results?top=3"},
+		{"POST", "/snapshots", "/v1/snapshots"},
+		{"GET", "/sched", "/v1/sched"},
+	} {
+		req, _ := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Fatalf("%s %s = %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.want {
+			t.Fatalf("%s %s redirects to %q, want %q", tc.method, tc.path, loc, tc.want)
+		}
+	}
+
+	// A legacy client that follows redirects completes a full submit →
+	// poll → results cycle: 308 replays the POST body.
+	c := ts.Client()
+	code, st := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "bfs", "source": 0})
+	if code != http.StatusAccepted {
+		t.Fatalf("legacy POST /jobs = %d (%v)", code, st)
+	}
+	id := st["id"].(string)
+	pollState(t, c, ts.URL, id, server.StateDone)
+	code, res := httpJSON(t, c, "GET", ts.URL+"/results/"+id, nil)
+	if code != http.StatusOK || res["num_vertices"].(float64) != 300 {
+		t.Fatalf("legacy GET /results = %d (%v)", code, res)
+	}
+}
+
+// TestHTTPHistoryCompaction exercises the terminal-job ring: beyond
+// RetainTerminal the oldest terminal jobs lose their results but stay
+// listable (and paginable) as history, with results answering 410
+// released.
+func TestHTTPHistoryCompaction(t *testing.T) {
+	svc := startService(t, server.Config{RetainTerminal: 1, HistoryLimit: 2}, testEdges(), 300)
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		code, st := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "bfs", "source": i})
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d", i, code)
+		}
+		id := st["id"].(string)
+		ids = append(ids, id)
+		pollState(t, c, ts.URL, id, server.StateDone)
+	}
+
+	// The oldest job fell off the history ring entirely (HistoryLimit 2,
+	// three jobs compacted): 404. The next two are history: listable,
+	// marked released, results 410.
+	if code, _ := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+ids[0], nil); code != http.StatusNotFound {
+		t.Fatalf("evicted job = %d, want 404", code)
+	}
+	for _, id := range ids[1:3] {
+		code, st := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+id, nil)
+		if code != http.StatusOK || st["released"] != true || st["state"] != "done" {
+			t.Fatalf("history job %s = %d (%v), want released done", id, code, st)
+		}
+		code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+id+"/results", nil)
+		if code != http.StatusGone || errCode(t, body) != string(api.CodeReleased) {
+			t.Fatalf("history results %s = %d (%v), want 410 released", id, code, body)
+		}
+	}
+	// The newest job keeps full state and results.
+	code, res := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+ids[3]+"/results", nil)
+	if code != http.StatusOK || res["num_vertices"].(float64) != 300 {
+		t.Fatalf("retained job results = %d (%v)", code, res)
+	}
+
+	// Listing paginates over history + live: total 3, pages of 2.
+	_, page1 := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?limit=2", nil)
+	_, page2 := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?limit=2&offset=2", nil)
+	if page1["total"].(float64) != 3 || len(page1["jobs"].([]any)) != 2 || len(page2["jobs"].([]any)) != 1 {
+		t.Fatalf("pagination wrong: page1=%v page2=%v", page1, page2)
+	}
+	first := page1["jobs"].([]any)[0].(map[string]any)
+	if first["id"] != ids[1] || first["released"] != true {
+		t.Fatalf("history must lead the listing: %v", first)
+	}
+	last := page2["jobs"].([]any)[0].(map[string]any)
+	if last["id"] != ids[3] {
+		t.Fatalf("live job must close the listing: %v", last)
+	}
+
+	// Job counts include the evicted summary: metrics never run backwards.
+	code, jm := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", code)
+	}
+	if jobs, _ := jm["jobs"].(map[string]any); jobs["done"].(float64) != 4 {
+		t.Fatalf("metrics must count evicted history: %v", jm["jobs"])
+	}
+
+	// Watching a compacted job replays its terminal summary.
+	resp, err := c.Get(ts.URL + "/v1/jobs/" + ids[1] + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type = %q", ct)
+	}
+	ev := readSSE(t, resp.Body, 1)
+	if len(ev) != 1 || ev[0].State != server.StateDone || !ev[0].Terminal() {
+		t.Fatalf("compacted watch replay = %+v, want terminal done", ev)
+	}
+}
+
+// TestHTTPEventStream checks the raw SSE wire format: replayed and live
+// events arrive ordered, progress precedes the terminal state, and the
+// stream ends after it.
+func TestHTTPEventStream(t *testing.T) {
 	svc := startService(t, server.Config{}, testEdges(), 300)
 	ts := httptest.NewServer(svc.Handler(nil))
 	defer ts.Close()
 	c := ts.Client()
 
-	if code, _ := httpJSON(t, c, "POST", ts.URL+"/jobs", map[string]any{"algo": "nope"}); code != http.StatusBadRequest {
-		t.Fatalf("unknown algo = %d, want 400", code)
+	_, st := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "pagerank"})
+	id := st["id"].(string)
+	resp, err := c.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if code, _ := httpJSON(t, c, "GET", ts.URL+"/jobs/job-404", nil); code != http.StatusNotFound {
-		t.Fatalf("unknown job = %d, want 404", code)
+	defer resp.Body.Close()
+	events := readSSE(t, resp.Body, 0) // 0: read until the stream closes
+	if len(events) < 3 {
+		t.Fatalf("only %d events: %+v", len(events), events)
 	}
-	if code, _ := httpJSON(t, c, "DELETE", ts.URL+"/jobs/job-404", nil); code != http.StatusNotFound {
-		t.Fatalf("cancel unknown job = %d, want 404", code)
+	var lastSeq int64
+	sawProgress := false
+	for i, ev := range events {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("event %d out of order: %+v", i, events)
+		}
+		lastSeq = ev.Seq
+		if ev.JobID != id {
+			t.Fatalf("event for wrong job: %+v", ev)
+		}
+		if ev.Type == api.EventProgress {
+			sawProgress = true
+		}
+		if ev.Terminal() && i != len(events)-1 {
+			t.Fatalf("terminal event not last: %+v", events)
+		}
 	}
-	if code, _ := httpJSON(t, c, "POST", ts.URL+"/snapshots", map[string]any{"timestamp": 5, "edges": [][3]float64{{0, 1, 1}}}); code != http.StatusBadRequest {
-		t.Fatalf("short snapshot = %d, want 400", code)
+	if !sawProgress {
+		t.Fatalf("no progress events in %+v", events)
 	}
+	final := events[len(events)-1]
+	if !final.Terminal() || final.State != server.StateDone || final.Iteration == 0 {
+		t.Fatalf("final event = %+v, want terminal done with iterations", final)
+	}
+}
+
+// readSSE parses api.Events off an SSE stream; n > 0 stops after n events,
+// n == 0 reads until the stream ends.
+func readSSE(t *testing.T, r io.Reader, n int) []api.Event {
+	t.Helper()
+	var out []api.Event
+	sc := bufio.NewScanner(r)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev api.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			out = append(out, ev)
+			data = ""
+			if n > 0 && len(out) == n {
+				return out
+			}
+		}
+	}
+	return out
 }
 
 func contextWithTimeout(t *testing.T) (ctx context.Context, cancel context.CancelFunc) {

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"context"
+
+	"cgraph"
+	"cgraph/api"
+)
+
+// localClient adapts a Service to the cgraph.Client contract in-process:
+// the same api wire types, the same error codes, the same watch semantics
+// as the HTTP client in package client — without a network hop.
+type localClient struct {
+	svc *Service
+	reg Registry
+}
+
+// NewLocalClient returns the in-process cgraph.Client over svc. The
+// registry resolves algorithm names; pass nil for DefaultRegistry. Code
+// written against cgraph.Client runs unchanged against this client and the
+// HTTP client of package client.
+func NewLocalClient(svc *Service, reg Registry) cgraph.Client {
+	if reg == nil {
+		reg = DefaultRegistry()
+	}
+	return &localClient{svc: svc, reg: reg}
+}
+
+func (c *localClient) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return api.JobStatus{}, err
+	}
+	st, aerr := c.svc.SubmitSpec(c.reg, spec)
+	if aerr != nil {
+		return api.JobStatus{}, aerr
+	}
+	return st, nil
+}
+
+func (c *localClient) Get(ctx context.Context, id string) (api.JobStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return api.JobStatus{}, err
+	}
+	st, aerr := c.svc.StatusOf(id)
+	if aerr != nil {
+		return api.JobStatus{}, aerr
+	}
+	return st, nil
+}
+
+func (c *localClient) List(ctx context.Context, opts api.ListOptions) (api.JobList, error) {
+	if err := ctx.Err(); err != nil {
+		return api.JobList{}, err
+	}
+	return c.svc.ListPage(opts), nil
+}
+
+func (c *localClient) Watch(ctx context.Context, id string) (<-chan api.Event, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ch, aerr := c.svc.WatchJob(ctx, id)
+	if aerr != nil {
+		return nil, aerr
+	}
+	return ch, nil
+}
+
+func (c *localClient) Results(ctx context.Context, id string, opts api.ResultsOptions) (api.Results, error) {
+	if err := ctx.Err(); err != nil {
+		return api.Results{}, err
+	}
+	res, aerr := c.svc.ResultsOf(id, opts)
+	if aerr != nil {
+		return api.Results{}, aerr
+	}
+	return res, nil
+}
+
+func (c *localClient) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	if err := ctx.Err(); err != nil {
+		return api.JobStatus{}, err
+	}
+	st, aerr := c.svc.CancelJob(id)
+	if aerr != nil {
+		return api.JobStatus{}, aerr
+	}
+	return st, nil
+}
+
+func (c *localClient) AddSnapshot(ctx context.Context, snap api.Snapshot) (api.SnapshotAck, error) {
+	if err := ctx.Err(); err != nil {
+		return api.SnapshotAck{}, err
+	}
+	ack, aerr := c.svc.IngestSnapshot(snap)
+	if aerr != nil {
+		return api.SnapshotAck{}, aerr
+	}
+	return ack, nil
+}
+
+func (c *localClient) SchedInfo(ctx context.Context) (api.SchedInfo, error) {
+	if err := ctx.Err(); err != nil {
+		return api.SchedInfo{}, err
+	}
+	return c.svc.SchedInfo(), nil
+}
+
+func (c *localClient) Metrics(ctx context.Context) (api.Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return api.Metrics{}, err
+	}
+	return c.svc.MetricsInfo(), nil
+}

@@ -3,21 +3,28 @@
 // owns one serving cgraph.System and layers on top of it the job lifecycle
 // (Queued → Running → Done / Cancelled / Failed), durable string job IDs,
 // handles with Wait/Status/Results, admission control (a maximum number of
-// in-flight jobs with FIFO backpressure, leaning on the §3.2.3
-// more-jobs-than-workers batching to pick a useful in-flight width), and
-// snapshot ingestion for evolving graphs while jobs run. The HTTP/JSON
-// control plane over a Service lives in http.go; cmd/cgraph-serve wires it
-// to a listener.
+// in-flight jobs with priority-then-FIFO backpressure, leaning on the
+// §3.2.3 more-jobs-than-workers batching to pick a useful in-flight
+// width), snapshot ingestion for evolving graphs while jobs run, a
+// per-job event stream (lifecycle transitions plus per-iteration
+// progress), and a bounded history ring of compacted terminal jobs.
+//
+// Every wire shape the service speaks lives in package api; the /v1
+// HTTP/JSON control plane over a Service lives in http.go, the in-process
+// cgraph.Client implementation in local.go, and cmd/cgraph-serve wires the
+// handler to a listener.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"sync"
 	"time"
 
 	"cgraph"
+	"cgraph/api"
 	"cgraph/model"
 )
 
@@ -25,38 +32,58 @@ import (
 // service stops.
 var ErrStopped = errors.New("server: service stopped")
 
-// State is a job's lifecycle state as reported by the control plane.
-type State string
+// State is a job's lifecycle state as reported by the control plane; it is
+// the wire type api.JobState.
+type State = api.JobState
 
 const (
 	// StateQueued: accepted, waiting for an in-flight slot.
-	StateQueued State = "queued"
+	StateQueued = api.JobQueued
 	// StateRunning: submitted to the engine and being iterated.
-	StateRunning State = "running"
+	StateRunning = api.JobRunning
 	// StateDone: converged; results are available.
-	StateDone State = "done"
+	StateDone = api.JobDone
 	// StateCancelled: retired by an explicit cancel before convergence.
-	StateCancelled State = "cancelled"
+	StateCancelled = api.JobCancelled
 	// StateFailed: retired without converging (deadline expiry, engine
 	// failure, or service shutdown).
-	StateFailed State = "failed"
+	StateFailed = api.JobFailed
 )
 
-// Terminal reports whether the state is final.
-func (s State) Terminal() bool {
-	return s == StateDone || s == StateCancelled || s == StateFailed
-}
+// Status is the wire snapshot of a job (api.JobStatus).
+type Status = api.JobStatus
+
+// SchedInfo is the wire view of the engine's latest scheduling decision
+// (api.SchedInfo).
+type SchedInfo = api.SchedInfo
+
+// SchedGroup is one correlation group of the engine's last round
+// (api.SchedGroup).
+type SchedGroup = api.SchedGroup
 
 // Config tunes a Service.
 type Config struct {
 	// MaxInFlight caps the jobs submitted to the engine at once; further
-	// submissions queue FIFO until a slot frees. Zero means unlimited —
-	// the engine batches jobs beyond the worker count per §3.2.3, so
-	// unlimited is safe, just unbounded in memory.
+	// submissions wait (highest priority first, FIFO within a priority)
+	// until a slot frees. Zero means unlimited — the engine batches jobs
+	// beyond the worker count per §3.2.3, so unlimited is safe, just
+	// unbounded in memory.
 	MaxInFlight int
 	// DefaultTimeout applies to submissions without an explicit timeout.
 	// Zero means no deadline.
 	DefaultTimeout time.Duration
+	// RetainTerminal caps the terminal jobs kept with full state (results
+	// included). Beyond it the oldest terminal jobs are compacted: their
+	// results are dropped and their status summaries move to a history
+	// ring, so listings paginate history instead of losing it. Zero keeps
+	// every terminal job forever (the library default; long-lived services
+	// should set a cap).
+	RetainTerminal int
+	// HistoryLimit caps the ring of compacted terminal job summaries
+	// (default 256 when compaction is enabled). Summaries evicted off the
+	// ring leave listings but stay in the per-state job counts, so
+	// metrics never run backwards.
+	HistoryLimit int
 }
 
 // Spec describes one job submission.
@@ -71,12 +98,19 @@ type Spec struct {
 	// Arrival, when non-nil, binds the job to the newest snapshot not
 	// younger than *Arrival; nil binds to the latest snapshot at launch.
 	Arrival *int64
+	// Labels are free-form annotations echoed back in the job's status.
+	Labels map[string]string
+	// Priority orders admission when the service is at MaxInFlight:
+	// higher-priority submissions leave the wait queue first, FIFO within
+	// a priority. Zero is the default.
+	Priority int
 }
 
 // Service is a resident CGraph job service over one shared graph.
 type Service struct {
-	sys *cgraph.System
-	cfg Config
+	sys    *cgraph.System
+	cfg    Config
+	events *hub
 
 	mu       sync.Mutex
 	started  bool
@@ -87,8 +121,20 @@ type Service struct {
 	queue    []*Job
 	inflight int
 	nextID   int
-	stop     context.CancelFunc
-	serveErr chan error
+	// byEngine maps engine job IDs to service jobs while they run, so
+	// round-loop progress events resolve to service IDs.
+	byEngine map[int]*Job
+	// history is the ring of compacted terminal job summaries, oldest
+	// first; evicted counts entries dropped off the ring per state, so
+	// job-count metrics stay monotone after eviction.
+	history []histEntry
+	evicted map[State]int
+	stop    context.CancelFunc
+	// stopProgress unregisters the service's System progress observer
+	// once the service stops, so a dead Service is not kept alive (or
+	// called into) by the engine's round loop.
+	stopProgress func()
+	serveErr     chan error
 	// stopCh closes once the round loop has exited and resident jobs were
 	// failed; watchers parked on engine handles unblock on it.
 	stopCh   chan struct{}
@@ -98,13 +144,21 @@ type Service struct {
 // New builds a Service over sys. The graph must be loaded before Start;
 // the system must not be used for batch Run concurrently.
 func New(sys *cgraph.System, cfg Config) *Service {
-	return &Service{
+	s := &Service{
 		sys:      sys,
 		cfg:      cfg,
+		events:   newHub(),
 		jobs:     make(map[string]*Job),
+		byEngine: make(map[int]*Job),
+		evicted:  make(map[State]int),
 		serveErr: make(chan error, 1),
 		stopCh:   make(chan struct{}),
 	}
+	if s.cfg.RetainTerminal > 0 && s.cfg.HistoryLimit <= 0 {
+		s.cfg.HistoryLimit = 256
+	}
+	s.stopProgress = sys.OnJobProgress(s.onProgress)
+	return s
 }
 
 // System returns the underlying cgraph.System (snapshot ingestion, stats).
@@ -154,6 +208,7 @@ func (s *Service) Stop(ctx context.Context) error {
 	if !s.started || s.stopped {
 		s.stopped = true
 		s.mu.Unlock()
+		s.stopProgress()
 		return nil
 	}
 	s.stopped = true
@@ -180,6 +235,7 @@ func (s *Service) Stop(ctx context.Context) error {
 // still parked on engine handles.
 func (s *Service) finalizeStop(cause error) {
 	s.stopOnce.Do(func() {
+		s.stopProgress()
 		s.mu.Lock()
 		ids := append([]string(nil), s.order...)
 		s.mu.Unlock()
@@ -194,8 +250,8 @@ func (s *Service) finalizeStop(cause error) {
 
 // Submit accepts a job. When the service has a free in-flight slot the job
 // launches immediately (Running as soon as the engine admits it at a round
-// boundary); otherwise it queues FIFO. The returned handle is valid for the
-// lifetime of the service.
+// boundary); otherwise it waits, highest priority first and FIFO within a
+// priority. The returned handle is valid for the lifetime of the service.
 func (s *Service) Submit(spec Spec) (*Job, error) {
 	if spec.Program == nil {
 		return nil, fmt.Errorf("server: submit: nil program")
@@ -203,6 +259,8 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	if spec.Timeout == 0 {
 		spec.Timeout = s.cfg.DefaultTimeout
 	}
+	// The stored labels must not alias the submitter's map.
+	spec.Labels = maps.Clone(spec.Labels)
 	s.mu.Lock()
 	if !s.started {
 		s.mu.Unlock()
@@ -230,6 +288,7 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		name:      spec.Program.Name(),
 		spec:      spec,
 		state:     StateQueued,
+		engineID:  -1,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 		ctx:       jctx,
@@ -237,8 +296,21 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 	}
 	s.jobs[id] = j
 	s.order = append(s.order, id)
+	s.events.create(id)
+	s.events.publish(id, api.Event{Type: api.EventState, State: StateQueued})
 	if s.cfg.MaxInFlight > 0 && s.inflight >= s.cfg.MaxInFlight {
-		s.queue = append(s.queue, j)
+		// Insert before the first waiter with a strictly lower priority:
+		// highest priority first, FIFO within a priority.
+		at := len(s.queue)
+		for i, q := range s.queue {
+			if q.spec.Priority < spec.Priority {
+				at = i
+				break
+			}
+		}
+		s.queue = append(s.queue, nil)
+		copy(s.queue[at+1:], s.queue[at:])
+		s.queue[at] = j
 		s.mu.Unlock()
 		if spec.Timeout > 0 {
 			// A queued job must honour its deadline even if no slot ever
@@ -285,10 +357,42 @@ func (s *Service) launch(j *Job) error {
 	}
 	j.state = StateRunning
 	j.handle = h
+	j.engineID = h.ID()
 	j.started = time.Now()
 	j.mu.Unlock()
+	// Publish the state transition before registering the engine→job
+	// mapping: progress events only resolve through byEngine, so none can
+	// enter the stream ahead of "running" (an iteration completing in
+	// this window is dropped — the stream guarantees order, not density).
+	s.events.publish(j.id, api.Event{Type: api.EventState, State: StateRunning})
+	s.mu.Lock()
+	s.byEngine[h.ID()] = j
+	s.mu.Unlock()
 	go s.watch(j, h)
 	return nil
+}
+
+// onProgress runs on the engine's round loop after every completed job
+// iteration: it refreshes the job's live counters and feeds the event
+// stream, so watchers observe progress without polling.
+func (s *Service) onProgress(u cgraph.JobUpdate) {
+	s.mu.Lock()
+	j := s.byEngine[u.JobID]
+	s.mu.Unlock()
+	if j == nil {
+		// A job submitted directly on the System, outside this service.
+		return
+	}
+	j.mu.Lock()
+	j.iterations = u.Iteration
+	j.edges = u.EdgesProcessed
+	j.mu.Unlock()
+	s.events.publish(j.id, api.Event{
+		Type:           api.EventProgress,
+		Iteration:      u.Iteration,
+		EdgesProcessed: u.EdgesProcessed,
+		VirtualTimeUS:  u.VirtualTimeUS,
+	})
 }
 
 // watch resolves j's terminal state once the engine retires its job — or,
@@ -320,6 +424,9 @@ func (s *Service) watch(j *Job, h *cgraph.Job) {
 	j.mu.Lock()
 	j.metrics = h.Metrics()
 	j.mu.Unlock()
+	s.mu.Lock()
+	delete(s.byEngine, h.ID())
+	s.mu.Unlock()
 	j.finish(state, err, results)
 	// The service keeps the results; drop the engine-side private table so
 	// resident memory stays bounded as jobs flow through.
@@ -327,7 +434,7 @@ func (s *Service) watch(j *Job, h *cgraph.Job) {
 	s.releaseSlot()
 }
 
-// releaseSlot frees one in-flight slot and launches queued jobs while
+// releaseSlot frees one in-flight slot and launches waiting jobs while
 // capacity remains.
 func (s *Service) releaseSlot() {
 	s.mu.Lock()
@@ -351,7 +458,59 @@ func (s *Service) releaseSlot() {
 	s.mu.Unlock()
 }
 
-// Get returns the handle of a known job ID.
+// compactTerminal enforces Config.RetainTerminal: the oldest terminal jobs
+// beyond the cap lose their full state (results included) and their status
+// summaries move to the bounded history ring, so listings keep paginating
+// them while resident memory stays bounded.
+func (s *Service) compactTerminal() {
+	if s.cfg.RetainTerminal <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	terminal := 0
+	for _, id := range s.order {
+		if s.jobs[id].State().Terminal() {
+			terminal++
+		}
+	}
+	for over := terminal - s.cfg.RetainTerminal; over > 0; over-- {
+		at := -1
+		for i, id := range s.order {
+			if s.jobs[id].State().Terminal() {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return
+		}
+		id := s.order[at]
+		j := s.jobs[id]
+		st := j.Status()
+		st.Released = true
+		delete(s.jobs, id)
+		s.order = append(s.order[:at], s.order[at+1:]...)
+		s.history = append(s.history, histEntry{st: st, engineID: j.engineJobID()})
+		for len(s.history) > s.cfg.HistoryLimit {
+			// Evicted summaries leave the listing but stay counted, so
+			// job-state metrics never run backwards.
+			s.evicted[s.history[0].st.State]++
+			s.history = s.history[1:]
+		}
+		s.events.remove(id)
+	}
+}
+
+// histEntry is one compacted terminal job: its status summary plus the
+// engine job ID it ran under, so scheduler plans referencing a job
+// compacted mid-round still resolve to its service ID.
+type histEntry struct {
+	st       api.JobStatus
+	engineID int
+}
+
+// Get returns the handle of a known (non-compacted) job ID.
 func (s *Service) Get(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -370,7 +529,8 @@ func (s *Service) Cancel(id string) error {
 	return j.Cancel()
 }
 
-// List returns the status of every job in submission order.
+// List returns the status of every live (non-compacted) job in submission
+// order. ListPage additionally paginates over the compacted history.
 func (s *Service) List() []Status {
 	s.mu.Lock()
 	ids := append([]string(nil), s.order...)
@@ -384,31 +544,48 @@ func (s *Service) List() []Status {
 	return out
 }
 
+// snapshotJobs copies the history ring, the live job handles, and the
+// eviction counters under one lock hold, so a concurrent compaction
+// cannot surface the same job in both halves or in neither.
+func (s *Service) snapshotJobs() (history []api.JobStatus, live []*Job, evicted map[State]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	history = make([]api.JobStatus, len(s.history))
+	for i, h := range s.history {
+		history[i] = h.st
+	}
+	live = make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		live = append(live, s.jobs[id])
+	}
+	return history, live, maps.Clone(s.evicted)
+}
+
+// ListPage returns one page of the full job listing — compacted history
+// first (oldest to newest), then live jobs in submission order — with the
+// scheduler summary attached.
+func (s *Service) ListPage(opts api.ListOptions) api.JobList {
+	all, jobs, _ := s.snapshotJobs()
+	for _, j := range jobs {
+		all = append(all, j.Status())
+	}
+	list := api.JobList{Total: len(all), Offset: opts.Offset}
+	lo := min(max(opts.Offset, 0), len(all))
+	hi := len(all)
+	if opts.Limit > 0 && lo+opts.Limit < hi {
+		hi = lo + opts.Limit
+	}
+	list.Jobs = all[lo:hi]
+	sched := s.SchedInfo()
+	list.Sched = &sched
+	return list
+}
+
 // AddSnapshot ingests a new graph version at the given timestamp while the
 // service runs; jobs submitted afterwards (or with a matching Arrival) see
 // it. The edge list must be a slot rewrite of the base list.
 func (s *Service) AddSnapshot(edges []model.Edge, timestamp int64) error {
 	return s.sys.AddSnapshot(edges, timestamp)
-}
-
-// SchedGroup is one correlation group of the engine's last round, with
-// engine job IDs translated to service job IDs.
-type SchedGroup struct {
-	Jobs []string `json:"jobs"`
-	// Parts is the unit load order (partition index within its snapshot),
-	// parallel to PartUIDs, which names the exact version loaded.
-	Parts    []int   `json:"parts"`
-	PartUIDs []int64 `json:"part_uids"`
-}
-
-// SchedInfo is the JSON-facing view of the engine's latest scheduling
-// decision: policy, θ fit, and the per-round group/load order.
-type SchedInfo struct {
-	Policy      string       `json:"policy"`
-	Theta       float64      `json:"theta"`
-	ThetaRefits int          `json:"theta_refits"`
-	Round       int64        `json:"round"`
-	Groups      []SchedGroup `json:"groups"`
 }
 
 // SchedInfo reports the scheduler's last plan with service job IDs.
@@ -419,14 +596,19 @@ func (s *Service) SchedInfo() SchedInfo {
 	for _, j := range s.jobs {
 		js = append(js, j)
 	}
-	s.mu.Unlock()
 	byEngine := make(map[int]string, len(js))
-	for _, j := range js {
-		j.mu.Lock()
-		if j.handle != nil {
-			byEngine[j.handle.ID()] = j.id
+	// Jobs compacted since the plan was recorded still resolve to their
+	// service IDs through the history ring.
+	for _, h := range s.history {
+		if h.engineID >= 0 {
+			byEngine[h.engineID] = h.st.ID
 		}
-		j.mu.Unlock()
+	}
+	s.mu.Unlock()
+	for _, j := range js {
+		if id := j.engineJobID(); id >= 0 {
+			byEngine[id] = j.ID()
+		}
 	}
 	out := SchedInfo{
 		Policy:      ci.Policy,
@@ -463,15 +645,26 @@ type Job struct {
 	ctx       context.Context
 	cancelCtx context.CancelFunc
 
-	mu        sync.Mutex
-	state     State
-	err       error
-	handle    *cgraph.Job
-	results   []float64
-	metrics   *cgraph.JobReport
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu         sync.Mutex
+	state      State
+	err        error
+	handle     *cgraph.Job
+	engineID   int // engine job ID once launched; -1 before
+	results    []float64
+	metrics    *cgraph.JobReport
+	iterations int
+	edges      int64
+	submitted  time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// engineJobID returns the engine job ID the job ran under, -1 if it never
+// launched.
+func (j *Job) engineJobID() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.engineID
 }
 
 // ID returns the service-assigned job ID.
@@ -564,40 +757,54 @@ func (j *Job) finishIf(cond func(State) bool, state State, err error, results []
 	}
 	j.results = results
 	j.finished = time.Now()
+	iters := j.iterations
+	if j.metrics != nil {
+		iters = j.metrics.Iterations
+	}
 	j.mu.Unlock()
 	j.cancelCtx()
 	close(j.done)
+	ev := api.Event{Type: api.EventState, State: state, Iteration: iters}
+	if state != StateDone {
+		ev.Error = apiError(err)
+	}
+	j.svc.events.publish(j.id, ev)
+	j.svc.compactTerminal()
 }
 
-// Status is the JSON-facing snapshot of a job.
-type Status struct {
-	ID        string     `json:"id"`
-	Algo      string     `json:"algo"`
-	State     State      `json:"state"`
-	Error     string     `json:"error,omitempty"`
-	Submitted time.Time  `json:"submitted_at"`
-	Started   *time.Time `json:"started_at,omitempty"`
-	Finished  *time.Time `json:"finished_at,omitempty"`
-	// Engine metrics, populated once the job converges.
-	Iterations         int     `json:"iterations,omitempty"`
-	EdgesProcessed     int64   `json:"edges_processed,omitempty"`
-	SimulatedAccessUS  float64 `json:"simulated_access_us,omitempty"`
-	SimulatedComputeUS float64 `json:"simulated_compute_us,omitempty"`
+// apiError converts a job's terminal error to its wire form.
+func apiError(err error) *api.Error {
+	if err == nil {
+		return nil
+	}
+	code := api.CodeInternal
+	switch {
+	case errors.Is(err, cgraph.ErrCancelled), errors.Is(err, context.Canceled):
+		code = api.CodeCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		code = api.CodeDeadlineExceeded
+	case errors.Is(err, ErrStopped):
+		code = api.CodeUnavailable
+	}
+	return &api.Error{Code: code, Message: err.Error()}
 }
 
-// Status snapshots the job.
+// Status snapshots the job in its wire form.
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := Status{
-		ID:        j.id,
-		Algo:      j.name,
-		State:     j.state,
-		Submitted: j.submitted,
+		ID:   j.id,
+		Algo: j.name,
+		// Cloned so a caller mutating the snapshot (in-process clients
+		// skip the JSON copy HTTP clients get) cannot alter the job.
+		Labels:     maps.Clone(j.spec.Labels),
+		State:      j.state,
+		Priority:   j.spec.Priority,
+		Submitted:  j.submitted,
+		Iterations: j.iterations,
 	}
-	if j.err != nil {
-		st.Error = j.err.Error()
-	}
+	st.Error = apiError(j.err)
 	if !j.started.IsZero() {
 		t := j.started
 		st.Started = &t
@@ -606,6 +813,7 @@ func (j *Job) Status() Status {
 		t := j.finished
 		st.Finished = &t
 	}
+	st.EdgesProcessed = j.edges
 	if j.metrics != nil {
 		st.Iterations = j.metrics.Iterations
 		st.EdgesProcessed = j.metrics.EdgesProcessed

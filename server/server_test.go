@@ -189,6 +189,49 @@ func TestServiceFIFOBackpressure(t *testing.T) {
 	}
 }
 
+// TestServicePriorityAdmission: at the in-flight cap, waiting jobs leave
+// the queue highest priority first, FIFO within a priority.
+func TestServicePriorityAdmission(t *testing.T) {
+	svc := startService(t, server.Config{MaxInFlight: 1}, testEdges(), 300)
+	spin, err := svc.Submit(server.Spec{Program: spinProgram{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, err := svc.Submit(server.Spec{Program: algo.NewBFS(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := svc.Submit(server.Spec{Program: algo.NewBFS(1), Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high2, err := svc.Submit(server.Spec{Program: algo.NewBFS(2), Priority: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spin.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	// With one slot, completion order is admission order: both priority-5
+	// jobs (in submission order) before the earlier priority-0 one.
+	for _, j := range []*server.Job{high, high2, low} {
+		if err := j.Wait(waitCtx(t)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started := func(j *server.Job) time.Time {
+		st := j.Status()
+		if st.Started == nil {
+			t.Fatalf("job %s never started", j.ID())
+		}
+		return *st.Started
+	}
+	if !(started(high).Before(started(high2)) && started(high2).Before(started(low))) {
+		t.Fatalf("admission order wrong: high=%v high2=%v low=%v",
+			started(high), started(high2), started(low))
+	}
+}
+
 func TestServiceSnapshotIngestionWhileServing(t *testing.T) {
 	edges := testEdges()
 	svc := startService(t, server.Config{}, edges, 300)
