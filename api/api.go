@@ -98,13 +98,21 @@ type JobStatus struct {
 	SimulatedComputeUS float64 `json:"simulated_compute_us,omitempty"`
 }
 
-// ListOptions selects a page of the job listing.
+// ListOptions selects a page of the job listing, optionally filtered.
+// Filters apply before pagination, so Total counts the matching jobs.
 type ListOptions struct {
 	// Limit caps the returned jobs; 0 means no cap.
 	Limit int
 	// Offset skips that many jobs from the start of the listing (oldest
 	// first, compacted history included).
 	Offset int
+	// State, when non-empty, keeps only jobs in that lifecycle state
+	// (HTTP: the "state" query parameter).
+	State JobState
+	// Labels, when non-empty, keeps only jobs carrying every listed
+	// key/value pair (HTTP: repeated "label" query parameters, each
+	// "key=value").
+	Labels map[string]string
 }
 
 // JobList is one page of the job listing: compacted history first (oldest
@@ -155,13 +163,100 @@ type SnapshotAck struct {
 	Edges     int   `json:"edges"`
 }
 
+// MutationOp is the kind of one streamed edge mutation. Only "rewrite"
+// exists today; the field is explicit so structural adds and removes can
+// join the wire contract additively.
+type MutationOp string
+
+// MutationRewrite replaces the edge occupying an existing slot of the base
+// list (slot count and partition chunking stay stable).
+const MutationRewrite MutationOp = "rewrite"
+
+// Mutation is one streamed edge mutation: the target slot of the base edge
+// list and the new [src, dst, weight] triple.
+type Mutation struct {
+	// Op defaults to "rewrite" when omitted.
+	Op   MutationOp `json:"op,omitempty"`
+	Slot int        `json:"slot"`
+	Edge [3]float64 `json:"edge"`
+}
+
+// Delta is one streamed mutation batch: the O(|delta|) ingestion path next
+// to the full-list Snapshot. Batches coalesce per slot in the service's
+// bounded buffer and flush into overlay snapshots on the count trigger,
+// the age (batching-window) trigger, or an explicit Flush.
+type Delta struct {
+	Mutations []Mutation `json:"mutations"`
+	// Timestamp, when positive, is the lowest acceptable timestamp for
+	// the snapshot that will include this batch; by default snapshots are
+	// stamped latest+1 at flush time.
+	Timestamp int64 `json:"timestamp,omitempty"`
+	// Flush forces materialization of the buffer (this batch included).
+	Flush bool `json:"flush,omitempty"`
+}
+
+// DeltaAck confirms an accepted delta batch.
+type DeltaAck struct {
+	// Accepted mutations from this batch; Pending is the coalescing
+	// buffer's size afterwards (0 if the batch flushed).
+	Accepted int `json:"accepted"`
+	Pending  int `json:"pending"`
+	// Flushed reports whether this request materialized a snapshot;
+	// Timestamp is its timestamp.
+	Flushed   bool  `json:"flushed,omitempty"`
+	Timestamp int64 `json:"timestamp,omitempty"`
+}
+
+// IngestStats reports the streaming-ingestion pipeline's counters and the
+// snapshot store's lifecycle state.
+type IngestStats struct {
+	// Batches/Mutations count accepted delta batches and their mutation
+	// records; Coalesced how many records were superseded in the buffer
+	// before a flush.
+	Batches   int64 `json:"batches"`
+	Mutations int64 `json:"mutations"`
+	Coalesced int64 `json:"coalesced"`
+	// Flushes by trigger; Failures count flushes whose materialization
+	// errored (the buffer is retained and retried).
+	Flushes       int64 `json:"flushes"`
+	CountFlushes  int64 `json:"count_flushes"`
+	AgeFlushes    int64 `json:"age_flushes"`
+	ManualFlushes int64 `json:"manual_flushes"`
+	Failures      int64 `json:"failures,omitempty"`
+	// SnapshotsBuilt counts delta-built snapshots; SlotsApplied the edge
+	// slots actually changed across them.
+	SnapshotsBuilt int64 `json:"snapshots_built"`
+	SlotsApplied   int64 `json:"slots_applied"`
+	// PartsRebuilt/PartsShared split delta-built snapshots' partitions
+	// into rebuilt vs. pointer-shared with their predecessor; SharedRatio
+	// is shared/(shared+rebuilt).
+	PartsRebuilt int64   `json:"parts_rebuilt"`
+	PartsShared  int64   `json:"parts_shared"`
+	SharedRatio  float64 `json:"shared_ratio"`
+	// Pending is the buffer's current size; LastTimestamp the newest
+	// delta-built snapshot's timestamp.
+	Pending       int   `json:"pending"`
+	LastTimestamp int64 `json:"last_timestamp,omitempty"`
+	// Snapshot lifecycle: retained series length, retention evictions so
+	// far, and the configured cap (0 = unbounded).
+	SnapshotsLive    int `json:"snapshots_live"`
+	SnapshotsEvicted int `json:"snapshots_evicted"`
+	RetainSnapshots  int `json:"retain_snapshots,omitempty"`
+}
+
 // SchedGroup is one correlation group of the engine's last round.
 type SchedGroup struct {
 	Jobs []string `json:"jobs"`
+	// Priority is the group's aggregate (summed) job priority, the primary
+	// inter-group ordering key.
+	Priority int `json:"priority,omitempty"`
 	// Parts is the unit load order (partition index within its snapshot),
 	// parallel to PartUIDs, which names the exact version loaded.
 	Parts    []int   `json:"parts"`
 	PartUIDs []int64 `json:"part_uids"`
+	// MakespanUS attributes the round's virtual time to this group: how
+	// much the engine clock advanced while its units loaded and triggered.
+	MakespanUS float64 `json:"makespan_us,omitempty"`
 }
 
 // SchedInfo is the wire view of the engine's latest scheduling decision:
@@ -184,6 +279,8 @@ type Metrics struct {
 	// VirtualTimeUS is the engine's virtual clock in simulated microseconds.
 	VirtualTimeUS float64   `json:"virtual_time_us"`
 	Sched         SchedInfo `json:"sched"`
+	// Ingest reports the streaming delta pipeline and snapshot lifecycle.
+	Ingest IngestStats `json:"ingest"`
 }
 
 // Float is a float64 that survives JSON round-trips of non-finite values

@@ -111,3 +111,56 @@ func TestJobSpecWireCompat(t *testing.T) {
 		t.Fatalf("legacy decode = %+v", spec)
 	}
 }
+
+// TestDeltaWireShape pins the v1 delta contract: ops default to rewrite on
+// the wire, and the round trip preserves every field.
+func TestDeltaWireShape(t *testing.T) {
+	var d Delta
+	body := `{"mutations":[{"slot":17,"edge":[3,9,1.5]},{"op":"rewrite","slot":2,"edge":[0,1,2]}],"timestamp":42,"flush":true}`
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Mutations) != 2 || d.Timestamp != 42 || !d.Flush {
+		t.Fatalf("decode = %+v", d)
+	}
+	if d.Mutations[0].Op != "" || d.Mutations[1].Op != MutationRewrite {
+		t.Fatalf("ops = %q, %q", d.Mutations[0].Op, d.Mutations[1].Op)
+	}
+	if d.Mutations[0].Slot != 17 || d.Mutations[0].Edge != [3]float64{3, 9, 1.5} {
+		t.Fatalf("mutation 0 = %+v", d.Mutations[0])
+	}
+	out, err := json.Marshal(DeltaAck{Accepted: 2, Pending: 0, Flushed: true, Timestamp: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack DeltaAck
+	if err := json.Unmarshal(out, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 2 || !ack.Flushed || ack.Timestamp != 43 {
+		t.Fatalf("ack round trip = %+v", ack)
+	}
+}
+
+// TestIngestStatsRoundTrip keeps the metrics payload symmetric.
+func TestIngestStatsRoundTrip(t *testing.T) {
+	in := IngestStats{
+		Batches: 5, Mutations: 40, Coalesced: 3,
+		Flushes: 4, CountFlushes: 2, AgeFlushes: 1, ManualFlushes: 1,
+		SnapshotsBuilt: 4, SlotsApplied: 37,
+		PartsRebuilt: 6, PartsShared: 26, SharedRatio: 26.0 / 32.0,
+		Pending: 2, LastTimestamp: 9,
+		SnapshotsLive: 3, SnapshotsEvicted: 2, RetainSnapshots: 3,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IngestStats
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}

@@ -49,6 +49,7 @@ import (
 	"cgraph/internal/core"
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
+	"cgraph/internal/ingest"
 	"cgraph/internal/memsim"
 	"cgraph/internal/metrics"
 	"cgraph/internal/sched"
@@ -76,6 +77,7 @@ type Client interface {
 	Get(ctx context.Context, id string) (api.JobStatus, error)
 	// List returns a page of the job listing: compacted history first,
 	// then live jobs in submission order, with the scheduler summary.
+	// Options filter by lifecycle state and by labels before paginating.
 	List(ctx context.Context, opts api.ListOptions) (api.JobList, error)
 	// Watch streams the job's events: a replay of its state transitions
 	// so far (plus latest progress), then live progress and state events.
@@ -90,6 +92,10 @@ type Client interface {
 	// AddSnapshot ingests a new graph version (a slot rewrite of the base
 	// edge list) at the given timestamp.
 	AddSnapshot(ctx context.Context, snap api.Snapshot) (api.SnapshotAck, error)
+	// ApplyDelta streams one edge-mutation batch into the service's
+	// ingestion pipeline; mutations coalesce in a bounded buffer and
+	// flush into overlay snapshots per the service's batching window.
+	ApplyDelta(ctx context.Context, delta api.Delta) (api.DeltaAck, error)
 	// SchedInfo reports the scheduler's last plan.
 	SchedInfo(ctx context.Context) (api.SchedInfo, error)
 	// Metrics reports job-state counts, round-loop progress, and
@@ -143,14 +149,17 @@ func ParseScheduler(name string) (Scheduler, error) {
 }
 
 type config struct {
-	workers       int
-	scheduler     Scheduler
-	coreSubgraph  bool
-	coreFraction  float64
-	numPartitions int
-	cacheBytes    int64
-	memoryBytes   int64
-	disableSplit  bool
+	workers         int
+	scheduler       Scheduler
+	coreSubgraph    bool
+	coreFraction    float64
+	numPartitions   int
+	cacheBytes      int64
+	memoryBytes     int64
+	disableSplit    bool
+	ingestWindow    time.Duration
+	ingestBatch     int
+	retainSnapshots int
 }
 
 // Option configures a System.
@@ -189,6 +198,23 @@ func WithCacheSimulation(cacheBytes, memoryBytes int64) Option {
 // balancing (ablation/debugging).
 func WithoutStragglerSplitting() Option { return func(c *config) { c.disableSplit = true } }
 
+// WithIngestWindow sets the delta pipeline's batching window: buffered
+// mutations older than d flush into a snapshot even if the count trigger
+// has not fired. Zero (the default) disables the age trigger.
+func WithIngestWindow(d time.Duration) Option { return func(c *config) { c.ingestWindow = d } }
+
+// WithIngestBatch sets the delta pipeline's count trigger: the buffer
+// flushes into a snapshot once it holds n distinct mutated slots (default
+// 256).
+func WithIngestBatch(n int) Option { return func(c *config) { c.ingestBatch = n } }
+
+// WithRetainSnapshots caps the retained snapshot series at n versions:
+// beyond it the oldest snapshots not referenced by any bound job are
+// evicted, so a resident service ingesting deltas forever stays bounded.
+// The latest snapshot and any snapshot a live job is bound to are never
+// evicted. Zero (the default) keeps every snapshot.
+func WithRetainSnapshots(n int) Option { return func(c *config) { c.retainSnapshots = n } }
+
 // System is a CGraph instance: one shared (possibly evolving) graph plus
 // the concurrent jobs analysing it. It operates in two modes: the batch
 // Submit…Submit→Run API that drains every job and returns, and the resident
@@ -197,12 +223,13 @@ func WithoutStragglerSplitting() Option { return func(c *config) { c.disableSpli
 type System struct {
 	cfg config
 
-	mu     sync.Mutex
-	store  *storage.SnapshotStore
-	edges  []model.Edge
-	engine *core.Engine
-	jobs   []*Job
-	byID   map[int]*Job
+	mu       sync.Mutex
+	store    *storage.SnapshotStore
+	edges    []model.Edge
+	engine   *core.Engine
+	pipeline *ingest.Pipeline
+	jobs     []*Job
+	byID     map[int]*Job
 
 	serveCancel context.CancelFunc
 	serveDone   chan struct{}
@@ -340,8 +367,11 @@ func (s *System) LoadEdges(numVertices int, edges []Edge) error {
 	if err != nil {
 		return err
 	}
-	s.edges = edges
+	// The system owns its copy: delta flushes mutate the list in place, so
+	// it must not alias the caller's slice.
+	s.edges = append([]model.Edge(nil), edges...)
 	s.store = storage.NewSnapshotStore(pg, 0)
+	s.store.SetRetention(s.cfg.retainSnapshots)
 	return nil
 }
 
@@ -395,7 +425,9 @@ func (s *System) AddSnapshot(edges []Edge, timestamp int64) error {
 	if err != nil {
 		return err
 	}
-	s.edges = edges
+	// Copied for the same reason as in LoadEdges: the system's list must
+	// not alias the caller's.
+	s.edges = append([]model.Edge(nil), edges...)
 	return nil
 }
 
@@ -411,16 +443,255 @@ func diffSlots(a, b []model.Edge) []int {
 	return out
 }
 
+// MutationOp is the kind of one streamed edge mutation. Only slot rewrites
+// exist today; the enum leaves room for structural adds and removes.
+type MutationOp int
+
+// MutationRewrite replaces the edge occupying an existing slot of the base
+// list (slot count and partition chunking stay stable).
+const MutationRewrite MutationOp = MutationOp(ingest.Rewrite)
+
+// Mutation is one streamed edge mutation.
+type Mutation struct {
+	Op   MutationOp
+	Slot int
+	Edge Edge
+}
+
+// Delta is one streamed mutation batch for ApplyDelta.
+type Delta struct {
+	Mutations []Mutation
+	// Timestamp, when positive, is the lowest acceptable timestamp for the
+	// snapshot that will include this batch; by default snapshots are
+	// stamped latest+1 at flush time.
+	Timestamp int64
+	// Flush forces materialization of the buffer (this batch included)
+	// instead of waiting for the count or age trigger.
+	Flush bool
+}
+
+// DeltaAck confirms one accepted delta batch.
+type DeltaAck struct {
+	// Accepted mutations from this batch; Pending is the coalescing-buffer
+	// size afterwards (0 if the batch flushed).
+	Accepted int
+	Pending  int
+	// Flushed reports whether a snapshot was materialized by this call;
+	// Timestamp is its timestamp.
+	Flushed   bool
+	Timestamp int64
+}
+
+// IngestStats reports the delta pipeline's counters plus the snapshot
+// store's lifecycle state.
+type IngestStats struct {
+	Batches, Mutations, Coalesced                              int64
+	Flushes, CountFlushes, AgeFlushes, ManualFlushes, Failures int64
+	// SnapshotsBuilt counts snapshots materialized from deltas;
+	// SlotsApplied the edge slots actually changed across them.
+	SnapshotsBuilt int64
+	SlotsApplied   int64
+	// PartsRebuilt/PartsShared split the delta-built snapshots' partitions
+	// into rebuilt ones and ones pointer-shared with their predecessor;
+	// SharedRatio is shared/(shared+rebuilt), the incremental win.
+	PartsRebuilt int64
+	PartsShared  int64
+	SharedRatio  float64
+	// Pending is the current buffer size; LastTimestamp the newest
+	// delta-built snapshot's timestamp.
+	Pending       int
+	LastTimestamp int64
+	// Snapshot lifecycle: retained series length, evictions so far, and
+	// the configured retention cap (0 = unbounded).
+	SnapshotsLive    int
+	SnapshotsEvicted int
+	RetainSnapshots  int
+}
+
+// ensureIngestLocked lazily builds the delta pipeline over the loaded
+// graph. Caller holds s.mu.
+func (s *System) ensureIngestLocked() (*ingest.Pipeline, error) {
+	if s.pipeline != nil {
+		return s.pipeline, nil
+	}
+	if s.store == nil {
+		return nil, fmt.Errorf("cgraph: load a base graph before applying deltas")
+	}
+	if s.store.Latest().PG.NumCore != 0 {
+		return nil, fmt.Errorf("cgraph: delta ingestion requires WithCoreSubgraph(false)")
+	}
+	p, err := ingest.New(ingest.Config{
+		Slots:       len(s.edges),
+		MaxBatch:    s.cfg.ingestBatch,
+		Window:      s.cfg.ingestWindow,
+		Materialize: s.materializeDelta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.pipeline = p
+	return p, nil
+}
+
+// ApplyDelta streams one edge-mutation batch into the ingestion pipeline
+// (§3.2.1 run continuously): mutations coalesce per slot in a bounded
+// buffer, and a flush — count-triggered, age-triggered, or requested via
+// Delta.Flush — materializes one overlay snapshot in which only the touched
+// partitions are rebuilt, every other partition staying pointer-shared with
+// the previous version. This is the O(|delta|) counterpart of the O(|E|)
+// AddSnapshot path: a job bound to a delta-built snapshot computes exactly
+// what it would against the same version ingested as a full list. Batches
+// are validated atomically; a bad slot or op rejects the whole batch.
+func (s *System) ApplyDelta(d Delta) (DeltaAck, error) {
+	s.mu.Lock()
+	p, err := s.ensureIngestLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return DeltaAck{}, err
+	}
+	muts := make([]ingest.Mutation, len(d.Mutations))
+	for i, m := range d.Mutations {
+		muts[i] = ingest.Mutation{Op: ingest.Op(m.Op), Slot: m.Slot, Edge: m.Edge}
+	}
+	ack, err := p.Apply(muts, d.Timestamp, d.Flush)
+	if err != nil {
+		return DeltaAck{}, err
+	}
+	return DeltaAck{Accepted: ack.Accepted, Pending: ack.Pending, Flushed: ack.Flushed, Timestamp: ack.Timestamp}, nil
+}
+
+// FlushDeltas materializes any buffered mutations immediately. With an
+// empty buffer it is a no-op (Flushed false).
+func (s *System) FlushDeltas() (DeltaAck, error) {
+	s.mu.Lock()
+	p := s.pipeline
+	s.mu.Unlock()
+	if p == nil {
+		return DeltaAck{}, nil
+	}
+	res, err := p.Flush()
+	if err != nil {
+		return DeltaAck{}, err
+	}
+	return DeltaAck{Flushed: res.Built, Timestamp: res.Timestamp}, nil
+}
+
+// CloseIngest drains the delta pipeline: buffered mutations are flushed
+// into a final snapshot and the age timer stops, so no flush can fire
+// after the caller has quiesced the system (Shutdown does not do this —
+// a stopped system still accepts deltas and can serve again). A later
+// ApplyDelta starts a fresh pipeline. No-op when no deltas were ever
+// applied.
+func (s *System) CloseIngest() error {
+	s.mu.Lock()
+	p := s.pipeline
+	s.pipeline = nil
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Close()
+}
+
+// IngestStats reports the delta pipeline's counters and the snapshot
+// store's lifecycle state; zeros before any graph or delta activity.
+func (s *System) IngestStats() IngestStats {
+	s.mu.Lock()
+	p, store := s.pipeline, s.store
+	s.mu.Unlock()
+	out := IngestStats{SharedRatio: 1}
+	if p != nil {
+		st := p.Stats()
+		out.Batches, out.Mutations, out.Coalesced = st.Batches, st.Mutations, st.Coalesced
+		out.Flushes, out.CountFlushes, out.AgeFlushes = st.Flushes, st.CountFlushes, st.AgeFlushes
+		out.ManualFlushes, out.Failures = st.ManualFlushes, st.Failures
+		out.SnapshotsBuilt, out.SlotsApplied = st.SnapshotsBuilt, st.Applied
+		out.PartsRebuilt, out.PartsShared = st.PartsRebuilt, st.PartsShared
+		out.SharedRatio = st.SharedRatio()
+		out.Pending, out.LastTimestamp = st.Pending, st.LastTimestamp
+	}
+	if store != nil {
+		out.SnapshotsLive = store.Len()
+		out.SnapshotsEvicted = store.Evicted()
+		out.RetainSnapshots = store.Retention()
+	}
+	return out
+}
+
+// materializeDelta is the pipeline's sink: it applies one coalesced batch
+// (ascending slot order) to the authoritative edge list in place — the
+// flush must stay O(|delta|), never O(|E|) — diffing only the touched
+// slots, overlaying the changed partitions onto the previous snapshot, and
+// appending the result to the store. On failure the slot writes are
+// reverted, so the pipeline's retained buffer can retry against unchanged
+// state. In-place is safe: partitions copy the edge data into their own
+// CSRs at build time, so no snapshot aliases s.edges.
+func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.store.Latest()
+	changed := make([]int, 0, len(muts))
+	undo := make([]model.Edge, 0, len(muts))
+	for _, m := range muts {
+		if s.edges[m.Slot] != m.Edge {
+			changed = append(changed, m.Slot)
+			undo = append(undo, s.edges[m.Slot])
+			s.edges[m.Slot] = m.Edge
+		}
+	}
+	if len(changed) == 0 {
+		// Every write was a no-op rewrite; no version to build.
+		return ingest.Result{}, nil
+	}
+	revert := func() {
+		for i, slot := range changed {
+			s.edges[slot] = undo[i]
+		}
+	}
+	ts := prev.Timestamp + 1
+	if minTS > ts {
+		ts = minTS
+	}
+	changedParts := graph.ChangedPartitions(changed, prev.PG.ChunkSize, len(prev.PG.Parts))
+	pg, err := graph.Overlay(prev.PG, s.edges, changedParts)
+	if err != nil {
+		revert()
+		return ingest.Result{}, err
+	}
+	if s.engine != nil {
+		err = s.engine.AddSnapshot(pg, ts)
+	} else {
+		err = s.store.Add(pg, ts)
+	}
+	if err != nil {
+		revert()
+		return ingest.Result{}, err
+	}
+	return ingest.Result{
+		Built:     true,
+		Timestamp: ts,
+		Applied:   len(changed),
+		Rebuilt:   len(changedParts),
+		Shared:    len(pg.Parts) - len(changedParts),
+	}, nil
+}
+
 // JobOption configures a submission.
 type JobOption func(*jobConfig)
 
 type jobConfig struct {
-	arrival int64
-	ctx     context.Context
+	arrival  int64
+	priority int
+	ctx      context.Context
 }
 
 // AtTimestamp binds the job to the newest snapshot not younger than ts.
 func AtTimestamp(ts int64) JobOption { return func(c *jobConfig) { c.arrival = ts } }
+
+// WithPriority sets the job's scheduling priority (default 0): the
+// two-level scheduler orders correlation groups by aggregate job priority,
+// so a group carrying urgent jobs loads its partitions first each round.
+func WithPriority(p int) JobOption { return func(c *jobConfig) { c.priority = p } }
 
 // WithContext scopes the job to ctx: when ctx is cancelled or its deadline
 // passes, the job is retired at the next round boundary and Job.Err reports
@@ -493,7 +764,7 @@ func (s *System) Submit(p Program, opts ...JobOption) (*Job, error) {
 		o(&jc)
 	}
 	s.ensureEngineLocked()
-	id := s.engine.SubmitCtx(jc.ctx, p, jc.arrival)
+	id := s.engine.SubmitWith(jc.ctx, p, core.SubmitOpts{Arrival: jc.arrival, Priority: jc.priority})
 	j := &Job{sys: s, id: id, name: p.Name(), done: make(chan struct{})}
 	s.jobs = append(s.jobs, j)
 	s.byID[id] = j
@@ -634,11 +905,16 @@ func (s *System) Stats() Stats {
 type SchedGroup struct {
 	// JobIDs are the engine job IDs scheduled together (Job.ID values).
 	JobIDs []int
+	// Priority is the group's aggregate (summed) job priority, the primary
+	// inter-group ordering key.
+	Priority int
 	// Parts is the unit load order: each partition's index within its own
 	// snapshot, parallel to UIDs.
 	Parts []int
 	// UIDs identifies the partition versions loaded, in load order.
 	UIDs []int64
+	// MakespanUS attributes the round's virtual time to this group.
+	MakespanUS float64
 }
 
 // SchedInfo reports the scheduler's state as of the engine's last round:
@@ -669,7 +945,13 @@ func (s *System) SchedInfo() SchedInfo {
 		Round:       ci.Round,
 	}
 	for _, g := range ci.Groups {
-		out.Groups = append(out.Groups, SchedGroup{JobIDs: g.Jobs, Parts: g.Parts, UIDs: g.UIDs})
+		out.Groups = append(out.Groups, SchedGroup{
+			JobIDs:     g.Jobs,
+			Priority:   g.Priority,
+			Parts:      g.Parts,
+			UIDs:       g.UIDs,
+			MakespanUS: g.MakespanUS,
+		})
 	}
 	return out
 }

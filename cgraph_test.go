@@ -116,6 +116,197 @@ func TestSnapshotWorkflow(t *testing.T) {
 	}
 }
 
+// TestDeltaSnapshotParity is the correctness anchor of the streaming path:
+// a job bound to a snapshot built from deltas must compute exactly what it
+// would against the same version ingested as a full list via AddSnapshot,
+// and the delta-built overlay must share at least as many partitions.
+func TestDeltaSnapshotParity(t *testing.T) {
+	const n = 150
+	base := gen.ER(7, n, 2000)
+	mut, slots := gen.MutateClustered(base, 0.02, n, 9, 16)
+
+	full := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(8))
+	if err := full.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := full.AddSnapshot(mut, 10); err != nil {
+		t.Fatal(err)
+	}
+
+	delta := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(8))
+	if err := delta.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+	d := Delta{Timestamp: 10, Flush: true}
+	for _, s := range slots {
+		d.Mutations = append(d.Mutations, Mutation{Slot: s, Edge: mut[s]})
+	}
+	ack, err := delta.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Flushed || ack.Timestamp != 10 {
+		t.Fatalf("ack = %+v, want flush at ts 10", ack)
+	}
+
+	// The delta overlay shares at least as many partitions as the
+	// full-list path (both rebuild exactly the touched chunks).
+	fullShared := full.store.SharedParts(0, 1)
+	deltaShared := delta.store.SharedParts(0, 1)
+	if deltaShared < fullShared || fullShared <= 0 {
+		t.Fatalf("delta path shares %d partitions, full path %d", deltaShared, fullShared)
+	}
+	ist := delta.IngestStats()
+	if ist.PartsShared != int64(deltaShared) || ist.SnapshotsBuilt != 1 || ist.SlotsApplied != int64(len(slots)) {
+		t.Fatalf("ingest stats inconsistent: %+v (shared %d, slots %d)", ist, deltaShared, len(slots))
+	}
+
+	for _, sys := range []*System{full, delta} {
+		if _, err := sys.Submit(algo.NewPageRank(), AtTimestamp(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := delta.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := full.jobs[0].Results()
+	got, _ := delta.jobs[0].Results()
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("vertex %d: delta-built %v != full-list %v", v, got[v], want[v])
+		}
+	}
+}
+
+// TestDeltaValidation covers the rejection paths of ApplyDelta.
+func TestDeltaValidation(t *testing.T) {
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false))
+	if _, err := sys.ApplyDelta(Delta{}); err == nil {
+		t.Fatal("delta before a graph accepted")
+	}
+	edges := gen.ER(7, 50, 500)
+	if err := sys.LoadEdges(50, edges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ApplyDelta(Delta{Mutations: []Mutation{{Slot: 500, Edge: Edge{Src: 1, Dst: 2}}}}); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := sys.ApplyDelta(Delta{Mutations: []Mutation{{Op: MutationOp(7), Slot: 0, Edge: Edge{Src: 1, Dst: 2}}}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	// A no-op rewrite flushes without building a snapshot.
+	ack, err := sys.ApplyDelta(Delta{Mutations: []Mutation{{Slot: 0, Edge: edges[0]}}, Flush: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Flushed || sys.IngestStats().SnapshotsBuilt != 0 {
+		t.Fatalf("no-op rewrite built a snapshot: %+v", ack)
+	}
+	// Core-subgraph partitioning (slot-unstable chunks) rejects delta
+	// ingestion up front; the hub-heavy RMAT graph guarantees core
+	// partitions actually form.
+	coreEdges := gen.RMAT(5, 200, 4000, 0.57, 0.19, 0.19)
+	coreSys := NewSystem(WithWorkers(2))
+	if err := coreSys.LoadEdges(200, coreEdges); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coreSys.ApplyDelta(Delta{Mutations: []Mutation{{Slot: 0, Edge: Edge{Src: 1, Dst: 2}}}}); err == nil {
+		t.Fatal("core-subgraph system accepted a delta")
+	}
+}
+
+// TestSnapshotGCSoak drives continuous deltas through a serving system
+// while jobs bind to the rolling latest snapshot and retire; the retained
+// series must stay bounded, and a job bound to an old retained version
+// must keep its snapshot alive until it retires.
+func TestSnapshotGCSoak(t *testing.T) {
+	const n = 120
+	edges := gen.ER(7, n, 1500)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithRetainSnapshots(3))
+	if err := sys.LoadEdges(n, edges); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sys.Serve(ctx) }()
+
+	// mutateDelta derives a small delta against the system's current edge
+	// list (read under the lock: the materializer rewrites it).
+	mutateDelta := func(seed int64) Delta {
+		sys.mu.Lock()
+		cur := append([]Edge(nil), sys.edges...)
+		sys.mu.Unlock()
+		mut, slots := gen.Mutate(cur, 0.01, n, seed)
+		d := Delta{Flush: true}
+		for _, s := range slots {
+			d.Mutations = append(d.Mutations, Mutation{Slot: s, Edge: mut[s]})
+		}
+		return d
+	}
+
+	for i := 0; i < 12; i++ {
+		if _, err := sys.ApplyDelta(mutateDelta(int64(100 + i))); err != nil {
+			t.Fatal(err)
+		}
+		j, err := sys.Submit(algo.NewBFS(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ist := sys.IngestStats()
+		if ist.SnapshotsLive > 4 {
+			t.Fatalf("iteration %d: %d live snapshots exceed the bound", i, ist.SnapshotsLive)
+		}
+	}
+	ist := sys.IngestStats()
+	if ist.SnapshotsBuilt != 12 || ist.SnapshotsEvicted < 8 {
+		t.Fatalf("soak stats: %+v", ist)
+	}
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// With the round loop parked, a job bound to the oldest retained
+	// snapshot stays pending and pins it: six more ingested versions must
+	// not evict it out from under the job.
+	oldest := sys.store.Snapshots()[0]
+	pinned, err := sys.Submit(algo.NewPageRank(), AtTimestamp(oldest.Timestamp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := sys.ApplyDelta(mutateDelta(int64(200 + i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap, ok := sys.store.At(oldest.Seq); !ok || snap.PG != oldest.PG {
+		t.Fatal("snapshot with a bound job was evicted")
+	}
+	if live := sys.IngestStats().SnapshotsLive; live <= 3 {
+		t.Fatalf("pinned series should exceed the cap while the job lives, got %d", live)
+	}
+	// The job retires; its reference releases and GC shrinks the series
+	// back to the cap.
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pinned.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if live := sys.IngestStats().SnapshotsLive; live != 3 {
+		t.Fatalf("live snapshots after the pinned job retired = %d, want 3", live)
+	}
+}
+
 func TestLoadEdgeFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "g.tsv")

@@ -29,6 +29,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -184,7 +185,8 @@ func (c *Client) Get(ctx context.Context, id string) (api.JobStatus, error) {
 }
 
 // List returns a page of the job listing (compacted history first, then
-// live jobs in submission order).
+// live jobs in submission order), filtered by state and labels when the
+// options ask for it.
 func (c *Client) List(ctx context.Context, opts api.ListOptions) (api.JobList, error) {
 	q := url.Values{}
 	if opts.Limit > 0 {
@@ -192,6 +194,18 @@ func (c *Client) List(ctx context.Context, opts api.ListOptions) (api.JobList, e
 	}
 	if opts.Offset > 0 {
 		q.Set("offset", strconv.Itoa(opts.Offset))
+	}
+	if opts.State != "" {
+		q.Set("state", string(opts.State))
+	}
+	// Sorted so requests are deterministic (caches, logs, tests).
+	keys := make([]string, 0, len(opts.Labels))
+	for k := range opts.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		q.Add("label", k+"="+opts.Labels[k])
 	}
 	var list api.JobList
 	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/jobs", q, nil, &list)
@@ -225,6 +239,14 @@ func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
 func (c *Client) AddSnapshot(ctx context.Context, snap api.Snapshot) (api.SnapshotAck, error) {
 	var ack api.SnapshotAck
 	err := c.do(ctx, http.MethodPost, api.PathPrefix+"/snapshots", nil, snap, &ack)
+	return ack, err
+}
+
+// ApplyDelta streams one edge-mutation batch into the service's ingestion
+// pipeline. Like other mutating requests it is never retried.
+func (c *Client) ApplyDelta(ctx context.Context, delta api.Delta) (api.DeltaAck, error) {
+	var ack api.DeltaAck
+	err := c.do(ctx, http.MethodPost, api.PathPrefix+"/deltas", nil, delta, &ack)
 	return ack, err
 }
 

@@ -367,3 +367,95 @@ func TestClientRetriesIdempotent(t *testing.T) {
 		t.Fatalf("unstructured 502 = %v, want internal", err)
 	}
 }
+
+// TestClientDeltaAndFilterParity: ApplyDelta and the filtered List behave
+// identically through the in-process and HTTP clients — same acks, same
+// error codes, same filtered listings, same ingest metrics.
+func TestClientDeltaAndFilterParity(t *testing.T) {
+	ctx := testCtx(t)
+	local, remote, _ := harness(t, server.Config{})
+	clients := []struct {
+		name string
+		c    cgraph.Client
+	}{{"local", local}, {"remote", remote}}
+
+	// Validation errors carry the same machine-readable code on both
+	// transports.
+	for _, tc := range clients {
+		_, err := tc.c.ApplyDelta(ctx, api.Delta{
+			Mutations: []api.Mutation{{Slot: 1 << 30, Edge: [3]float64{1, 2, 1}}},
+		})
+		if !api.IsCode(err, api.CodeBadRequest) {
+			t.Fatalf("%s: out-of-range slot = %v, want bad_request", tc.name, err)
+		}
+		_, err = tc.c.ApplyDelta(ctx, api.Delta{
+			Mutations: []api.Mutation{{Op: "drop", Slot: 0, Edge: [3]float64{1, 2, 1}}},
+		})
+		if !api.IsCode(err, api.CodeBadRequest) {
+			t.Fatalf("%s: unknown op = %v, want bad_request", tc.name, err)
+		}
+	}
+
+	// Each client streams one flushed batch into the shared service; the
+	// second snapshot must stamp after the first.
+	ack1, err := remote.ApplyDelta(ctx, api.Delta{
+		Mutations: []api.Mutation{{Slot: 0, Edge: [3]float64{5, 7, 2.25}}},
+		Flush:     true,
+	})
+	if err != nil || !ack1.Flushed {
+		t.Fatalf("remote delta = %+v, %v", ack1, err)
+	}
+	ack2, err := local.ApplyDelta(ctx, api.Delta{
+		Mutations: []api.Mutation{{Slot: 1, Edge: [3]float64{8, 2, 1.75}}},
+		Flush:     true,
+	})
+	if err != nil || !ack2.Flushed || ack2.Timestamp <= ack1.Timestamp {
+		t.Fatalf("local delta = %+v, %v (after %+v)", ack2, err, ack1)
+	}
+
+	// Labelled jobs against the rolling series; drain them via Watch.
+	var ids []string
+	for _, spec := range []api.JobSpec{
+		{Algo: "pagerank", Labels: map[string]string{"team": "growth"}},
+		{Algo: "degree", Labels: map[string]string{"team": "infra"}},
+	} {
+		st, err := remote.Submit(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+		events, err := remote.Watch(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range events {
+		}
+	}
+
+	for _, tc := range clients {
+		// An invalid state filter is rejected with the same code on both
+		// transports.
+		if _, err := tc.c.List(ctx, api.ListOptions{State: "bogus"}); !api.IsCode(err, api.CodeBadRequest) {
+			t.Fatalf("%s: bogus state filter = %v, want bad_request", tc.name, err)
+		}
+		list, err := tc.c.List(ctx, api.ListOptions{State: api.JobDone, Labels: map[string]string{"team": "growth"}})
+		if err != nil {
+			t.Fatalf("%s: list: %v", tc.name, err)
+		}
+		if list.Total != 1 || len(list.Jobs) != 1 || list.Jobs[0].ID != ids[0] {
+			t.Fatalf("%s: filtered list = %+v, want only %s", tc.name, list, ids[0])
+		}
+		empty, err := tc.c.List(ctx, api.ListOptions{State: api.JobFailed})
+		if err != nil || empty.Total != 0 {
+			t.Fatalf("%s: empty filter = %+v, %v", tc.name, empty, err)
+		}
+		m, err := tc.c.Metrics(ctx)
+		if err != nil {
+			t.Fatalf("%s: metrics: %v", tc.name, err)
+		}
+		ing := m.Ingest
+		if ing.Batches != 2 || ing.SnapshotsBuilt != 2 || ing.SnapshotsLive != 3 || ing.PartsShared <= 0 {
+			t.Fatalf("%s: ingest metrics = %+v", tc.name, ing)
+		}
+	}
+}

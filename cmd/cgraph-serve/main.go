@@ -9,26 +9,29 @@
 //
 //	cgraph-serve -graph edges.tsv [-addr :8040] [-workers 8] [-max-inflight 16]
 //	cgraph-serve -dataset ukunion-sim [-scale 0.1] [-scheduler two-level] [-retain-terminal 64]
+//	cgraph-serve -dataset twitter-sim -ingest-window 200ms -ingest-batch 128 -retain-snapshots 8
 //
 // Admin (all wire shapes are api types; errors carry machine-readable codes):
 //
 //	cgraph-serve -connect http://localhost:8040 submit pagerank priority=2
 //	cgraph-serve -connect http://localhost:8040 submit sssp source=3 timeout_ms=5000
-//	cgraph-serve -connect http://localhost:8040 list
+//	cgraph-serve -connect http://localhost:8040 list state=done label.team=growth
 //	cgraph-serve -connect http://localhost:8040 get job-0
 //	cgraph-serve -connect http://localhost:8040 watch job-0
 //	cgraph-serve -connect http://localhost:8040 results job-0 5
 //	cgraph-serve -connect http://localhost:8040 cancel job-1
+//	cgraph-serve -connect http://localhost:8040 delta 17=3,9,1 42=5,5,2 flush
 //	cgraph-serve -connect http://localhost:8040 sched
 //	cgraph-serve -connect http://localhost:8040 metrics
 //
 // Raw control plane (curl):
 //
 //	curl -X POST localhost:8040/v1/jobs -d '{"algo":"pagerank"}'
-//	curl localhost:8040/v1/jobs                     # list (?limit/&offset paginate)
+//	curl localhost:8040/v1/jobs                     # list (?limit/&offset paginate, ?state/&label filter)
 //	curl -N localhost:8040/v1/jobs/job-0/events     # server-sent event stream
 //	curl 'localhost:8040/v1/jobs/job-1/results?top=5'
 //	curl -X POST localhost:8040/v1/snapshots -d '{"timestamp":20,"edges":[[0,1,1],...]}'
+//	curl -X POST localhost:8040/v1/deltas -d '{"mutations":[{"slot":17,"edge":[3,9,1]}]}'
 //	curl localhost:8040/v1/sched
 //	curl localhost:8040/metrics                     # Prometheus text exposition
 //
@@ -68,6 +71,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently running jobs, 0 = unlimited")
 	defaultTimeout := flag.Duration("default-timeout", 0, "per-job timeout applied when a submission has none, 0 = none")
 	retainTerminal := flag.Int("retain-terminal", 0, "terminal jobs kept with results before compacting to the history ring, 0 = keep all")
+	retainSnapshots := flag.Int("retain-snapshots", 0, "graph snapshots retained before evicting unreferenced old versions, 0 = keep all")
+	ingestWindow := flag.Duration("ingest-window", 0, "delta batching window: buffered mutations this old flush into a snapshot, 0 = count/manual triggers only")
+	ingestBatch := flag.Int("ingest-batch", 0, "delta count trigger: flush once this many distinct slots are buffered (default 256)")
 	coreSubgraph := flag.Bool("core-subgraph", false, "enable §3.3 core-subgraph partitioning (disables snapshot ingestion)")
 	scheduler := flag.String("scheduler", "two-level", "partition-load policy: static, priority (one-level Eq. 1), or two-level (correlation groups + Eq. 1)")
 	flag.Parse()
@@ -87,6 +93,9 @@ func main() {
 		cgraph.WithWorkers(*workers),
 		cgraph.WithCoreSubgraph(*coreSubgraph),
 		cgraph.WithScheduler(policy),
+		cgraph.WithRetainSnapshots(*retainSnapshots),
+		cgraph.WithIngestWindow(*ingestWindow),
+		cgraph.WithIngestBatch(*ingestBatch),
 	)
 	switch {
 	case *graphFile != "":
@@ -134,12 +143,17 @@ func main() {
 	if err := svc.Stop(ctx); err != nil {
 		log.Printf("service stop: %v", err)
 	}
+	// Drain the delta pipeline so buffered mutations are not stranded and
+	// no age-trigger flush fires mid-teardown.
+	if err := sys.CloseIngest(); err != nil {
+		log.Printf("ingest close: %v", err)
+	}
 }
 
 // admin drives a running instance through the HTTP client.
 func admin(base string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, sched, metrics")
+		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, delta, sched, metrics")
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -168,11 +182,28 @@ func admin(base string, args []string) error {
 		}
 		return dump(st)
 	case "list":
-		list, err := c.List(ctx, api.ListOptions{})
+		opts, err := parseListOptions(rest)
+		if err != nil {
+			return err
+		}
+		list, err := c.List(ctx, opts)
 		if err != nil {
 			return err
 		}
 		return dump(list)
+	case "delta":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: delta <slot>=<src>,<dst>[,<weight>]... [at=TS] [flush]")
+		}
+		delta, err := parseDelta(rest)
+		if err != nil {
+			return err
+		}
+		ack, err := c.ApplyDelta(ctx, delta)
+		if err != nil {
+			return err
+		}
+		return dump(ack)
 	case "watch":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: watch <job-id>")
@@ -266,6 +297,90 @@ func parseSpec(args []string) (api.JobSpec, error) {
 		}
 	}
 	return spec, nil
+}
+
+// parseListOptions builds api.ListOptions from "list [state=S] [label.k=v]
+// [limit=N] [offset=N]" args.
+func parseListOptions(args []string) (api.ListOptions, error) {
+	var opts api.ListOptions
+	for _, kv := range args {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return opts, fmt.Errorf("bad argument %q, want key=value", kv)
+		}
+		if lbl, ok := strings.CutPrefix(key, "label."); ok {
+			if prev, dup := opts.Labels[lbl]; dup && prev != val {
+				return opts, fmt.Errorf("conflicting label filters for %q (%q vs %q)", lbl, prev, val)
+			}
+			if opts.Labels == nil {
+				opts.Labels = map[string]string{}
+			}
+			opts.Labels[lbl] = val
+			continue
+		}
+		switch key {
+		case "state":
+			opts.State = api.JobState(val)
+		case "limit", "offset":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return opts, fmt.Errorf("bad %s %q", key, val)
+			}
+			if key == "limit" {
+				opts.Limit = n
+			} else {
+				opts.Offset = n
+			}
+		default:
+			return opts, fmt.Errorf("unknown list option %q", key)
+		}
+	}
+	return opts, nil
+}
+
+// parseDelta builds an api.Delta from "delta <slot>=<src>,<dst>[,<weight>]...
+// [at=TS] [flush]" args.
+func parseDelta(args []string) (api.Delta, error) {
+	var delta api.Delta
+	for _, arg := range args {
+		if arg == "flush" {
+			delta.Flush = true
+			continue
+		}
+		key, val, ok := strings.Cut(arg, "=")
+		if !ok {
+			return delta, fmt.Errorf("bad argument %q, want <slot>=<src>,<dst>[,<weight>], at=TS, or flush", arg)
+		}
+		if key == "at" {
+			ts, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return delta, fmt.Errorf("bad at %q", val)
+			}
+			delta.Timestamp = ts
+			continue
+		}
+		slot, err := strconv.Atoi(key)
+		if err != nil {
+			return delta, fmt.Errorf("bad slot %q", key)
+		}
+		parts := strings.Split(val, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return delta, fmt.Errorf("bad edge %q, want <src>,<dst>[,<weight>]", val)
+		}
+		edge := [3]float64{0, 0, 1}
+		for i, p := range parts {
+			x, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return delta, fmt.Errorf("bad edge component %q in %q", p, val)
+			}
+			edge[i] = x
+		}
+		delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationRewrite, Slot: slot, Edge: edge})
+	}
+	if len(delta.Mutations) == 0 {
+		return delta, fmt.Errorf("delta needs at least one <slot>=<src>,<dst>[,<weight>] mutation")
+	}
+	return delta, nil
 }
 
 // dump pretty-prints one wire value.

@@ -139,6 +139,13 @@ type runJob struct {
 	// ctx carries the job's cancellation/deadline; checked at round
 	// boundaries (never mid-round).
 	ctx context.Context
+	// priority is the submission priority, fed to the scheduler so groups
+	// carrying urgent jobs order their loads first.
+	priority int
+	// snapSeq is the series index of the snapshot the job bound to; the
+	// engine holds a store reference under it until the job is terminal,
+	// so retention GC never evicts a snapshot out from under a bound job.
+	snapSeq int
 }
 
 // Engine executes CGP jobs with the LTP model. It runs in two modes: the
@@ -229,8 +236,8 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 		cancelReq: make(map[int]bool),
 		wake:      make(chan struct{}, 1),
 	}
-	for i := 0; i < store.Len(); i++ {
-		e.sched.ObserveSnapshot(store.At(i).PG)
+	for _, snap := range store.Snapshots() {
+		e.sched.ObserveSnapshot(snap.PG)
 	}
 	e.lastSched = SchedInfo{Policy: cfg.Scheduler.String(), Theta: e.sched.Theta(), Refits: e.sched.Refits()}
 	return e
@@ -254,16 +261,34 @@ func (e *Engine) Submit(prog model.Program, arrivalTS int64) int {
 // its deadline passes, the job is retired at the next round boundary with a
 // JobCancelled event carrying ctx's error.
 func (e *Engine) SubmitCtx(ctx context.Context, prog model.Program, arrivalTS int64) int {
+	return e.SubmitWith(ctx, prog, SubmitOpts{Arrival: arrivalTS})
+}
+
+// SubmitOpts carries the optional envelope of a submission.
+type SubmitOpts struct {
+	// Arrival selects the snapshot: the job binds to the newest snapshot
+	// with timestamp ≤ Arrival.
+	Arrival int64
+	// Priority feeds the scheduler's group ordering; higher runs first.
+	Priority int
+}
+
+// SubmitWith is SubmitCtx with the full submission envelope. The job takes
+// a reference on the snapshot it binds to, released when it is retired, so
+// snapshot retention GC cannot evict the version under a live job.
+func (e *Engine) SubmitWith(ctx context.Context, prog model.Program, opts SubmitOpts) int {
 	e.mu.Lock()
 	id := e.nextID
 	e.nextID++
-	snap := e.store.Resolve(arrivalTS)
+	snap := e.store.Acquire(opts.Arrival)
 	j := exec.NewJob(id, prog, snap.PG)
 	rj := &runJob{
 		Job:       j,
 		remaining: make(map[int64]int),
 		m:         &metrics.JobMetrics{JobID: id, Name: prog.Name()},
 		ctx:       ctx,
+		priority:  opts.Priority,
+		snapSeq:   snap.Seq,
 	}
 	e.pending = append(e.pending, rj)
 	e.state[id] = JobQueued
@@ -357,6 +382,7 @@ func (e *Engine) retirementLocked(rj *runJob, enforceBudget bool) (JobEvent, boo
 	}
 	delete(e.cancelReq, rj.ID)
 	e.state[rj.ID] = state
+	e.store.Release(rj.snapSeq)
 	return JobEvent{JobID: rj.ID, State: state, Err: err}, true
 }
 
@@ -571,11 +597,17 @@ func (e *Engine) Now() float64 { return math.Float64frombits(e.nowBits.Load()) }
 type SchedGroup struct {
 	// Jobs lists the engine job IDs grouped together.
 	Jobs []int
+	// Priority is the group's aggregate (summed) job priority, the primary
+	// inter-group ordering key.
+	Priority int
 	// Parts is the unit load order: each partition's index within its own
 	// snapshot, parallel to UIDs.
 	Parts []int
 	// UIDs identifies the partition versions loaded, in load order.
 	UIDs []int64
+	// MakespanUS attributes the round's virtual time to this group: how
+	// much the clock advanced while its units loaded and triggered.
+	MakespanUS float64
 }
 
 // SchedInfo is a point-in-time snapshot of the scheduler's state: the
@@ -611,7 +643,7 @@ func (e *Engine) round() {
 	for _, rj := range e.jobs {
 		byID[rj.ID] = rj
 		rj.remaining = make(map[int64]int)
-		jf := sched.JobFootprint{JobID: rj.ID}
+		jf := sched.JobFootprint{JobID: rj.ID, Priority: rj.priority}
 		for _, pid := range rj.PT.ActiveParts() {
 			p := rj.PG.Parts[pid]
 			rj.remaining[p.UID] = pid
@@ -623,7 +655,12 @@ func (e *Engine) round() {
 	}
 	plan := e.sched.Plan(foot, e.cPrev)
 
-	for _, g := range plan {
+	// spans attributes the round's virtual-time advance to each group
+	// (structure loads, triggers, and the pushes of iterations closed while
+	// the group's units processed), for the /metrics makespan breakdown.
+	spans := make([]float64, len(plan))
+	for gi, g := range plan {
+		groupStart := e.now
 		for _, u := range g.Units {
 			var items []unitJob
 			for _, id := range u.Jobs {
@@ -648,6 +685,7 @@ func (e *Engine) round() {
 				}
 			}
 		}
+		spans[gi] = e.now - groupStart
 	}
 
 	// Close iterations for jobs that had nothing to do this round and
@@ -671,7 +709,7 @@ func (e *Engine) round() {
 		}
 	}
 	e.jobs = still
-	e.recordPlan(plan)
+	e.recordPlan(plan, spans)
 	e.rounds.Add(1)
 	e.nowBits.Store(math.Float64bits(e.now))
 }
@@ -688,17 +726,17 @@ func (e *Engine) drainSnapshotObservations() {
 	}
 }
 
-// recordPlan publishes the round's chosen groups and load order for the
-// control plane.
-func (e *Engine) recordPlan(plan []sched.Group) {
+// recordPlan publishes the round's chosen groups, load order, and per-group
+// makespan attribution for the control plane.
+func (e *Engine) recordPlan(plan []sched.Group, spans []float64) {
 	info := SchedInfo{
 		Policy: e.cfg.Scheduler.String(),
 		Theta:  e.sched.Theta(),
 		Refits: e.sched.Refits(),
 		Round:  e.rounds.Load() + 1,
 	}
-	for _, g := range plan {
-		sg := SchedGroup{Jobs: g.Jobs}
+	for gi, g := range plan {
+		sg := SchedGroup{Jobs: g.Jobs, Priority: g.Priority, MakespanUS: spans[gi]}
 		for _, u := range g.Units {
 			sg.Parts = append(sg.Parts, u.Part.ID)
 			sg.UIDs = append(sg.UIDs, u.Part.UID)
@@ -935,6 +973,7 @@ func (e *Engine) finishIteration(rj *runJob) {
 		// A cancel that raced with convergence loses: the job is done.
 		delete(e.cancelReq, rj.ID)
 		e.mu.Unlock()
+		e.store.Release(rj.snapSeq)
 		e.fireEvent(JobEvent{JobID: rj.ID, State: JobDone, Metrics: rj.m})
 	}
 }

@@ -1,0 +1,313 @@
+// Package ingest is the streaming delta-ingestion pipeline for evolving
+// graphs: instead of re-shipping the full edge list per version (the
+// AddSnapshot path, O(|E|) per snapshot), callers stream small edge
+// mutation batches. The pipeline coalesces them in a bounded per-slot
+// buffer — last writer wins — and materializes one overlay snapshot per
+// flush, so snapshot cost is O(|delta|) and unchanged partitions stay
+// pointer-shared across the series (the Fig. 5 incremental global table).
+//
+// Flushes trigger three ways: the buffer reaching MaxBatch distinct slots
+// (count trigger), the oldest buffered mutation aging past Window (age
+// trigger, on a timer), or an explicit Flush (manual trigger, also used by
+// a batch's Flush flag). Materialization itself — applying the coalesced
+// writes to the authoritative edge list, diffing only the touched slots,
+// and building the overlay — is delegated to the Materialize callback, so
+// the pipeline stays free of storage and engine dependencies.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cgraph/model"
+)
+
+// Op is the kind of one edge mutation. Only slot rewrites exist today; the
+// enum (and the wire shape mirroring it) leaves room for structural adds
+// and removes once partition chunking can grow.
+type Op uint8
+
+const (
+	// Rewrite replaces the edge occupying an existing slot of the base
+	// list, keeping slot count and chunk boundaries stable.
+	Rewrite Op = iota
+)
+
+// Mutation is one edge mutation: op, target slot, and the new edge.
+type Mutation struct {
+	Op   Op
+	Slot int
+	Edge model.Edge
+}
+
+// Result reports one materialized flush.
+type Result struct {
+	// Built is false when every buffered write was a no-op (rewrote the
+	// edge already in place), in which case no snapshot was added.
+	Built bool
+	// Timestamp is the new snapshot's timestamp (when Built).
+	Timestamp int64
+	// Applied counts the slots whose edges actually changed.
+	Applied int
+	// Rebuilt and Shared split the snapshot's partitions into rebuilt ones
+	// and ones pointer-shared with the previous snapshot.
+	Rebuilt int
+	Shared  int
+}
+
+// Config tunes a Pipeline.
+type Config struct {
+	// Slots is the number of edge slots in the base list; mutations are
+	// validated against it on arrival. Required.
+	Slots int
+	// MaxBatch flushes when the buffer holds that many distinct slots
+	// (default 256).
+	MaxBatch int
+	// Window flushes the buffer once its oldest mutation is that old; 0
+	// disables the age trigger (count and manual triggers only).
+	Window time.Duration
+	// Materialize applies one coalesced batch (ascending slot order) and
+	// builds the overlay snapshot. minTS is the lowest acceptable snapshot
+	// timestamp (0 when no batch requested one). Required.
+	Materialize func(muts []Mutation, minTS int64) (Result, error)
+}
+
+// Stats is a point-in-time snapshot of the pipeline's counters.
+type Stats struct {
+	// Batches counts accepted Apply calls; Mutations the accepted mutation
+	// records; Coalesced how many of those were superseded in the buffer
+	// before a flush (rewrites of an already-pending slot).
+	Batches   int64
+	Mutations int64
+	Coalesced int64
+	// Flushes counts materializations by trigger.
+	Flushes       int64
+	CountFlushes  int64
+	AgeFlushes    int64
+	ManualFlushes int64
+	// Failures counts flushes whose materialization errored; the buffer is
+	// kept and retried on the next trigger.
+	Failures int64
+	// SnapshotsBuilt counts flushes that produced a snapshot (a flush of
+	// nothing but no-op rewrites builds none).
+	SnapshotsBuilt int64
+	// Applied sums the slots actually changed across built snapshots;
+	// PartsRebuilt/PartsShared sum the overlay split, so
+	// PartsShared/(PartsShared+PartsRebuilt) is the shared-partition ratio
+	// the incremental store achieves.
+	Applied      int64
+	PartsRebuilt int64
+	PartsShared  int64
+	// Pending is the current buffer size (distinct slots).
+	Pending int
+	// LastTimestamp is the newest materialized snapshot's timestamp.
+	LastTimestamp int64
+}
+
+// SharedRatio is PartsShared over all partitions of built snapshots (1 when
+// nothing was built yet: an empty series shares everything trivially).
+func (s Stats) SharedRatio() float64 {
+	total := s.PartsShared + s.PartsRebuilt
+	if total == 0 {
+		return 1
+	}
+	return float64(s.PartsShared) / float64(total)
+}
+
+// Ack confirms one accepted batch.
+type Ack struct {
+	// Accepted is the number of mutations taken from this batch; Pending
+	// the buffer size after it (0 if the batch flushed).
+	Accepted int
+	Pending  int
+	// Flushed reports whether this Apply materialized a snapshot (count
+	// trigger or the batch's flush request); Timestamp is its timestamp.
+	Flushed   bool
+	Timestamp int64
+}
+
+// Pipeline coalesces mutation batches and materializes overlay snapshots.
+// Safe for concurrent use; flushes are serialized.
+type Pipeline struct {
+	cfg Config
+
+	mu sync.Mutex
+	// pending coalesces buffered mutations per slot (last writer wins);
+	// minTS is the highest snapshot timestamp requested by any buffered
+	// batch; oldest is when the buffer went non-empty (age trigger).
+	pending map[int]Mutation
+	minTS   int64
+	timer   *time.Timer
+	closed  bool
+	stats   Stats
+}
+
+// New builds a pipeline. Config.Slots and Config.Materialize are required.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.Slots <= 0 {
+		return nil, fmt.Errorf("ingest: Config.Slots must be positive, got %d", cfg.Slots)
+	}
+	if cfg.Materialize == nil {
+		return nil, fmt.Errorf("ingest: Config.Materialize is required")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	return &Pipeline{cfg: cfg, pending: make(map[int]Mutation)}, nil
+}
+
+// Apply buffers one mutation batch. The whole batch is validated before any
+// of it is buffered, so a bad slot rejects the batch atomically. minTS,
+// when positive, is the lowest timestamp acceptable for the snapshot that
+// will include this batch. flushNow forces materialization after buffering;
+// otherwise the count trigger decides. When a triggered flush fails, the
+// error is returned but the batch (and the rest of the buffer) stays
+// retained — the returned Ack's Accepted/Pending report that — and the age
+// timer re-arms so the window keeps retrying.
+func (p *Pipeline) Apply(muts []Mutation, minTS int64, flushNow bool) (Ack, error) {
+	for _, m := range muts {
+		if m.Op != Rewrite {
+			return Ack{}, fmt.Errorf("ingest: unsupported mutation op %d", m.Op)
+		}
+		if m.Slot < 0 || m.Slot >= p.cfg.Slots {
+			return Ack{}, fmt.Errorf("ingest: slot %d out of range [0,%d)", m.Slot, p.cfg.Slots)
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return Ack{}, fmt.Errorf("ingest: pipeline closed")
+	}
+	for _, m := range muts {
+		if _, dup := p.pending[m.Slot]; dup {
+			p.stats.Coalesced++
+		}
+		p.pending[m.Slot] = m
+	}
+	p.stats.Batches++
+	p.stats.Mutations += int64(len(muts))
+	if minTS > p.minTS {
+		p.minTS = minTS
+	}
+	ack := Ack{Accepted: len(muts)}
+
+	var trigger *int64
+	switch {
+	case flushNow && len(p.pending) > 0:
+		trigger = &p.stats.ManualFlushes
+	case len(p.pending) >= p.cfg.MaxBatch:
+		trigger = &p.stats.CountFlushes
+	}
+	if trigger != nil {
+		res, err := p.flushLocked(trigger)
+		if err != nil {
+			// The batch is buffered and retried by the next trigger (the
+			// age timer was re-armed by flushLocked).
+			ack.Pending = len(p.pending)
+			return ack, err
+		}
+		ack.Flushed, ack.Timestamp = res.Built, res.Timestamp
+	}
+	p.armTimerLocked()
+	ack.Pending = len(p.pending)
+	return ack, nil
+}
+
+// Flush materializes the buffer now (manual trigger). With an empty buffer
+// it is a no-op reporting Built false.
+func (p *Pipeline) Flush() (Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.pending) == 0 {
+		return Result{}, nil
+	}
+	return p.flushLocked(&p.stats.ManualFlushes)
+}
+
+// armTimerLocked schedules the age-trigger flush whenever the buffer is
+// non-empty and no timer is already pending; it no-ops otherwise, so every
+// path that can leave mutations buffered (first enqueue, a failed flush)
+// just calls it.
+func (p *Pipeline) armTimerLocked() {
+	if p.cfg.Window <= 0 || p.timer != nil || p.closed || len(p.pending) == 0 {
+		return
+	}
+	p.timer = time.AfterFunc(p.cfg.Window, func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.timer = nil
+		if p.closed || len(p.pending) == 0 {
+			return
+		}
+		// Errors here have no caller to land on: flushLocked counts the
+		// failure, keeps the buffer, and re-arms this timer to retry.
+		p.flushLocked(&p.stats.AgeFlushes)
+	})
+}
+
+// flushLocked materializes the buffered mutations: sorted ascending by slot
+// for deterministic application, handed to the Materialize callback, and —
+// on success — the buffer resets and the age timer disarms. On failure the
+// buffer is kept for the next trigger and the age timer re-arms so the
+// retry does not depend on further traffic.
+func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
+	muts := make([]Mutation, 0, len(p.pending))
+	for _, m := range p.pending {
+		muts = append(muts, m)
+	}
+	sort.Slice(muts, func(i, j int) bool { return muts[i].Slot < muts[j].Slot })
+	p.stats.Flushes++
+	*trigger++
+	res, err := p.cfg.Materialize(muts, p.minTS)
+	if err != nil {
+		p.stats.Failures++
+		p.armTimerLocked()
+		return Result{}, fmt.Errorf("ingest: materialize: %w", err)
+	}
+	clear(p.pending)
+	p.minTS = 0
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	if res.Built {
+		p.stats.SnapshotsBuilt++
+		p.stats.Applied += int64(res.Applied)
+		p.stats.PartsRebuilt += int64(res.Rebuilt)
+		p.stats.PartsShared += int64(res.Shared)
+		p.stats.LastTimestamp = res.Timestamp
+	}
+	return res, nil
+}
+
+// Stats reports the pipeline's counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Pending = len(p.pending)
+	return s
+}
+
+// Close flushes any buffered mutations and stops the age timer; further
+// Apply calls fail. The flush error, if any, is returned (the mutations are
+// dropped regardless — the pipeline is closing).
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	var err error
+	if len(p.pending) > 0 {
+		_, err = p.flushLocked(&p.stats.ManualFlushes)
+	}
+	p.closed = true
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	return err
+}

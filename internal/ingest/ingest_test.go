@@ -1,0 +1,259 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cgraph/model"
+)
+
+// recordingSink is a Materialize callback that records every flush it sees.
+type recordingSink struct {
+	mu      sync.Mutex
+	flushes [][]Mutation
+	minTSs  []int64
+	fail    bool
+	ts      int64
+}
+
+func (r *recordingSink) materialize(muts []Mutation, minTS int64) (Result, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail {
+		return Result{}, fmt.Errorf("sink down")
+	}
+	cp := append([]Mutation(nil), muts...)
+	r.flushes = append(r.flushes, cp)
+	r.minTSs = append(r.minTSs, minTS)
+	r.ts++
+	return Result{Built: true, Timestamp: r.ts, Applied: len(muts), Rebuilt: 1, Shared: 7}, nil
+}
+
+func (r *recordingSink) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.flushes)
+}
+
+func edge(s, d int) model.Edge {
+	return model.Edge{Src: model.VertexID(s), Dst: model.VertexID(d), Weight: 1}
+}
+
+func TestApplyValidation(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: 10, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 10, Edge: edge(0, 1)}}, 0, false); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	if _, err := p.Apply([]Mutation{{Slot: -1, Edge: edge(0, 1)}}, 0, false); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	if _, err := p.Apply([]Mutation{{Op: Op(9), Slot: 0, Edge: edge(0, 1)}}, 0, false); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	// A batch with one bad mutation is rejected atomically.
+	if _, err := p.Apply([]Mutation{{Slot: 1, Edge: edge(0, 1)}, {Slot: 99, Edge: edge(0, 1)}}, 0, false); err == nil {
+		t.Fatal("batch with bad slot accepted")
+	}
+	if got := p.Stats().Pending; got != 0 {
+		t.Fatalf("pending = %d after rejected batches, want 0", got)
+	}
+	if _, err := New(Config{Slots: 0, Materialize: sink.materialize}); err == nil {
+		t.Fatal("New accepted zero slots")
+	}
+	if _, err := New(Config{Slots: 1}); err == nil {
+		t.Fatal("New accepted nil Materialize")
+	}
+}
+
+func TestCoalescingAndCountFlush(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: 100, MaxBatch: 3, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two writes to slot 5: the second supersedes the first in the buffer.
+	ack, err := p.Apply([]Mutation{{Slot: 5, Edge: edge(1, 2)}, {Slot: 5, Edge: edge(3, 4)}}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Flushed || ack.Pending != 1 || ack.Accepted != 2 {
+		t.Fatalf("ack = %+v, want pending 1 accepted 2 not flushed", ack)
+	}
+	// Third distinct slot hits MaxBatch and flushes.
+	if _, err := p.Apply([]Mutation{{Slot: 9, Edge: edge(0, 1)}}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	ack, err = p.Apply([]Mutation{{Slot: 2, Edge: edge(7, 8)}}, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Flushed || ack.Pending != 0 {
+		t.Fatalf("ack = %+v, want count-triggered flush", ack)
+	}
+	if sink.count() != 1 {
+		t.Fatalf("flushes = %d, want 1", sink.count())
+	}
+	// The flushed batch is coalesced (slot 5 once, last write wins) and
+	// sorted ascending by slot.
+	got := sink.flushes[0]
+	want := []Mutation{{Slot: 2, Edge: edge(7, 8)}, {Slot: 5, Edge: edge(3, 4)}, {Slot: 9, Edge: edge(0, 1)}}
+	if len(got) != len(want) {
+		t.Fatalf("flushed %d mutations, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flush[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := p.Stats()
+	if st.Coalesced != 1 || st.CountFlushes != 1 || st.Flushes != 1 || st.Batches != 3 || st.Mutations != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SnapshotsBuilt != 1 || st.PartsShared != 7 || st.PartsRebuilt != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if r := st.SharedRatio(); r != 7.0/8.0 {
+		t.Fatalf("SharedRatio = %v, want 7/8", r)
+	}
+}
+
+func TestManualFlushAndMinTS(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: 100, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := p.Flush(); err != nil || res.Built {
+		t.Fatalf("empty flush = %+v, %v", res, err)
+	}
+	ack, err := p.Apply([]Mutation{{Slot: 1, Edge: edge(1, 2)}}, 42, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Flushed || ack.Timestamp != 1 {
+		t.Fatalf("ack = %+v, want flushed at sink ts 1", ack)
+	}
+	if len(sink.minTSs) != 1 || sink.minTSs[0] != 42 {
+		t.Fatalf("minTSs = %v, want [42]", sink.minTSs)
+	}
+	// minTS resets after a flush.
+	if _, err := p.Apply([]Mutation{{Slot: 2, Edge: edge(1, 2)}}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if sink.minTSs[1] != 0 {
+		t.Fatalf("minTS carried over: %v", sink.minTSs)
+	}
+	if st := p.Stats(); st.ManualFlushes != 2 {
+		t.Fatalf("manual flushes = %d, want 2", st.ManualFlushes)
+	}
+}
+
+func TestAgeTriggeredFlush(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: 100, Window: 20 * time.Millisecond, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(1, 2)}}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("age-triggered flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Stats()
+	if st.AgeFlushes != 1 || st.Pending != 0 {
+		t.Fatalf("stats = %+v, want one age flush and empty buffer", st)
+	}
+}
+
+func TestFailedFlushKeepsBuffer(t *testing.T) {
+	sink := &recordingSink{fail: true}
+	p, err := New(Config{Slots: 100, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(1, 2)}}, 0, true)
+	if err == nil {
+		t.Fatal("flush against failing sink succeeded")
+	}
+	// The error still reports the batch as accepted and buffered.
+	if ack.Accepted != 1 || ack.Pending != 1 || ack.Flushed {
+		t.Fatalf("ack alongside flush error = %+v", ack)
+	}
+	st := p.Stats()
+	if st.Failures != 1 || st.Pending != 1 {
+		t.Fatalf("stats = %+v, want failure recorded and buffer kept", st)
+	}
+	// The sink recovers; a retry flushes the retained mutation.
+	sink.mu.Lock()
+	sink.fail = false
+	sink.mu.Unlock()
+	res, err := p.Flush()
+	if err != nil || !res.Built {
+		t.Fatalf("retry flush = %+v, %v", res, err)
+	}
+	if sink.count() != 1 || sink.flushes[0][0].Slot != 3 {
+		t.Fatalf("retained mutation not flushed: %+v", sink.flushes)
+	}
+}
+
+// TestFailedFlushRearmsAgeTimer: a flush failure on the very batch that
+// opened the buffer must leave the age trigger armed, so the retained
+// mutations retry without further traffic.
+func TestFailedFlushRearmsAgeTimer(t *testing.T) {
+	sink := &recordingSink{fail: true}
+	p, err := New(Config{Slots: 100, Window: 20 * time.Millisecond, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(1, 2)}}, 0, true); err == nil {
+		t.Fatal("flush against failing sink succeeded")
+	}
+	sink.mu.Lock()
+	sink.fail = false
+	sink.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for sink.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("age timer never retried the failed flush")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Stats()
+	if st.Pending != 0 || st.AgeFlushes < 1 || st.SnapshotsBuilt != 1 {
+		t.Fatalf("stats after retry = %+v", st)
+	}
+}
+
+func TestCloseFlushesAndRejects(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: 100, Window: time.Hour, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(1, 2)}}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 1 {
+		t.Fatalf("close did not flush: %d flushes", sink.count())
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 4, Edge: edge(1, 2)}}, 0, false); err == nil {
+		t.Fatal("apply after close succeeded")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+}

@@ -72,7 +72,11 @@ func ParseKind(s string) (Kind, error) {
 // its active vertices live in.
 type JobFootprint struct {
 	JobID int
-	Units []*graph.Partition
+	// Priority is the job's submission priority; groups are ordered by
+	// aggregate priority, so a group carrying urgent jobs runs its loads
+	// first regardless of how many jobs it amortizes over.
+	Priority int
+	Units    []*graph.Partition
 }
 
 // UnitPlan is one entry of a group's load order: a snapshot partition
@@ -84,8 +88,11 @@ type UnitPlan struct {
 
 // Group is one correlation group: its jobs and their ordered unit loads.
 type Group struct {
-	Jobs  []int
-	Units []UnitPlan
+	Jobs []int
+	// Priority is the group's aggregate (summed) job priority, the primary
+	// ordering key between groups.
+	Priority int
+	Units    []UnitPlan
 }
 
 // driftFactor is the C-maxima growth that triggers a θ refit: large enough
@@ -271,6 +278,7 @@ func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 
 	type groupAcc struct {
 		jobs  []int
+		pri   int
 		units []*unit
 	}
 	byRoot := make(map[int]*groupAcc)
@@ -284,6 +292,7 @@ func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 			roots = append(roots, r)
 		}
 		g.jobs = append(g.jobs, jf.JobID)
+		g.pri += jf.Priority
 	}
 	for _, u := range units {
 		g := byRoot[find(u.jobs[0])]
@@ -295,9 +304,14 @@ func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 		s.orderUnits(byRoot[r].units, c)
 	}
 
-	// Largest (most amortization) group first; ties toward the oldest job.
+	// Highest aggregate job priority first, so urgent groups' loads land
+	// before bulk ones; within a priority, the largest (most amortization)
+	// group first; ties toward the oldest job.
 	sort.SliceStable(roots, func(a, b int) bool {
 		ga, gb := byRoot[roots[a]], byRoot[roots[b]]
+		if ga.pri != gb.pri {
+			return ga.pri > gb.pri
+		}
 		if len(ga.jobs) != len(gb.jobs) {
 			return len(ga.jobs) > len(gb.jobs)
 		}
@@ -307,7 +321,7 @@ func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 	out := make([]Group, 0, len(roots))
 	for _, r := range roots {
 		g := byRoot[r]
-		grp := Group{Jobs: append([]int(nil), g.jobs...)}
+		grp := Group{Jobs: append([]int(nil), g.jobs...), Priority: g.pri}
 		sort.Ints(grp.Jobs)
 		for _, u := range g.units {
 			grp.Units = append(grp.Units, UnitPlan{

@@ -271,6 +271,45 @@ func TestTwoLevelGroupsDisjointFootprints(t *testing.T) {
 	}
 }
 
+func TestGroupsOrderByAggregatePriority(t *testing.T) {
+	pg := buildPG(t, 8)
+	s := New(TwoLevel)
+	s.ObserveSnapshot(pg)
+	// Jobs {0,1,2} (priority 0 each) share partitions 0-2; job 3 runs
+	// alone on 5-6 with priority 5. Aggregate priority outranks size, so
+	// the singleton group loads first.
+	jobs := map[int][]int{
+		0: {0, 1},
+		1: {1, 2},
+		2: {2, 0},
+		3: {5, 6},
+	}
+	foot := footprints(pg, jobs)
+	for i := range foot {
+		if foot[i].JobID == 3 {
+			foot[i].Priority = 5
+		}
+	}
+	plan := s.Plan(foot, nil)
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d groups, want 2", len(plan))
+	}
+	if len(plan[0].Jobs) != 1 || plan[0].Jobs[0] != 3 || plan[0].Priority != 5 {
+		t.Fatalf("first group = jobs %v priority %d, want the priority-5 singleton", plan[0].Jobs, plan[0].Priority)
+	}
+	if len(plan[1].Jobs) != 3 || plan[1].Priority != 0 {
+		t.Fatalf("second group = jobs %v priority %d, want the bulk trio", plan[1].Jobs, plan[1].Priority)
+	}
+	// With equal aggregate priorities, size decides as before.
+	for i := range foot {
+		foot[i].Priority = 1
+	}
+	plan = s.Plan(foot, nil)
+	if len(plan[0].Jobs) != 3 || plan[0].Priority != 3 {
+		t.Fatalf("equal-priority plan leads with %v (priority %d), want the larger group", plan[0].Jobs, plan[0].Priority)
+	}
+}
+
 func TestTwoLevelDistinguishesSnapshotVersions(t *testing.T) {
 	// Two snapshots with different partition counts: units are keyed by
 	// version (UID), so both versions schedule side by side without any

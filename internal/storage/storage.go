@@ -7,6 +7,8 @@ package storage
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"cgraph/internal/bitset"
 	"cgraph/internal/graph"
@@ -15,6 +17,10 @@ import (
 
 // Snapshot is one timestamped global-table version.
 type Snapshot struct {
+	// Seq is the snapshot's stable position in the series (append order,
+	// starting at 0 for the base). Unlike a slice index it survives
+	// retention eviction, so references held by bound jobs stay valid.
+	Seq       int
 	Timestamp int64
 	PG        *graph.PGraph
 }
@@ -22,59 +28,198 @@ type Snapshot struct {
 // SnapshotStore keeps the snapshot series in timestamp order. Unchanged
 // partitions are shared by pointer between consecutive snapshots (built via
 // graph.Overlay), which is the incremental storage scheme of Fig. 5.
+//
+// The store also owns snapshot lifecycle: jobs binding to a snapshot take a
+// reference (Acquire/Release), and a retention policy (SetRetention) evicts
+// the oldest unreferenced snapshots beyond the cap so a resident service
+// ingesting deltas forever does not grow without bound. Eviction is
+// oldest-first and stops at the first referenced snapshot, so a job bound to
+// a retained old version is never evicted out from under it, and the latest
+// snapshot is never evicted. All methods are safe for concurrent use.
 type SnapshotStore struct {
+	mu sync.Mutex
+	// snaps is the retained window, timestamp-ascending; snaps[i].Seq ==
+	// base+i, where base is the seq of the oldest retained snapshot.
 	snaps []Snapshot
+	base  int
+	// refs counts bound jobs per retained snapshot seq.
+	refs map[int]int
+	// retain caps the retained window (0 = keep every snapshot).
+	retain  int
+	evicted int
 }
 
 // NewSnapshotStore starts the series with a base snapshot.
 func NewSnapshotStore(pg *graph.PGraph, timestamp int64) *SnapshotStore {
-	return &SnapshotStore{snaps: []Snapshot{{Timestamp: timestamp, PG: pg}}}
+	return &SnapshotStore{
+		snaps: []Snapshot{{Seq: 0, Timestamp: timestamp, PG: pg}},
+		refs:  make(map[int]int),
+	}
 }
 
-// Add appends a newer snapshot; timestamps must strictly increase.
-func (s *SnapshotStore) Add(pg *graph.PGraph, timestamp int64) error {
-	if timestamp <= s.snaps[len(s.snaps)-1].Timestamp {
-		return fmt.Errorf("storage: snapshot timestamp %d not after %d", timestamp, s.snaps[len(s.snaps)-1].Timestamp)
+// SetRetention caps the retained snapshot window at n (0 disables eviction)
+// and applies the policy immediately.
+func (s *SnapshotStore) SetRetention(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
 	}
-	s.snaps = append(s.snaps, Snapshot{Timestamp: timestamp, PG: pg})
+	s.retain = n
+	s.gcLocked()
+}
+
+// Retention returns the configured retained-window cap (0 = unbounded).
+func (s *SnapshotStore) Retention() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retain
+}
+
+// gcLocked evicts the oldest unreferenced snapshots beyond the retention
+// cap. It walks from the front and stops at the first referenced snapshot
+// (evicting a middle snapshot would change which version old arrivals
+// resolve to) and never evicts the latest.
+func (s *SnapshotStore) gcLocked() {
+	if s.retain <= 0 {
+		return
+	}
+	for len(s.snaps) > s.retain && len(s.snaps) > 1 && s.refs[s.snaps[0].Seq] == 0 {
+		s.snaps[0] = Snapshot{}
+		s.snaps = s.snaps[1:]
+		s.base++
+		s.evicted++
+	}
+}
+
+// Add appends a newer snapshot; timestamps must strictly increase. The
+// retention policy runs afterwards, so an Add can evict older unreferenced
+// snapshots.
+func (s *SnapshotStore) Add(pg *graph.PGraph, timestamp int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	last := s.snaps[len(s.snaps)-1]
+	if timestamp <= last.Timestamp {
+		return fmt.Errorf("storage: snapshot timestamp %d not after %d", timestamp, last.Timestamp)
+	}
+	s.snaps = append(s.snaps, Snapshot{Seq: last.Seq + 1, Timestamp: timestamp, PG: pg})
+	s.gcLocked()
 	return nil
 }
 
-// Resolve returns the newest snapshot whose timestamp does not exceed the
-// job's arrival time; a job older than every snapshot sees the base.
-func (s *SnapshotStore) Resolve(arrival int64) Snapshot {
-	best := s.snaps[0]
-	for _, snap := range s.snaps[1:] {
-		if snap.Timestamp <= arrival {
-			best = snap
-		}
+// resolveLocked binary-searches the timestamp-ordered window for the newest
+// snapshot whose timestamp does not exceed arrival. An arrival older than
+// every retained snapshot sees the oldest retained one (the base, until
+// retention evicts it).
+func (s *SnapshotStore) resolveLocked(arrival int64) Snapshot {
+	// First retained snapshot with Timestamp > arrival; its predecessor is
+	// the newest with Timestamp <= arrival.
+	i := sort.Search(len(s.snaps), func(i int) bool { return s.snaps[i].Timestamp > arrival })
+	if i == 0 {
+		return s.snaps[0]
 	}
-	return best
+	return s.snaps[i-1]
 }
 
-// ResolveIndex is Resolve plus the snapshot's index in the series.
+// Resolve returns the newest snapshot whose timestamp does not exceed the
+// job's arrival time; a job older than every retained snapshot sees the
+// oldest retained one.
+func (s *SnapshotStore) Resolve(arrival int64) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resolveLocked(arrival)
+}
+
+// ResolveIndex is Resolve plus the snapshot's stable series index (its Seq).
 func (s *SnapshotStore) ResolveIndex(arrival int64) (Snapshot, int) {
-	best, idx := s.snaps[0], 0
-	for i, snap := range s.snaps[1:] {
-		if snap.Timestamp <= arrival {
-			best, idx = snap, i+1
+	snap := s.Resolve(arrival)
+	return snap, snap.Seq
+}
+
+// Acquire resolves the newest snapshot not younger than arrival and takes a
+// reference on it, protecting it from retention eviction until Release.
+func (s *SnapshotStore) Acquire(arrival int64) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.resolveLocked(arrival)
+	s.refs[snap.Seq]++
+	return snap
+}
+
+// Release drops one reference taken by Acquire and re-applies the retention
+// policy, so snapshots pinned only by retired jobs get evicted promptly.
+// Releasing an evicted or never-acquired seq is a no-op.
+func (s *SnapshotStore) Release(seq int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n, ok := s.refs[seq]; ok {
+		if n <= 1 {
+			delete(s.refs, seq)
+		} else {
+			s.refs[seq] = n - 1
 		}
 	}
-	return best, idx
+	s.gcLocked()
+}
+
+// Refs returns the bound-job reference count of the snapshot with the given
+// seq.
+func (s *SnapshotStore) Refs(seq int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refs[seq]
 }
 
 // Latest returns the newest snapshot.
-func (s *SnapshotStore) Latest() Snapshot { return s.snaps[len(s.snaps)-1] }
+func (s *SnapshotStore) Latest() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snaps[len(s.snaps)-1]
+}
 
-// At returns the i-th snapshot in timestamp order.
-func (s *SnapshotStore) At(i int) Snapshot { return s.snaps[i] }
+// At returns the retained snapshot with series index (Seq) seq; ok is false
+// if it was evicted or never existed.
+func (s *SnapshotStore) At(seq int) (Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := seq - s.base
+	if i < 0 || i >= len(s.snaps) {
+		return Snapshot{}, false
+	}
+	return s.snaps[i], true
+}
 
-// Len returns the number of snapshots.
-func (s *SnapshotStore) Len() int { return len(s.snaps) }
+// Snapshots returns a copy of the retained window, oldest first.
+func (s *SnapshotStore) Snapshots() []Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Snapshot(nil), s.snaps...)
+}
 
-// SharedParts counts partitions shared by pointer between snapshots i and j.
+// Len returns the number of retained snapshots.
+func (s *SnapshotStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snaps)
+}
+
+// Evicted returns how many snapshots the retention policy has evicted.
+func (s *SnapshotStore) Evicted() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evicted
+}
+
+// SharedParts counts partitions shared by pointer between the retained
+// snapshots with series indices (Seqs) i and j; -1 if either was evicted.
 func (s *SnapshotStore) SharedParts(i, j int) int {
-	a, b := s.snaps[i].PG.Parts, s.snaps[j].PG.Parts
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ii, jj := i-s.base, j-s.base
+	if ii < 0 || ii >= len(s.snaps) || jj < 0 || jj >= len(s.snaps) {
+		return -1
+	}
+	a, b := s.snaps[ii].PG.Parts, s.snaps[jj].PG.Parts
 	n := 0
 	for k := range a {
 		if k < len(b) && a[k] == b[k] {

@@ -68,6 +68,149 @@ func TestSnapshotResolve(t *testing.T) {
 	}
 }
 
+// addVersion mutates a few slots of edges and appends the overlay snapshot
+// at ts, returning the mutated list for chaining.
+func addVersion(t *testing.T, store *SnapshotStore, edges []model.Edge, ts, seed int64) []model.Edge {
+	t.Helper()
+	prev := store.Latest().PG
+	mut, slots := gen.Mutate(edges, 0.02, 80, seed)
+	changed := graph.ChangedPartitions(slots, prev.ChunkSize, len(prev.Parts))
+	pg, err := graph.Overlay(prev, mut, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Add(pg, ts); err != nil {
+		t.Fatal(err)
+	}
+	return mut
+}
+
+func TestResolveBinarySearch(t *testing.T) {
+	pg, edges := buildPG(t, 1, 4)
+	store := NewSnapshotStore(pg, 100)
+	for i, ts := range []int64{200, 300, 400} {
+		edges = addVersion(t, store, edges, ts, int64(10+i))
+	}
+	cases := []struct {
+		arrival int64
+		wantTS  int64
+		wantSeq int
+	}{
+		{50, 100, 0},   // before the base: sees the base
+		{100, 100, 0},  // exact hit on the base
+		{300, 300, 2},  // exact hit mid-series
+		{350, 300, 2},  // between two snapshots: the older one
+		{400, 400, 3},  // exact hit on the latest
+		{9999, 400, 3}, // after the latest
+	}
+	for _, c := range cases {
+		snap, seq := store.ResolveIndex(c.arrival)
+		if snap.Timestamp != c.wantTS || seq != c.wantSeq || snap.Seq != c.wantSeq {
+			t.Fatalf("ResolveIndex(%d) = ts %d seq %d, want ts %d seq %d",
+				c.arrival, snap.Timestamp, seq, c.wantTS, c.wantSeq)
+		}
+		if got := store.Resolve(c.arrival).Timestamp; got != c.wantTS {
+			t.Fatalf("Resolve(%d) = ts %d, want %d", c.arrival, got, c.wantTS)
+		}
+	}
+}
+
+func TestRetentionEvictsUnreferenced(t *testing.T) {
+	pg, edges := buildPG(t, 1, 4)
+	store := NewSnapshotStore(pg, 100)
+	store.SetRetention(2)
+	for i := 0; i < 5; i++ {
+		edges = addVersion(t, store, edges, int64(200+100*i), int64(20+i))
+	}
+	if store.Len() != 2 || store.Evicted() != 4 {
+		t.Fatalf("len %d evicted %d, want 2 and 4", store.Len(), store.Evicted())
+	}
+	if _, ok := store.At(0); ok {
+		t.Fatal("evicted base still resolvable via At")
+	}
+	if snap, ok := store.At(4); !ok || snap.Timestamp != 500 {
+		t.Fatalf("At(4) = %+v %v, want retained ts 500", snap, ok)
+	}
+	// Arrivals older than the retained window resolve to the oldest
+	// retained snapshot.
+	if got := store.Resolve(0).Timestamp; got != 500 {
+		t.Fatalf("Resolve(0) = ts %d, want oldest retained 500", got)
+	}
+	if store.Latest().Timestamp != 600 {
+		t.Fatal("latest lost")
+	}
+	if got := store.SharedParts(0, 5); got != -1 {
+		t.Fatalf("SharedParts with evicted seq = %d, want -1", got)
+	}
+	if got := store.SharedParts(4, 5); got < 0 {
+		t.Fatalf("SharedParts of retained pair = %d", got)
+	}
+	// Retention never evicts the latest, even at cap 1.
+	store.SetRetention(1)
+	if store.Len() != 1 || store.Latest().Timestamp != 600 {
+		t.Fatalf("len %d latest %d after cap 1", store.Len(), store.Latest().Timestamp)
+	}
+}
+
+func TestRetentionPinsReferencedSnapshot(t *testing.T) {
+	pg, edges := buildPG(t, 1, 4)
+	store := NewSnapshotStore(pg, 100)
+	store.SetRetention(2)
+	// A job binds to the base; eviction must stop in front of it.
+	bound := store.Acquire(100)
+	if bound.Seq != 0 || store.Refs(0) != 1 {
+		t.Fatalf("Acquire = seq %d refs %d", bound.Seq, store.Refs(0))
+	}
+	for i := 0; i < 4; i++ {
+		edges = addVersion(t, store, edges, int64(200+100*i), int64(30+i))
+	}
+	if store.Len() != 5 || store.Evicted() != 0 {
+		t.Fatalf("pinned series evicted: len %d evicted %d", store.Len(), store.Evicted())
+	}
+	if snap, ok := store.At(0); !ok || snap.PG != bound.PG {
+		t.Fatal("bound snapshot evicted out from under its job")
+	}
+	// The job retires: GC runs on Release and shrinks to the cap.
+	store.Release(0)
+	if store.Len() != 2 || store.Evicted() != 3 {
+		t.Fatalf("after release: len %d evicted %d, want 2 and 3", store.Len(), store.Evicted())
+	}
+	// Releasing an evicted or unknown seq is a no-op.
+	store.Release(0)
+	store.Release(99)
+	if store.Len() != 2 {
+		t.Fatal("no-op release changed the store")
+	}
+}
+
+func TestRetentionSoakStaysBounded(t *testing.T) {
+	pg, edges := buildPG(t, 1, 4)
+	store := NewSnapshotStore(pg, 100)
+	store.SetRetention(3)
+	// Jobs continuously bind to the latest version and retire one version
+	// later; the live series must stay bounded the whole run.
+	prevSeq := -1
+	for i := 0; i < 60; i++ {
+		edges = addVersion(t, store, edges, int64(200+100*i), int64(100+i))
+		snap := store.Acquire(store.Latest().Timestamp)
+		if prevSeq >= 0 {
+			store.Release(prevSeq)
+		}
+		prevSeq = snap.Seq
+		// One in-flight ref can pin at most one snapshot beyond the cap.
+		if store.Len() > 4 {
+			t.Fatalf("iteration %d: live snapshots %d exceed bound", i, store.Len())
+		}
+	}
+	store.Release(prevSeq)
+	if store.Len() != 3 {
+		t.Fatalf("final live %d, want retention cap 3", store.Len())
+	}
+	if store.Evicted() != 58 {
+		t.Fatalf("evicted %d, want 58", store.Evicted())
+	}
+}
+
 func TestSnapshotTimestampMonotone(t *testing.T) {
 	pg, _ := buildPG(t, 1, 4)
 	store := NewSnapshotStore(pg, 100)

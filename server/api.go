@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"cgraph"
 	"cgraph/api"
 	"cgraph/model"
 )
@@ -43,6 +44,18 @@ func (s *Service) SubmitSpec(reg Registry, spec api.JobSpec) (api.JobStatus, *ap
 		return api.JobStatus{}, &api.Error{Code: api.CodeUnavailable, Message: err.Error()}
 	}
 	return j.Status(), nil
+}
+
+// ListJobs is the transport-neutral filtered listing: it validates the
+// filter — both clients must reject an unknown state with the same code —
+// and returns one page of matching jobs.
+func (s *Service) ListJobs(opts api.ListOptions) (api.JobList, *api.Error) {
+	switch opts.State {
+	case "", StateQueued, StateRunning, StateDone, StateCancelled, StateFailed:
+	default:
+		return api.JobList{}, api.Errorf(api.CodeBadRequest, "unknown state %q", opts.State)
+	}
+	return s.ListPage(opts), nil
 }
 
 // StatusOf reports one job's wire status, live or compacted.
@@ -131,6 +144,66 @@ func (s *Service) IngestSnapshot(snap api.Snapshot) (api.SnapshotAck, *api.Error
 	return api.SnapshotAck{Timestamp: snap.Timestamp, Edges: len(edges)}, nil
 }
 
+// IngestDelta streams one wire-form mutation batch into the system's delta
+// pipeline. Unlike IngestSnapshot it ships only the changed slots; the
+// pipeline coalesces batches and materializes overlay snapshots per its
+// batching window.
+func (s *Service) IngestDelta(delta api.Delta) (api.DeltaAck, *api.Error) {
+	d := cgraph.Delta{Timestamp: delta.Timestamp, Flush: delta.Flush}
+	d.Mutations = make([]cgraph.Mutation, len(delta.Mutations))
+	for i, m := range delta.Mutations {
+		switch m.Op {
+		case "", api.MutationRewrite:
+		default:
+			return api.DeltaAck{}, api.Errorf(api.CodeBadRequest, "unsupported mutation op %q", m.Op)
+		}
+		d.Mutations[i] = cgraph.Mutation{
+			Op:   cgraph.MutationRewrite,
+			Slot: m.Slot,
+			Edge: model.Edge{
+				Src:    model.VertexID(m.Edge[0]),
+				Dst:    model.VertexID(m.Edge[1]),
+				Weight: float32(m.Edge[2]),
+			},
+		}
+	}
+	ack, err := s.sys.ApplyDelta(d)
+	if err != nil {
+		return api.DeltaAck{}, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
+	}
+	return api.DeltaAck{
+		Accepted:  ack.Accepted,
+		Pending:   ack.Pending,
+		Flushed:   ack.Flushed,
+		Timestamp: ack.Timestamp,
+	}, nil
+}
+
+// ingestInfo reports the system's ingest counters in wire form.
+func (s *Service) ingestInfo() api.IngestStats {
+	st := s.sys.IngestStats()
+	return api.IngestStats{
+		Batches:          st.Batches,
+		Mutations:        st.Mutations,
+		Coalesced:        st.Coalesced,
+		Flushes:          st.Flushes,
+		CountFlushes:     st.CountFlushes,
+		AgeFlushes:       st.AgeFlushes,
+		ManualFlushes:    st.ManualFlushes,
+		Failures:         st.Failures,
+		SnapshotsBuilt:   st.SnapshotsBuilt,
+		SlotsApplied:     st.SlotsApplied,
+		PartsRebuilt:     st.PartsRebuilt,
+		PartsShared:      st.PartsShared,
+		SharedRatio:      st.SharedRatio,
+		Pending:          st.Pending,
+		LastTimestamp:    st.LastTimestamp,
+		SnapshotsLive:    st.SnapshotsLive,
+		SnapshotsEvicted: st.SnapshotsEvicted,
+		RetainSnapshots:  st.RetainSnapshots,
+	}
+}
+
 // MetricsInfo reports job-state counts (compacted history included),
 // round-loop progress, and the scheduler's last plan in wire form.
 func (s *Service) MetricsInfo() api.Metrics {
@@ -149,7 +222,8 @@ func (s *Service) metricsSnapshot() (api.Metrics, []api.JobStatus) {
 		Jobs: map[api.JobState]int{
 			StateQueued: 0, StateRunning: 0, StateDone: 0, StateCancelled: 0, StateFailed: 0,
 		},
-		Sched: s.SchedInfo(),
+		Sched:  s.SchedInfo(),
+		Ingest: s.ingestInfo(),
 	}
 	history, jobs, evicted := s.snapshotJobs()
 	for state, n := range evicted {

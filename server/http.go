@@ -17,12 +17,14 @@ import (
 // under the api.PathPrefix ("/v1") route prefix:
 //
 //	POST   /v1/jobs               submit (api.JobSpec → api.JobStatus)
-//	GET    /v1/jobs               list, ?limit=N&offset=M paginates history
+//	GET    /v1/jobs               list, ?limit=N&offset=M paginates history,
+//	                              ?state=S and repeated ?label=k=v filter
 //	GET    /v1/jobs/{id}          one job's status
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/results  converged values (?top=K for the K largest)
 //	GET    /v1/jobs/{id}/events   server-sent event stream (api.Event)
 //	POST   /v1/snapshots          ingest a graph version (api.Snapshot)
+//	POST   /v1/deltas             stream a mutation batch (api.Delta)
 //	GET    /v1/sched              the scheduler's last plan
 //	GET    /v1/metrics            structured metrics (api.Metrics)
 //	GET    /metrics               Prometheus text exposition (unversioned)
@@ -57,6 +59,9 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	}))
 	mux.HandleFunc(api.PathPrefix+"/snapshots", methods(map[string]http.HandlerFunc{
 		http.MethodPost: h.snapshot,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/deltas", methods(map[string]http.HandlerFunc{
+		http.MethodPost: h.delta,
 	}))
 	mux.HandleFunc(api.PathPrefix+"/sched", methods(map[string]http.HandlerFunc{
 		http.MethodGet: h.sched,
@@ -155,7 +160,31 @@ func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
 		return
 	}
-	writeJSON(w, http.StatusOK, h.svc.ListPage(opts))
+	opts.State = api.JobState(r.URL.Query().Get("state"))
+	for _, kv := range r.URL.Query()["label"] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			writeError(w, api.Errorf(api.CodeBadRequest, "bad label filter %q, want key=value", kv))
+			return
+		}
+		// Filters AND together, and a job carries one value per key — a
+		// repeated key with a different value can never match, so reject
+		// it instead of silently letting the last one win.
+		if prev, dup := opts.Labels[k]; dup && prev != v {
+			writeError(w, api.Errorf(api.CodeBadRequest, "conflicting label filters for %q (%q vs %q)", k, prev, v))
+			return
+		}
+		if opts.Labels == nil {
+			opts.Labels = map[string]string{}
+		}
+		opts.Labels[k] = v
+	}
+	list, aerr := h.svc.ListJobs(opts)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, list)
 }
 
 func (h *httpAPI) sched(w http.ResponseWriter, r *http.Request) {
@@ -242,6 +271,22 @@ func (h *httpAPI) snapshot(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ack)
 }
 
+func (h *httpAPI) delta(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var delta api.Delta
+	if err := dec.Decode(&delta); err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
+		return
+	}
+	ack, aerr := h.svc.IngestDelta(delta)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
 func (h *httpAPI) metricsJSON(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.svc.MetricsInfo())
 }
@@ -264,6 +309,30 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("cgraph_sched_theta_refits_total", nil, float64(sched.ThetaRefits))
 	e.Declare("cgraph_sched_groups", "gauge", "Correlation groups chosen in the engine's last round.")
 	e.Add("cgraph_sched_groups", nil, float64(len(sched.Groups)))
+	e.Declare("cgraph_sched_group_makespan_us", "gauge", "Virtual time attributed to each correlation group in the last round.")
+	e.Declare("cgraph_sched_group_jobs", "gauge", "Jobs per correlation group in the last round.")
+	for gi, g := range sched.Groups {
+		labels := map[string]string{"group": strconv.Itoa(gi)}
+		e.Add("cgraph_sched_group_makespan_us", labels, g.MakespanUS)
+		e.Add("cgraph_sched_group_jobs", labels, float64(len(g.Jobs)))
+	}
+	ing := info.Ingest
+	e.Declare("cgraph_ingest_batches_total", "counter", "Delta batches accepted by the ingestion pipeline.")
+	e.Add("cgraph_ingest_batches_total", nil, float64(ing.Batches))
+	e.Declare("cgraph_ingest_mutations_total", "counter", "Edge mutations accepted by the ingestion pipeline.")
+	e.Add("cgraph_ingest_mutations_total", nil, float64(ing.Mutations))
+	e.Declare("cgraph_ingest_flushes_total", "counter", "Pipeline flushes by trigger.")
+	e.Add("cgraph_ingest_flushes_total", map[string]string{"trigger": "count"}, float64(ing.CountFlushes))
+	e.Add("cgraph_ingest_flushes_total", map[string]string{"trigger": "age"}, float64(ing.AgeFlushes))
+	e.Add("cgraph_ingest_flushes_total", map[string]string{"trigger": "manual"}, float64(ing.ManualFlushes))
+	e.Declare("cgraph_ingest_pending", "gauge", "Mutations buffered awaiting a flush (distinct slots).")
+	e.Add("cgraph_ingest_pending", nil, float64(ing.Pending))
+	e.Declare("cgraph_ingest_shared_ratio", "gauge", "Partitions pointer-shared vs rebuilt across delta-built snapshots.")
+	e.Add("cgraph_ingest_shared_ratio", nil, ing.SharedRatio)
+	e.Declare("cgraph_snapshots_live", "gauge", "Snapshots retained in the global table.")
+	e.Add("cgraph_snapshots_live", nil, float64(ing.SnapshotsLive))
+	e.Declare("cgraph_snapshots_evicted_total", "counter", "Snapshots evicted by the retention policy.")
+	e.Add("cgraph_snapshots_evicted_total", nil, float64(ing.SnapshotsEvicted))
 	e.Declare("cgraph_job_iterations", "gauge", "Iterations to convergence, per finished job.")
 	e.Declare("cgraph_job_edges_processed", "counter", "Edges processed, per finished job.")
 	e.Declare("cgraph_job_simulated_access_us", "gauge", "Simulated data-access time, per finished job.")

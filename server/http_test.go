@@ -582,3 +582,109 @@ func contextWithTimeout(t *testing.T) (ctx context.Context, cancel context.Cance
 	t.Helper()
 	return context.WithTimeout(context.Background(), 30*time.Second)
 }
+
+// TestHTTPDeltasAndListFilters covers the streaming-ingestion endpoint and
+// the filtered job listing: POST /v1/deltas validation and flushing, state
+// and label query filters on GET /v1/jobs, and the ingest counters in both
+// metrics surfaces.
+func TestHTTPDeltasAndListFilters(t *testing.T) {
+	svc := startService(t, server.Config{}, testEdges(), 300)
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	// Unknown fields and bad mutations are rejected with bad_request.
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{"mutationss": []any{}}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("unknown field = %d (%v)", code, body)
+	}
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{map[string]any{"slot": 1 << 30, "edge": []float64{1, 2, 1}}},
+	}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("out-of-range slot = %d (%v)", code, body)
+	}
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{map[string]any{"op": "add", "slot": 0, "edge": []float64{1, 2, 1}}},
+	}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("unknown op = %d (%v)", code, body)
+	}
+
+	// A valid flushed batch materializes a snapshot.
+	code, ack := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{
+			map[string]any{"slot": 0, "edge": []float64{7, 9, 2.5}},
+			map[string]any{"op": "rewrite", "slot": 1, "edge": []float64{3, 4, 1.5}},
+		},
+		"flush": true,
+	})
+	if code != http.StatusOK || ack["flushed"] != true || ack["accepted"] != float64(2) {
+		t.Fatalf("POST /v1/deltas = %d (%v)", code, ack)
+	}
+
+	// Two labelled jobs; wait for both, then filter the listing.
+	code, a := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{
+		"algo": "pagerank", "labels": map[string]string{"team": "growth"},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit a = %d", code)
+	}
+	code, b := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{
+		"algo": "degree", "labels": map[string]string{"team": "infra"},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit b = %d", code)
+	}
+	aID, bID := a["id"].(string), b["id"].(string)
+	pollState(t, c, ts.URL, aID, server.StateDone)
+	pollState(t, c, ts.URL, bID, server.StateDone)
+
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?state=bogus", nil); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("bogus state filter = %d (%v)", code, body)
+	}
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?label=noequals", nil); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("bad label filter = %d (%v)", code, body)
+	}
+	// A repeated label key with a different value can never match; it is
+	// rejected rather than silently last-wins.
+	if code, body := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?label=team%3Dgrowth&label=team%3Dinfra", nil); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("conflicting label filters = %d (%v)", code, body)
+	}
+	code, list := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?state=done&label=team%3Dgrowth", nil)
+	if code != http.StatusOK || list["total"] != float64(1) {
+		t.Fatalf("filtered list = %d (%v), want exactly the growth job", code, list)
+	}
+	jobs := list["jobs"].([]any)
+	if got := jobs[0].(map[string]any)["id"]; got != aID {
+		t.Fatalf("filtered list returned %v, want %s", got, aID)
+	}
+	if code, list := httpJSON(t, c, "GET", ts.URL+"/v1/jobs?state=cancelled", nil); code != http.StatusOK || list["total"] != float64(0) {
+		t.Fatalf("empty filter = %d (%v)", code, list)
+	}
+
+	// Ingest counters surface in the structured metrics…
+	code, m := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", code)
+	}
+	ing, ok := m["ingest"].(map[string]any)
+	if !ok || ing["batches"] != float64(1) || ing["snapshots_built"] != float64(1) || ing["snapshots_live"] != float64(2) {
+		t.Fatalf("ingest metrics = %v", m["ingest"])
+	}
+	// …and in the Prometheus exposition, along with per-group makespan.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"cgraph_ingest_batches_total 1",
+		"cgraph_ingest_flushes_total{trigger=\"manual\"} 1",
+		"cgraph_snapshots_live 2",
+		"cgraph_sched_group_makespan_us",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -52,7 +52,11 @@ func (c *localClient) List(ctx context.Context, opts api.ListOptions) (api.JobLi
 	if err := ctx.Err(); err != nil {
 		return api.JobList{}, err
 	}
-	return c.svc.ListPage(opts), nil
+	list, aerr := c.svc.ListJobs(opts)
+	if aerr != nil {
+		return api.JobList{}, aerr
+	}
+	return list, nil
 }
 
 func (c *localClient) Watch(ctx context.Context, id string) (<-chan api.Event, error) {
@@ -95,6 +99,17 @@ func (c *localClient) AddSnapshot(ctx context.Context, snap api.Snapshot) (api.S
 	ack, aerr := c.svc.IngestSnapshot(snap)
 	if aerr != nil {
 		return api.SnapshotAck{}, aerr
+	}
+	return ack, nil
+}
+
+func (c *localClient) ApplyDelta(ctx context.Context, delta api.Delta) (api.DeltaAck, error) {
+	if err := ctx.Err(); err != nil {
+		return api.DeltaAck{}, err
+	}
+	ack, aerr := c.svc.IngestDelta(delta)
+	if aerr != nil {
+		return api.DeltaAck{}, aerr
 	}
 	return ack, nil
 }

@@ -337,7 +337,7 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 
 // launch submits j to the engine and spawns its completion watcher.
 func (s *Service) launch(j *Job) error {
-	opts := []cgraph.JobOption{cgraph.WithContext(j.ctx)}
+	opts := []cgraph.JobOption{cgraph.WithContext(j.ctx), cgraph.WithPriority(j.spec.Priority)}
 	if j.spec.Arrival != nil {
 		opts = append(opts, cgraph.AtTimestamp(*j.spec.Arrival))
 	}
@@ -561,13 +561,37 @@ func (s *Service) snapshotJobs() (history []api.JobStatus, live []*Job, evicted 
 	return history, live, maps.Clone(s.evicted)
 }
 
+// matchesFilter applies ListOptions' state and label filters to one job
+// status.
+func matchesFilter(st api.JobStatus, opts api.ListOptions) bool {
+	if opts.State != "" && st.State != opts.State {
+		return false
+	}
+	for k, v := range opts.Labels {
+		if st.Labels[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
 // ListPage returns one page of the full job listing — compacted history
 // first (oldest to newest), then live jobs in submission order — with the
-// scheduler summary attached.
+// scheduler summary attached. State and label filters apply before
+// pagination, so Total counts the matching jobs.
 func (s *Service) ListPage(opts api.ListOptions) api.JobList {
 	all, jobs, _ := s.snapshotJobs()
 	for _, j := range jobs {
 		all = append(all, j.Status())
+	}
+	if opts.State != "" || len(opts.Labels) > 0 {
+		filtered := all[:0]
+		for _, st := range all {
+			if matchesFilter(st, opts) {
+				filtered = append(filtered, st)
+			}
+		}
+		all = filtered
 	}
 	list := api.JobList{Total: len(all), Offset: opts.Offset}
 	lo := min(max(opts.Offset, 0), len(all))
@@ -617,7 +641,7 @@ func (s *Service) SchedInfo() SchedInfo {
 		Round:       ci.Round,
 	}
 	for _, g := range ci.Groups {
-		sg := SchedGroup{Parts: g.Parts, PartUIDs: g.UIDs}
+		sg := SchedGroup{Parts: g.Parts, PartUIDs: g.UIDs, Priority: g.Priority, MakespanUS: g.MakespanUS}
 		for _, id := range g.JobIDs {
 			if sid, ok := byEngine[id]; ok {
 				sg.Jobs = append(sg.Jobs, sid)
