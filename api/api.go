@@ -163,22 +163,36 @@ type SnapshotAck struct {
 	Edges     int   `json:"edges"`
 }
 
-// MutationOp is the kind of one streamed edge mutation. Only "rewrite"
-// exists today; the field is explicit so structural adds and removes can
-// join the wire contract additively.
+// MutationOp is the kind of one streamed edge mutation.
 type MutationOp string
 
-// MutationRewrite replaces the edge occupying an existing slot of the base
-// list (slot count and partition chunking stay stable).
-const MutationRewrite MutationOp = "rewrite"
+const (
+	// MutationRewrite replaces the edge occupying an existing slot of the
+	// current list (slot count and partition chunking stay stable).
+	MutationRewrite MutationOp = "rewrite"
+	// MutationAdd appends a new edge; the vertex space grows to cover its
+	// endpoints and the partition series re-chunks incrementally.
+	MutationAdd MutationOp = "add_edge"
+	// MutationRemove deletes one edge whose (src, dst) match the
+	// mutation's edge (weight ignored); removing an absent edge is a
+	// counted no-op. An add followed by a remove of the same edge cancels
+	// in the coalescing buffer.
+	MutationRemove MutationOp = "remove_edge"
+	// MutationAddVertex grows the vertex space to include the mutation's
+	// vertex, without edges.
+	MutationAddVertex MutationOp = "add_vertex"
+)
 
-// Mutation is one streamed edge mutation: the target slot of the base edge
-// list and the new [src, dst, weight] triple.
+// Mutation is one streamed edge mutation. Slot addresses "rewrite" ops,
+// Edge carries the [src, dst, weight] triple for rewrite/add_edge (and the
+// [src, dst] pair to match for remove_edge), Vertex the target of
+// "add_vertex".
 type Mutation struct {
 	// Op defaults to "rewrite" when omitted.
-	Op   MutationOp `json:"op,omitempty"`
-	Slot int        `json:"slot"`
-	Edge [3]float64 `json:"edge"`
+	Op     MutationOp `json:"op,omitempty"`
+	Slot   int        `json:"slot"`
+	Edge   [3]float64 `json:"edge"`
+	Vertex uint32     `json:"vertex,omitempty"`
 }
 
 // Delta is one streamed mutation batch: the O(|delta|) ingestion path next
@@ -223,6 +237,19 @@ type IngestStats struct {
 	AgeFlushes    int64 `json:"age_flushes"`
 	ManualFlushes int64 `json:"manual_flushes"`
 	Failures      int64 `json:"failures,omitempty"`
+	// Accepted mutation records by op.
+	Rewrites    int64 `json:"rewrites"`
+	EdgeAdds    int64 `json:"edge_adds"`
+	EdgeRemoves int64 `json:"edge_removes"`
+	VertexAdds  int64 `json:"vertex_adds"`
+	// Cancelled counts add/remove pairs of the same edge that annihilated
+	// in the buffer; RemoveMisses no-op mutations applied at materialize
+	// time (removes of absent edges, and rewrites of slots that vanished
+	// under a same-window structural remove); Shed whole batches rejected
+	// by the ingest admission cap (HTTP 429 ingest_saturated).
+	Cancelled    int64 `json:"cancelled,omitempty"`
+	RemoveMisses int64 `json:"remove_misses,omitempty"`
+	Shed         int64 `json:"shed,omitempty"`
 	// SnapshotsBuilt counts delta-built snapshots; SlotsApplied the edge
 	// slots actually changed across them.
 	SnapshotsBuilt int64 `json:"snapshots_built"`
@@ -242,6 +269,16 @@ type IngestStats struct {
 	SnapshotsLive    int `json:"snapshots_live"`
 	SnapshotsEvicted int `json:"snapshots_evicted"`
 	RetainSnapshots  int `json:"retain_snapshots,omitempty"`
+	// Retained-window bounds: the oldest and newest retained snapshots'
+	// series indices and timestamps. A job binding with a timestamp
+	// before OldestTimestamp is served by the oldest retained version.
+	OldestSeq       int   `json:"oldest_seq"`
+	OldestTimestamp int64 `json:"oldest_timestamp"`
+	NewestSeq       int   `json:"newest_seq"`
+	NewestTimestamp int64 `json:"newest_timestamp"`
+	// NumVertices is the newest snapshot's vertex-space size; structural
+	// deltas grow it.
+	NumVertices int `json:"num_vertices"`
 }
 
 // SchedGroup is one correlation group of the engine's last round.

@@ -164,3 +164,71 @@ func TestIngestStatsRoundTrip(t *testing.T) {
 		t.Fatalf("round trip = %+v, want %+v", out, in)
 	}
 }
+
+// TestStructuralMutationWireShape pins the structural ops' wire spelling.
+func TestStructuralMutationWireShape(t *testing.T) {
+	var d Delta
+	body := `{"mutations":[
+		{"op":"add_vertex","vertex":900},
+		{"op":"add_edge","edge":[900,3,1]},
+		{"op":"remove_edge","edge":[5,7,0]},
+		{"op":"rewrite","slot":2,"edge":[0,1,2]}
+	],"flush":true}`
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Mutations[0].Op != MutationAddVertex || d.Mutations[0].Vertex != 900 {
+		t.Fatalf("add_vertex = %+v", d.Mutations[0])
+	}
+	if d.Mutations[1].Op != MutationAdd || d.Mutations[1].Edge != [3]float64{900, 3, 1} {
+		t.Fatalf("add_edge = %+v", d.Mutations[1])
+	}
+	if d.Mutations[2].Op != MutationRemove {
+		t.Fatalf("remove_edge = %+v", d.Mutations[2])
+	}
+	// Round trip.
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Delta
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Mutations {
+		if back.Mutations[i] != d.Mutations[i] {
+			t.Fatalf("round trip mutation %d = %+v, want %+v", i, back.Mutations[i], d.Mutations[i])
+		}
+	}
+	// The saturation code maps to 429 in both directions.
+	if (&Error{Code: CodeIngestSaturated}).HTTPStatus() != 429 {
+		t.Fatal("ingest_saturated must map to 429")
+	}
+	if CodeForHTTPStatus(429) != CodeIngestSaturated {
+		t.Fatal("429 must map back to ingest_saturated")
+	}
+}
+
+// TestIngestStatsStructuralRoundTrip keeps the extended metrics payload
+// symmetric, window bounds included.
+func TestIngestStatsStructuralRoundTrip(t *testing.T) {
+	in := IngestStats{
+		Batches: 5, Mutations: 40,
+		Rewrites: 20, EdgeAdds: 12, EdgeRemoves: 6, VertexAdds: 2,
+		Cancelled: 1, RemoveMisses: 2, Shed: 3,
+		SnapshotsBuilt: 4, SnapshotsLive: 3,
+		OldestSeq: 1, OldestTimestamp: 10, NewestSeq: 3, NewestTimestamp: 30,
+		NumVertices: 902,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out IngestStats
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}

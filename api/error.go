@@ -34,6 +34,9 @@ const (
 	CodeCancelled ErrorCode = "cancelled"
 	// CodeDeadlineExceeded: the job's deadline expired before convergence.
 	CodeDeadlineExceeded ErrorCode = "deadline_exceeded"
+	// CodeIngestSaturated: the delta-ingestion buffer is at its admission
+	// cap; the batch was shed. Retry after a flush drains the buffer.
+	CodeIngestSaturated ErrorCode = "ingest_saturated"
 	// CodeUnavailable: the service is stopped or cannot accept work.
 	CodeUnavailable ErrorCode = "unavailable"
 	// CodeInternal: an unexpected server-side failure.
@@ -82,6 +85,8 @@ func (e *Error) HTTPStatus() int {
 		return http.StatusConflict
 	case CodeReleased:
 		return http.StatusGone
+	case CodeIngestSaturated:
+		return http.StatusTooManyRequests
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
 	default:
@@ -103,6 +108,8 @@ func CodeForHTTPStatus(status int) ErrorCode {
 		return CodeConflict
 	case http.StatusGone:
 		return CodeReleased
+	case http.StatusTooManyRequests:
+		return CodeIngestSaturated
 	case http.StatusServiceUnavailable:
 		return CodeUnavailable
 	default:

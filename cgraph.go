@@ -60,6 +60,12 @@ import (
 // ErrCancelled is returned by Job.Err for jobs retired via Job.Cancel.
 var ErrCancelled = errors.New("cgraph: job cancelled")
 
+// ErrIngestSaturated is returned (wrapped) by ApplyDelta when the system
+// was built with WithIngestCap and the coalescing buffer is full: the batch
+// was shed, nothing was buffered, and the caller should retry after a flush
+// drains the buffer. Services map it to a machine-readable 429.
+var ErrIngestSaturated = errors.New("cgraph: ingest saturated")
+
 // Client is the unified job-service surface: submit, observe, and control
 // concurrent iterative jobs against one resident graph, speaking the
 // versioned wire types of package api. Two implementations exist with
@@ -159,6 +165,8 @@ type config struct {
 	disableSplit    bool
 	ingestWindow    time.Duration
 	ingestBatch     int
+	ingestCap       int
+	maxVertexGrowth int
 	retainSnapshots int
 }
 
@@ -208,6 +216,21 @@ func WithIngestWindow(d time.Duration) Option { return func(c *config) { c.inges
 // 256).
 func WithIngestBatch(n int) Option { return func(c *config) { c.ingestBatch = n } }
 
+// WithIngestCap bounds the delta pipeline's coalescing buffer at n pending
+// mutations: a delta batch that would grow the buffer beyond the cap —
+// including a single oversized batch — is shed with ErrIngestSaturated
+// instead of buffering unboundedly, so a slow materializer surfaces as
+// backpressure. Zero (the default) disables admission control.
+func WithIngestCap(n int) Option { return func(c *config) { c.ingestCap = n } }
+
+// WithMaxVertexGrowth bounds how far beyond the current vertex space a
+// single delta batch's structural mutations may reach (default 1<<20 new
+// vertices): vertex tables are allocated densely up to the largest id, so
+// without a bound one tiny add_vertex request naming id 2^32-2 would force
+// a multi-gigabyte allocation. Batches exceeding the bound are rejected
+// atomically at admission.
+func WithMaxVertexGrowth(n int) Option { return func(c *config) { c.maxVertexGrowth = n } }
+
 // WithRetainSnapshots caps the retained snapshot series at n versions:
 // beyond it the oldest snapshots not referenced by any bound job are
 // evicted, so a resident service ingesting deltas forever stays bounded.
@@ -230,6 +253,15 @@ type System struct {
 	pipeline *ingest.Pipeline
 	jobs     []*Job
 	byID     map[int]*Job
+	// numVertices is the authoritative vertex-space size of the latest
+	// snapshot; structural deltas grow it monotonically (add_vertex,
+	// add_edge endpoints beyond it).
+	numVertices int
+	// edgeSlots indexes the current edge list by endpoint pair for
+	// structural removes; built lazily on the first remove and maintained
+	// incrementally, dropped (and rebuilt on demand) by full-list
+	// snapshots and failed materializations.
+	edgeSlots map[uint64][]int
 
 	serveCancel context.CancelFunc
 	serveDone   chan struct{}
@@ -370,6 +402,7 @@ func (s *System) LoadEdges(numVertices int, edges []Edge) error {
 	// The system owns its copy: delta flushes mutate the list in place, so
 	// it must not alias the caller's slice.
 	s.edges = append([]model.Edge(nil), edges...)
+	s.numVertices = g.N
 	s.store = storage.NewSnapshotStore(pg, 0)
 	s.store.SetRetention(s.cfg.retainSnapshots)
 	return nil
@@ -428,6 +461,13 @@ func (s *System) AddSnapshot(edges []Edge, timestamp int64) error {
 	// Copied for the same reason as in LoadEdges: the system's list must
 	// not alias the caller's.
 	s.edges = append([]model.Edge(nil), edges...)
+	// A rewrite may name endpoints beyond the loaded vertex count (Build
+	// auto-grows the snapshot's N); track it so structural deltas keep
+	// working against the grown space.
+	s.numVertices = pg.G.N
+	// The full-list rewrite invalidates the structural-remove index; it is
+	// rebuilt lazily the next time a remove needs it.
+	s.edgeSlots = nil
 	return nil
 }
 
@@ -443,19 +483,34 @@ func diffSlots(a, b []model.Edge) []int {
 	return out
 }
 
-// MutationOp is the kind of one streamed edge mutation. Only slot rewrites
-// exist today; the enum leaves room for structural adds and removes.
+// MutationOp is the kind of one streamed edge mutation.
 type MutationOp int
 
-// MutationRewrite replaces the edge occupying an existing slot of the base
-// list (slot count and partition chunking stay stable).
-const MutationRewrite MutationOp = MutationOp(ingest.Rewrite)
+const (
+	// MutationRewrite replaces the edge occupying an existing slot of the
+	// current list (slot count and partition chunking stay stable).
+	MutationRewrite MutationOp = MutationOp(ingest.Rewrite)
+	// MutationAdd appends a new edge slot; the vertex space grows to cover
+	// its endpoints, and the partition series re-chunks incrementally.
+	MutationAdd MutationOp = MutationOp(ingest.AddEdge)
+	// MutationRemove deletes one edge whose endpoints match Edge's (weight
+	// ignored); removing an absent edge is a counted no-op. An add
+	// followed by a remove of the same edge cancels in the buffer.
+	MutationRemove MutationOp = MutationOp(ingest.RemoveEdge)
+	// MutationAddVertex grows the vertex space to include Vertex, without
+	// edges — new vertices exist immediately and gain replicas once edges
+	// reach them.
+	MutationAddVertex MutationOp = MutationOp(ingest.AddVertex)
+)
 
-// Mutation is one streamed edge mutation.
+// Mutation is one streamed edge mutation. Slot is meaningful for
+// MutationRewrite, Edge for rewrite/add/remove, Vertex for
+// MutationAddVertex.
 type Mutation struct {
-	Op   MutationOp
-	Slot int
-	Edge Edge
+	Op     MutationOp
+	Slot   int
+	Edge   Edge
+	Vertex VertexID
 }
 
 // Delta is one streamed mutation batch for ApplyDelta.
@@ -487,6 +542,16 @@ type DeltaAck struct {
 type IngestStats struct {
 	Batches, Mutations, Coalesced                              int64
 	Flushes, CountFlushes, AgeFlushes, ManualFlushes, Failures int64
+	// Accepted mutation records by op.
+	Rewrites, EdgeAdds, EdgeRemoves, VertexAdds int64
+	// Cancelled counts add/remove pairs of the same edge that annihilated
+	// in the buffer; RemoveMisses no-op mutations applied at materialize
+	// time (removes of absent edges, and rewrites of slots that vanished
+	// under a same-window structural remove); Shed whole batches rejected
+	// by the WithIngestCap admission control.
+	Cancelled    int64
+	RemoveMisses int64
+	Shed         int64
 	// SnapshotsBuilt counts snapshots materialized from deltas;
 	// SlotsApplied the edge slots actually changed across them.
 	SnapshotsBuilt int64
@@ -506,6 +571,16 @@ type IngestStats struct {
 	SnapshotsLive    int
 	SnapshotsEvicted int
 	RetainSnapshots  int
+	// Retained-window bounds: the oldest and newest retained snapshots'
+	// series indices and timestamps. A job arriving with a timestamp
+	// before OldestTimestamp is served by the oldest retained version.
+	OldestSeq       int
+	OldestTimestamp int64
+	NewestSeq       int
+	NewestTimestamp int64
+	// NumVertices is the newest snapshot's vertex-space size; structural
+	// deltas grow it.
+	NumVertices int
 }
 
 // ensureIngestLocked lazily builds the delta pipeline over the loaded
@@ -521,8 +596,16 @@ func (s *System) ensureIngestLocked() (*ingest.Pipeline, error) {
 		return nil, fmt.Errorf("cgraph: delta ingestion requires WithCoreSubgraph(false)")
 	}
 	p, err := ingest.New(ingest.Config{
-		Slots:       len(s.edges),
+		// The slot space moves under structural deltas; the pipeline asks
+		// for the current count at validation time (without holding its
+		// own lock, so taking s.mu here cannot deadlock with a flush).
+		Slots: func() int {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return len(s.edges)
+		},
 		MaxBatch:    s.cfg.ingestBatch,
+		MaxPending:  s.cfg.ingestCap,
 		Window:      s.cfg.ingestWindow,
 		Materialize: s.materializeDelta,
 	})
@@ -534,27 +617,67 @@ func (s *System) ensureIngestLocked() (*ingest.Pipeline, error) {
 }
 
 // ApplyDelta streams one edge-mutation batch into the ingestion pipeline
-// (§3.2.1 run continuously): mutations coalesce per slot in a bounded
+// (§3.2.1 run continuously): mutations coalesce per key in a bounded
 // buffer, and a flush — count-triggered, age-triggered, or requested via
-// Delta.Flush — materializes one overlay snapshot in which only the touched
+// Delta.Flush — materializes one snapshot in which only the touched
 // partitions are rebuilt, every other partition staying pointer-shared with
-// the previous version. This is the O(|delta|) counterpart of the O(|E|)
-// AddSnapshot path: a job bound to a delta-built snapshot computes exactly
-// what it would against the same version ingested as a full list. Batches
-// are validated atomically; a bad slot or op rejects the whole batch.
+// the previous version. Slot rewrites keep the topology fixed; the
+// structural ops (MutationAdd, MutationRemove, MutationAddVertex) grow or
+// shrink the edge-slot space and grow the vertex space, re-chunking the
+// partition series incrementally, so snapshots along the series may differ
+// in vertex and edge count while jobs bound to older versions run
+// untouched. This is the O(|delta|) counterpart of the O(|E|) AddSnapshot
+// path: a job bound to a delta-built snapshot computes what it would
+// against the same mutated graph ingested as a full list. Batches are
+// validated atomically; a bad slot or op rejects the whole batch, and with
+// WithIngestCap a full buffer sheds the batch with ErrIngestSaturated.
 func (s *System) ApplyDelta(d Delta) (DeltaAck, error) {
 	s.mu.Lock()
 	p, err := s.ensureIngestLocked()
+	numV := s.numVertices
 	s.mu.Unlock()
 	if err != nil {
 		return DeltaAck{}, err
 	}
+	// Vertex tables are dense up to the largest id, so an absurd endpoint
+	// in one tiny mutation would force a matching allocation; bound how
+	// far a batch may grow the space and reject it atomically up front.
+	// (Remove endpoints never grow the space — an absent edge just
+	// misses — so they are exempt.)
+	growth := s.cfg.maxVertexGrowth
+	if growth <= 0 {
+		growth = 1 << 20
+	}
+	maxID := VertexID(min(int64(numV)+int64(growth)-1, int64(model.NoVertex)-1))
+	checkID := func(v VertexID) error {
+		if v > maxID {
+			return fmt.Errorf("cgraph: vertex id %d exceeds the vertex-space growth bound %d (current space %d + max growth %d; see WithMaxVertexGrowth)",
+				v, maxID, numV, growth)
+		}
+		return nil
+	}
 	muts := make([]ingest.Mutation, len(d.Mutations))
 	for i, m := range d.Mutations {
-		muts[i] = ingest.Mutation{Op: ingest.Op(m.Op), Slot: m.Slot, Edge: m.Edge}
+		switch m.Op {
+		case MutationRewrite, MutationAdd:
+			if err := checkID(m.Edge.Src); err != nil {
+				return DeltaAck{}, err
+			}
+			if err := checkID(m.Edge.Dst); err != nil {
+				return DeltaAck{}, err
+			}
+		case MutationAddVertex:
+			if err := checkID(m.Vertex); err != nil {
+				return DeltaAck{}, err
+			}
+		}
+		muts[i] = ingest.Mutation{Op: ingest.Op(m.Op), Slot: m.Slot, Edge: m.Edge, Vertex: m.Vertex}
 	}
 	ack, err := p.Apply(muts, d.Timestamp, d.Flush)
 	if err != nil {
+		if errors.Is(err, ingest.ErrSaturated) {
+			return DeltaAck{}, fmt.Errorf("%w: %v", ErrIngestSaturated, err)
+		}
 		return DeltaAck{}, err
 	}
 	return DeltaAck{Accepted: ack.Accepted, Pending: ack.Pending, Flushed: ack.Flushed, Timestamp: ack.Timestamp}, nil
@@ -605,6 +728,9 @@ func (s *System) IngestStats() IngestStats {
 		out.Batches, out.Mutations, out.Coalesced = st.Batches, st.Mutations, st.Coalesced
 		out.Flushes, out.CountFlushes, out.AgeFlushes = st.Flushes, st.CountFlushes, st.AgeFlushes
 		out.ManualFlushes, out.Failures = st.ManualFlushes, st.Failures
+		out.Rewrites, out.EdgeAdds = st.Rewrites, st.EdgeAdds
+		out.EdgeRemoves, out.VertexAdds = st.EdgeRemoves, st.VertexAdds
+		out.Cancelled, out.RemoveMisses, out.Shed = st.Cancelled, st.Misses, st.Shed
 		out.SnapshotsBuilt, out.SlotsApplied = st.SnapshotsBuilt, st.Applied
 		out.PartsRebuilt, out.PartsShared = st.PartsRebuilt, st.PartsShared
 		out.SharedRatio = st.SharedRatio()
@@ -614,46 +740,221 @@ func (s *System) IngestStats() IngestStats {
 		out.SnapshotsLive = store.Len()
 		out.SnapshotsEvicted = store.Evicted()
 		out.RetainSnapshots = store.Retention()
+		oldest, newest := store.Window()
+		out.OldestSeq, out.OldestTimestamp = oldest.Seq, oldest.Timestamp
+		out.NewestSeq, out.NewestTimestamp = newest.Seq, newest.Timestamp
+		out.NumVertices = newest.PG.G.N
 	}
 	return out
 }
 
+// edgeKeyOf packs an edge's endpoint pair into the structural-remove
+// index's key.
+func edgeKeyOf(e model.Edge) uint64 { return uint64(e.Src)<<32 | uint64(e.Dst) }
+
+// edgeIndexLocked lazily builds the endpoint-pair → slots index used by
+// structural removes. Caller holds s.mu.
+func (s *System) edgeIndexLocked() map[uint64][]int {
+	if s.edgeSlots == nil {
+		idx := make(map[uint64][]int, len(s.edges))
+		for i, e := range s.edges {
+			k := edgeKeyOf(e)
+			idx[k] = append(idx[k], i)
+		}
+		s.edgeSlots = idx
+	}
+	return s.edgeSlots
+}
+
+// indexAddLocked/indexDropLocked maintain the remove index incrementally
+// when it exists; with no index built yet they no-op (a later remove
+// rebuilds it from the current list).
+func (s *System) indexAddLocked(e model.Edge, slot int) {
+	if s.edgeSlots == nil {
+		return
+	}
+	k := edgeKeyOf(e)
+	s.edgeSlots[k] = append(s.edgeSlots[k], slot)
+}
+
+func (s *System) indexDropLocked(e model.Edge, slot int) {
+	if s.edgeSlots == nil {
+		return
+	}
+	k := edgeKeyOf(e)
+	ss := s.edgeSlots[k]
+	for i, x := range ss {
+		if x == slot {
+			ss[i] = ss[len(ss)-1]
+			ss = ss[:len(ss)-1]
+			break
+		}
+	}
+	if len(ss) == 0 {
+		delete(s.edgeSlots, k)
+	} else {
+		s.edgeSlots[k] = ss
+	}
+}
+
+// indexTakeLocked pops one slot holding an edge with e's endpoints; ok is
+// false when no such edge exists.
+func (s *System) indexTakeLocked(e model.Edge) (int, bool) {
+	idx := s.edgeIndexLocked()
+	k := edgeKeyOf(e)
+	ss := idx[k]
+	if len(ss) == 0 {
+		return 0, false
+	}
+	slot := ss[len(ss)-1]
+	ss = ss[:len(ss)-1]
+	if len(ss) == 0 {
+		delete(idx, k)
+	} else {
+		idx[k] = ss
+	}
+	return slot, true
+}
+
 // materializeDelta is the pipeline's sink: it applies one coalesced batch
-// (ascending slot order) to the authoritative edge list in place — the
-// flush must stay O(|delta|), never O(|E|) — diffing only the touched
-// slots, overlaying the changed partitions onto the previous snapshot, and
-// appending the result to the store. On failure the slot writes are
-// reverted, so the pipeline's retained buffer can retry against unchanged
-// state. In-place is safe: partitions copy the edge data into their own
-// CSRs at build time, so no snapshot aliases s.edges.
+// (rewrites by ascending slot, then removes, adds, and vertex growth) to
+// the authoritative edge list in place — the flush must stay O(|delta|),
+// never O(|E|) — and builds the next snapshot. Pure slot rewrites take the
+// Overlay path (same slot count, same partition count); structural batches
+// take graph.Restructure, which re-chunks only the touched partitions while
+// the vertex space and edge-slot count move. Removes delete by swapping
+// the last slot in, so only the removed and the tail chunk are touched.
+// On failure every edge-list write and the vertex-space growth are
+// reverted (and the remove index dropped for a lazy rebuild), so the
+// pipeline's retained buffer can retry against unchanged state. In-place
+// is safe: partitions copy the edge data into their own CSRs at build
+// time, so no snapshot aliases s.edges.
 func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	prev := s.store.Latest()
-	changed := make([]int, 0, len(muts))
-	undo := make([]model.Edge, 0, len(muts))
-	for _, m := range muts {
-		if s.edges[m.Slot] != m.Edge {
-			changed = append(changed, m.Slot)
-			undo = append(undo, s.edges[m.Slot])
-			s.edges[m.Slot] = m.Edge
+	prevLen := len(s.edges)
+	prevN := s.numVertices
+
+	const (
+		undoWrite = iota
+		undoAppend
+		undoRemove
+	)
+	type undoRec struct {
+		kind int
+		slot int
+		old  model.Edge
+	}
+	var undo []undoRec
+	changedSet := make(map[int]bool, len(muts))
+	misses := 0
+	growTo := func(v model.VertexID) {
+		if int(v) >= s.numVertices {
+			s.numVertices = int(v) + 1
 		}
 	}
-	if len(changed) == 0 {
-		// Every write was a no-op rewrite; no version to build.
-		return ingest.Result{}, nil
+	for _, m := range muts {
+		switch m.Op {
+		case ingest.Rewrite:
+			if m.Slot >= len(s.edges) {
+				// The slot vanished under a structural remove buffered in
+				// the same window; nothing left to rewrite.
+				misses++
+				continue
+			}
+			if s.edges[m.Slot] == m.Edge {
+				continue
+			}
+			undo = append(undo, undoRec{kind: undoWrite, slot: m.Slot, old: s.edges[m.Slot]})
+			s.indexDropLocked(s.edges[m.Slot], m.Slot)
+			s.indexAddLocked(m.Edge, m.Slot)
+			s.edges[m.Slot] = m.Edge
+			changedSet[m.Slot] = true
+			growTo(m.Edge.Src)
+			growTo(m.Edge.Dst)
+		case ingest.RemoveEdge:
+			slot, ok := s.indexTakeLocked(m.Edge)
+			if !ok {
+				misses++
+				continue
+			}
+			last := len(s.edges) - 1
+			undo = append(undo, undoRec{kind: undoRemove, slot: slot, old: s.edges[slot]})
+			if slot != last {
+				moved := s.edges[last]
+				s.indexDropLocked(moved, last)
+				s.indexAddLocked(moved, slot)
+				s.edges[slot] = moved
+				changedSet[slot] = true
+			}
+			s.edges = s.edges[:last]
+			changedSet[last] = true
+		case ingest.AddEdge:
+			slot := len(s.edges)
+			s.edges = append(s.edges, m.Edge)
+			s.indexAddLocked(m.Edge, slot)
+			undo = append(undo, undoRec{kind: undoAppend})
+			changedSet[slot] = true
+			growTo(m.Edge.Src)
+			growTo(m.Edge.Dst)
+		case ingest.AddVertex:
+			growTo(m.Vertex)
+		}
+	}
+	grewN := s.numVertices > prevN
+	if len(changedSet) == 0 && !grewN {
+		// Every op was a no-op (in-place rewrites, missed removes); no
+		// version to build.
+		return ingest.Result{Misses: misses}, nil
 	}
 	revert := func() {
-		for i, slot := range changed {
-			s.edges[slot] = undo[i]
+		for i := len(undo) - 1; i >= 0; i-- {
+			r := undo[i]
+			switch r.kind {
+			case undoWrite:
+				s.edges[r.slot] = r.old
+			case undoAppend:
+				s.edges = s.edges[:len(s.edges)-1]
+			case undoRemove:
+				if r.slot == len(s.edges) {
+					s.edges = append(s.edges, r.old)
+				} else {
+					s.edges = append(s.edges, s.edges[r.slot])
+					s.edges[r.slot] = r.old
+				}
+			}
 		}
+		s.numVertices = prevN
+		// Incremental index maintenance is not unwound; rebuild lazily.
+		s.edgeSlots = nil
+	}
+	if len(s.edges) == 0 {
+		revert()
+		return ingest.Result{}, fmt.Errorf("cgraph: delta batch would remove every edge; at least one must remain")
 	}
 	ts := prev.Timestamp + 1
 	if minTS > ts {
 		ts = minTS
 	}
-	changedParts := graph.ChangedPartitions(changed, prev.PG.ChunkSize, len(prev.PG.Parts))
-	pg, err := graph.Overlay(prev.PG, s.edges, changedParts)
+	changed := make([]int, 0, len(changedSet))
+	for slot := range changedSet {
+		changed = append(changed, slot)
+	}
+	sort.Ints(changed)
+	var pg *graph.PGraph
+	var rebuilt int
+	var err error
+	if len(s.edges) == prevLen && !grewN {
+		// Pure in-place rewrites: same slot space, the Overlay fast path.
+		changedParts := graph.ChangedPartitions(changed, prev.PG.ChunkSize, len(prev.PG.Parts))
+		pg, err = graph.Overlay(prev.PG, s.edges, changedParts)
+		rebuilt = len(changedParts)
+	} else {
+		var rebuiltIDs []int
+		pg, rebuiltIDs, err = graph.Restructure(prev.PG, s.numVertices, s.edges, changed)
+		rebuilt = len(rebuiltIDs)
+	}
 	if err != nil {
 		revert()
 		return ingest.Result{}, err
@@ -671,8 +972,9 @@ func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.R
 		Built:     true,
 		Timestamp: ts,
 		Applied:   len(changed),
-		Rebuilt:   len(changedParts),
-		Shared:    len(pg.Parts) - len(changedParts),
+		Rebuilt:   rebuilt,
+		Shared:    len(pg.Parts) - rebuilt,
+		Misses:    misses,
 	}, nil
 }
 

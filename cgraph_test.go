@@ -470,3 +470,348 @@ func TestServeModeLifecycle(t *testing.T) {
 		t.Fatalf("stats not populated: %+v", st)
 	}
 }
+
+// TestStructuralDeltaParity is the correctness anchor of structural
+// evolution: a snapshot materialized from add_edge / remove_edge /
+// add_vertex (plus in-place rewrite) mutations must yield per-vertex
+// results matching a full Cut of the equivalent mutated edge list, while
+// Restructure recuts strictly fewer partitions than the full path.
+func TestStructuralDeltaParity(t *testing.T) {
+	const n = 140
+	base := gen.ER(17, n, 1800)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(10))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+
+	d := Delta{Flush: true}
+	// Ten new users join…
+	for v := 0; v < 10; v++ {
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationAddVertex, Vertex: VertexID(n + v)})
+	}
+	// …and follow existing ones (and each other).
+	for i := 0; i < 60; i++ {
+		d.Mutations = append(d.Mutations, Mutation{
+			Op:   MutationAdd,
+			Edge: Edge{Src: VertexID(n + i%10), Dst: VertexID((i * 7) % (n + 5)), Weight: 1},
+		})
+	}
+	// A clustered run of old follows is dropped.
+	for s := 100; s < 120; s++ {
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationRemove, Edge: base[s]})
+	}
+	// One in-place rewrite and one add+remove pair that must cancel.
+	d.Mutations = append(d.Mutations,
+		Mutation{Op: MutationRewrite, Slot: 5, Edge: Edge{Src: 1, Dst: 2, Weight: 2}},
+		Mutation{Op: MutationAdd, Edge: Edge{Src: 3, Dst: 4, Weight: 9}},
+		Mutation{Op: MutationRemove, Edge: Edge{Src: 3, Dst: 4}},
+	)
+	ack, err := sys.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Flushed {
+		t.Fatalf("ack = %+v, want a flush", ack)
+	}
+
+	sys.mu.Lock()
+	mutated := append([]Edge(nil), sys.edges...)
+	numV := sys.numVertices
+	sys.mu.Unlock()
+	if numV != n+10 {
+		t.Fatalf("vertex space = %d, want %d", numV, n+10)
+	}
+	if got := sys.store.Latest().PG.G.N; got != n+10 {
+		t.Fatalf("snapshot N = %d, want %d", got, n+10)
+	}
+
+	ist := sys.IngestStats()
+	if ist.SnapshotsBuilt != 1 || ist.EdgeAdds != 61 || ist.EdgeRemoves != 21 || ist.VertexAdds != 10 {
+		t.Fatalf("ingest stats = %+v", ist)
+	}
+	if ist.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", ist.Cancelled)
+	}
+	// The acceptance bar: the structural path recut strictly fewer
+	// partitions than a full Cut (which rebuilds all of them).
+	if ist.PartsShared < 1 {
+		t.Fatalf("structural delta rebuilt every partition: %+v", ist)
+	}
+	if ist.NumVertices != n+10 || ist.NewestSeq != 1 {
+		t.Fatalf("window stats = %+v", ist)
+	}
+
+	// The full path: a from-scratch Cut of the equivalent mutated list.
+	full := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(10))
+	if err := full.LoadEdges(numV, mutated); err != nil {
+		t.Fatal(err)
+	}
+	ts := sys.store.Latest().Timestamp
+	deltaJob, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-8}, AtTimestamp(ts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullJob, err := full.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := deltaJob.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fullJob.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != numV {
+		t.Fatalf("result sizes: delta %d, full %d, want %d", len(got), len(want), numV)
+	}
+	ref := refimpl.PageRank(graph.Build(numV, mutated), 0.85, 1e-12, 3000)
+	for v := range got {
+		// The two systems chunk the list differently, so float
+		// accumulation order differs; parity is within tolerance.
+		if math.Abs(got[v]-want[v]) > 1e-6 {
+			t.Fatalf("vertex %d: delta-built %v != full-cut %v", v, got[v], want[v])
+		}
+		if math.Abs(got[v]-ref[v]) > 1e-5 {
+			t.Fatalf("vertex %d: delta-built %v != refimpl %v", v, got[v], ref[v])
+		}
+	}
+}
+
+// TestPrePostGrowthConcurrentJobs pins the regression the refactor must
+// never reintroduce: a job bound to a pre-growth snapshot runs to
+// convergence concurrently with a job bound to a post-growth snapshot of
+// different N, without panic or result corruption.
+func TestPrePostGrowthConcurrentJobs(t *testing.T) {
+	const n = 200
+	base := gen.ER(19, n, 2600)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- sys.Serve(context.Background()) }()
+
+	pre, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-12}, AtTimestamp(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The graph grows while the pre-growth job iterates: 40 new vertices
+	// and follows into and out of them.
+	d := Delta{Flush: true}
+	for v := 0; v < 40; v++ {
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationAddVertex, Vertex: VertexID(n + v)})
+	}
+	for i := 0; i < 160; i++ {
+		src, dst := VertexID(n+i%40), VertexID((i*13)%n)
+		if i%3 == 0 {
+			src, dst = dst, src
+		}
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationAdd, Edge: Edge{Src: src, Dst: dst, Weight: 1}})
+	}
+	ack, err := sys.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Flushed {
+		t.Fatalf("growth delta did not flush: %+v", ack)
+	}
+	sys.mu.Lock()
+	grown := append([]Edge(nil), sys.edges...)
+	sys.mu.Unlock()
+
+	post, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-12}, AtTimestamp(ack.Timestamp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pre.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := post.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	preRes, err := pre.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	postRes, err := post.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preRes) != n || len(postRes) != n+40 {
+		t.Fatalf("result sizes: pre %d (want %d), post %d (want %d)", len(preRes), n, len(postRes), n+40)
+	}
+	wantPre := refimpl.PageRank(graph.Build(n, base), 0.85, 1e-12, 3000)
+	wantPost := refimpl.PageRank(graph.Build(n+40, grown), 0.85, 1e-12, 3000)
+	for v := range preRes {
+		if math.Abs(preRes[v]-wantPre[v]) > 1e-5 {
+			t.Fatalf("pre-growth vertex %d: got %v want %v", v, preRes[v], wantPre[v])
+		}
+	}
+	for v := range postRes {
+		if math.Abs(postRes[v]-wantPost[v]) > 1e-5 {
+			t.Fatalf("post-growth vertex %d: got %v want %v", v, postRes[v], wantPost[v])
+		}
+	}
+	if err := sys.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestAdmissionControl: with WithIngestCap the system sheds batches
+// once the buffer is full, with ErrIngestSaturated, and recovers after a
+// flush.
+func TestIngestAdmissionControl(t *testing.T) {
+	const n = 60
+	base := gen.ER(23, n, 600)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithIngestCap(3))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+	fill := Delta{Mutations: []Mutation{
+		{Op: MutationAdd, Edge: Edge{Src: 1, Dst: 2, Weight: 1}},
+		{Op: MutationAdd, Edge: Edge{Src: 2, Dst: 3, Weight: 1}},
+		{Op: MutationAdd, Edge: Edge{Src: 3, Dst: 4, Weight: 1}},
+	}}
+	if _, err := sys.ApplyDelta(fill); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sys.ApplyDelta(Delta{Mutations: []Mutation{{Op: MutationAdd, Edge: Edge{Src: 4, Dst: 5, Weight: 1}}}})
+	if !errors.Is(err, ErrIngestSaturated) {
+		t.Fatalf("err = %v, want ErrIngestSaturated", err)
+	}
+	if sys.IngestStats().Shed != 1 {
+		t.Fatalf("shed = %d, want 1", sys.IngestStats().Shed)
+	}
+	if _, err := sys.FlushDeltas(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.ApplyDelta(Delta{Mutations: []Mutation{{Op: MutationAdd, Edge: Edge{Src: 4, Dst: 5, Weight: 1}}}}); err != nil {
+		t.Fatalf("apply after flush = %v", err)
+	}
+}
+
+// TestStructuralRemoveMisses: removing an edge the graph does not have is
+// a counted no-op, not an error, and builds no snapshot on its own.
+func TestStructuralRemoveMisses(t *testing.T) {
+	edges := []Edge{{Src: 0, Dst: 1, Weight: 1}, {Src: 1, Dst: 2, Weight: 1}, {Src: 2, Dst: 0, Weight: 1}, {Src: 2, Dst: 1, Weight: 1}}
+	sys := NewSystem(WithWorkers(1), WithCoreSubgraph(false), WithPartitions(2))
+	if err := sys.LoadEdges(3, edges); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := sys.ApplyDelta(Delta{
+		Mutations: []Mutation{{Op: MutationRemove, Edge: Edge{Src: 7, Dst: 9}}},
+		Flush:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Flushed {
+		t.Fatalf("missed remove built a snapshot: %+v", ack)
+	}
+	ist := sys.IngestStats()
+	if ist.RemoveMisses != 1 || ist.SnapshotsBuilt != 0 {
+		t.Fatalf("stats = %+v", ist)
+	}
+	// Removing every edge is rejected — at least one must remain — and the
+	// failed batch stays buffered, so the next flush retries it together
+	// with newly streamed mutations.
+	all := Delta{Flush: true}
+	for _, e := range edges {
+		all.Mutations = append(all.Mutations, Mutation{Op: MutationRemove, Edge: e})
+	}
+	if _, err := sys.ApplyDelta(all); err == nil {
+		t.Fatal("removing every edge accepted")
+	}
+	if sys.IngestStats().Failures != 1 {
+		t.Fatalf("stats = %+v, want the failed flush counted", sys.IngestStats())
+	}
+	// An add joins the retained removes; the retried flush applies all of
+	// them, leaving exactly the added edge.
+	if _, err := sys.ApplyDelta(Delta{
+		Mutations: []Mutation{{Op: MutationAdd, Edge: Edge{Src: 0, Dst: 2, Weight: 1}}},
+		Flush:     true,
+	}); err != nil {
+		t.Fatalf("system unusable after rejected batch: %v", err)
+	}
+	if got := sys.store.Latest().PG.G.NumEdges(); got != 1 {
+		t.Fatalf("edge count = %d, want 1 (retained removes + the add)", got)
+	}
+}
+
+// TestSnapshotGrowsVertexSpaceThenDelta: a full-list snapshot whose
+// rewritten edges name endpoints beyond the loaded vertex count grows the
+// snapshot's N; structural deltas afterwards must keep working against the
+// grown space (regression: a stale numVertices wedged the pipeline).
+func TestSnapshotGrowsVertexSpaceThenDelta(t *testing.T) {
+	edges := gen.ER(29, 50, 400)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false))
+	if err := sys.LoadEdges(50, edges); err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]Edge(nil), edges...)
+	mut[0] = Edge{Src: 80, Dst: 3, Weight: 1} // endpoint beyond N=50
+	if err := sys.AddSnapshot(mut, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.store.Latest().PG.G.N; got != 81 {
+		t.Fatalf("snapshot N = %d, want 81", got)
+	}
+	ack, err := sys.ApplyDelta(Delta{
+		Mutations: []Mutation{{Op: MutationAdd, Edge: Edge{Src: 81, Dst: 0, Weight: 1}}},
+		Flush:     true,
+	})
+	if err != nil {
+		t.Fatalf("structural delta after vertex-growing snapshot: %v", err)
+	}
+	if !ack.Flushed || sys.store.Latest().PG.G.N != 82 {
+		t.Fatalf("delta after snapshot growth: ack=%+v N=%d", ack, sys.store.Latest().PG.G.N)
+	}
+}
+
+// TestVertexGrowthBound: a structural mutation naming an absurd vertex id
+// is rejected atomically at admission instead of forcing a dense
+// vertex-table allocation to match it.
+func TestVertexGrowthBound(t *testing.T) {
+	edges := gen.ER(31, 40, 300)
+	sys := NewSystem(WithWorkers(1), WithCoreSubgraph(false), WithMaxVertexGrowth(100))
+	if err := sys.LoadEdges(40, edges); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Mutation{
+		{Op: MutationAddVertex, Vertex: 141},                     // 40 + 100 = 140 is the last allowed id... one past
+		{Op: MutationAdd, Edge: Edge{Src: 0, Dst: 1<<32 - 1}},    // the NoVertex sentinel
+		{Op: MutationRewrite, Slot: 0, Edge: Edge{Src: 9999999}}, // rewrite endpoints grow the space too
+		{Op: MutationAddVertex, Vertex: 4294967294},              // ~2^32: would allocate gigabytes
+	} {
+		if _, err := sys.ApplyDelta(Delta{Mutations: []Mutation{m}}); err == nil {
+			t.Fatalf("mutation %+v accepted past the growth bound", m)
+		}
+	}
+	if sys.IngestStats().Pending != 0 {
+		t.Fatal("rejected mutations were buffered")
+	}
+	// The boundary id itself is fine, and removes of huge ids just miss.
+	if _, err := sys.ApplyDelta(Delta{Mutations: []Mutation{
+		{Op: MutationAddVertex, Vertex: 139},
+		{Op: MutationRemove, Edge: Edge{Src: 4294967294, Dst: 1}},
+	}, Flush: true}); err != nil {
+		t.Fatalf("in-bound growth rejected: %v", err)
+	}
+	if got := sys.store.Latest().PG.G.N; got != 140 {
+		t.Fatalf("N = %d, want 140", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -266,17 +267,37 @@ func (c *Client) Metrics(ctx context.Context) (api.Metrics, error) {
 }
 
 // Watch subscribes to the job's server-sent event stream: a replay of its
-// lifecycle so far, then live progress and state events. The returned
-// channel closes after a terminal state event, when ctx ends, or when the
-// stream drops; call Get afterwards to distinguish a finished job from a
-// broken connection if the last event seen was not terminal.
+// lifecycle so far, then live progress and state events. A dropped
+// connection is reconnected automatically with the standard SSE
+// Last-Event-ID header carrying the last Seq seen, so the server resumes
+// the stream where it broke instead of replaying history; up to the
+// WithRetries budget of consecutive failed reconnects is spent (any
+// delivered event refills it) before the channel closes. The channel also
+// closes after a terminal state event or when ctx ends; call Get
+// afterwards to distinguish a finished job from an exhausted reconnect
+// budget if the last event seen was not terminal.
 func (c *Client) Watch(ctx context.Context, id string) (<-chan api.Event, error) {
+	resp, err := c.watchConnect(ctx, id, 0)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan api.Event)
+	go c.watchLoop(ctx, id, resp, ch)
+	return ch, nil
+}
+
+// watchConnect opens one SSE stream, resuming after event `after` when
+// positive.
+func (c *Client) watchConnect(ctx context.Context, id string, after int64) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+api.PathPrefix+"/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if after > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(after, 10))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: watch %s: %w", id, err)
@@ -288,40 +309,93 @@ func (c *Client) Watch(ctx context.Context, id string) (<-chan api.Event, error)
 		}
 		return nil, herr
 	}
-	ch := make(chan api.Event)
-	go func() {
-		defer close(ch)
-		defer resp.Body.Close()
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-		var data []byte
-		for sc.Scan() {
-			line := sc.Text()
-			switch {
-			case strings.HasPrefix(line, "data:"):
-				data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
-			case line == "":
-				if len(data) == 0 {
-					continue
-				}
-				var ev api.Event
-				if err := json.Unmarshal(data, &ev); err != nil {
-					return
-				}
-				data = data[:0]
-				select {
-				case ch <- ev:
-				case <-ctx.Done():
-					return
-				}
-				if ev.Terminal() {
-					return
-				}
-			default:
-				// "id:" and "event:" fields duplicate the JSON document;
-				// comments and unknown fields are ignored per the SSE spec.
+	return resp, nil
+}
+
+// watchLoop drains SSE streams into ch, reconnecting with Last-Event-ID
+// when a stream drops before the terminal event.
+func (c *Client) watchLoop(ctx context.Context, id string, resp *http.Response, ch chan<- api.Event) {
+	defer close(ch)
+	var last int64
+	attempts := 0
+	for {
+		if resp != nil {
+			terminal, progressed := c.streamEvents(ctx, resp.Body, ch, &last)
+			resp.Body.Close()
+			resp = nil
+			if terminal || ctx.Err() != nil {
+				return
+			}
+			if progressed {
+				attempts = 0
 			}
 		}
-	}()
-	return ch, nil
+		if attempts >= c.retries {
+			return
+		}
+		attempts++
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(c.backoff << (attempts - 1)):
+		}
+		r, err := c.watchConnect(ctx, id, last)
+		if err != nil {
+			// Structured 4xx answers will not heal by retrying (the job is
+			// unknown, or the request is malformed); transport errors and
+			// 5xx responses might.
+			var ae *api.Error
+			if errors.As(err, &ae) && ae.HTTPStatus() < 500 {
+				return
+			}
+			continue
+		}
+		resp = r
+	}
+}
+
+// streamEvents forwards one SSE stream's events, deduplicating against
+// *last (a resumed replay may overlap). It reports whether a terminal
+// event was delivered (or ctx ended) and whether any event advanced the
+// stream.
+func (c *Client) streamEvents(ctx context.Context, body io.Reader, ch chan<- api.Event, last *int64) (terminal, progressed bool) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "":
+			if len(data) == 0 {
+				continue
+			}
+			var ev api.Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return false, progressed
+			}
+			data = data[:0]
+			if ev.Seq != 0 && ev.Seq <= *last {
+				// Already delivered before the stream dropped.
+				continue
+			}
+			select {
+			case ch <- ev:
+			case <-ctx.Done():
+				return true, progressed
+			}
+			if ev.Seq > *last {
+				*last = ev.Seq
+			}
+			progressed = true
+			if ev.Terminal() {
+				return true, progressed
+			}
+		default:
+			// "id:" and "event:" fields duplicate the JSON document;
+			// comments and unknown fields are ignored per the SSE spec.
+		}
+	}
+	return false, progressed
 }

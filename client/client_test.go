@@ -2,9 +2,12 @@ package client_test
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -457,5 +460,151 @@ func TestClientDeltaAndFilterParity(t *testing.T) {
 		if ing.Batches != 2 || ing.SnapshotsBuilt != 2 || ing.SnapshotsLive != 3 || ing.PartsShared <= 0 {
 			t.Fatalf("%s: ingest metrics = %+v", tc.name, ing)
 		}
+	}
+}
+
+// TestClientWatchReconnects: a dropped SSE stream is reconnected with the
+// Last-Event-ID header, the server-side resume is honoured, and no event
+// is delivered twice.
+func TestClientWatchReconnects(t *testing.T) {
+	writeEvent := func(w http.ResponseWriter, ev api.Event) {
+		b, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, b)
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+	}
+	var calls atomic.Int32
+	var gotResume atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		switch calls.Add(1) {
+		case 1:
+			if r.Header.Get("Last-Event-ID") != "" {
+				t.Error("first connection sent Last-Event-ID")
+			}
+			writeEvent(w, api.Event{Type: api.EventState, JobID: "job-0", Seq: 1, State: api.JobRunning})
+			writeEvent(w, api.Event{Type: api.EventProgress, JobID: "job-0", Seq: 2, Iteration: 3})
+			// Drop the connection mid-stream.
+		case 2:
+			gotResume.Store(r.Header.Get("Last-Event-ID"))
+			// An overlapping replay: the client must dedup seq 2.
+			writeEvent(w, api.Event{Type: api.EventProgress, JobID: "job-0", Seq: 2, Iteration: 3})
+			writeEvent(w, api.Event{Type: api.EventProgress, JobID: "job-0", Seq: 3, Iteration: 7})
+			writeEvent(w, api.Event{Type: api.EventState, JobID: "job-0", Seq: 4, State: api.JobDone})
+		default:
+			t.Error("unexpected third connection")
+		}
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(2, 5*time.Millisecond))
+	events, err := c.Watch(testCtx(t), "job-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqs []int64
+	for ev := range events {
+		seqs = append(seqs, ev.Seq)
+	}
+	want := []int64{1, 2, 3, 4}
+	if len(seqs) != len(want) {
+		t.Fatalf("delivered seqs %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("delivered seqs %v, want %v", seqs, want)
+		}
+	}
+	if got := gotResume.Load(); got != "2" {
+		t.Fatalf("reconnect Last-Event-ID = %v, want 2", got)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("connections = %d, want 2", calls.Load())
+	}
+}
+
+// TestClientWatchNoReconnectBudget: WithRetries(0) disables reconnection —
+// the channel just closes when the stream drops.
+func TestClientWatchNoReconnectBudget(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		b, _ := json.Marshal(api.Event{Type: api.EventState, JobID: "job-0", Seq: 1, State: api.JobRunning})
+		fmt.Fprintf(w, "data: %s\n\n", b)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(0, time.Millisecond))
+	events, err := c.Watch(testCtx(t), "job-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range events {
+		n++
+	}
+	if n != 1 || calls.Load() != 1 {
+		t.Fatalf("events = %d, connections = %d; want 1 and 1", n, calls.Load())
+	}
+}
+
+// TestClientWatchLiveReconnectParity: against a real service, a watcher
+// whose first connection dies mid-run still observes a gap-free ordered
+// stream ending in the terminal event, via Last-Event-ID resume.
+func TestClientWatchLiveReconnectParity(t *testing.T) {
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
+	if err := sys.LoadEdges(300, gen.RMAT(41, 300, 5000, 0.57, 0.19, 0.19)); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(sys, server.Config{})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Stop(ctx)
+	})
+	real := svc.Handler(nil)
+	var dropped atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/events") && !dropped.Swap(true) {
+			// Kill the first watch attempt after a short taste of the
+			// stream, mid-flight.
+			ctx, cancel := context.WithTimeout(r.Context(), 30*time.Millisecond)
+			defer cancel()
+			real.ServeHTTP(w, r.WithContext(ctx))
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRetries(3, 5*time.Millisecond))
+	ctx := testCtx(t)
+	st, err := c.Submit(ctx, api.JobSpec{Algo: "pagerank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := c.Watch(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last api.Event
+	var prevSeq int64
+	for ev := range events {
+		if ev.Seq <= prevSeq {
+			t.Fatalf("event %d after %d: duplicates across reconnect", ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		last = ev
+	}
+	if !last.Terminal() || last.State != api.JobDone {
+		t.Fatalf("stream ended on %+v, want terminal done", last)
+	}
+	if !dropped.Load() {
+		t.Fatal("the drop leg never ran")
 	}
 }

@@ -21,6 +21,7 @@
 //	cgraph-serve -connect http://localhost:8040 results job-0 5
 //	cgraph-serve -connect http://localhost:8040 cancel job-1
 //	cgraph-serve -connect http://localhost:8040 delta 17=3,9,1 42=5,5,2 flush
+//	cgraph-serve -connect http://localhost:8040 delta add=3,9,1 remove=5,5 vertex=1200 flush
 //	cgraph-serve -connect http://localhost:8040 sched
 //	cgraph-serve -connect http://localhost:8040 metrics
 //
@@ -74,6 +75,7 @@ func main() {
 	retainSnapshots := flag.Int("retain-snapshots", 0, "graph snapshots retained before evicting unreferenced old versions, 0 = keep all")
 	ingestWindow := flag.Duration("ingest-window", 0, "delta batching window: buffered mutations this old flush into a snapshot, 0 = count/manual triggers only")
 	ingestBatch := flag.Int("ingest-batch", 0, "delta count trigger: flush once this many distinct slots are buffered (default 256)")
+	ingestCap := flag.Int("ingest-cap", 0, "delta admission cap: shed batches (429 ingest_saturated) once this many mutations are pending, 0 = unbounded")
 	coreSubgraph := flag.Bool("core-subgraph", false, "enable §3.3 core-subgraph partitioning (disables snapshot ingestion)")
 	scheduler := flag.String("scheduler", "two-level", "partition-load policy: static, priority (one-level Eq. 1), or two-level (correlation groups + Eq. 1)")
 	flag.Parse()
@@ -96,6 +98,7 @@ func main() {
 		cgraph.WithRetainSnapshots(*retainSnapshots),
 		cgraph.WithIngestWindow(*ingestWindow),
 		cgraph.WithIngestBatch(*ingestBatch),
+		cgraph.WithIngestCap(*ingestCap),
 	)
 	switch {
 	case *graphFile != "":
@@ -193,7 +196,7 @@ func admin(base string, args []string) error {
 		return dump(list)
 	case "delta":
 		if len(rest) < 1 {
-			return fmt.Errorf("usage: delta <slot>=<src>,<dst>[,<weight>]... [at=TS] [flush]")
+			return fmt.Errorf("usage: delta [<slot>=<src>,<dst>[,<w>] | add=<src>,<dst>[,<w>] | remove=<src>,<dst> | vertex=<id>]... [at=TS] [flush]")
 		}
 		delta, err := parseDelta(rest)
 		if err != nil {
@@ -338,10 +341,30 @@ func parseListOptions(args []string) (api.ListOptions, error) {
 	return opts, nil
 }
 
-// parseDelta builds an api.Delta from "delta <slot>=<src>,<dst>[,<weight>]...
-// [at=TS] [flush]" args.
+// parseDelta builds an api.Delta from delta verb args: "<slot>=…" rewrites
+// an existing slot, "add=<src>,<dst>[,<w>]" appends an edge,
+// "remove=<src>,<dst>" deletes one matching edge, "vertex=<id>" grows the
+// vertex space, plus "at=TS" and "flush".
 func parseDelta(args []string) (api.Delta, error) {
 	var delta api.Delta
+	parseEdge := func(val string, withWeight bool) ([3]float64, error) {
+		parts := strings.Split(val, ",")
+		if len(parts) != 2 && !(withWeight && len(parts) == 3) {
+			if withWeight {
+				return [3]float64{}, fmt.Errorf("bad edge %q, want <src>,<dst>[,<weight>]", val)
+			}
+			return [3]float64{}, fmt.Errorf("bad edge %q, want <src>,<dst>", val)
+		}
+		edge := [3]float64{0, 0, 1}
+		for i, p := range parts {
+			x, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return [3]float64{}, fmt.Errorf("bad edge component %q in %q", p, val)
+			}
+			edge[i] = x
+		}
+		return edge, nil
+	}
 	for _, arg := range args {
 		if arg == "flush" {
 			delta.Flush = true
@@ -349,36 +372,49 @@ func parseDelta(args []string) (api.Delta, error) {
 		}
 		key, val, ok := strings.Cut(arg, "=")
 		if !ok {
-			return delta, fmt.Errorf("bad argument %q, want <slot>=<src>,<dst>[,<weight>], at=TS, or flush", arg)
+			return delta, fmt.Errorf("bad argument %q, want <slot>=…, add=…, remove=…, vertex=…, at=TS, or flush", arg)
 		}
-		if key == "at" {
+		switch key {
+		case "at":
 			ts, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
 				return delta, fmt.Errorf("bad at %q", val)
 			}
 			delta.Timestamp = ts
-			continue
-		}
-		slot, err := strconv.Atoi(key)
-		if err != nil {
-			return delta, fmt.Errorf("bad slot %q", key)
-		}
-		parts := strings.Split(val, ",")
-		if len(parts) != 2 && len(parts) != 3 {
-			return delta, fmt.Errorf("bad edge %q, want <src>,<dst>[,<weight>]", val)
-		}
-		edge := [3]float64{0, 0, 1}
-		for i, p := range parts {
-			x, err := strconv.ParseFloat(p, 64)
+		case "add":
+			edge, err := parseEdge(val, true)
 			if err != nil {
-				return delta, fmt.Errorf("bad edge component %q in %q", p, val)
+				return delta, err
 			}
-			edge[i] = x
+			delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationAdd, Edge: edge})
+		case "remove":
+			edge, err := parseEdge(val, false)
+			if err != nil {
+				return delta, err
+			}
+			delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationRemove, Edge: edge})
+		case "vertex":
+			v, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return delta, fmt.Errorf("bad vertex %q", val)
+			}
+			delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationAddVertex, Vertex: uint32(v)})
+		default:
+			slot, err := strconv.Atoi(key)
+			if err != nil {
+				return delta, fmt.Errorf("bad slot %q", key)
+			}
+			edge, err := parseEdge(val, true)
+			if err != nil {
+				return delta, err
+			}
+			delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationRewrite, Slot: slot, Edge: edge})
 		}
-		delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationRewrite, Slot: slot, Edge: edge})
 	}
-	if len(delta.Mutations) == 0 {
-		return delta, fmt.Errorf("delta needs at least one <slot>=<src>,<dst>[,<weight>] mutation")
+	if len(delta.Mutations) == 0 && !delta.Flush {
+		// A bare "delta flush" is the drain verb: it materializes whatever
+		// is buffered (including a buffer wedged at the admission cap).
+		return delta, fmt.Errorf("delta needs at least one mutation (or flush)")
 	}
 	return delta, nil
 }

@@ -1,0 +1,149 @@
+// Structural graph evolution: a social network that actually grows. The
+// earlier evolving/streaming examples rewrite edges in place — the vertex
+// count and slot space stay frozen at the base snapshot. Here the feed
+// streams the events a real network produces: new users (add_vertex), new
+// follows (add_edge, including follows of brand-new users), and unfollows
+// (remove_edge). Each flush materializes a snapshot whose vertex and edge
+// counts differ from its predecessor, re-chunking only the touched
+// partitions, while an analyst job bound to the pre-growth snapshot keeps
+// running concurrently with jobs bound to the grown graph.
+//
+//	go run ./examples/growth
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"cgraph"
+	"cgraph/api"
+	"cgraph/internal/gen"
+	"cgraph/server"
+)
+
+func main() {
+	const (
+		baseUsers   = 800
+		baseFollows = 16000
+		waves       = 4
+		newPerWave  = 50 // users joining per wave
+	)
+	base := gen.Web(21, baseUsers, baseFollows)
+
+	// Structural deltas require slot-stable plain partitioning. The ingest
+	// cap sheds feed bursts instead of buffering without bound.
+	sys := cgraph.NewSystem(
+		cgraph.WithWorkers(4),
+		cgraph.WithCoreSubgraph(false),
+		cgraph.WithIngestCap(4096),
+		cgraph.WithRetainSnapshots(6),
+	)
+	if err := sys.LoadEdges(baseUsers, base); err != nil {
+		log.Fatal(err)
+	}
+	svc := server.New(sys, server.Config{MaxInFlight: 8, RetainTerminal: 32})
+	if err := svc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	// Same code runs remote: swap for client.New("http://…").
+	var c cgraph.Client = server.NewLocalClient(svc, nil)
+
+	// Rank the network as it was before any growth; this job stays bound
+	// to the base snapshot while the graph grows underneath it.
+	preGrowth, err := c.Submit(ctx, api.JobSpec{Algo: "pagerank", Labels: map[string]string{"cohort": "pre"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	users := baseUsers
+	var jobs []string
+	for wave := 1; wave <= waves; wave++ {
+		delta := api.Delta{Flush: true}
+		// New users join…
+		firstNew := users
+		for i := 0; i < newPerWave; i++ {
+			delta.Mutations = append(delta.Mutations, api.Mutation{Op: api.MutationAddVertex, Vertex: uint32(users)})
+			users++
+		}
+		// …and follow existing accounts; popular accounts follow back.
+		for i := 0; i < newPerWave*3; i++ {
+			newcomer := firstNew + rng.Intn(newPerWave)
+			existing := rng.Intn(firstNew)
+			delta.Mutations = append(delta.Mutations, api.Mutation{
+				Op: api.MutationAdd, Edge: [3]float64{float64(newcomer), float64(existing), 1},
+			})
+			if i%4 == 0 {
+				delta.Mutations = append(delta.Mutations, api.Mutation{
+					Op: api.MutationAdd, Edge: [3]float64{float64(existing), float64(newcomer), 1},
+				})
+			}
+		}
+		// Some old follows are dropped.
+		for i := 0; i < newPerWave/2; i++ {
+			e := base[rng.Intn(len(base))]
+			delta.Mutations = append(delta.Mutations, api.Mutation{
+				Op: api.MutationRemove, Edge: [3]float64{float64(e.Src), float64(e.Dst)},
+			})
+		}
+		ack, err := c.ApplyDelta(ctx, delta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := c.Metrics(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wave %d: %d structural mutations -> snapshot t=%d (%d vertices)\n",
+			wave, ack.Accepted, ack.Timestamp, m.Ingest.NumVertices)
+
+		// Analysts rank the grown network as of this wave.
+		st, err := c.Submit(ctx, api.JobSpec{Algo: "pagerank", Labels: map[string]string{"cohort": "post"}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, st.ID)
+	}
+
+	// Drain everything: the pre-growth job converged against its original
+	// topology while the post-growth jobs ran against larger ones.
+	for _, id := range append([]string{preGrowth.ID}, jobs...) {
+		events, err := c.Watch(ctx, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for range events {
+		}
+	}
+	pre, err := c.Results(ctx, preGrowth.ID, api.ResultsOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last, err := c.Results(ctx, jobs[len(jobs)-1], api.ResultsOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npre-growth ranking covers %d users; final ranking covers %d users\n",
+		pre.NumVertices, last.NumVertices)
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ing := m.Ingest
+	fmt.Printf("ops: %d adds, %d removes, %d vertex adds (%d misses, %d cancelled)\n",
+		ing.EdgeAdds, ing.EdgeRemoves, ing.VertexAdds, ing.RemoveMisses, ing.Cancelled)
+	fmt.Printf("incremental re-chunking: %d partitions rebuilt, %d shared (ratio %.2f)\n",
+		ing.PartsRebuilt, ing.PartsShared, ing.SharedRatio)
+	fmt.Printf("retained window: seq %d (t=%d) .. seq %d (t=%d), %d live\n",
+		ing.OldestSeq, ing.OldestTimestamp, ing.NewestSeq, ing.NewestTimestamp, ing.SnapshotsLive)
+
+	if err := svc.Stop(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -461,6 +461,81 @@ func ChangedPartitions(changedSlots []int, chunkSize, numPartitions int) []int {
 	return out
 }
 
+// Restructure builds the partitioned graph of a snapshot whose edge-slot
+// count or vertex space differs from prev (plain-mode partitioning only):
+// the slot-stable chunking is preserved, so only the partitions whose slot
+// ranges are named in changedSlots — plus chunks appended, dropped, or
+// resized at the list boundary — are rebuilt from the mutated edge list.
+// Every other *Partition is shared by pointer with prev, exactly as in
+// Overlay, so a structural delta recuts O(touched) partitions instead of
+// re-running the full Cut. The vertex space may grow (new vertices get
+// replicas only once edges reach them) but never shrink: jobs bound to
+// older snapshots index per-snapshot state by their own PG, so a larger N
+// in a newer snapshot never perturbs them. Returns the new snapshot and
+// the IDs of the partitions that were rebuilt.
+func Restructure(prev *PGraph, numVertices int, edges []model.Edge, changedSlots []int) (*PGraph, []int, error) {
+	if prev.NumCore != 0 {
+		return nil, nil, fmt.Errorf("graph: Restructure requires plain partitioning (slot-stable chunks)")
+	}
+	if len(edges) == 0 {
+		return nil, nil, fmt.Errorf("graph: cannot partition an empty edge list")
+	}
+	if numVertices < prev.G.N {
+		return nil, nil, fmt.Errorf("graph: Restructure cannot shrink the vertex space (%d -> %d)", prev.G.N, numVertices)
+	}
+	chunk := prev.ChunkSize
+	wantParts := (len(edges) + chunk - 1) / chunk
+	rebuild := make(map[int]bool)
+	for _, s := range changedSlots {
+		if s < 0 || s >= len(edges) {
+			// A slot beyond the new list: its chunk shrank or vanished;
+			// the boundary rule below rebuilds what remains of it.
+			continue
+		}
+		rebuild[s/chunk] = true
+	}
+	// Chunks beyond prev's partition count are new and always built.
+	for p := len(prev.Parts); p < wantParts; p++ {
+		rebuild[p] = true
+	}
+	// When the list grew or shrank, the chunk containing the shorter
+	// boundary changed its slot range even if none of its slots were
+	// rewritten in place — unless the boundary lands exactly on a chunk
+	// edge, in which case that chunk is complete and identical in both
+	// lists and stays shared.
+	prevE := prev.G.NumEdges()
+	if b := min(len(edges), prevE); len(edges) != prevE && b%chunk != 0 {
+		if p := (b - 1) / chunk; p < wantParts {
+			rebuild[p] = true
+		}
+	}
+
+	g := Build(numVertices, edges)
+	pg := &PGraph{
+		G:         g,
+		Parts:     make([]*Partition, wantParts),
+		MasterOf:  make([]PartVertex, g.N),
+		Replicas:  make(map[model.VertexID][]PartVertex),
+		ChunkSize: chunk,
+	}
+	for i := range pg.MasterOf {
+		pg.MasterOf[i] = PartVertex{Part: -1}
+	}
+	var rebuilt []int
+	for id := 0; id < wantParts; id++ {
+		if id < len(prev.Parts) && !rebuild[id] {
+			pg.Parts[id] = prev.Parts[id]
+			continue
+		}
+		start := id * chunk
+		end := min(start+chunk, len(edges))
+		pg.Parts[id] = buildPartition(g, id, edges[start:end], false)
+		rebuilt = append(rebuilt, id)
+	}
+	pg.assignMasters()
+	return pg, rebuilt, nil
+}
+
 // Overlay builds the partitioned graph of a new snapshot from a previous
 // plain-mode partitioning: only the partitions named in changedParts are
 // rebuilt from the mutated edge list, every other *Partition is shared by

@@ -285,3 +285,209 @@ func TestPartitionByteAccounting(t *testing.T) {
 		t.Fatal("TotalStructBytes mismatch")
 	}
 }
+
+// TestRestructureGrow: appending edges past the chunk boundary must grow
+// the partition count, rebuild only the boundary and new chunks, and keep
+// every untouched partition pointer-shared with the previous snapshot.
+func TestRestructureGrow(t *testing.T) {
+	edges := gen.ER(11, 80, 400)
+	g := Build(80, edges)
+	prev, err := Cut(g, edges, Options{NumPartitions: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := prev.ChunkSize
+
+	grown := append(append([]model.Edge(nil), edges...),
+		model.Edge{Src: 80, Dst: 3, Weight: 1},
+		model.Edge{Src: 81, Dst: 80, Weight: 1},
+	)
+	for len(grown) <= len(prev.Parts)*chunk {
+		grown = append(grown, model.Edge{Src: 81, Dst: 82, Weight: 1})
+	}
+	changed := make([]int, 0, len(grown)-len(edges))
+	for s := len(edges); s < len(grown); s++ {
+		changed = append(changed, s)
+	}
+	next, rebuilt, err := Restructure(prev, 83, grown, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.G.N != 83 {
+		t.Fatalf("N = %d, want 83", next.G.N)
+	}
+	if len(next.Parts) != len(prev.Parts)+1 {
+		t.Fatalf("parts = %d, want %d", len(next.Parts), len(prev.Parts)+1)
+	}
+	if len(rebuilt) >= len(next.Parts) {
+		t.Fatalf("rebuilt %d of %d partitions, want strictly fewer", len(rebuilt), len(next.Parts))
+	}
+	shared := 0
+	for i := 0; i < len(prev.Parts); i++ {
+		if next.Parts[i] == prev.Parts[i] {
+			shared++
+		}
+	}
+	if shared != len(next.Parts)-len(rebuilt) {
+		t.Fatalf("shared = %d, want %d", shared, len(next.Parts)-len(rebuilt))
+	}
+	if shared == 0 {
+		t.Fatal("growth rebuilt every partition")
+	}
+	checkInvariants(t, next.G, grown, next)
+
+	// The restructured snapshot must equal a from-scratch chunking of the
+	// same list: identical vertex tables and CSRs per partition.
+	for id, p := range next.Parts {
+		start := id * chunk
+		end := min(start+chunk, len(grown))
+		want := buildPartition(next.G, id, grown[start:end], false)
+		if len(p.Globals) != len(want.Globals) || p.NumEdges != want.NumEdges {
+			t.Fatalf("part %d: shape differs from fresh build", id)
+		}
+		for i, v := range want.Globals {
+			if p.Globals[i] != v {
+				t.Fatalf("part %d: vertex table differs from fresh build", id)
+			}
+		}
+		for i := range want.OutDst {
+			if p.OutDst[i] != want.OutDst[i] || p.OutW[i] != want.OutW[i] {
+				t.Fatalf("part %d: out CSR differs from fresh build", id)
+			}
+		}
+	}
+}
+
+// TestRestructureShrink: removing tail edges drops the trailing chunk and
+// rebuilds only the new boundary chunk.
+func TestRestructureShrink(t *testing.T) {
+	edges := gen.ER(12, 60, 330)
+	g := Build(60, edges)
+	prev, err := Cut(g, edges, Options{NumPartitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := prev.ChunkSize
+	cut := chunk + chunk/2 // drop the last chunk and half of the next
+	shrunk := append([]model.Edge(nil), edges[:len(edges)-cut]...)
+	changed := make([]int, 0, cut)
+	for s := len(shrunk); s < len(edges); s++ {
+		changed = append(changed, s)
+	}
+	next, rebuilt, err := Restructure(prev, 60, shrunk, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantParts := (len(shrunk) + chunk - 1) / chunk
+	if len(next.Parts) != wantParts {
+		t.Fatalf("parts = %d, want %d", len(next.Parts), wantParts)
+	}
+	if len(rebuilt) != 1 || rebuilt[0] != wantParts-1 {
+		t.Fatalf("rebuilt = %v, want just the boundary chunk %d", rebuilt, wantParts-1)
+	}
+	for i := 0; i < wantParts-1; i++ {
+		if next.Parts[i] != prev.Parts[i] {
+			t.Fatalf("untouched part %d not shared", i)
+		}
+	}
+	checkInvariants(t, next.G, shrunk, next)
+}
+
+// TestRestructureVertexOnlyGrowth: growing the vertex space with no edge
+// change shares every partition and just widens the master table.
+func TestRestructureVertexOnlyGrowth(t *testing.T) {
+	edges := gen.ER(13, 40, 200)
+	g := Build(40, edges)
+	prev, err := Cut(g, edges, Options{NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, rebuilt, err := Restructure(prev, 50, edges, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 0 {
+		t.Fatalf("vertex-only growth rebuilt %v", rebuilt)
+	}
+	if next.G.N != 50 || len(next.MasterOf) != 50 {
+		t.Fatalf("vertex space = %d, want 50", next.G.N)
+	}
+	for i := range prev.Parts {
+		if next.Parts[i] != prev.Parts[i] {
+			t.Fatalf("part %d not shared", i)
+		}
+	}
+	if next.MasterOf[45].Part != -1 {
+		t.Fatal("edge-less new vertex has a master replica")
+	}
+	checkInvariants(t, next.G, edges, next)
+}
+
+func TestRestructureErrors(t *testing.T) {
+	edges := gen.ER(14, 30, 120)
+	g := Build(30, edges)
+	prev, err := Cut(g, edges, Options{NumPartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Restructure(prev, 20, edges, nil); err == nil {
+		t.Fatal("vertex-space shrink accepted")
+	}
+	if _, _, err := Restructure(prev, 30, nil, nil); err == nil {
+		t.Fatal("empty edge list accepted")
+	}
+	core, err := Cut(g, edges, Options{NumPartitions: 3, CoreSubgraph: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.NumCore > 0 {
+		if _, _, err := Restructure(core, 30, edges, nil); err == nil {
+			t.Fatal("core-subgraph partitioning accepted")
+		}
+	}
+}
+
+// TestRestructureBoundaryAlignedGrowth: when the previous list ends
+// exactly on a chunk boundary, growth must not rebuild the old tail chunk
+// — its slot range is identical in both lists.
+func TestRestructureBoundaryAlignedGrowth(t *testing.T) {
+	edges := gen.ER(15, 40, 200) // 200 edges, 4 chunks of 50: boundary-aligned
+	g := Build(40, edges)
+	prev, err := Cut(g, edges, Options{NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges)%prev.ChunkSize != 0 {
+		t.Fatalf("setup: %d edges not chunk-aligned (chunk %d)", len(edges), prev.ChunkSize)
+	}
+	grown := append(append([]model.Edge(nil), edges...), model.Edge{Src: 1, Dst: 2, Weight: 1})
+	next, rebuilt, err := Restructure(prev, 40, grown, []int{len(edges)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 1 || rebuilt[0] != len(prev.Parts) {
+		t.Fatalf("rebuilt = %v, want only the new chunk %d", rebuilt, len(prev.Parts))
+	}
+	for i := range prev.Parts {
+		if next.Parts[i] != prev.Parts[i] {
+			t.Fatalf("boundary-aligned growth rebuilt untouched part %d", i)
+		}
+	}
+	checkInvariants(t, next.G, grown, next)
+
+	// And the symmetric shrink back to the boundary shares everything
+	// that remains.
+	back, rebuilt, err := Restructure(next, 40, edges, []int{len(edges)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt) != 0 {
+		t.Fatalf("boundary-aligned shrink rebuilt %v", rebuilt)
+	}
+	for i := range back.Parts {
+		if back.Parts[i] != next.Parts[i] {
+			t.Fatalf("shrink rebuilt untouched part %d", i)
+		}
+	}
+	checkInvariants(t, back.G, edges, back)
+}

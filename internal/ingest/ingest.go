@@ -1,21 +1,34 @@
 // Package ingest is the streaming delta-ingestion pipeline for evolving
 // graphs: instead of re-shipping the full edge list per version (the
 // AddSnapshot path, O(|E|) per snapshot), callers stream small edge
-// mutation batches. The pipeline coalesces them in a bounded per-slot
-// buffer — last writer wins — and materializes one overlay snapshot per
-// flush, so snapshot cost is O(|delta|) and unchanged partitions stay
-// pointer-shared across the series (the Fig. 5 incremental global table).
+// mutation batches. The pipeline coalesces them in a bounded per-key
+// buffer — last op wins per key, and an add-then-remove of the same edge
+// cancels to nothing — and materializes one overlay snapshot per flush, so
+// snapshot cost is O(|delta|) and unchanged partitions stay pointer-shared
+// across the series (the Fig. 5 incremental global table).
 //
-// Flushes trigger three ways: the buffer reaching MaxBatch distinct slots
+// Mutations come in two families. Rewrite keeps the §3.2.1 slot-rewrite
+// semantics: the edge occupying an existing slot is replaced in place, and
+// rewrites coalesce per slot. The structural ops change the graph's shape:
+// AddEdge appends a new edge slot, RemoveEdge deletes one edge matching a
+// (src, dst) pair, and AddVertex grows the vertex space — these coalesce
+// per edge endpoint pair (or per vertex), so the buffer holds the net
+// structural intent of a batch window, not its history.
+//
+// Flushes trigger three ways: the buffer reaching MaxBatch distinct keys
 // (count trigger), the oldest buffered mutation aging past Window (age
 // trigger, on a timer), or an explicit Flush (manual trigger, also used by
-// a batch's Flush flag). Materialization itself — applying the coalesced
-// writes to the authoritative edge list, diffing only the touched slots,
-// and building the overlay — is delegated to the Materialize callback, so
-// the pipeline stays free of storage and engine dependencies.
+// a batch's Flush flag). When MaxPending is set, Apply sheds whole batches
+// with ErrSaturated once the buffer is at the cap, so a slow materializer
+// surfaces as backpressure instead of unbounded memory. Materialization
+// itself — applying the coalesced ops to the authoritative edge list,
+// diffing only the touched slots, and building the overlay — is delegated
+// to the Materialize callback, so the pipeline stays free of storage and
+// engine dependencies.
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -24,28 +37,94 @@ import (
 	"cgraph/model"
 )
 
-// Op is the kind of one edge mutation. Only slot rewrites exist today; the
-// enum (and the wire shape mirroring it) leaves room for structural adds
-// and removes once partition chunking can grow.
+// ErrSaturated is returned (wrapped) by Apply when Config.MaxPending is set
+// and the coalescing buffer is full; the batch was shed, nothing was
+// buffered, and the caller should retry after a flush drains the buffer.
+var ErrSaturated = errors.New("ingest: coalescing buffer saturated")
+
+// Op is the kind of one edge mutation.
 type Op uint8
 
 const (
-	// Rewrite replaces the edge occupying an existing slot of the base
+	// Rewrite replaces the edge occupying an existing slot of the current
 	// list, keeping slot count and chunk boundaries stable.
 	Rewrite Op = iota
+	// AddEdge appends a new edge slot (the vertex space grows to cover its
+	// endpoints).
+	AddEdge
+	// RemoveEdge deletes one edge whose (Src, Dst) match Edge's; weight is
+	// ignored. Removing an absent edge is a counted no-op.
+	RemoveEdge
+	// AddVertex grows the vertex space to include Vertex, without edges.
+	AddVertex
 )
 
-// Mutation is one edge mutation: op, target slot, and the new edge.
+// String names the op as it appears on the wire.
+func (o Op) String() string {
+	switch o {
+	case Rewrite:
+		return "rewrite"
+	case AddEdge:
+		return "add_edge"
+	case RemoveEdge:
+		return "remove_edge"
+	case AddVertex:
+		return "add_vertex"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Mutation is one edge mutation. Slot is meaningful for Rewrite, Edge for
+// Rewrite/AddEdge/RemoveEdge, Vertex for AddVertex.
 type Mutation struct {
-	Op   Op
-	Slot int
-	Edge model.Edge
+	Op     Op
+	Slot   int
+	Edge   model.Edge
+	Vertex model.VertexID
+}
+
+// key identifies a mutation's coalescing bucket: rewrites coalesce per
+// slot, structural edge ops per (src, dst) endpoint pair, vertex adds per
+// vertex. Last op wins within a bucket, except that a RemoveEdge landing
+// on a buffered AddEdge of the same pair cancels both.
+type key struct {
+	kind uint8
+	a, b uint32
+}
+
+func keyOf(m Mutation) key {
+	switch m.Op {
+	case Rewrite:
+		return key{kind: 0, a: uint32(m.Slot)}
+	case AddVertex:
+		return key{kind: 2, a: uint32(m.Vertex)}
+	default:
+		return key{kind: 1, a: uint32(m.Edge.Src), b: uint32(m.Edge.Dst)}
+	}
+}
+
+// opRank orders a flushed batch: in-place rewrites first (their slots are
+// valid against the pre-batch layout), then removes, then adds, then
+// vertex growth — so slot indices never shift under an op that uses them.
+func opRank(o Op) int {
+	switch o {
+	case Rewrite:
+		return 0
+	case RemoveEdge:
+		return 1
+	case AddEdge:
+		return 2
+	default:
+		return 3
+	}
 }
 
 // Result reports one materialized flush.
 type Result struct {
-	// Built is false when every buffered write was a no-op (rewrote the
-	// edge already in place), in which case no snapshot was added.
+	// Built is false when every buffered op was a no-op (rewrote the edge
+	// already in place, removed an absent edge), in which case no snapshot
+	// was added.
 	Built bool
 	// Timestamp is the new snapshot's timestamp (when Built).
 	Timestamp int64
@@ -55,22 +134,33 @@ type Result struct {
 	// and ones pointer-shared with the previous snapshot.
 	Rebuilt int
 	Shared  int
+	// Misses counts removes of absent edges and rewrites of slots that
+	// vanished under a structural remove (both no-ops).
+	Misses int
 }
 
 // Config tunes a Pipeline.
 type Config struct {
-	// Slots is the number of edge slots in the base list; mutations are
-	// validated against it on arrival. Required.
-	Slots int
-	// MaxBatch flushes when the buffer holds that many distinct slots
+	// Slots reports the current number of edge slots; Rewrite mutations
+	// are validated against it on arrival. Required. It is called without
+	// pipeline locks held, so it may take the materializer's own locks.
+	Slots func() int
+	// MaxBatch flushes when the buffer holds that many distinct keys
 	// (default 256).
 	MaxBatch int
+	// MaxPending, when positive, caps the coalescing buffer: an Apply
+	// whose batch would grow the buffer beyond the cap is shed with
+	// ErrSaturated instead of buffering unboundedly (batches count by
+	// mutation record, conservatively ignoring coalescing). Zero disables
+	// admission control.
+	MaxPending int
 	// Window flushes the buffer once its oldest mutation is that old; 0
 	// disables the age trigger (count and manual triggers only).
 	Window time.Duration
-	// Materialize applies one coalesced batch (ascending slot order) and
-	// builds the overlay snapshot. minTS is the lowest acceptable snapshot
-	// timestamp (0 when no batch requested one). Required.
+	// Materialize applies one coalesced batch (rewrites by ascending slot,
+	// then removes, adds, and vertex growth) and builds the overlay
+	// snapshot. minTS is the lowest acceptable snapshot timestamp (0 when
+	// no batch requested one). Required.
 	Materialize func(muts []Mutation, minTS int64) (Result, error)
 }
 
@@ -78,10 +168,20 @@ type Config struct {
 type Stats struct {
 	// Batches counts accepted Apply calls; Mutations the accepted mutation
 	// records; Coalesced how many of those were superseded in the buffer
-	// before a flush (rewrites of an already-pending slot).
+	// before a flush (a later op on an already-pending key).
 	Batches   int64
 	Mutations int64
 	Coalesced int64
+	// Accepted mutation records by op.
+	Rewrites    int64
+	EdgeAdds    int64
+	EdgeRemoves int64
+	VertexAdds  int64
+	// Cancelled counts add/remove pairs of the same edge that annihilated
+	// in the buffer (each pair removes two records from the flush).
+	Cancelled int64
+	// Shed counts whole batches rejected by the MaxPending admission cap.
+	Shed int64
 	// Flushes counts materializations by trigger.
 	Flushes       int64
 	CountFlushes  int64
@@ -96,11 +196,13 @@ type Stats struct {
 	// Applied sums the slots actually changed across built snapshots;
 	// PartsRebuilt/PartsShared sum the overlay split, so
 	// PartsShared/(PartsShared+PartsRebuilt) is the shared-partition ratio
-	// the incremental store achieves.
+	// the incremental store achieves. Misses sums removes of absent edges
+	// (and rewrites of vanished slots) across flushes.
 	Applied      int64
 	PartsRebuilt int64
 	PartsShared  int64
-	// Pending is the current buffer size (distinct slots).
+	Misses       int64
+	// Pending is the current buffer size (distinct keys).
 	Pending int
 	// LastTimestamp is the newest materialized snapshot's timestamp.
 	LastTimestamp int64
@@ -134,10 +236,10 @@ type Pipeline struct {
 	cfg Config
 
 	mu sync.Mutex
-	// pending coalesces buffered mutations per slot (last writer wins);
-	// minTS is the highest snapshot timestamp requested by any buffered
-	// batch; oldest is when the buffer went non-empty (age trigger).
-	pending map[int]Mutation
+	// pending coalesces buffered mutations per key (last op wins, add+
+	// remove pairs cancel); minTS is the highest snapshot timestamp
+	// requested by any buffered batch.
+	pending map[key]Mutation
 	minTS   int64
 	timer   *time.Timer
 	closed  bool
@@ -146,8 +248,8 @@ type Pipeline struct {
 
 // New builds a pipeline. Config.Slots and Config.Materialize are required.
 func New(cfg Config) (*Pipeline, error) {
-	if cfg.Slots <= 0 {
-		return nil, fmt.Errorf("ingest: Config.Slots must be positive, got %d", cfg.Slots)
+	if cfg.Slots == nil {
+		return nil, fmt.Errorf("ingest: Config.Slots is required")
 	}
 	if cfg.Materialize == nil {
 		return nil, fmt.Errorf("ingest: Config.Materialize is required")
@@ -155,24 +257,44 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
 	}
-	return &Pipeline{cfg: cfg, pending: make(map[int]Mutation)}, nil
+	return &Pipeline{cfg: cfg, pending: make(map[key]Mutation)}, nil
+}
+
+// countOpLocked attributes one accepted mutation record to its op counter.
+func (p *Pipeline) countOpLocked(o Op) {
+	switch o {
+	case Rewrite:
+		p.stats.Rewrites++
+	case AddEdge:
+		p.stats.EdgeAdds++
+	case RemoveEdge:
+		p.stats.EdgeRemoves++
+	case AddVertex:
+		p.stats.VertexAdds++
+	}
 }
 
 // Apply buffers one mutation batch. The whole batch is validated before any
-// of it is buffered, so a bad slot rejects the batch atomically. minTS,
-// when positive, is the lowest timestamp acceptable for the snapshot that
-// will include this batch. flushNow forces materialization after buffering;
-// otherwise the count trigger decides. When a triggered flush fails, the
-// error is returned but the batch (and the rest of the buffer) stays
-// retained — the returned Ack's Accepted/Pending report that — and the age
-// timer re-arms so the window keeps retrying.
+// of it is buffered, so a bad slot or op rejects the batch atomically, and
+// admission control sheds the whole batch with ErrSaturated when the buffer
+// is at its cap. minTS, when positive, is the lowest timestamp acceptable
+// for the snapshot that will include this batch. flushNow forces
+// materialization after buffering; otherwise the count trigger decides.
+// When a triggered flush fails, the error is returned but the batch (and
+// the rest of the buffer) stays retained — the returned Ack's
+// Accepted/Pending report that — and the age timer re-arms so the window
+// keeps retrying.
 func (p *Pipeline) Apply(muts []Mutation, minTS int64, flushNow bool) (Ack, error) {
+	slots := p.cfg.Slots()
 	for _, m := range muts {
-		if m.Op != Rewrite {
+		switch m.Op {
+		case Rewrite:
+			if m.Slot < 0 || m.Slot >= slots {
+				return Ack{}, fmt.Errorf("ingest: slot %d out of range [0,%d)", m.Slot, slots)
+			}
+		case AddEdge, RemoveEdge, AddVertex:
+		default:
 			return Ack{}, fmt.Errorf("ingest: unsupported mutation op %d", m.Op)
-		}
-		if m.Slot < 0 || m.Slot >= p.cfg.Slots {
-			return Ack{}, fmt.Errorf("ingest: slot %d out of range [0,%d)", m.Slot, p.cfg.Slots)
 		}
 	}
 	p.mu.Lock()
@@ -180,11 +302,26 @@ func (p *Pipeline) Apply(muts []Mutation, minTS int64, flushNow bool) (Ack, erro
 	if p.closed {
 		return Ack{}, fmt.Errorf("ingest: pipeline closed")
 	}
+	if p.cfg.MaxPending > 0 && len(muts) > 0 && len(p.pending)+len(muts) > p.cfg.MaxPending {
+		p.stats.Shed++
+		return Ack{Pending: len(p.pending)}, fmt.Errorf(
+			"%w: %d pending + %d incoming exceeds cap %d; retry after a flush",
+			ErrSaturated, len(p.pending), len(muts), p.cfg.MaxPending)
+	}
 	for _, m := range muts {
-		if _, dup := p.pending[m.Slot]; dup {
+		k := keyOf(m)
+		p.countOpLocked(m.Op)
+		if prev, dup := p.pending[k]; dup {
+			if prev.Op == AddEdge && m.Op == RemoveEdge {
+				// The buffered add never materialized, so adding then
+				// removing the same edge nets to nothing.
+				delete(p.pending, k)
+				p.stats.Cancelled++
+				continue
+			}
 			p.stats.Coalesced++
 		}
-		p.pending[m.Slot] = m
+		p.pending[k] = m
 	}
 	p.stats.Batches++
 	p.stats.Mutations += int64(len(muts))
@@ -247,9 +384,10 @@ func (p *Pipeline) armTimerLocked() {
 	})
 }
 
-// flushLocked materializes the buffered mutations: sorted ascending by slot
-// for deterministic application, handed to the Materialize callback, and —
-// on success — the buffer resets and the age timer disarms. On failure the
+// flushLocked materializes the buffered mutations: ordered by op class
+// (rewrites by ascending slot, then removes, adds, and vertex growth, each
+// sorted for determinism), handed to the Materialize callback, and — on
+// success — the buffer resets and the age timer disarms. On failure the
 // buffer is kept for the next trigger and the age timer re-arms so the
 // retry does not depend on further traffic.
 func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
@@ -257,7 +395,23 @@ func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
 	for _, m := range p.pending {
 		muts = append(muts, m)
 	}
-	sort.Slice(muts, func(i, j int) bool { return muts[i].Slot < muts[j].Slot })
+	sort.Slice(muts, func(i, j int) bool {
+		a, b := muts[i], muts[j]
+		if ra, rb := opRank(a.Op), opRank(b.Op); ra != rb {
+			return ra < rb
+		}
+		switch a.Op {
+		case Rewrite:
+			return a.Slot < b.Slot
+		case AddVertex:
+			return a.Vertex < b.Vertex
+		default:
+			if a.Edge.Src != b.Edge.Src {
+				return a.Edge.Src < b.Edge.Src
+			}
+			return a.Edge.Dst < b.Edge.Dst
+		}
+	})
 	p.stats.Flushes++
 	*trigger++
 	res, err := p.cfg.Materialize(muts, p.minTS)
@@ -272,6 +426,7 @@ func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
 		p.timer.Stop()
 		p.timer = nil
 	}
+	p.stats.Misses += int64(res.Misses)
 	if res.Built {
 		p.stats.SnapshotsBuilt++
 		p.stats.Applied += int64(res.Applied)

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -37,13 +38,15 @@ func (r *recordingSink) count() int {
 	return len(r.flushes)
 }
 
+func slots(n int) func() int { return func() int { return n } }
+
 func edge(s, d int) model.Edge {
 	return model.Edge{Src: model.VertexID(s), Dst: model.VertexID(d), Weight: 1}
 }
 
 func TestApplyValidation(t *testing.T) {
 	sink := &recordingSink{}
-	p, err := New(Config{Slots: 10, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(10), Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,17 +66,17 @@ func TestApplyValidation(t *testing.T) {
 	if got := p.Stats().Pending; got != 0 {
 		t.Fatalf("pending = %d after rejected batches, want 0", got)
 	}
-	if _, err := New(Config{Slots: 0, Materialize: sink.materialize}); err == nil {
-		t.Fatal("New accepted zero slots")
+	if _, err := New(Config{Materialize: sink.materialize}); err == nil {
+		t.Fatal("New accepted nil Slots")
 	}
-	if _, err := New(Config{Slots: 1}); err == nil {
+	if _, err := New(Config{Slots: slots(1)}); err == nil {
 		t.Fatal("New accepted nil Materialize")
 	}
 }
 
 func TestCoalescingAndCountFlush(t *testing.T) {
 	sink := &recordingSink{}
-	p, err := New(Config{Slots: 100, MaxBatch: 3, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(100), MaxBatch: 3, Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +128,7 @@ func TestCoalescingAndCountFlush(t *testing.T) {
 
 func TestManualFlushAndMinTS(t *testing.T) {
 	sink := &recordingSink{}
-	p, err := New(Config{Slots: 100, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(100), Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +159,7 @@ func TestManualFlushAndMinTS(t *testing.T) {
 
 func TestAgeTriggeredFlush(t *testing.T) {
 	sink := &recordingSink{}
-	p, err := New(Config{Slots: 100, Window: 20 * time.Millisecond, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(100), Window: 20 * time.Millisecond, Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +181,7 @@ func TestAgeTriggeredFlush(t *testing.T) {
 
 func TestFailedFlushKeepsBuffer(t *testing.T) {
 	sink := &recordingSink{fail: true}
-	p, err := New(Config{Slots: 100, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(100), Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +215,7 @@ func TestFailedFlushKeepsBuffer(t *testing.T) {
 // mutations retry without further traffic.
 func TestFailedFlushRearmsAgeTimer(t *testing.T) {
 	sink := &recordingSink{fail: true}
-	p, err := New(Config{Slots: 100, Window: 20 * time.Millisecond, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(100), Window: 20 * time.Millisecond, Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +240,7 @@ func TestFailedFlushRearmsAgeTimer(t *testing.T) {
 
 func TestCloseFlushesAndRejects(t *testing.T) {
 	sink := &recordingSink{}
-	p, err := New(Config{Slots: 100, Window: time.Hour, Materialize: sink.materialize})
+	p, err := New(Config{Slots: slots(100), Window: time.Hour, Materialize: sink.materialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,5 +258,221 @@ func TestCloseFlushesAndRejects(t *testing.T) {
 	}
 	if err := p.Close(); err != nil {
 		t.Fatal("second close errored")
+	}
+}
+
+// TestEmptyBatch: an empty mutation batch is accepted as a no-op — it
+// counts as a batch, triggers nothing, and flushNow with an empty buffer
+// builds nothing.
+func TestEmptyBatch(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: slots(10), Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := p.Apply(nil, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 0 || ack.Pending != 0 || ack.Flushed {
+		t.Fatalf("empty-batch ack = %+v", ack)
+	}
+	if sink.count() != 0 {
+		t.Fatal("empty batch materialized")
+	}
+	st := p.Stats()
+	if st.Batches != 1 || st.Mutations != 0 || st.Flushes != 0 {
+		t.Fatalf("stats after empty batch = %+v", st)
+	}
+}
+
+// TestDuplicateSlotCoalescingOrder: repeated rewrites of one slot must
+// leave exactly the last write in the flush, regardless of how the writes
+// were split across batches.
+func TestDuplicateSlotCoalescingOrder(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: slots(10), Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := []model.Edge{edge(1, 2), edge(3, 4), edge(5, 6), edge(7, 8)}
+	for _, e := range writes[:2] {
+		if _, err := p.Apply([]Mutation{{Slot: 4, Edge: e}}, 0, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 4, Edge: writes[2]}, {Slot: 4, Edge: writes[3]}}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 1 || len(sink.flushes[0]) != 1 {
+		t.Fatalf("flushes = %+v, want one single-mutation flush", sink.flushes)
+	}
+	if got := sink.flushes[0][0]; got.Slot != 4 || got.Edge != writes[3] {
+		t.Fatalf("flushed %+v, want last write %v", got, writes[3])
+	}
+	if st := p.Stats(); st.Coalesced != 3 {
+		t.Fatalf("coalesced = %d, want 3", st.Coalesced)
+	}
+}
+
+// TestCancelOutAddRemovePairs: an add_edge followed by a remove_edge of the
+// same endpoint pair nets to nothing; a flush of only cancelled pairs
+// builds no snapshot.
+func TestCancelOutAddRemovePairs(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: slots(10), Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []Mutation{
+		{Op: AddEdge, Edge: edge(8, 9)},
+		{Op: AddEdge, Edge: edge(2, 3)},
+		{Op: RemoveEdge, Edge: edge(8, 9)},
+	}
+	ack, err := p.Apply(muts, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Accepted != 3 || ack.Pending != 1 {
+		t.Fatalf("ack = %+v, want the cancelled pair gone and one add pending", ack)
+	}
+	st := p.Stats()
+	if st.Cancelled != 1 || st.EdgeAdds != 2 || st.EdgeRemoves != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Cancel the surviving add too: the buffer empties, and a manual flush
+	// has nothing to build.
+	if _, err := p.Apply([]Mutation{{Op: RemoveEdge, Edge: edge(2, 3)}}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := p.Flush(); err != nil || res.Built {
+		t.Fatalf("flush of fully-cancelled buffer = %+v, %v", res, err)
+	}
+	if sink.count() != 0 {
+		t.Fatal("cancelled pairs reached the materializer")
+	}
+	// Remove-then-add is last-op-wins: the add survives.
+	if _, err := p.Apply([]Mutation{{Op: RemoveEdge, Edge: edge(5, 5)}, {Op: AddEdge, Edge: edge(5, 5)}}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if sink.count() != 1 || len(sink.flushes[0]) != 1 || sink.flushes[0][0].Op != AddEdge {
+		t.Fatalf("remove-then-add flush = %+v, want the add to win", sink.flushes)
+	}
+}
+
+// TestStructuralFlushOrder: a mixed flush is ordered rewrites → removes →
+// adds → vertex growth, so slot-addressed ops never see shifted slots.
+func TestStructuralFlushOrder(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: slots(10), Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []Mutation{
+		{Op: AddVertex, Vertex: 40},
+		{Op: AddEdge, Edge: edge(6, 7)},
+		{Op: Rewrite, Slot: 9, Edge: edge(0, 1)},
+		{Op: RemoveEdge, Edge: edge(3, 3)},
+		{Op: Rewrite, Slot: 2, Edge: edge(1, 0)},
+	}
+	if _, err := p.Apply(muts, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	got := sink.flushes[0]
+	wantOps := []Op{Rewrite, Rewrite, RemoveEdge, AddEdge, AddVertex}
+	if len(got) != len(wantOps) {
+		t.Fatalf("flushed %d mutations, want %d", len(got), len(wantOps))
+	}
+	for i, op := range wantOps {
+		if got[i].Op != op {
+			t.Fatalf("flush[%d].Op = %v, want %v", i, got[i].Op, op)
+		}
+	}
+	if got[0].Slot != 2 || got[1].Slot != 9 {
+		t.Fatalf("rewrites not slot-ordered: %+v", got[:2])
+	}
+}
+
+// TestAdmissionControlSheds: with MaxPending set, a batch arriving against
+// a full buffer is shed atomically with ErrSaturated, and a flush reopens
+// admission.
+func TestAdmissionControlSheds(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: slots(100), MaxPending: 2, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 1, Edge: edge(1, 2)}, {Slot: 2, Edge: edge(2, 3)}}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(3, 4)}}, 0, false)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if ack.Pending != 2 {
+		t.Fatalf("shed ack = %+v, want pending 2", ack)
+	}
+	st := p.Stats()
+	if st.Shed != 1 || st.Pending != 2 || st.Mutations != 2 {
+		t.Fatalf("stats = %+v, want the shed batch unbuffered", st)
+	}
+	if _, err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(3, 4)}}, 0, false); err != nil {
+		t.Fatalf("apply after drain = %v", err)
+	}
+}
+
+// TestFlushTriggerRace: concurrent appliers racing a short age window and
+// the count trigger must never double-materialize a mutation — every
+// distinct key reaches the sink exactly once across all flushes.
+func TestFlushTriggerRace(t *testing.T) {
+	sink := &recordingSink{}
+	p, err := New(Config{Slots: slots(10000), MaxBatch: 8, Window: time.Millisecond, Materialize: sink.materialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 4, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				slot := g*perG + i
+				if _, err := p.Apply([]Mutation{{Slot: slot, Edge: edge(slot, slot+1)}}, 0, false); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%7 == 0 {
+					time.Sleep(time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]int)
+	sink.mu.Lock()
+	for _, flush := range sink.flushes {
+		for _, m := range flush {
+			seen[m.Slot]++
+		}
+	}
+	sink.mu.Unlock()
+	if len(seen) != goroutines*perG {
+		t.Fatalf("sink saw %d distinct slots, want %d", len(seen), goroutines*perG)
+	}
+	for slot, n := range seen {
+		if n != 1 {
+			t.Fatalf("slot %d materialized %d times", slot, n)
+		}
+	}
+	st := p.Stats()
+	if st.Pending != 0 || st.Mutations != goroutines*perG {
+		t.Fatalf("stats = %+v", st)
 	}
 }

@@ -170,6 +170,15 @@ func (s *SnapshotStore) Refs(seq int) int {
 	return s.refs[seq]
 }
 
+// Window reports the retained window's bounds: the oldest and newest
+// retained snapshots. Jobs arriving with timestamps before the oldest
+// bound are served by the oldest retained version.
+func (s *SnapshotStore) Window() (oldest, newest Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snaps[0], s.snaps[len(s.snaps)-1]
+}
+
 // Latest returns the newest snapshot.
 func (s *SnapshotStore) Latest() Snapshot {
 	s.mu.Lock()

@@ -353,3 +353,28 @@ func TestResultUsesMasterAndInitFallback(t *testing.T) {
 		t.Fatal("Results materialization wrong")
 	}
 }
+
+// TestWindowBounds: Window reports the retained series' oldest and newest
+// snapshots, tracking retention eviction.
+func TestWindowBounds(t *testing.T) {
+	pg, _ := buildPG(t, 31, 4)
+	s := NewSnapshotStore(pg, 0)
+	oldest, newest := s.Window()
+	if oldest.Seq != 0 || newest.Seq != 0 || oldest.Timestamp != 0 {
+		t.Fatalf("base window = %+v .. %+v", oldest, newest)
+	}
+	for ts := int64(10); ts <= 50; ts += 10 {
+		if err := s.Add(pg, ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oldest, newest = s.Window()
+	if oldest.Seq != 0 || newest.Seq != 5 || newest.Timestamp != 50 {
+		t.Fatalf("unbounded window = %+v .. %+v", oldest, newest)
+	}
+	s.SetRetention(2)
+	oldest, newest = s.Window()
+	if oldest.Seq != 4 || oldest.Timestamp != 40 || newest.Seq != 5 || newest.Timestamp != 50 {
+		t.Fatalf("retained window = %+v .. %+v", oldest, newest)
+	}
+}

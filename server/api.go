@@ -2,6 +2,8 @@ package server
 
 import (
 	"context"
+	"errors"
+	"math"
 	"sort"
 	"time"
 
@@ -127,16 +129,40 @@ func (s *Service) ResultsOf(id string, opts api.ResultsOptions) (api.Results, *a
 	return res, nil
 }
 
+// wireVertexID converts a wire float to a vertex id, rejecting values an
+// unchecked float→uint32 conversion would map to implementation-specific
+// garbage (negatives, non-integers, NaN/Inf, ids at or past the NoVertex
+// sentinel).
+func wireVertexID(x float64) (model.VertexID, *api.Error) {
+	if math.IsNaN(x) || x < 0 || x >= float64(model.NoVertex) || x != math.Trunc(x) {
+		return 0, api.Errorf(api.CodeBadRequest, "bad vertex id %v (want an integer in [0,%d))", x, uint64(model.NoVertex))
+	}
+	return model.VertexID(x), nil
+}
+
+// wireEdge converts one wire [src, dst, weight] triple.
+func wireEdge(e [3]float64) (model.Edge, *api.Error) {
+	src, aerr := wireVertexID(e[0])
+	if aerr != nil {
+		return model.Edge{}, aerr
+	}
+	dst, aerr := wireVertexID(e[1])
+	if aerr != nil {
+		return model.Edge{}, aerr
+	}
+	return model.Edge{Src: src, Dst: dst, Weight: float32(e[2])}, nil
+}
+
 // IngestSnapshot applies one wire-form snapshot (a slot rewrite of the
 // base edge list) at the given timestamp.
 func (s *Service) IngestSnapshot(snap api.Snapshot) (api.SnapshotAck, *api.Error) {
 	edges := make([]model.Edge, len(snap.Edges))
 	for i, e := range snap.Edges {
-		edges[i] = model.Edge{
-			Src:    model.VertexID(e[0]),
-			Dst:    model.VertexID(e[1]),
-			Weight: float32(e[2]),
+		edge, aerr := wireEdge(e)
+		if aerr != nil {
+			return api.SnapshotAck{}, aerr
 		}
+		edges[i] = edge
 	}
 	if err := s.AddSnapshot(edges, snap.Timestamp); err != nil {
 		return api.SnapshotAck{}, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
@@ -145,30 +171,44 @@ func (s *Service) IngestSnapshot(snap api.Snapshot) (api.SnapshotAck, *api.Error
 }
 
 // IngestDelta streams one wire-form mutation batch into the system's delta
-// pipeline. Unlike IngestSnapshot it ships only the changed slots; the
-// pipeline coalesces batches and materializes overlay snapshots per its
-// batching window.
+// pipeline. Unlike IngestSnapshot it ships only the changed slots — or,
+// for the structural ops (add_edge, remove_edge, add_vertex), the changed
+// topology; the pipeline coalesces batches and materializes incrementally
+// re-chunked snapshots per its batching window. When the ingest admission
+// cap is reached the batch is shed with ingest_saturated (HTTP 429).
 func (s *Service) IngestDelta(delta api.Delta) (api.DeltaAck, *api.Error) {
 	d := cgraph.Delta{Timestamp: delta.Timestamp, Flush: delta.Flush}
 	d.Mutations = make([]cgraph.Mutation, len(delta.Mutations))
 	for i, m := range delta.Mutations {
+		var op cgraph.MutationOp
 		switch m.Op {
 		case "", api.MutationRewrite:
+			op = cgraph.MutationRewrite
+		case api.MutationAdd:
+			op = cgraph.MutationAdd
+		case api.MutationRemove:
+			op = cgraph.MutationRemove
+		case api.MutationAddVertex:
+			op = cgraph.MutationAddVertex
 		default:
 			return api.DeltaAck{}, api.Errorf(api.CodeBadRequest, "unsupported mutation op %q", m.Op)
 		}
+		edge, aerr := wireEdge(m.Edge)
+		if aerr != nil {
+			return api.DeltaAck{}, aerr
+		}
 		d.Mutations[i] = cgraph.Mutation{
-			Op:   cgraph.MutationRewrite,
-			Slot: m.Slot,
-			Edge: model.Edge{
-				Src:    model.VertexID(m.Edge[0]),
-				Dst:    model.VertexID(m.Edge[1]),
-				Weight: float32(m.Edge[2]),
-			},
+			Op:     op,
+			Slot:   m.Slot,
+			Vertex: model.VertexID(m.Vertex),
+			Edge:   edge,
 		}
 	}
 	ack, err := s.sys.ApplyDelta(d)
 	if err != nil {
+		if errors.Is(err, cgraph.ErrIngestSaturated) {
+			return api.DeltaAck{}, &api.Error{Code: api.CodeIngestSaturated, Message: err.Error()}
+		}
 		return api.DeltaAck{}, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
 	}
 	return api.DeltaAck{
@@ -191,6 +231,13 @@ func (s *Service) ingestInfo() api.IngestStats {
 		AgeFlushes:       st.AgeFlushes,
 		ManualFlushes:    st.ManualFlushes,
 		Failures:         st.Failures,
+		Rewrites:         st.Rewrites,
+		EdgeAdds:         st.EdgeAdds,
+		EdgeRemoves:      st.EdgeRemoves,
+		VertexAdds:       st.VertexAdds,
+		Cancelled:        st.Cancelled,
+		RemoveMisses:     st.RemoveMisses,
+		Shed:             st.Shed,
 		SnapshotsBuilt:   st.SnapshotsBuilt,
 		SlotsApplied:     st.SlotsApplied,
 		PartsRebuilt:     st.PartsRebuilt,
@@ -201,6 +248,11 @@ func (s *Service) ingestInfo() api.IngestStats {
 		SnapshotsLive:    st.SnapshotsLive,
 		SnapshotsEvicted: st.SnapshotsEvicted,
 		RetainSnapshots:  st.RetainSnapshots,
+		OldestSeq:        st.OldestSeq,
+		OldestTimestamp:  st.OldestTimestamp,
+		NewestSeq:        st.NewestSeq,
+		NewestTimestamp:  st.NewestTimestamp,
+		NumVertices:      st.NumVertices,
 	}
 }
 
@@ -249,14 +301,22 @@ func (s *Service) metricsSnapshot() (api.Metrics, []api.JobStatus) {
 // terminal state event or when ctx ends. Compacted jobs replay their
 // terminal summary.
 func (s *Service) WatchJob(ctx context.Context, id string) (<-chan api.Event, *api.Error) {
+	return s.WatchJobFrom(ctx, id, 0)
+}
+
+// WatchJobFrom is WatchJob resuming after a previously seen event: the
+// replay skips events with Seq ≤ after, so a reconnecting watcher (SSE
+// Last-Event-ID) picks up where its dropped stream left off instead of
+// re-reading the job's full history. after = 0 replays everything.
+func (s *Service) WatchJobFrom(ctx context.Context, id string, after int64) (<-chan api.Event, *api.Error) {
 	if _, ok := s.Get(id); ok {
-		if ch, ok := s.events.subscribe(ctx, id); ok {
+		if ch, ok := s.events.subscribe(ctx, id, after); ok {
 			return ch, nil
 		}
 		// Compacted between the lookup and the subscription; fall through.
 	}
 	if st, ok := s.historyLookup(id); ok {
-		return replayTerminal(ctx, st), nil
+		return replayTerminal(ctx, st, after), nil
 	}
 	return nil, api.Errorf(api.CodeNotFound, "unknown job %q", id)
 }

@@ -98,9 +98,11 @@ func (h *hub) publish(id string, ev api.Event) {
 }
 
 // subscribe attaches a watcher to the job's stream: the returned channel
-// replays the stream so far, then carries live events, and closes after a
-// terminal event or when ctx ends. The bool is false for unknown jobs.
-func (h *hub) subscribe(ctx context.Context, id string) (<-chan api.Event, bool) {
+// replays the stream so far — skipping events with Seq ≤ after, so a
+// reconnecting watcher resumes instead of re-reading history — then
+// carries live events, and closes after a terminal event or when ctx ends.
+// The bool is false for unknown jobs.
+func (h *hub) subscribe(ctx context.Context, id string, after int64) (<-chan api.Event, bool) {
 	h.mu.Lock()
 	st, ok := h.jobs[id]
 	if !ok {
@@ -115,14 +117,26 @@ func (h *hub) subscribe(ctx context.Context, id string) (<-chan api.Event, bool)
 	// states in order, with the latest progress inserted before a trailing
 	// terminal event (matching the order a live watcher would have seen).
 	replay := make([]api.Event, 0, len(st.states)+1)
-	replay = append(replay, st.states...)
-	if st.progress != nil {
-		if st.done && len(replay) > 0 {
+	for _, ev := range st.states {
+		if ev.Seq > after {
+			replay = append(replay, ev)
+		}
+	}
+	if st.progress != nil && st.progress.Seq > after {
+		if st.done && len(replay) > 0 && replay[len(replay)-1].Terminal() {
 			last := replay[len(replay)-1]
 			replay = append(replay[:len(replay)-1], *st.progress, last)
 		} else {
 			replay = append(replay, *st.progress)
 		}
+	}
+	if st.done && len(replay) == 0 {
+		// The watcher already saw the terminal event (its Seq is the
+		// stream's highest); nothing remains, so the stream just closes.
+		h.mu.Unlock()
+		ch := make(chan api.Event)
+		close(ch)
+		return ch, true
 	}
 	sub.queue = replay
 	if !st.done {
@@ -141,15 +155,17 @@ func (h *hub) subscribe(ctx context.Context, id string) (<-chan api.Event, bool)
 }
 
 // replayTerminal serves a watcher of an already-compacted job: it delivers
-// one synthesized terminal state event and closes.
-func replayTerminal(ctx context.Context, status api.JobStatus) <-chan api.Event {
+// one synthesized terminal state event and closes. The synthesized Seq
+// lands strictly after the watcher's resume point, so a reconnecting
+// client deduplicating by sequence still accepts it.
+func replayTerminal(ctx context.Context, status api.JobStatus, after int64) <-chan api.Event {
 	out := make(chan api.Event, 1)
 	go func() {
 		defer close(out)
 		ev := api.Event{
 			Type:      api.EventState,
 			JobID:     status.ID,
-			Seq:       1,
+			Seq:       max(after+1, 1),
 			State:     status.State,
 			Error:     status.Error,
 			Iteration: status.Iterations,

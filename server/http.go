@@ -227,8 +227,20 @@ func (h *httpAPI) results(w http.ResponseWriter, r *http.Request) {
 // events streams the job's event channel as server-sent events: the SSE
 // "id" field carries Event.Seq, "event" the Event.Type, and "data" the
 // api.Event JSON document. The stream ends after a terminal state event.
+// A reconnecting client sends the standard Last-Event-ID header with the
+// last Seq it saw; the replay resumes strictly after it instead of
+// re-sending the job's full history.
 func (h *httpAPI) events(w http.ResponseWriter, r *http.Request) {
-	ch, aerr := h.svc.WatchJob(r.Context(), r.PathValue("id"))
+	var after int64
+	if raw := r.Header.Get("Last-Event-ID"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil || v < 0 {
+			writeError(w, api.Errorf(api.CodeBadRequest, "bad Last-Event-ID %q", raw))
+			return
+		}
+		after = v
+	}
+	ch, aerr := h.svc.WatchJobFrom(r.Context(), r.PathValue("id"), after)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
@@ -321,6 +333,13 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("cgraph_ingest_batches_total", nil, float64(ing.Batches))
 	e.Declare("cgraph_ingest_mutations_total", "counter", "Edge mutations accepted by the ingestion pipeline.")
 	e.Add("cgraph_ingest_mutations_total", nil, float64(ing.Mutations))
+	e.Declare("cgraph_ingest_ops_total", "counter", "Accepted edge mutations by op.")
+	e.Add("cgraph_ingest_ops_total", map[string]string{"op": "rewrite"}, float64(ing.Rewrites))
+	e.Add("cgraph_ingest_ops_total", map[string]string{"op": "add_edge"}, float64(ing.EdgeAdds))
+	e.Add("cgraph_ingest_ops_total", map[string]string{"op": "remove_edge"}, float64(ing.EdgeRemoves))
+	e.Add("cgraph_ingest_ops_total", map[string]string{"op": "add_vertex"}, float64(ing.VertexAdds))
+	e.Declare("cgraph_ingest_shed_total", "counter", "Delta batches shed by the ingest admission cap.")
+	e.Add("cgraph_ingest_shed_total", nil, float64(ing.Shed))
 	e.Declare("cgraph_ingest_flushes_total", "counter", "Pipeline flushes by trigger.")
 	e.Add("cgraph_ingest_flushes_total", map[string]string{"trigger": "count"}, float64(ing.CountFlushes))
 	e.Add("cgraph_ingest_flushes_total", map[string]string{"trigger": "age"}, float64(ing.AgeFlushes))
@@ -333,6 +352,16 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("cgraph_snapshots_live", nil, float64(ing.SnapshotsLive))
 	e.Declare("cgraph_snapshots_evicted_total", "counter", "Snapshots evicted by the retention policy.")
 	e.Add("cgraph_snapshots_evicted_total", nil, float64(ing.SnapshotsEvicted))
+	e.Declare("cgraph_snapshot_window_oldest_seq", "gauge", "Series index of the oldest retained snapshot; older bindings resolve here.")
+	e.Add("cgraph_snapshot_window_oldest_seq", nil, float64(ing.OldestSeq))
+	e.Declare("cgraph_snapshot_window_oldest_timestamp", "gauge", "Timestamp of the oldest retained snapshot.")
+	e.Add("cgraph_snapshot_window_oldest_timestamp", nil, float64(ing.OldestTimestamp))
+	e.Declare("cgraph_snapshot_window_newest_seq", "gauge", "Series index of the newest retained snapshot.")
+	e.Add("cgraph_snapshot_window_newest_seq", nil, float64(ing.NewestSeq))
+	e.Declare("cgraph_snapshot_window_newest_timestamp", "gauge", "Timestamp of the newest retained snapshot.")
+	e.Add("cgraph_snapshot_window_newest_timestamp", nil, float64(ing.NewestTimestamp))
+	e.Declare("cgraph_graph_vertices", "gauge", "Vertex space of the newest snapshot; structural deltas grow it.")
+	e.Add("cgraph_graph_vertices", nil, float64(ing.NumVertices))
 	e.Declare("cgraph_job_iterations", "gauge", "Iterations to convergence, per finished job.")
 	e.Declare("cgraph_job_edges_processed", "counter", "Edges processed, per finished job.")
 	e.Declare("cgraph_job_simulated_access_us", "gauge", "Simulated data-access time, per finished job.")

@@ -688,3 +688,255 @@ func TestHTTPDeltasAndListFilters(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPStructuralDeltasAndAdmission covers the structural mutation ops
+// end-to-end over HTTP — add_edge/remove_edge/add_vertex grow the graph,
+// the per-op counters and retained-window bounds surface in both metrics
+// exposures — and the ingest admission cap shedding with 429
+// ingest_saturated.
+func TestHTTPStructuralDeltasAndAdmission(t *testing.T) {
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false), cgraph.WithIngestCap(64))
+	if err := sys.LoadEdges(300, testEdges()); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(sys, server.Config{})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := contextWithTimeout(t)
+		defer cancel()
+		svc.Stop(ctx)
+	}()
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	// A structural batch: two users join, follow each other and an
+	// existing account, and one old follow is dropped.
+	code, ack := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{
+			map[string]any{"op": "add_vertex", "vertex": 300},
+			map[string]any{"op": "add_vertex", "vertex": 301},
+			map[string]any{"op": "add_edge", "edge": []float64{300, 301, 1}},
+			map[string]any{"op": "add_edge", "edge": []float64{301, 5, 1}},
+			map[string]any{"op": "remove_edge", "edge": []float64{999, 999}},
+		},
+		"flush": true,
+	})
+	if code != http.StatusOK || ack["flushed"] != true || ack["accepted"] != float64(5) {
+		t.Fatalf("structural delta = %d (%v)", code, ack)
+	}
+
+	code, m := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", code)
+	}
+	ing := m["ingest"].(map[string]any)
+	if ing["edge_adds"] != float64(2) || ing["vertex_adds"] != float64(2) || ing["edge_removes"] != float64(1) {
+		t.Fatalf("per-op counters = %v", ing)
+	}
+	if ing["remove_misses"] != float64(1) {
+		t.Fatalf("remove_misses = %v, want 1", ing["remove_misses"])
+	}
+	if ing["num_vertices"] != float64(302) {
+		t.Fatalf("num_vertices = %v, want 302", ing["num_vertices"])
+	}
+	// Retained-window bounds: base seq 0 through the delta-built seq 1.
+	if ing["oldest_seq"] != float64(0) || ing["newest_seq"] != float64(1) || ing["newest_timestamp"] != float64(1) {
+		t.Fatalf("window bounds = %v", ing)
+	}
+
+	// A job sees the grown graph.
+	_, st := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "degree"})
+	id := st["id"].(string)
+	pollState(t, c, ts.URL, id, server.StateDone)
+	code, res := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+id+"/results", nil)
+	if code != http.StatusOK || res["num_vertices"] != float64(302) {
+		t.Fatalf("results over grown graph = %d (%v)", code, res)
+	}
+
+	// Unknown structural op strings are still rejected.
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{map[string]any{"op": "drop_vertex", "vertex": 3}},
+	}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("unknown op = %d (%v)", code, body)
+	}
+	// Garbage wire endpoints (negative, fractional, absurd) never reach
+	// the lossy float->uint32 conversion.
+	for _, edge := range [][]float64{{-1, 5, 1}, {1.5, 5, 1}, {1e300, 5, 1}} {
+		if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+			"mutations": []any{map[string]any{"op": "add_edge", "edge": edge}},
+		}); code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+			t.Fatalf("garbage endpoint %v = %d (%v)", edge, code, body)
+		}
+	}
+	// A single batch larger than the cap is shed outright, not admitted.
+	huge := make([]any, 65)
+	for i := range huge {
+		huge[i] = map[string]any{"op": "add_edge", "edge": []float64{float64(i), float64(i + 1), 1}}
+	}
+	if code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{"mutations": huge}); code != http.StatusTooManyRequests || errCode(t, body) != string(api.CodeIngestSaturated) {
+		t.Fatalf("oversized batch = %d (%v), want 429", code, body)
+	}
+
+	// Saturate the buffer (cap 64): one oversized unflushed batch fills
+	// it, the next batch sheds with 429 ingest_saturated.
+	fill := make([]any, 64)
+	for i := range fill {
+		fill[i] = map[string]any{"op": "add_edge", "edge": []float64{float64(i), float64(i + 1), 1}}
+	}
+	if code, ack := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{"mutations": fill}); code != http.StatusOK {
+		t.Fatalf("fill batch = %d (%v)", code, ack)
+	}
+	code, body := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{map[string]any{"op": "add_edge", "edge": []float64{1, 2, 1}}},
+	})
+	if code != http.StatusTooManyRequests || errCode(t, body) != string(api.CodeIngestSaturated) {
+		t.Fatalf("saturated delta = %d (%v), want 429 ingest_saturated", code, body)
+	}
+	if code, m := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil); code != http.StatusOK {
+		t.Fatal("metrics after shed")
+	} else if ing := m["ingest"].(map[string]any); ing["shed"] != float64(2) {
+		// The oversized batch above and the saturated batch each shed once.
+		t.Fatalf("shed counter = %v, want 2", ing["shed"])
+	}
+	// A flush drains the buffer and admission reopens.
+	if code, _ := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{"mutations": []any{}, "flush": true}); code != http.StatusOK {
+		t.Fatalf("drain flush = %d", code)
+	}
+	if code, _ := httpJSON(t, c, "POST", ts.URL+"/v1/deltas", map[string]any{
+		"mutations": []any{map[string]any{"op": "add_edge", "edge": []float64{1, 2, 1}}},
+	}); code != http.StatusOK {
+		t.Fatalf("delta after drain = %d", code)
+	}
+
+	// The new gauges ride the Prometheus exposition.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(raw)
+	for _, want := range []string{
+		"cgraph_ingest_ops_total{op=\"add_edge\"}",
+		"cgraph_ingest_ops_total{op=\"remove_edge\"} 1",
+		"cgraph_ingest_ops_total{op=\"add_vertex\"} 2",
+		"cgraph_ingest_shed_total 2",
+		"cgraph_snapshot_window_oldest_seq 0",
+		"cgraph_snapshot_window_newest_seq",
+		"cgraph_graph_vertices 302",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHTTPEventStreamResume: a watcher reconnecting with Last-Event-ID
+// resumes strictly after the last event it saw instead of replaying the
+// job's full history.
+func TestHTTPEventStreamResume(t *testing.T) {
+	svc := startService(t, server.Config{}, testEdges(), 300)
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	_, st := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "pagerank"})
+	id := st["id"].(string)
+	pollState(t, c, ts.URL, id, server.StateDone)
+
+	// First connection: full replay.
+	resp, err := c.Get(ts.URL + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	if len(full) < 3 || !full[len(full)-1].Terminal() {
+		t.Fatalf("full replay = %+v", full)
+	}
+
+	// Resume after the first event: the replay must start strictly later
+	// and still end with the same terminal event.
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", fmt.Sprint(full[0].Seq))
+	resp, err = c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	if len(resumed) == 0 || resumed[0].Seq <= full[0].Seq {
+		t.Fatalf("resumed replay did not skip: %+v", resumed)
+	}
+	if last := resumed[len(resumed)-1]; !last.Terminal() || last.Seq != full[len(full)-1].Seq {
+		t.Fatalf("resumed replay terminal = %+v, want %+v", last, full[len(full)-1])
+	}
+
+	// Resume after the terminal event: nothing remains, the stream just
+	// closes.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", fmt.Sprint(full[len(full)-1].Seq))
+	resp, err = c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events := readSSE(t, resp.Body, 0); len(events) != 0 {
+		t.Fatalf("post-terminal resume replayed %+v", events)
+	}
+	resp.Body.Close()
+
+	// A malformed Last-Event-ID is rejected.
+	req, _ = http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+id+"/events", nil)
+	req.Header.Set("Last-Event-ID", "bogus")
+	resp, err = c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus Last-Event-ID = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPResumeCompactedJob: a watcher reconnecting after its job was
+// compacted into the history ring still receives the synthesized terminal
+// event — with a Seq above its Last-Event-ID, so seq-deduplicating clients
+// do not drop it.
+func TestHTTPResumeCompactedJob(t *testing.T) {
+	svc := startService(t, server.Config{RetainTerminal: 1}, testEdges(), 300)
+	ts := httptest.NewServer(svc.Handler(nil))
+	defer ts.Close()
+	c := ts.Client()
+
+	_, a := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "pagerank"})
+	aID := a["id"].(string)
+	pollState(t, c, ts.URL, aID, server.StateDone)
+	_, b := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "degree"})
+	pollState(t, c, ts.URL, b["id"].(string), server.StateDone)
+
+	// Job a is now compacted (retain cap 1). A reconnect that saw up to
+	// seq 5 must still get the terminal event, with a higher seq.
+	if code, st := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+aID, nil); code != http.StatusOK || st["released"] != true {
+		t.Fatalf("job %s not compacted: %d %v", aID, code, st)
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/jobs/"+aID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Last-Event-ID", "5")
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := readSSE(t, resp.Body, 0)
+	resp.Body.Close()
+	if len(events) != 1 || !events[0].Terminal() || events[0].Seq <= 5 {
+		t.Fatalf("compacted resume = %+v, want one terminal event with seq > 5", events)
+	}
+}
