@@ -54,6 +54,7 @@ import (
 	"cgraph/internal/metrics"
 	"cgraph/internal/sched"
 	"cgraph/internal/storage"
+	"cgraph/internal/trace"
 	"cgraph/model"
 )
 
@@ -107,6 +108,15 @@ type Client interface {
 	// Metrics reports job-state counts, round-loop progress, and
 	// scheduler state.
 	Metrics(ctx context.Context) (api.Metrics, error)
+	// JobTrace returns a job's round-by-round timeline (queue wait, admit,
+	// per-round durations and work split, terminal state), retrievable
+	// while the job runs and after it compacts. Requires the service to
+	// trace (TraceDepth > 0) for per-round entries; the lifecycle envelope
+	// is always populated.
+	JobTrace(ctx context.Context, id string) (api.JobTrace, error)
+	// RoundTrace returns the service's retained per-round trace records,
+	// oldest first.
+	RoundTrace(ctx context.Context, opts api.TraceOptions) (api.RoundTraces, error)
 }
 
 // Convenient aliases so simple uses need only this package and algo.
@@ -168,6 +178,7 @@ type config struct {
 	ingestCap       int
 	maxVertexGrowth int
 	retainSnapshots int
+	traceDepth      int
 }
 
 // Option configures a System.
@@ -238,6 +249,13 @@ func WithMaxVertexGrowth(n int) Option { return func(c *config) { c.maxVertexGro
 // evicted. Zero (the default) keeps every snapshot.
 func WithRetainSnapshots(n int) Option { return func(c *config) { c.retainSnapshots = n } }
 
+// WithTraceDepth enables round/job tracing with a ring of the last n round
+// records and per-job timelines bounded at n rounds (retained after the job
+// retires, in a terminal ring also bounded at n). Zero (the default)
+// disables tracing: the round loop then skips all per-round trace
+// bookkeeping, so an untraced system pays nothing.
+func WithTraceDepth(n int) Option { return func(c *config) { c.traceDepth = n } }
+
 // System is a CGraph instance: one shared (possibly evolving) graph plus
 // the concurrent jobs analysing it. It operates in two modes: the batch
 // Submit…Submit→Run API that drains every job and returns, and the resident
@@ -272,6 +290,102 @@ type System struct {
 	progressFns  map[int]func(JobUpdate)
 	progressSeq  int
 	progressList []func(JobUpdate)
+
+	// obsMu guards the ingest-event observers separately from s.mu:
+	// notifyIngest fires from under s.mu, the pipeline lock, and the
+	// snapshot store lock, so the registry must never need s.mu.
+	obsMu         sync.Mutex
+	ingestObsFns  map[int]func(IngestEvent)
+	ingestObsSeq  int
+	ingestObsList []func(IngestEvent)
+}
+
+// IngestEventKind tags an IngestEvent.
+type IngestEventKind int
+
+const (
+	// IngestFlush reports one delta-pipeline flush attempt: Trigger,
+	// Duration (materialize latency), Mutations (coalesced batch size),
+	// Built, and Timestamp are set.
+	IngestFlush IngestEventKind = iota
+	// IngestMaterialize reports one snapshot materialization: Path
+	// ("overlay" or "restructure"), Duration, Mutations (slots applied),
+	// and Timestamp are set.
+	IngestMaterialize
+	// IngestEvict reports one snapshot evicted by retention GC: Seq and
+	// Timestamp are set.
+	IngestEvict
+)
+
+// IngestEvent is one observability event from the ingestion/retention path.
+type IngestEvent struct {
+	Kind IngestEventKind
+	// Trigger is the flush trigger ("manual", "count", "age").
+	Trigger string
+	// Path is the materialization path ("overlay", "restructure").
+	Path string
+	// Duration is the wall-clock latency of the flush/materialization.
+	Duration time.Duration
+	// Mutations is the flush batch size (IngestFlush) or the slots applied
+	// (IngestMaterialize).
+	Mutations int
+	// Built reports whether the flush produced a snapshot.
+	Built bool
+	// Seq is the evicted snapshot's series index (IngestEvict).
+	Seq int
+	// Timestamp is the snapshot timestamp the event concerns.
+	Timestamp int64
+}
+
+// OnIngestEvent registers fn to observe ingestion-path events: flushes,
+// materializations, and retention evictions. Observers accumulate like
+// OnJobProgress; the returned func unregisters. fn may be called with
+// System, pipeline, or store locks held — it must be fast and must not
+// call back into the System (record, log, or observe a histogram and
+// return). A nil fn is ignored.
+func (s *System) OnIngestEvent(fn func(IngestEvent)) (unregister func()) {
+	if fn == nil {
+		return func() {}
+	}
+	s.obsMu.Lock()
+	if s.ingestObsFns == nil {
+		s.ingestObsFns = make(map[int]func(IngestEvent))
+	}
+	id := s.ingestObsSeq
+	s.ingestObsSeq++
+	s.ingestObsFns[id] = fn
+	s.rebuildIngestObsLocked()
+	s.obsMu.Unlock()
+	return func() {
+		s.obsMu.Lock()
+		delete(s.ingestObsFns, id)
+		s.rebuildIngestObsLocked()
+		s.obsMu.Unlock()
+	}
+}
+
+func (s *System) rebuildIngestObsLocked() {
+	ids := make([]int, 0, len(s.ingestObsFns))
+	for id := range s.ingestObsFns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	list := make([]func(IngestEvent), len(ids))
+	for i, id := range ids {
+		list[i] = s.ingestObsFns[id]
+	}
+	s.ingestObsList = list
+}
+
+// notifyIngest delivers ev to the registered observers. It takes only
+// obsMu, so it is safe to call from under any other System lock.
+func (s *System) notifyIngest(ev IngestEvent) {
+	s.obsMu.Lock()
+	fns := s.ingestObsList
+	s.obsMu.Unlock()
+	for _, fn := range fns {
+		fn(ev)
+	}
 }
 
 // JobUpdate reports one completed iteration of a submitted job: the
@@ -405,6 +519,12 @@ func (s *System) LoadEdges(numVertices int, edges []Edge) error {
 	s.numVertices = g.N
 	s.store = storage.NewSnapshotStore(pg, 0)
 	s.store.SetRetention(s.cfg.retainSnapshots)
+	// Forward retention evictions to the ingest-event observers.
+	// notifyIngest takes only obsMu, so firing from under the store lock
+	// (and whatever locks the Add that triggered GC holds) is safe.
+	s.store.SetEvictObserver(func(seq int, ts int64) {
+		s.notifyIngest(IngestEvent{Kind: IngestEvict, Seq: seq, Timestamp: ts})
+	})
 	return nil
 }
 
@@ -608,6 +728,16 @@ func (s *System) ensureIngestLocked() (*ingest.Pipeline, error) {
 		MaxPending:  s.cfg.ingestCap,
 		Window:      s.cfg.ingestWindow,
 		Materialize: s.materializeDelta,
+		Observe: func(trigger string, d time.Duration, batch int, res ingest.Result) {
+			s.notifyIngest(IngestEvent{
+				Kind:      IngestFlush,
+				Trigger:   trigger,
+				Duration:  d,
+				Mutations: batch,
+				Built:     res.Built,
+				Timestamp: res.Timestamp,
+			})
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -830,8 +960,27 @@ func (s *System) indexTakeLocked(e model.Edge) (int, bool) {
 // is safe: partitions copy the edge data into their own CSRs at build
 // time, so no snapshot aliases s.edges.
 func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.Result, error) {
+	start := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	res, path, err := s.materializeDeltaLocked(muts, minTS)
+	s.mu.Unlock()
+	if path != "" {
+		s.notifyIngest(IngestEvent{
+			Kind:      IngestMaterialize,
+			Path:      path,
+			Duration:  time.Since(start),
+			Mutations: res.Applied,
+			Built:     res.Built,
+			Timestamp: res.Timestamp,
+		})
+	}
+	return res, err
+}
+
+// materializeDeltaLocked does the work of materializeDelta under s.mu and
+// additionally reports which build path ran ("overlay", "restructure", or
+// "" when every op was a no-op and no snapshot was attempted).
+func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (ingest.Result, string, error) {
 	prev := s.store.Latest()
 	prevLen := len(s.edges)
 	prevN := s.numVertices
@@ -906,7 +1055,7 @@ func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.R
 	if len(changedSet) == 0 && !grewN {
 		// Every op was a no-op (in-place rewrites, missed removes); no
 		// version to build.
-		return ingest.Result{Misses: misses}, nil
+		return ingest.Result{Misses: misses}, "", nil
 	}
 	revert := func() {
 		for i := len(undo) - 1; i >= 0; i-- {
@@ -931,7 +1080,7 @@ func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.R
 	}
 	if len(s.edges) == 0 {
 		revert()
-		return ingest.Result{}, fmt.Errorf("cgraph: delta batch would remove every edge; at least one must remain")
+		return ingest.Result{}, "", fmt.Errorf("cgraph: delta batch would remove every edge; at least one must remain")
 	}
 	ts := prev.Timestamp + 1
 	if minTS > ts {
@@ -945,19 +1094,22 @@ func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.R
 	var pg *graph.PGraph
 	var rebuilt int
 	var err error
+	var path string
 	if len(s.edges) == prevLen && !grewN {
 		// Pure in-place rewrites: same slot space, the Overlay fast path.
+		path = "overlay"
 		changedParts := graph.ChangedPartitions(changed, prev.PG.ChunkSize, len(prev.PG.Parts))
 		pg, err = graph.Overlay(prev.PG, s.edges, changedParts)
 		rebuilt = len(changedParts)
 	} else {
+		path = "restructure"
 		var rebuiltIDs []int
 		pg, rebuiltIDs, err = graph.Restructure(prev.PG, s.numVertices, s.edges, changed)
 		rebuilt = len(rebuiltIDs)
 	}
 	if err != nil {
 		revert()
-		return ingest.Result{}, err
+		return ingest.Result{}, path, err
 	}
 	if s.engine != nil {
 		err = s.engine.AddSnapshot(pg, ts)
@@ -966,7 +1118,7 @@ func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.R
 	}
 	if err != nil {
 		revert()
-		return ingest.Result{}, err
+		return ingest.Result{}, path, err
 	}
 	return ingest.Result{
 		Built:     true,
@@ -975,7 +1127,7 @@ func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.R
 		Rebuilt:   rebuilt,
 		Shared:    len(pg.Parts) - rebuilt,
 		Misses:    misses,
-	}, nil
+	}, path, nil
 }
 
 // JobOption configures a submission.
@@ -1093,6 +1245,7 @@ func (s *System) ensureEngineLocked() {
 		DisableStragglerSplit: s.cfg.disableSplit,
 		OnJobEvent:            s.onJobEvent,
 		OnJobProgress:         s.onJobProgress,
+		TraceDepth:            s.cfg.traceDepth,
 	}, s.store)
 }
 
@@ -1256,6 +1409,161 @@ func (s *System) SchedInfo() SchedInfo {
 		})
 	}
 	return out
+}
+
+// RoundTraceGroup is one correlation group of a traced round's schedule.
+type RoundTraceGroup struct {
+	// JobIDs are the engine job IDs scheduled in the group.
+	JobIDs []int
+	// Priority is the aggregate job priority that ordered the group.
+	Priority int
+	// Units is the number of (snapshot, partition) units the group loaded.
+	Units int
+	// MakespanUS is the group's simulated span within the round.
+	MakespanUS float64
+}
+
+// JobRoundTrace is one job's share of one traced round.
+type JobRoundTrace struct {
+	// JobID is the engine job ID the entry belongs to.
+	JobID int
+	// Round is the 1-based engine round index.
+	Round int64
+	// Wall is the measured wall-clock duration of the whole round.
+	Wall time.Duration
+	// Parts is the number of active partitions the job had scheduled.
+	Parts int
+	// Pushes is the number of iterations the job closed this round.
+	Pushes int
+	// AccessUS / ComputeUS split the job's simulated time charged this
+	// round.
+	AccessUS  float64
+	ComputeUS float64
+	// VirtualTimeUS is the engine's simulated clock at round end.
+	VirtualTimeUS float64
+}
+
+// RoundTrace is one engine round's trace record (see WithTraceDepth).
+type RoundTrace struct {
+	Round         int64
+	Start         time.Time
+	Wall          time.Duration
+	VirtualTimeUS float64
+	Policy        string
+	Theta         float64
+	Groups        []RoundTraceGroup
+	Jobs          []JobRoundTrace
+}
+
+// JobTrace is one job's retained round-by-round timeline.
+type JobTrace struct {
+	// JobID is the engine job ID (Job.ID).
+	JobID int
+	// State is the terminal state name once the job retired, "" while it
+	// runs.
+	State string
+	// Dropped counts rounds truncated off the front of the bounded
+	// timeline.
+	Dropped int
+	// Rounds is the retained timeline, oldest first.
+	Rounds []JobRoundTrace
+}
+
+// TraceDepth reports the configured trace ring depth (0 = disabled).
+func (s *System) TraceDepth() int { return s.cfg.traceDepth }
+
+// RoundTraces returns up to limit of the most recent round-trace records,
+// oldest first (limit <= 0 returns the whole ring). Tracing must be enabled
+// with WithTraceDepth; otherwise, and before any round, it returns nil.
+func (s *System) RoundTraces(limit int) []RoundTrace {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return nil
+	}
+	recs := eng.RoundTraces(limit)
+	out := make([]RoundTrace, 0, len(recs))
+	for _, r := range recs {
+		rt := RoundTrace{
+			Round:         r.Round,
+			Start:         r.Start,
+			Wall:          r.Wall,
+			VirtualTimeUS: r.VirtualTimeUS,
+			Policy:        r.Policy,
+			Theta:         r.Theta,
+		}
+		for _, g := range r.Groups {
+			rt.Groups = append(rt.Groups, RoundTraceGroup{
+				JobIDs:     g.Jobs,
+				Priority:   g.Priority,
+				Units:      g.Units,
+				MakespanUS: g.MakespanUS,
+			})
+		}
+		for _, jr := range r.Jobs {
+			rt.Jobs = append(rt.Jobs, jobRoundTraceOf(jr))
+		}
+		out = append(out, rt)
+	}
+	return out
+}
+
+// JobTrace returns the round-by-round timeline recorded for an engine job
+// ID — live while it runs, retained after it retires — or false when
+// tracing is disabled or the timeline was evicted from the terminal ring.
+func (s *System) JobTrace(jobID int) (JobTrace, bool) {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return JobTrace{}, false
+	}
+	tl, ok := eng.JobTrace(jobID)
+	if !ok {
+		return JobTrace{}, false
+	}
+	out := JobTrace{JobID: tl.JobID, State: tl.State, Dropped: tl.Dropped}
+	for _, jr := range tl.Rounds {
+		out.Rounds = append(out.Rounds, jobRoundTraceOf(jr))
+	}
+	return out, true
+}
+
+func jobRoundTraceOf(jr trace.JobRound) JobRoundTrace {
+	return JobRoundTrace{
+		JobID:         jr.Job,
+		Round:         jr.Round,
+		Wall:          jr.Wall,
+		Parts:         jr.Parts,
+		Pushes:        jr.Pushes,
+		AccessUS:      jr.AccessUS,
+		ComputeUS:     jr.ComputeUS,
+		VirtualTimeUS: jr.VirtualTimeUS,
+	}
+}
+
+// HistogramStat is a point-in-time copy of an internal latency histogram:
+// per-bucket (non-cumulative) counts by upper bound, plus sum and count.
+type HistogramStat struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// RoundDurationStats returns the wall-clock round-duration histogram
+// (seconds), observed for every round regardless of trace depth. Zero
+// before any submission.
+func (s *System) RoundDurationStats() HistogramStat {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		return HistogramStat{}
+	}
+	snap := eng.RoundDurations()
+	return HistogramStat{Bounds: snap.Bounds, Counts: snap.Counts, Sum: snap.Sum, Count: snap.Count}
 }
 
 // Serve runs the system as a resident service: the engine processes rounds

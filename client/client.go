@@ -28,11 +28,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"cgraph"
@@ -46,6 +48,11 @@ type Client struct {
 	hc      *http.Client
 	retries int
 	backoff time.Duration
+	log     *slog.Logger
+
+	// watchReconnects counts SSE streams that dropped before their
+	// terminal event and were reconnected — previously a silent recovery.
+	watchReconnects atomic.Int64
 }
 
 var _ cgraph.Client = (*Client)(nil)
@@ -70,6 +77,28 @@ func WithRetries(n int, backoff time.Duration) Option {
 	}
 }
 
+// WithLogger sets the structured logger for client-side diagnostics (watch
+// reconnects). The default discards them.
+func WithLogger(log *slog.Logger) Option {
+	return func(c *Client) {
+		if log != nil {
+			c.log = log
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of the client's internal counters.
+type Stats struct {
+	// WatchReconnects counts SSE watch streams that dropped before their
+	// terminal event and were transparently reconnected.
+	WatchReconnects int64
+}
+
+// Stats reports the client's internal counters.
+func (c *Client) Stats() Stats {
+	return Stats{WatchReconnects: c.watchReconnects.Load()}
+}
+
 // New builds a client for the service at baseURL (e.g.
 // "http://localhost:8040"). The URL is used as-is apart from a trailing
 // slash; a malformed URL surfaces on the first request.
@@ -79,6 +108,7 @@ func New(baseURL string, opts ...Option) *Client {
 		hc:      http.DefaultClient,
 		retries: 2,
 		backoff: 100 * time.Millisecond,
+		log:     slog.New(slog.DiscardHandler),
 	}
 	for _, o := range opts {
 		o(c)
@@ -251,6 +281,27 @@ func (c *Client) ApplyDelta(ctx context.Context, delta api.Delta) (api.DeltaAck,
 	return ack, err
 }
 
+// JobTrace returns one job's round-by-round timeline: the lifecycle
+// envelope plus the engine's retained per-round records, live or
+// compacted.
+func (c *Client) JobTrace(ctx context.Context, id string) (api.JobTrace, error) {
+	var tr api.JobTrace
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/jobs/"+url.PathEscape(id)+"/trace", nil, nil, &tr)
+	return tr, err
+}
+
+// RoundTrace returns the service's retained round-trace records, oldest
+// first.
+func (c *Client) RoundTrace(ctx context.Context, opts api.TraceOptions) (api.RoundTraces, error) {
+	q := url.Values{}
+	if opts.Limit > 0 {
+		q.Set("limit", strconv.Itoa(opts.Limit))
+	}
+	var rt api.RoundTraces
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/trace/rounds", q, nil, &rt)
+	return rt, err
+}
+
 // SchedInfo reports the scheduler's last plan.
 func (c *Client) SchedInfo(ctx context.Context) (api.SchedInfo, error) {
 	var si api.SchedInfo
@@ -334,6 +385,12 @@ func (c *Client) watchLoop(ctx context.Context, id string, resp *http.Response, 
 			return
 		}
 		attempts++
+		c.watchReconnects.Add(1)
+		c.log.Warn("watch stream dropped, reconnecting",
+			"job", id,
+			"last_seq", last,
+			"attempt", attempts,
+			"budget", c.retries)
 		select {
 		case <-ctx.Done():
 			return

@@ -1,13 +1,16 @@
 package client_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -51,7 +54,7 @@ func testCtx(t *testing.T) context.Context {
 func harness(t *testing.T, cfg server.Config) (local, remote cgraph.Client, edges []model.Edge) {
 	t.Helper()
 	edges = gen.RMAT(41, 300, 5000, 0.57, 0.19, 0.19)
-	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false), cgraph.WithTraceDepth(64))
 	if err := sys.LoadEdges(300, edges); err != nil {
 		t.Fatal(err)
 	}
@@ -498,7 +501,10 @@ func TestClientWatchReconnects(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	c := client.New(ts.URL, client.WithRetries(2, 5*time.Millisecond))
+	var logBuf syncBuffer
+	c := client.New(ts.URL,
+		client.WithRetries(2, 5*time.Millisecond),
+		client.WithLogger(slog.New(slog.NewTextHandler(&logBuf, nil))))
 	events, err := c.Watch(testCtx(t), "job-0")
 	if err != nil {
 		t.Fatal(err)
@@ -522,6 +528,32 @@ func TestClientWatchReconnects(t *testing.T) {
 	if calls.Load() != 2 {
 		t.Fatalf("connections = %d, want 2", calls.Load())
 	}
+	// The recovery is no longer silent: it is counted and logged.
+	if got := c.Stats().WatchReconnects; got != 1 {
+		t.Fatalf("WatchReconnects = %d, want 1", got)
+	}
+	if logged := logBuf.String(); !strings.Contains(logged, "watch stream dropped") || !strings.Contains(logged, "job-0") {
+		t.Fatalf("reconnect warning not logged; log output:\n%s", logged)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output
+// written from the watch goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
 }
 
 // TestClientWatchNoReconnectBudget: WithRetries(0) disables reconnection —
@@ -548,13 +580,83 @@ func TestClientWatchNoReconnectBudget(t *testing.T) {
 	if n != 1 || calls.Load() != 1 {
 		t.Fatalf("events = %d, connections = %d; want 1 and 1", n, calls.Load())
 	}
+	if got := c.Stats().WatchReconnects; got != 0 {
+		t.Fatalf("WatchReconnects = %d, want 0", got)
+	}
+}
+
+// TestClientTraceParity: JobTrace and RoundTrace return byte-identical
+// wire payloads through the in-process and HTTP clients, for live and
+// terminal jobs alike.
+func TestClientTraceParity(t *testing.T) {
+	ctx := testCtx(t)
+	local, remote, _ := harness(t, server.Config{})
+
+	// Unknown job: same error code on both transports.
+	for name, c := range map[string]cgraph.Client{"local": local, "http": remote} {
+		if _, err := c.JobTrace(ctx, "nope"); !api.IsCode(err, api.CodeNotFound) {
+			t.Fatalf("%s: unknown trace = %v, want not_found", name, err)
+		}
+	}
+
+	st, err := local.Submit(ctx, api.JobSpec{Algo: "pagerank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := local.Watch(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range events {
+	}
+
+	// With every job terminal the trace surfaces are static; the two
+	// transports must agree byte for byte after JSON round-tripping.
+	ltr, err := local.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("local trace: %v", err)
+	}
+	rtr, err := remote.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("remote trace: %v", err)
+	}
+	if ltr.State != api.JobDone || len(ltr.Rounds) == 0 || ltr.ExecMS <= 0 {
+		t.Fatalf("local trace = %+v", ltr)
+	}
+	lb, _ := json.Marshal(ltr)
+	rb, _ := json.Marshal(rtr)
+	if string(lb) != string(rb) {
+		t.Fatalf("job trace parity:\nlocal:  %s\nremote: %s", lb, rb)
+	}
+
+	for _, opts := range []api.TraceOptions{{}, {Limit: 3}} {
+		lrt, err := local.RoundTrace(ctx, opts)
+		if err != nil {
+			t.Fatalf("local rounds: %v", err)
+		}
+		rrt, err := remote.RoundTrace(ctx, opts)
+		if err != nil {
+			t.Fatalf("remote rounds: %v", err)
+		}
+		if lrt.TraceDepth != 64 || len(lrt.Rounds) == 0 {
+			t.Fatalf("local rounds (%+v) = depth %d, %d rounds", opts, lrt.TraceDepth, len(lrt.Rounds))
+		}
+		if opts.Limit > 0 && len(lrt.Rounds) > opts.Limit {
+			t.Fatalf("limit %d returned %d rounds", opts.Limit, len(lrt.Rounds))
+		}
+		lb, _ := json.Marshal(lrt)
+		rb, _ := json.Marshal(rrt)
+		if string(lb) != string(rb) {
+			t.Fatalf("round trace parity (%+v):\nlocal:  %s\nremote: %s", opts, lb, rb)
+		}
+	}
 }
 
 // TestClientWatchLiveReconnectParity: against a real service, a watcher
 // whose first connection dies mid-run still observes a gap-free ordered
 // stream ending in the terminal event, via Last-Event-ID resume.
 func TestClientWatchLiveReconnectParity(t *testing.T) {
-	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false), cgraph.WithTraceDepth(64))
 	if err := sys.LoadEdges(300, gen.RMAT(41, 300, 5000, 0.57, 0.19, 0.19)); err != nil {
 		t.Fatal(err)
 	}

@@ -3,14 +3,19 @@
 //
 // Usage:
 //
-//	cgraph-bench [-scale 1.0] [-workers 8] [-eps 1e-3] [-out dir] [-csv] [-v] [experiment ...]
+//	cgraph-bench [-scale 1.0] [-workers 8] [-eps 1e-3] [-out dir] [-csv] [-v] [-json file] [experiment ...]
 //
 // With no experiment arguments every experiment runs in paper order.
 // Experiment names: table1, fig1, fig2, fig8..fig19, ablation-straggler,
-// ablation-scheduler, ablation-batching, ablation-two-level.
+// ablation-scheduler, ablation-batching, ablation-two-level, concurrent.
+//
+// The `concurrent` experiment measures round-tracing overhead (traced vs
+// TraceDepth=0) on the 4-job workload; -json writes its machine-readable
+// result (BENCH_concurrent.json in CI).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +31,9 @@ func main() {
 	eps := flag.Float64("eps", 1e-3, "PageRank convergence threshold")
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
 	verbose := flag.Bool("v", false, "stream progress to stderr")
+	jsonOut := flag.String("json", "", "write the concurrent bench result as JSON to this file")
+	traceDepth := flag.Int("trace-depth", 256, "trace ring depth for the concurrent bench's traced leg")
+	benchRuns := flag.Int("runs", 3, "runs per leg for the concurrent bench (best-of)")
 	flag.Parse()
 
 	opt := harness.Options{Scale: *scale, Workers: *workers, Epsilon: *eps}
@@ -50,6 +58,21 @@ func main() {
 
 	var tables []*harness.Table
 	run := func(name string) error {
+		if name == "concurrent" || name == "bench-concurrent" {
+			t, res, err := harness.BenchConcurrent(opt, *traceDepth, *benchRuns)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+			if *jsonOut != "" {
+				b, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					return err
+				}
+				return os.WriteFile(*jsonOut, append(b, '\n'), 0o644)
+			}
+			return nil
+		}
 		if fn, ok := single[name]; ok {
 			t, err := fn(opt)
 			if err != nil {

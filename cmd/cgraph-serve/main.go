@@ -10,6 +10,7 @@
 //	cgraph-serve -graph edges.tsv [-addr :8040] [-workers 8] [-max-inflight 16]
 //	cgraph-serve -dataset ukunion-sim [-scale 0.1] [-scheduler two-level] [-retain-terminal 64]
 //	cgraph-serve -dataset twitter-sim -ingest-window 200ms -ingest-batch 128 -retain-snapshots 8
+//	cgraph-serve -dataset ukunion-sim -trace-depth 512 -log-format json -log-level debug -pprof-addr localhost:6060
 //
 // Admin (all wire shapes are api types; errors carry machine-readable codes):
 //
@@ -22,6 +23,8 @@
 //	cgraph-serve -connect http://localhost:8040 cancel job-1
 //	cgraph-serve -connect http://localhost:8040 delta 17=3,9,1 42=5,5,2 flush
 //	cgraph-serve -connect http://localhost:8040 delta add=3,9,1 remove=5,5 vertex=1200 flush
+//	cgraph-serve -connect http://localhost:8040 trace job-0
+//	cgraph-serve -connect http://localhost:8040 trace rounds 10
 //	cgraph-serve -connect http://localhost:8040 sched
 //	cgraph-serve -connect http://localhost:8040 metrics
 //
@@ -33,6 +36,8 @@
 //	curl 'localhost:8040/v1/jobs/job-1/results?top=5'
 //	curl -X POST localhost:8040/v1/snapshots -d '{"timestamp":20,"edges":[[0,1,1],...]}'
 //	curl -X POST localhost:8040/v1/deltas -d '{"mutations":[{"slot":17,"edge":[3,9,1]}]}'
+//	curl localhost:8040/v1/jobs/job-0/trace         # round-by-round timeline
+//	curl 'localhost:8040/v1/trace/rounds?limit=10'  # engine round traces
 //	curl localhost:8040/v1/sched
 //	curl localhost:8040/metrics                     # Prometheus text exposition
 //
@@ -46,8 +51,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -78,7 +85,16 @@ func main() {
 	ingestCap := flag.Int("ingest-cap", 0, "delta admission cap: shed batches (429 ingest_saturated) once this many mutations are pending, 0 = unbounded")
 	coreSubgraph := flag.Bool("core-subgraph", false, "enable §3.3 core-subgraph partitioning (disables snapshot ingestion)")
 	scheduler := flag.String("scheduler", "two-level", "partition-load policy: static, priority (one-level Eq. 1), or two-level (correlation groups + Eq. 1)")
+	traceDepth := flag.Int("trace-depth", 256, "round-trace ring depth for /v1/trace/rounds and /v1/jobs/{id}/trace, 0 disables tracing")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof on a separate listener, empty disables")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *connect != "" {
 		if err := admin(*connect, flag.Args()); err != nil {
@@ -99,6 +115,7 @@ func main() {
 		cgraph.WithIngestWindow(*ingestWindow),
 		cgraph.WithIngestBatch(*ingestBatch),
 		cgraph.WithIngestCap(*ingestCap),
+		cgraph.WithTraceDepth(*traceDepth),
 	)
 	switch {
 	case *graphFile != "":
@@ -121,6 +138,7 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		DefaultTimeout: *defaultTimeout,
 		RetainTerminal: *retainTerminal,
+		Logger:         logger,
 	})
 	if err := svc.Start(); err != nil {
 		fatal(err)
@@ -129,34 +147,83 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler(nil)}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("cgraph-serve listening on %s", *addr)
+	logger.Info("cgraph-serve listening", "addr", *addr, "trace_depth", *traceDepth)
+
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		// pprof rides its own listener and mux so the profiling surface is
+		// never exposed on the service address.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pmux}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof server", "error", err.Error())
+			}
+		}()
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		log.Printf("received %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 	case err := <-errc:
-		log.Printf("http server: %v", err)
+		logger.Error("http server", "error", err.Error())
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(ctx)
+	if pprofSrv != nil {
+		pprofSrv.Shutdown(ctx)
+	}
 	if err := svc.Stop(ctx); err != nil {
-		log.Printf("service stop: %v", err)
+		logger.Error("service stop", "error", err.Error())
 	}
 	// Drain the delta pipeline so buffered mutations are not stranded and
 	// no age-trigger flush fires mid-teardown.
 	if err := sys.CloseIngest(); err != nil {
-		log.Printf("ingest close: %v", err)
+		logger.Error("ingest close", "error", err.Error())
+	}
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }
 
 // admin drives a running instance through the HTTP client.
 func admin(base string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, delta, sched, metrics")
+		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, delta, trace, sched, metrics")
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -247,6 +314,34 @@ func admin(base string, args []string) error {
 			return err
 		}
 		return dump(st)
+	case "trace":
+		switch {
+		case len(rest) == 1 && rest[0] != "rounds":
+			tr, err := c.JobTrace(ctx, rest[0])
+			if err != nil {
+				return err
+			}
+			renderJobTrace(os.Stdout, tr)
+			return nil
+		case len(rest) >= 1 && rest[0] == "rounds":
+			var opts api.TraceOptions
+			if len(rest) == 2 {
+				limit, err := strconv.Atoi(rest[1])
+				if err != nil || limit < 0 {
+					return fmt.Errorf("bad limit %q", rest[1])
+				}
+				opts.Limit = limit
+			} else if len(rest) > 2 {
+				return fmt.Errorf("usage: trace rounds [limit]")
+			}
+			rt, err := c.RoundTrace(ctx, opts)
+			if err != nil {
+				return err
+			}
+			return dump(rt)
+		default:
+			return fmt.Errorf("usage: trace <job-id> | trace rounds [limit]")
+		}
 	case "sched":
 		si, err := c.SchedInfo(ctx)
 		if err != nil {
@@ -417,6 +512,42 @@ func parseDelta(args []string) (api.Delta, error) {
 		return delta, fmt.Errorf("delta needs at least one mutation (or flush)")
 	}
 	return delta, nil
+}
+
+// renderJobTrace prints a human-readable wait → admit → round-by-round →
+// terminal timeline for one job.
+func renderJobTrace(w io.Writer, tr api.JobTrace) {
+	fmt.Fprintf(w, "job %s (%s) %s\n", tr.ID, tr.Algo, tr.State)
+	fmt.Fprintf(w, "  submitted  %s\n", tr.Submitted.Format(time.RFC3339Nano))
+	if tr.Started != nil {
+		fmt.Fprintf(w, "  admitted   %s  (queue wait %.3f ms)\n",
+			tr.Started.Format(time.RFC3339Nano), tr.QueueWaitMS)
+	}
+	if tr.Finished != nil {
+		fmt.Fprintf(w, "  finished   %s  (exec %.3f ms)\n",
+			tr.Finished.Format(time.RFC3339Nano), tr.ExecMS)
+	} else if tr.Started != nil {
+		fmt.Fprintf(w, "  running    (exec %.3f ms so far)\n", tr.ExecMS)
+	}
+	if tr.Error != nil {
+		fmt.Fprintf(w, "  error      %s: %s\n", tr.Error.Code, tr.Error.Message)
+	}
+	if tr.Released {
+		fmt.Fprintf(w, "  released   (results compacted; trace from the terminal ring)\n")
+	}
+	if len(tr.Rounds) == 0 {
+		fmt.Fprintf(w, "  no round records (tracing disabled or no rounds yet)\n")
+		return
+	}
+	if tr.DroppedRounds > 0 {
+		fmt.Fprintf(w, "  %d older round(s) dropped off the bounded timeline\n", tr.DroppedRounds)
+	}
+	fmt.Fprintf(w, "  %8s %12s %6s %7s %12s %12s %14s\n",
+		"round", "wall_us", "parts", "pushes", "access_us", "compute_us", "virtual_us")
+	for _, r := range tr.Rounds {
+		fmt.Fprintf(w, "  %8d %12.1f %6d %7d %12.1f %12.1f %14.1f\n",
+			r.Round, r.WallUS, r.Parts, r.Pushes, r.AccessUS, r.ComputeUS, r.VirtualTimeUS)
+	}
 }
 
 // dump pretty-prints one wire value.

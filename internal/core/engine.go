@@ -30,6 +30,7 @@ import (
 	"cgraph/internal/metrics"
 	"cgraph/internal/sched"
 	"cgraph/internal/storage"
+	"cgraph/internal/trace"
 	"cgraph/model"
 )
 
@@ -128,6 +129,10 @@ type Config struct {
 	// calling discipline as OnJobEvent: round-loop goroutine, no engine
 	// locks held, must not block for long.
 	OnJobProgress func(JobProgress)
+	// TraceDepth bounds the round-trace ring and the per-job timeline
+	// length (0 disables tracing entirely; the round loop then skips all
+	// per-round trace bookkeeping).
+	TraceDepth int
 }
 
 type runJob struct {
@@ -202,6 +207,14 @@ type Engine struct {
 	ClockTrigger float64
 	ClockPush    float64
 
+	// tracer records per-round and per-job traces when Config.TraceDepth
+	// is set; nil when tracing is disabled. The recorder is internally
+	// locked, so control-plane reads race-freely with the round loop.
+	tracer *trace.Recorder
+	// roundHist observes the wall-clock duration of every round (always
+	// on: two clock reads and one bucket increment per round).
+	roundHist *metrics.Histogram
+
 	// prefetchCredit is the trigger time of the previous partition that
 	// the loader can hide the next structure load behind: the common-order
 	// stream of the LTP model makes the next partition known in advance,
@@ -235,6 +248,8 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 		state:     make(map[int]JobState),
 		cancelReq: make(map[int]bool),
 		wake:      make(chan struct{}, 1),
+		tracer:    trace.New(cfg.TraceDepth),
+		roundHist: metrics.NewHistogram(metrics.LatencyBuckets()),
 	}
 	for _, snap := range store.Snapshots() {
 		e.sched.ObserveSnapshot(snap.PG)
@@ -362,6 +377,9 @@ func (e *Engine) reapRetired(enforceBudget bool) {
 	e.jobs = keepJobs
 	e.mu.Unlock()
 	for _, ev := range events {
+		if e.tracer != nil {
+			e.tracer.Retire(ev.JobID, ev.State.String())
+		}
 		e.fireEvent(ev)
 	}
 }
@@ -637,9 +655,13 @@ func (e *Engine) SchedInfo() SchedInfo {
 // planned group/priority order, trigger its jobs, and close iterations for
 // jobs whose round-set is exhausted.
 func (e *Engine) round() {
+	roundStart := time.Now()
 	e.drainSnapshotObservations()
 	foot := make([]sched.JobFootprint, 0, len(e.jobs))
 	byID := make(map[int]*runJob, len(e.jobs))
+	// pre snapshots each job's counters at round start so the tracer can
+	// attribute this round's deltas; only populated when tracing is on.
+	var pre []jobPreRound
 	for _, rj := range e.jobs {
 		byID[rj.ID] = rj
 		rj.remaining = make(map[int64]int)
@@ -650,6 +672,15 @@ func (e *Engine) round() {
 			jf.Units = append(jf.Units, p)
 		}
 		foot = append(foot, jf)
+		if e.tracer != nil {
+			pre = append(pre, jobPreRound{
+				rj:      rj,
+				parts:   len(rj.remaining),
+				iters:   rj.Iterations,
+				access:  rj.m.AccessTime,
+				compute: rj.m.ComputeTime,
+			})
+		}
 		// Jobs admitted with no active vertices (degenerate programs)
 		// finish immediately below.
 	}
@@ -710,8 +741,80 @@ func (e *Engine) round() {
 	}
 	e.jobs = still
 	e.recordPlan(plan, spans)
+	wall := time.Since(roundStart)
+	e.roundHist.Observe(wall.Seconds())
+	if e.tracer != nil {
+		e.recordTrace(roundStart, wall, plan, spans, pre)
+	}
 	e.rounds.Add(1)
 	e.nowBits.Store(math.Float64bits(e.now))
+}
+
+// jobPreRound is a job's counter snapshot at round start, for trace deltas.
+type jobPreRound struct {
+	rj              *runJob
+	parts, iters    int
+	access, compute float64
+}
+
+// recordTrace folds one finished round into the trace recorder.
+func (e *Engine) recordTrace(start time.Time, wall time.Duration, plan []sched.Group, spans []float64, pre []jobPreRound) {
+	rec := trace.Round{
+		Round:         e.rounds.Load() + 1,
+		Start:         start,
+		Wall:          wall,
+		VirtualTimeUS: e.now,
+		Policy:        e.cfg.Scheduler.String(),
+		Theta:         e.sched.Theta(),
+	}
+	for gi, g := range plan {
+		rec.Groups = append(rec.Groups, trace.Group{
+			Jobs:       g.Jobs,
+			Priority:   g.Priority,
+			Units:      len(g.Units),
+			MakespanUS: spans[gi],
+		})
+	}
+	for _, p := range pre {
+		rec.Jobs = append(rec.Jobs, trace.JobRound{
+			Job:           p.rj.ID,
+			Round:         rec.Round,
+			Wall:          wall,
+			Parts:         p.parts,
+			Pushes:        p.rj.Iterations - p.iters,
+			AccessUS:      p.rj.m.AccessTime - p.access,
+			ComputeUS:     p.rj.m.ComputeTime - p.compute,
+			VirtualTimeUS: e.now,
+		})
+	}
+	e.tracer.RecordRound(rec)
+}
+
+// RoundTraces returns up to limit of the most recent round-trace records
+// (oldest first), or nil when tracing is disabled.
+func (e *Engine) RoundTraces(limit int) []trace.Round {
+	if e.tracer == nil {
+		return nil
+	}
+	return e.tracer.Rounds(limit)
+}
+
+// JobTrace returns the round-by-round timeline recorded for a job — live
+// while it runs, retained after it retires — or false when tracing is
+// disabled or the timeline has been evicted from the terminal ring.
+func (e *Engine) JobTrace(jobID int) (trace.Timeline, bool) {
+	if e.tracer == nil {
+		return trace.Timeline{}, false
+	}
+	return e.tracer.Job(jobID)
+}
+
+// TraceDepth reports the configured trace ring depth (0 = disabled).
+func (e *Engine) TraceDepth() int { return e.cfg.TraceDepth }
+
+// RoundDurations returns the wall-clock round-duration histogram.
+func (e *Engine) RoundDurations() metrics.HistogramSnapshot {
+	return e.roundHist.Snapshot()
 }
 
 // drainSnapshotObservations feeds snapshots added since the last round to
@@ -974,6 +1077,9 @@ func (e *Engine) finishIteration(rj *runJob) {
 		delete(e.cancelReq, rj.ID)
 		e.mu.Unlock()
 		e.store.Release(rj.snapSeq)
+		if e.tracer != nil {
+			e.tracer.Retire(rj.ID, JobDone.String())
+		}
 		e.fireEvent(JobEvent{JobID: rj.ID, State: JobDone, Metrics: rj.m})
 	}
 }

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"cgraph/internal/core"
+	"cgraph/internal/gen"
+	"cgraph/internal/sched"
+)
+
+// BenchJobExec is one job's execution account from the traced leg.
+type BenchJobExec struct {
+	Job        string  `json:"job"`
+	ExecUS     float64 `json:"exec_us"`
+	Iterations int     `json:"iterations"`
+}
+
+// BenchConcurrentResult is the machine-readable artifact of the tracing
+// overhead benchmark (written as BENCH_concurrent.json): the same 4-job
+// concurrent workload run with round tracing on and off, so the
+// instrumentation cost is measured rather than assumed.
+type BenchConcurrentResult struct {
+	Dataset    string `json:"dataset"`
+	Jobs       int    `json:"jobs"`
+	Workers    int    `json:"workers"`
+	Runs       int    `json:"runs"`
+	TraceDepth int    `json:"trace_depth"`
+
+	// Best-of-Runs wall-clock makespan of the whole engine run, per leg.
+	TracedWallMS   float64 `json:"traced_wall_ms"`
+	UntracedWallMS float64 `json:"untraced_wall_ms"`
+	// OverheadPct is (traced-untraced)/untraced·100; negative values mean
+	// the difference drowned in run-to-run noise.
+	OverheadPct float64 `json:"overhead_pct"`
+
+	// Wall-clock round-duration quantiles from the traced leg (seconds),
+	// out of the engine's always-on round histogram.
+	RoundP50S float64 `json:"round_p50_s"`
+	RoundP95S float64 `json:"round_p95_s"`
+	Rounds    uint64  `json:"rounds"`
+
+	// JobExec lists per-job virtual execution times from the traced leg.
+	JobExec []BenchJobExec `json:"job_exec"`
+}
+
+// benchLeg runs the 4-job workload `runs` times at the given trace depth and
+// returns the best wall-clock makespan plus the engine of the best run.
+func (e *Env) benchLeg(o Options, depth, runs int) (time.Duration, *core.Engine, []BenchJobExec, error) {
+	best := time.Duration(0)
+	var bestEng *core.Engine
+	var bestJobs []BenchJobExec
+	for r := 0; r < runs; r++ {
+		store, err := e.Store(true)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		eng := core.New(core.Config{
+			Workers:    e.Workers,
+			Hier:       e.Hier(),
+			Scheduler:  sched.Priority,
+			Label:      "CGraph",
+			TraceDepth: depth,
+		}, store)
+		for _, s := range benchmarks(4, o.Epsilon, func(int) int64 { return 0 }) {
+			eng.Submit(s.Prog, s.Arrival)
+		}
+		start := time.Now()
+		rep, err := eng.Run()
+		wall := time.Since(start)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if bestEng == nil || wall < best {
+			best, bestEng = wall, eng
+			bestJobs = bestJobs[:0]
+			for _, j := range rep.Jobs {
+				bestJobs = append(bestJobs, BenchJobExec{Job: j.Name, ExecUS: j.ExecTime(), Iterations: j.Iterations})
+			}
+		}
+	}
+	return best, bestEng, bestJobs, nil
+}
+
+// BenchConcurrent measures the wall-clock cost of round tracing on the
+// standard concurrent workload: best-of-runs makespan with TraceDepth=depth
+// versus TraceDepth=0 on a fresh engine each run, plus round-duration
+// quantiles and per-job execution times from the traced leg.
+func BenchConcurrent(opt Options, depth, runs int) (*Table, *BenchConcurrentResult, error) {
+	o := opt.withDefaults()
+	if depth <= 0 {
+		depth = 256
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	d, err := gen.StandIn("twitter-sim", o.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	env := NewEnv(d, o.Workers, o.Scale)
+
+	o.logf("bench-concurrent: untraced leg (%d runs)", runs)
+	untraced, _, _, err := env.benchLeg(o, 0, runs)
+	if err != nil {
+		return nil, nil, err
+	}
+	o.logf("bench-concurrent: traced leg (depth %d, %d runs)", depth, runs)
+	traced, eng, jobs, err := env.benchLeg(o, depth, runs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	hist := eng.RoundDurations()
+	res := &BenchConcurrentResult{
+		Dataset:        d.Name,
+		Jobs:           4,
+		Workers:        o.Workers,
+		Runs:           runs,
+		TraceDepth:     depth,
+		TracedWallMS:   float64(traced) / float64(time.Millisecond),
+		UntracedWallMS: float64(untraced) / float64(time.Millisecond),
+		OverheadPct:    100 * (float64(traced) - float64(untraced)) / float64(untraced),
+		RoundP50S:      hist.Quantile(0.50),
+		RoundP95S:      hist.Quantile(0.95),
+		Rounds:         hist.Count,
+		JobExec:        jobs,
+	}
+
+	t := &Table{
+		ID:      "bench-concurrent",
+		Title:   fmt.Sprintf("Round-tracing overhead, 4 concurrent jobs on %s (best of %d)", d.Name, runs),
+		Columns: []string{"Leg", "Wall ms", "Round p50 ms", "Round p95 ms"},
+		Rows: [][]string{
+			{"untraced (depth 0)", f2(res.UntracedWallMS), "-", "-"},
+			{fmt.Sprintf("traced (depth %d)", depth), f2(res.TracedWallMS), f2(res.RoundP50S * 1e3), f2(res.RoundP95S * 1e3)},
+			{"overhead", fmt.Sprintf("%+.1f%%", res.OverheadPct), "", ""},
+		},
+		Notes: "wall-clock engine makespan; round quantiles from the traced leg's always-on histogram",
+	}
+	return t, res, nil
+}

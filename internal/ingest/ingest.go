@@ -162,6 +162,12 @@ type Config struct {
 	// snapshot. minTS is the lowest acceptable snapshot timestamp (0 when
 	// no batch requested one). Required.
 	Materialize func(muts []Mutation, minTS int64) (Result, error)
+	// Observe, when set, is called after every flush attempt with the
+	// trigger ("manual", "count", "age"), the wall-clock materialize
+	// latency, the coalesced batch size, and the result (zero-valued when
+	// the materialization failed). It runs with the pipeline lock held, so
+	// it must be fast and must not call back into the pipeline.
+	Observe func(trigger string, d time.Duration, batch int, res Result)
 }
 
 // Stats is a point-in-time snapshot of the pipeline's counters.
@@ -414,7 +420,11 @@ func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
 	})
 	p.stats.Flushes++
 	*trigger++
+	start := time.Now()
 	res, err := p.cfg.Materialize(muts, p.minTS)
+	if p.cfg.Observe != nil {
+		p.cfg.Observe(p.triggerName(trigger), time.Since(start), len(muts), res)
+	}
 	if err != nil {
 		p.stats.Failures++
 		p.armTimerLocked()
@@ -435,6 +445,19 @@ func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
 		p.stats.LastTimestamp = res.Timestamp
 	}
 	return res, nil
+}
+
+// triggerName maps a flush-trigger counter to its exposition label.
+func (p *Pipeline) triggerName(trigger *int64) string {
+	switch trigger {
+	case &p.stats.ManualFlushes:
+		return "manual"
+	case &p.stats.CountFlushes:
+		return "count"
+	case &p.stats.AgeFlushes:
+		return "age"
+	}
+	return "unknown"
 }
 
 // Stats reports the pipeline's counters.

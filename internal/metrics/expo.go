@@ -25,6 +25,9 @@ type family struct {
 }
 
 type expoSample struct {
+	// suffix distinguishes the sub-series of a histogram family
+	// ("_bucket", "_sum", "_count"); empty for scalar samples.
+	suffix string
 	labels string
 	value  float64
 }
@@ -59,6 +62,41 @@ func (t *TextExposition) Add(name string, labels map[string]string, value float6
 	f.samples = append(f.samples, expoSample{labels: renderLabels(labels), value: value})
 }
 
+// AddHistogram records one histogram child: cumulative `name_bucket` lines
+// per upper bound plus the implicit `le="+Inf"` bucket, then `name_sum` and
+// `name_count`. Declare the family with type "histogram" first (or let this
+// create it undeclared). The snapshot's per-bucket counts are accumulated
+// here, so rendered bucket values are monotonically non-decreasing as the
+// text format requires.
+func (t *TextExposition) AddHistogram(name string, labels map[string]string, s HistogramSnapshot) {
+	f := t.family(name, "histogram", "")
+	var cum uint64
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		f.samples = append(f.samples, expoSample{
+			suffix: "_bucket",
+			labels: renderLabels(withLE(labels, formatValue(b))),
+			value:  float64(cum),
+		})
+	}
+	f.samples = append(f.samples,
+		expoSample{suffix: "_bucket", labels: renderLabels(withLE(labels, "+Inf")), value: float64(s.Count)},
+		expoSample{suffix: "_sum", labels: renderLabels(labels), value: s.Sum},
+		expoSample{suffix: "_count", labels: renderLabels(labels), value: float64(s.Count)},
+	)
+}
+
+func withLE(labels map[string]string, le string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	out["le"] = le
+	return out
+}
+
 func renderLabels(labels map[string]string) string {
 	if len(labels) == 0 {
 		return ""
@@ -89,13 +127,21 @@ func escapeLabel(v string) string {
 	return v
 }
 
+// escapeHelp applies the HELP-text escaping of the exposition format:
+// backslash and newline (double quotes are legal in help text).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
 // WriteTo renders the exposition.
 func (t *TextExposition) WriteTo(w io.Writer) (int64, error) {
 	var n int64
 	for _, name := range t.order {
 		f := t.families[name]
 		if f.help != "" {
-			m, err := fmt.Fprintf(w, "# HELP %s %s\n", name, f.help)
+			m, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(f.help))
 			n += int64(m)
 			if err != nil {
 				return n, err
@@ -109,7 +155,7 @@ func (t *TextExposition) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 		for _, s := range f.samples {
-			m, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.value))
+			m, err := fmt.Fprintf(w, "%s%s%s %s\n", name, s.suffix, s.labels, formatValue(s.value))
 			n += int64(m)
 			if err != nil {
 				return n, err

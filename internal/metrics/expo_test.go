@@ -69,3 +69,48 @@ func TestTextExpositionSpecialValues(t *testing.T) {
 		t.Fatalf("redeclare not idempotent:\n%s", s)
 	}
 }
+
+// TestTextExpositionEscaping covers the full text-format escaping rules:
+// label values escape backslash, double-quote, and newline; HELP text
+// escapes only backslash and newline (quotes stay literal).
+func TestTextExpositionEscaping(t *testing.T) {
+	e := NewTextExposition()
+	e.Declare("esc", "gauge", `help with "quotes", back\slash and`+"\nnewline")
+	e.Add("esc", map[string]string{"q": `say "hi"`, "b": `a\b`, "n": "x\ny"}, 1)
+	got := e.String()
+	wantHelp := `# HELP esc help with "quotes", back\\slash and\nnewline` + "\n"
+	if !strings.Contains(got, wantHelp) {
+		t.Fatalf("HELP escaping wrong; want %q in:\n%s", wantHelp, got)
+	}
+	wantSample := `esc{b="a\\b",n="x\ny",q="say \"hi\""} 1` + "\n"
+	if !strings.Contains(got, wantSample) {
+		t.Fatalf("label escaping wrong; want %q in:\n%s", wantSample, got)
+	}
+}
+
+// TestTextExpositionHistogram checks AddHistogram renders cumulative
+// le-buckets from a per-bucket snapshot, with the +Inf bucket equal to
+// _count and extra labels carried onto every sample.
+func TestTextExpositionHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.7, 5} {
+		h.Observe(v)
+	}
+	e := NewTextExposition()
+	e.Declare("lat_seconds", "histogram", "Latency.")
+	e.AddHistogram("lat_seconds", map[string]string{"route": "/v1/jobs"}, h.Snapshot())
+	got := e.String()
+	want := strings.Join([]string{
+		"# HELP lat_seconds Latency.",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1",route="/v1/jobs"} 1`,
+		`lat_seconds_bucket{le="1",route="/v1/jobs"} 3`,
+		`lat_seconds_bucket{le="+Inf",route="/v1/jobs"} 4`,
+		`lat_seconds_sum{route="/v1/jobs"} 6.25`,
+		`lat_seconds_count{route="/v1/jobs"} 4`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

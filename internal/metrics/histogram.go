@@ -1,0 +1,182 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram is a fixed-bucket latency/size histogram in the Prometheus
+// style: observations are counted into buckets by upper bound, plus a sum
+// and a total count, so `_bucket{le=...}`/`_sum`/`_count` families can be
+// rendered from a snapshot. Bounds are set at construction and never
+// change; Observe is safe for concurrent use and costs one mutex plus a
+// linear scan over the (small, fixed) bucket list.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []uint64  // len(bounds)+1; last bucket is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram builds a histogram over the given upper bounds. Bounds are
+// copied, sorted, and deduplicated; an implicit +Inf bucket is always
+// appended.
+func NewHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	out := bs[:0]
+	for i, b := range bs {
+		if i > 0 && b == bs[i-1] {
+			continue
+		}
+		out = append(out, b)
+	}
+	return &Histogram{bounds: out, counts: make([]uint64, len(out)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (NOT cumulative); Counts[len(Bounds)] is the +Inf overflow.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket holding the target rank, the same estimate Prometheus'
+// histogram_quantile produces. Ranks landing in the +Inf bucket clamp to
+// the highest finite bound. Returns NaN on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// HistogramVec is a set of histograms sharing bounds, partitioned by label
+// values. Children are created on first use and live forever, so label
+// values must be low-cardinality (routes, triggers, algorithm names — not
+// job IDs).
+type HistogramVec struct {
+	mu       sync.Mutex
+	bounds   []float64
+	names    []string
+	children map[string]*Histogram
+}
+
+// NewHistogramVec builds a labeled histogram family.
+func NewHistogramVec(bounds []float64, labelNames ...string) *HistogramVec {
+	return &HistogramVec{
+		bounds:   bounds,
+		names:    append([]string(nil), labelNames...),
+		children: make(map[string]*Histogram),
+	}
+}
+
+// With returns the child histogram for the given label values (one per
+// label name, in declaration order).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.names) {
+		panic(fmt.Sprintf("metrics: HistogramVec.With got %d values, want %d", len(values), len(v.names)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.children[key] = h
+	}
+	return h
+}
+
+// LabeledSnapshot pairs a child snapshot with its label values.
+type LabeledSnapshot struct {
+	Labels map[string]string
+	HistogramSnapshot
+}
+
+// Snapshots returns one snapshot per child, sorted by label values for
+// deterministic rendering.
+func (v *HistogramVec) Snapshots() []LabeledSnapshot {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]LabeledSnapshot, 0, len(keys))
+	for _, k := range keys {
+		labels := make(map[string]string, len(v.names))
+		for i, val := range strings.Split(k, "\x00") {
+			if i < len(v.names) {
+				labels[v.names[i]] = val
+			}
+		}
+		out = append(out, LabeledSnapshot{Labels: labels, HistogramSnapshot: v.children[k].Snapshot()})
+	}
+	v.mu.Unlock()
+	return out
+}
+
+// LatencyBuckets are the default bounds (seconds) for request/round/flush
+// durations: 100µs to 10s, roughly logarithmic.
+func LatencyBuckets() []float64 {
+	return []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// SizeBuckets are the default bounds for batch sizes (counts).
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}
+}

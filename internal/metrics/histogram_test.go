@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 0.01, 1}) // unsorted + duplicate on purpose
+	for _, v := range []float64{0.005, 0.05, 0.5, 0.5, 2, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	wantBounds := []float64{0.01, 0.1, 1}
+	if len(s.Bounds) != len(wantBounds) {
+		t.Fatalf("bounds = %v, want %v", s.Bounds, wantBounds)
+	}
+	for i, b := range wantBounds {
+		if s.Bounds[i] != b {
+			t.Fatalf("bounds = %v, want %v", s.Bounds, wantBounds)
+		}
+	}
+	// Counts are per-bucket, not cumulative; the last is the +Inf overflow.
+	wantCounts := []uint64{1, 1, 2, 2}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("counts = %v, want %v", s.Counts, wantCounts)
+	}
+	for i, c := range wantCounts {
+		if s.Counts[i] != c {
+			t.Fatalf("counts = %v, want %v", s.Counts, wantCounts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if math.Abs(s.Sum-103.055) > 1e-9 {
+		t.Fatalf("sum = %v, want 103.055", s.Sum)
+	}
+}
+
+func TestHistogramBoundaryValuesAreInclusive(t *testing.T) {
+	// A value equal to an upper bound lands in that bucket (le semantics).
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 1 || s.Counts[2] != 0 {
+		t.Fatalf("counts = %v, want [1 1 0]", s.Counts)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 10 observations uniformly in (0,1]: median interpolates inside bucket 0.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5", got)
+	}
+	// Overflow observations clamp the quantile to the highest finite bound.
+	h.Observe(100)
+	h.Observe(100)
+	if got := h.Snapshot().Quantile(0.99); got != 4 {
+		t.Fatalf("p99 with overflow = %v, want clamp to 4", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec([]float64{1}, "route", "code")
+	v.With("/v1/jobs", "200").Observe(0.5)
+	v.With("/v1/jobs", "200").Observe(3)
+	v.With("/v1/jobs", "404").Observe(0.1)
+
+	snaps := v.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("%d children, want 2", len(snaps))
+	}
+	// Sorted by label values: 200 before 404.
+	if snaps[0].Labels["code"] != "200" || snaps[1].Labels["code"] != "404" {
+		t.Fatalf("snapshot order: %v, %v", snaps[0].Labels, snaps[1].Labels)
+	}
+	if snaps[0].Labels["route"] != "/v1/jobs" {
+		t.Fatalf("labels = %v", snaps[0].Labels)
+	}
+	if snaps[0].Count != 2 || snaps[1].Count != 1 {
+		t.Fatalf("counts = %d, %d; want 2, 1", snaps[0].Count, snaps[1].Count)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("With with wrong arity did not panic")
+		}
+	}()
+	v.With("only-one")
+}

@@ -47,6 +47,10 @@ type SnapshotStore struct {
 	// retain caps the retained window (0 = keep every snapshot).
 	retain  int
 	evicted int
+	// onEvict, when set, observes every GC eviction. Called with the store
+	// lock held (and possibly the locks of whoever triggered the Add), so
+	// it must be fast and must never call back into the store.
+	onEvict func(seq int, timestamp int64)
 }
 
 // NewSnapshotStore starts the series with a base snapshot.
@@ -85,11 +89,25 @@ func (s *SnapshotStore) gcLocked() {
 		return
 	}
 	for len(s.snaps) > s.retain && len(s.snaps) > 1 && s.refs[s.snaps[0].Seq] == 0 {
+		seq, ts := s.snaps[0].Seq, s.snaps[0].Timestamp
 		s.snaps[0] = Snapshot{}
 		s.snaps = s.snaps[1:]
 		s.base++
 		s.evicted++
+		if s.onEvict != nil {
+			s.onEvict(seq, ts)
+		}
 	}
+}
+
+// SetEvictObserver registers fn to observe every retention-GC eviction
+// (seq and timestamp of the evicted snapshot). fn is called with the store
+// lock held — it must be fast and must not call back into the store. Pass
+// nil to clear.
+func (s *SnapshotStore) SetEvictObserver(fn func(seq int, timestamp int64)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onEvict = fn
 }
 
 // Add appends a newer snapshot; timestamps must strictly increase. The

@@ -207,6 +207,10 @@ func (s *Service) IngestDelta(delta api.Delta) (api.DeltaAck, *api.Error) {
 	ack, err := s.sys.ApplyDelta(d)
 	if err != nil {
 		if errors.Is(err, cgraph.ErrIngestSaturated) {
+			s.log.Warn("delta batch shed",
+				"trigger", "admission_cap",
+				"mutations", len(delta.Mutations),
+				"timestamp", delta.Timestamp)
 			return api.DeltaAck{}, &api.Error{Code: api.CodeIngestSaturated, Message: err.Error()}
 		}
 		return api.DeltaAck{}, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
@@ -323,12 +327,118 @@ func (s *Service) WatchJobFrom(ctx context.Context, id string, after int64) (<-c
 
 // historyLookup finds a compacted job's summary in the history ring.
 func (s *Service) historyLookup(id string) (api.JobStatus, bool) {
+	e, ok := s.historyEntry(id)
+	return e.st, ok
+}
+
+// historyEntry finds a compacted job's full history entry — status summary
+// plus the engine job ID it ran under.
+func (s *Service) historyEntry(id string) (histEntry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i := len(s.history) - 1; i >= 0; i-- {
 		if s.history[i].st.ID == id {
-			return s.history[i].st, true
+			return s.history[i], true
 		}
 	}
-	return api.JobStatus{}, false
+	return histEntry{}, false
+}
+
+// TraceOf builds one job's trace: the lifecycle envelope (wait → admit →
+// exec, derived from the service-side timestamps) plus the engine's
+// retained round-by-round timeline. It works for live jobs and for jobs
+// compacted to history — the engine's terminal trace ring outlives the
+// service-side results — and degrades to the envelope alone when tracing
+// is disabled (TraceDepth 0).
+func (s *Service) TraceOf(id string) (api.JobTrace, *api.Error) {
+	if j, ok := s.Get(id); ok {
+		return s.jobTraceOf(j.Status(), j.engineJobID()), nil
+	}
+	if e, ok := s.historyEntry(id); ok {
+		return s.jobTraceOf(e.st, e.engineID), nil
+	}
+	return api.JobTrace{}, api.Errorf(api.CodeNotFound, "unknown job %q", id)
+}
+
+// jobTraceOf assembles the wire trace from a status snapshot and the
+// engine-side timeline.
+func (s *Service) jobTraceOf(st api.JobStatus, engineID int) api.JobTrace {
+	tr := api.JobTrace{
+		ID:        st.ID,
+		Algo:      st.Algo,
+		State:     st.State,
+		Submitted: st.Submitted,
+		Started:   st.Started,
+		Finished:  st.Finished,
+		Released:  st.Released,
+		Error:     st.Error,
+		Rounds:    []api.JobRoundTrace{},
+	}
+	if st.Started != nil {
+		tr.QueueWaitMS = float64(st.Started.Sub(st.Submitted)) / float64(time.Millisecond)
+		end := time.Now()
+		if st.Finished != nil {
+			end = *st.Finished
+		}
+		tr.ExecMS = float64(end.Sub(*st.Started)) / float64(time.Millisecond)
+	}
+	if engineID >= 0 {
+		if jt, ok := s.sys.JobTrace(engineID); ok {
+			tr.DroppedRounds = jt.Dropped
+			for _, jr := range jt.Rounds {
+				tr.Rounds = append(tr.Rounds, wireJobRound(jr, ""))
+			}
+		}
+	}
+	return tr
+}
+
+// RoundTraces reports the engine's retained round-trace ring in wire form,
+// oldest first, with engine job IDs resolved to service job IDs. limit
+// caps the records returned, newest retained (0 = the whole ring).
+func (s *Service) RoundTraces(limit int) api.RoundTraces {
+	out := api.RoundTraces{TraceDepth: s.sys.TraceDepth(), Rounds: []api.RoundTrace{}}
+	recs := s.sys.RoundTraces(limit)
+	if len(recs) == 0 {
+		return out
+	}
+	byEngine := s.engineNameMap()
+	for _, r := range recs {
+		rt := api.RoundTrace{
+			Round:         r.Round,
+			Start:         r.Start,
+			WallUS:        float64(r.Wall) / float64(time.Microsecond),
+			VirtualTimeUS: r.VirtualTimeUS,
+			Policy:        r.Policy,
+			Theta:         r.Theta,
+		}
+		for _, g := range r.Groups {
+			wg := api.RoundTraceGroup{Priority: g.Priority, Units: g.Units, MakespanUS: g.MakespanUS}
+			for _, id := range g.JobIDs {
+				wg.Jobs = append(wg.Jobs, engineJobName(byEngine, id))
+			}
+			rt.Groups = append(rt.Groups, wg)
+		}
+		for _, jr := range r.Jobs {
+			rt.Jobs = append(rt.Jobs, wireJobRound(jr, engineJobName(byEngine, jr.JobID)))
+		}
+		out.Rounds = append(out.Rounds, rt)
+	}
+	return out
+}
+
+// wireJobRound converts one engine job-round record to its wire form; job
+// is the resolved service job ID (empty inside a JobTrace, where the whole
+// timeline belongs to one job).
+func wireJobRound(jr cgraph.JobRoundTrace, job string) api.JobRoundTrace {
+	return api.JobRoundTrace{
+		Job:           job,
+		Round:         jr.Round,
+		WallUS:        float64(jr.Wall) / float64(time.Microsecond),
+		Parts:         jr.Parts,
+		Pushes:        jr.Pushes,
+		AccessUS:      jr.AccessUS,
+		ComputeUS:     jr.ComputeUS,
+		VirtualTimeUS: jr.VirtualTimeUS,
+	}
 }

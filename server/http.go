@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"cgraph/api"
 	"cgraph/internal/metrics"
@@ -23,6 +24,8 @@ import (
 //	DELETE /v1/jobs/{id}          cancel
 //	GET    /v1/jobs/{id}/results  converged values (?top=K for the K largest)
 //	GET    /v1/jobs/{id}/events   server-sent event stream (api.Event)
+//	GET    /v1/jobs/{id}/trace    round-by-round timeline (api.JobTrace)
+//	GET    /v1/trace/rounds       retained round traces, ?limit=N newest
 //	POST   /v1/snapshots          ingest a graph version (api.Snapshot)
 //	POST   /v1/deltas             stream a mutation batch (api.Delta)
 //	GET    /v1/sched              the scheduler's last plan
@@ -56,6 +59,12 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	}))
 	mux.HandleFunc(api.PathPrefix+"/jobs/{id}/events", methods(map[string]http.HandlerFunc{
 		http.MethodGet: h.events,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/jobs/{id}/trace", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.trace,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/trace/rounds", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.roundTraces,
 	}))
 	mux.HandleFunc(api.PathPrefix+"/snapshots", methods(map[string]http.HandlerFunc{
 		http.MethodPost: h.snapshot,
@@ -97,7 +106,72 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeNotFound, "no route %s", r.URL.Path))
 	})
-	return mux
+	return s.instrument(mux)
+}
+
+// instrument wraps the route mux with the service's HTTP observability:
+// every request gets a request ID (the caller's X-Request-ID, or a
+// service-assigned one — echoed back in the response header either way), a
+// latency observation labelled by route pattern, method, and status, and
+// one structured log line.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		// The mux records the matched pattern on the request during
+		// dispatch, so the route label aggregates by template ("/v1/jobs/
+		// {id}") instead of exploding per job ID.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		elapsed := time.Since(start)
+		s.obs.httpLatency.With(route, r.Method, strconv.Itoa(status)).Observe(elapsed.Seconds())
+		s.log.Info("http request",
+			"request_id", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", status,
+			"duration_ms", durationMS(elapsed))
+	})
+}
+
+// statusWriter captures the response status for the middleware. It
+// forwards Flush so SSE streaming through the wrapper keeps working.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
+		fl.Flush()
+	}
 }
 
 type httpAPI struct {
@@ -189,6 +263,24 @@ func (h *httpAPI) list(w http.ResponseWriter, r *http.Request) {
 
 func (h *httpAPI) sched(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, h.svc.SchedInfo())
+}
+
+func (h *httpAPI) trace(w http.ResponseWriter, r *http.Request) {
+	tr, aerr := h.svc.TraceOf(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
+}
+
+func (h *httpAPI) roundTraces(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit")
+	if err != nil {
+		writeError(w, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, h.svc.RoundTraces(limit))
 }
 
 func (h *httpAPI) get(w http.ResponseWriter, r *http.Request) {
@@ -376,8 +468,33 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Add("cgraph_job_simulated_access_us", labels, st.SimulatedAccessUS)
 		e.Add("cgraph_job_simulated_compute_us", labels, st.SimulatedComputeUS)
 	}
+	obs := h.svc.obs
+	rd := h.svc.sys.RoundDurationStats()
+	e.Declare("cgraph_round_duration_seconds", "histogram", "Wall-clock LTP round duration, traced or not.")
+	e.AddHistogram("cgraph_round_duration_seconds", nil,
+		metrics.HistogramSnapshot{Bounds: rd.Bounds, Counts: rd.Counts, Sum: rd.Sum, Count: rd.Count})
+	e.Declare("cgraph_job_queue_wait_seconds", "histogram", "Job submission to engine admission.")
+	e.AddHistogram("cgraph_job_queue_wait_seconds", nil, obs.queueWait.Snapshot())
+	e.Declare("cgraph_job_exec_seconds", "histogram", "Job engine admission to terminal state, by algorithm.")
+	addHistogramVec(e, "cgraph_job_exec_seconds", obs.exec)
+	e.Declare("cgraph_ingest_flush_seconds", "histogram", "Delta-pipeline flush latency by trigger.")
+	addHistogramVec(e, "cgraph_ingest_flush_seconds", obs.ingestFlush)
+	e.Declare("cgraph_ingest_flush_batch_size", "histogram", "Coalesced mutations drained per flush.")
+	e.AddHistogram("cgraph_ingest_flush_batch_size", nil, obs.ingestBatch.Snapshot())
+	e.Declare("cgraph_delta_materialize_seconds", "histogram", "Snapshot materialization latency by path (overlay vs restructure).")
+	addHistogramVec(e, "cgraph_delta_materialize_seconds", obs.materialize)
+	e.Declare("cgraph_http_request_seconds", "histogram", "HTTP request latency by route pattern, method, and status.")
+	addHistogramVec(e, "cgraph_http_request_seconds", obs.httpLatency)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e.WriteTo(w)
+}
+
+// addHistogramVec renders every child of a labelled histogram into the
+// exposition.
+func addHistogramVec(e *metrics.TextExposition, name string, v *metrics.HistogramVec) {
+	for _, ls := range v.Snapshots() {
+		e.AddHistogram(name, ls.Labels, ls.HistogramSnapshot)
+	}
 }
 
 // queryInt parses an optional non-negative integer query parameter.

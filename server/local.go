@@ -114,6 +114,24 @@ func (c *localClient) ApplyDelta(ctx context.Context, delta api.Delta) (api.Delt
 	return ack, nil
 }
 
+func (c *localClient) JobTrace(ctx context.Context, id string) (api.JobTrace, error) {
+	if err := ctx.Err(); err != nil {
+		return api.JobTrace{}, err
+	}
+	tr, aerr := c.svc.TraceOf(id)
+	if aerr != nil {
+		return api.JobTrace{}, aerr
+	}
+	return tr, nil
+}
+
+func (c *localClient) RoundTrace(ctx context.Context, opts api.TraceOptions) (api.RoundTraces, error) {
+	if err := ctx.Err(); err != nil {
+		return api.RoundTraces{}, err
+	}
+	return c.svc.RoundTraces(opts.Limit), nil
+}
+
 func (c *localClient) SchedInfo(ctx context.Context) (api.SchedInfo, error) {
 	if err := ctx.Err(); err != nil {
 		return api.SchedInfo{}, err

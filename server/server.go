@@ -19,8 +19,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"maps"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cgraph"
@@ -84,6 +86,11 @@ type Config struct {
 	// ring leave listings but stay in the per-state job counts, so
 	// metrics never run backwards.
 	HistoryLimit int
+	// Logger receives the service's structured events: job admissions and
+	// retirements, ingest flushes, retention evictions, shed batches, and
+	// (through the HTTP middleware) every request with its per-request ID.
+	// Nil discards everything.
+	Logger *slog.Logger
 }
 
 // Spec describes one job submission.
@@ -111,6 +118,11 @@ type Service struct {
 	sys    *cgraph.System
 	cfg    Config
 	events *hub
+	log    *slog.Logger
+	obs    *serviceObs
+	// reqSeq numbers requests for the per-request IDs the HTTP middleware
+	// assigns when the caller did not send one.
+	reqSeq atomic.Uint64
 
 	mu       sync.Mutex
 	started  bool
@@ -132,8 +144,10 @@ type Service struct {
 	stop    context.CancelFunc
 	// stopProgress unregisters the service's System progress observer
 	// once the service stops, so a dead Service is not kept alive (or
-	// called into) by the engine's round loop.
+	// called into) by the engine's round loop; stopIngest does the same
+	// for the ingest-event observer.
 	stopProgress func()
+	stopIngest   func()
 	serveErr     chan error
 	// stopCh closes once the round loop has exited and resident jobs were
 	// failed; watchers parked on engine handles unblock on it.
@@ -157,7 +171,13 @@ func New(sys *cgraph.System, cfg Config) *Service {
 	if s.cfg.RetainTerminal > 0 && s.cfg.HistoryLimit <= 0 {
 		s.cfg.HistoryLimit = 256
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
+	s.obs = newServiceObs()
 	s.stopProgress = sys.OnJobProgress(s.onProgress)
+	s.stopIngest = sys.OnIngestEvent(s.onIngestEvent)
 	return s
 }
 
@@ -209,6 +229,7 @@ func (s *Service) Stop(ctx context.Context) error {
 		s.stopped = true
 		s.mu.Unlock()
 		s.stopProgress()
+		s.stopIngest()
 		return nil
 	}
 	s.stopped = true
@@ -236,6 +257,7 @@ func (s *Service) Stop(ctx context.Context) error {
 func (s *Service) finalizeStop(cause error) {
 	s.stopOnce.Do(func() {
 		s.stopProgress()
+		s.stopIngest()
 		s.mu.Lock()
 		ids := append([]string(nil), s.order...)
 		s.mu.Unlock()
@@ -359,7 +381,15 @@ func (s *Service) launch(j *Job) error {
 	j.handle = h
 	j.engineID = h.ID()
 	j.started = time.Now()
+	wait := j.started.Sub(j.submitted)
 	j.mu.Unlock()
+	s.obs.queueWait.Observe(wait.Seconds())
+	s.log.Info("job admitted",
+		"job", j.id,
+		"engine_id", h.ID(),
+		"algo", j.name,
+		"priority", j.spec.Priority,
+		"queue_wait_ms", durationMS(wait))
 	// Publish the state transition before registering the engine→job
 	// mapping: progress events only resolve through byEngine, so none can
 	// enter the stream ahead of "running" (an iteration completing in
@@ -612,17 +642,16 @@ func (s *Service) AddSnapshot(edges []model.Edge, timestamp int64) error {
 	return s.sys.AddSnapshot(edges, timestamp)
 }
 
-// SchedInfo reports the scheduler's last plan with service job IDs.
-func (s *Service) SchedInfo() SchedInfo {
-	ci := s.sys.SchedInfo()
+// engineNameMap maps engine job IDs to service job IDs: live jobs plus —
+// so plans and traces referencing a job compacted mid-round still resolve —
+// the compacted history ring.
+func (s *Service) engineNameMap() map[int]string {
 	s.mu.Lock()
 	js := make([]*Job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		js = append(js, j)
 	}
 	byEngine := make(map[int]string, len(js))
-	// Jobs compacted since the plan was recorded still resolve to their
-	// service IDs through the history ring.
 	for _, h := range s.history {
 		if h.engineID >= 0 {
 			byEngine[h.engineID] = h.st.ID
@@ -634,6 +663,22 @@ func (s *Service) SchedInfo() SchedInfo {
 			byEngine[id] = j.ID()
 		}
 	}
+	return byEngine
+}
+
+// engineJobName resolves one engine job ID to its service ID, falling back
+// to a synthetic name for jobs submitted directly on the System.
+func engineJobName(byEngine map[int]string, id int) string {
+	if sid, ok := byEngine[id]; ok {
+		return sid
+	}
+	return fmt.Sprintf("engine-%d", id)
+}
+
+// SchedInfo reports the scheduler's last plan with service job IDs.
+func (s *Service) SchedInfo() SchedInfo {
+	ci := s.sys.SchedInfo()
+	byEngine := s.engineNameMap()
 	out := SchedInfo{
 		Policy:      ci.Policy,
 		Theta:       ci.Theta,
@@ -643,13 +688,7 @@ func (s *Service) SchedInfo() SchedInfo {
 	for _, g := range ci.Groups {
 		sg := SchedGroup{Parts: g.Parts, PartUIDs: g.UIDs, Priority: g.Priority, MakespanUS: g.MakespanUS}
 		for _, id := range g.JobIDs {
-			if sid, ok := byEngine[id]; ok {
-				sg.Jobs = append(sg.Jobs, sid)
-			} else {
-				// A job submitted directly on the System, outside this
-				// service.
-				sg.Jobs = append(sg.Jobs, fmt.Sprintf("engine-%d", id))
-			}
+			sg.Jobs = append(sg.Jobs, engineJobName(byEngine, id))
 		}
 		out.Groups = append(out.Groups, sg)
 	}
@@ -785,9 +824,27 @@ func (j *Job) finishIf(cond func(State) bool, state State, err error, results []
 	if j.metrics != nil {
 		iters = j.metrics.Iterations
 	}
+	var exec time.Duration
+	if !j.started.IsZero() {
+		exec = j.finished.Sub(j.started)
+	}
 	j.mu.Unlock()
 	j.cancelCtx()
 	close(j.done)
+	if exec > 0 {
+		j.svc.obs.exec.With(j.name).Observe(exec.Seconds())
+	}
+	logAttrs := []any{
+		"job", j.id,
+		"algo", j.name,
+		"state", string(state),
+		"iterations", iters,
+		"exec_ms", durationMS(exec),
+	}
+	if state != StateDone && err != nil {
+		logAttrs = append(logAttrs, "error", err.Error())
+	}
+	j.svc.log.Info("job retired", logAttrs...)
 	ev := api.Event{Type: api.EventState, State: state, Iteration: iters}
 	if state != StateDone {
 		ev.Error = apiError(err)
