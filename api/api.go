@@ -306,6 +306,26 @@ type SchedInfo struct {
 	Groups      []SchedGroup `json:"groups"`
 }
 
+// ExecInfo reports the work-stealing executor: its effective
+// configuration and cumulative task/steal counters.
+type ExecInfo struct {
+	// Workers and Balance are the effective executor configuration
+	// (worker count and task-granularity balance factor).
+	Workers int     `json:"workers"`
+	Balance float64 `json:"balance"`
+	// Tasks / Steals / Stolen are cumulative across rounds: tasks
+	// executed, successful steal operations, and tasks moved by them.
+	Tasks  int64 `json:"tasks"`
+	Steals int64 `json:"steals"`
+	Stolen int64 `json:"stolen"`
+	// SkippedPartitions counts (job, partition) pairs excluded before
+	// scheduling because their frontier was empty (converged regions).
+	SkippedPartitions int64 `json:"skipped_partitions"`
+	// Imbalance is the heaviest worker's realized share of the last
+	// round's task weight, ×Workers (1.0 = perfectly even).
+	Imbalance float64 `json:"imbalance"`
+}
+
 // Metrics is the structured (JSON) counterpart of the Prometheus text
 // exposition: job-state counts, round-loop progress, and scheduler state.
 type Metrics struct {
@@ -316,6 +336,8 @@ type Metrics struct {
 	// VirtualTimeUS is the engine's virtual clock in simulated microseconds.
 	VirtualTimeUS float64   `json:"virtual_time_us"`
 	Sched         SchedInfo `json:"sched"`
+	// Exec reports the work-stealing execution pool.
+	Exec ExecInfo `json:"exec"`
 	// Ingest reports the streaming delta pipeline and snapshot lifecycle.
 	Ingest IngestStats `json:"ingest"`
 }

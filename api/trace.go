@@ -60,6 +60,13 @@ type RoundTrace struct {
 	Groups []RoundTraceGroup `json:"groups,omitempty"`
 	// Jobs is the per-job work split for the round.
 	Jobs []JobRoundTrace `json:"jobs,omitempty"`
+	// Tasks / Steals are the work-stealing executor's counts for the
+	// round; SkippedPartitions is the number of (job, partition) pairs
+	// whose frontier was empty at round start (converged regions skipped
+	// before scheduling).
+	Tasks             int64 `json:"tasks,omitempty"`
+	Steals            int64 `json:"steals,omitempty"`
+	SkippedPartitions int64 `json:"skipped_partitions,omitempty"`
 }
 
 // RoundTraces is the GET /v1/trace/rounds payload.

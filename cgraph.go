@@ -41,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -166,6 +167,7 @@ func ParseScheduler(name string) (Scheduler, error) {
 
 type config struct {
 	workers         int
+	balance         float64
 	scheduler       Scheduler
 	coreSubgraph    bool
 	coreFraction    float64
@@ -186,6 +188,12 @@ type Option func(*config)
 
 // WithWorkers sets the worker (core) count; default runtime.GOMAXPROCS.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithBalance sets the work-stealing executor's task-granularity
+// multiplier: each trigger batch is sliced into tasks of roughly
+// totalWeight/(workers·balance) scatter edges (default 4). Higher values
+// cut finer tasks — better steal balance, more per-task overhead.
+func WithBalance(b float64) Option { return func(c *config) { c.balance = b } }
 
 // WithScheduler selects the load-order policy.
 func WithScheduler(s Scheduler) Option { return func(c *config) { c.scheduler = s } }
@@ -280,6 +288,11 @@ type System struct {
 	// incrementally, dropped (and rebuilt on demand) by full-list
 	// snapshots and failed materializations.
 	edgeSlots map[uint64][]int
+	// freeSlots lists edge slots holding removal tombstones
+	// (model.HoleEdge). Removes punch holes instead of swapping the tail
+	// in, so a remove-bearing flush touches only the removed slots'
+	// chunks; adds refill holes before growing the list.
+	freeSlots []int
 
 	serveCancel context.CancelFunc
 	serveDone   chan struct{}
@@ -585,9 +598,11 @@ func (s *System) AddSnapshot(edges []Edge, timestamp int64) error {
 	// auto-grows the snapshot's N); track it so structural deltas keep
 	// working against the grown space.
 	s.numVertices = pg.G.N
-	// The full-list rewrite invalidates the structural-remove index; it is
-	// rebuilt lazily the next time a remove needs it.
+	// The full-list rewrite invalidates the structural-remove index and the
+	// free-slot list; the index is rebuilt lazily the next time a remove
+	// needs it.
 	s.edgeSlots = nil
+	s.freeSlots = nil
 	return nil
 }
 
@@ -888,6 +903,9 @@ func (s *System) edgeIndexLocked() map[uint64][]int {
 	if s.edgeSlots == nil {
 		idx := make(map[uint64][]int, len(s.edges))
 		for i, e := range s.edges {
+			if e.IsHole() {
+				continue
+			}
 			k := edgeKeyOf(e)
 			idx[k] = append(idx[k], i)
 		}
@@ -952,8 +970,10 @@ func (s *System) indexTakeLocked(e model.Edge) (int, bool) {
 // never O(|E|) — and builds the next snapshot. Pure slot rewrites take the
 // Overlay path (same slot count, same partition count); structural batches
 // take graph.Restructure, which re-chunks only the touched partitions while
-// the vertex space and edge-slot count move. Removes delete by swapping
-// the last slot in, so only the removed and the tail chunk are touched.
+// the vertex space and edge-slot count move. Removes punch a hole into the
+// freed slot (model.HoleEdge) and record it on the free-slot list, so only
+// the removed slot's chunk is touched — the tail chunk stays shared — and
+// later adds refill holes in place before appending new slots.
 // On failure every edge-list write and the vertex-space growth are
 // reverted (and the remove index dropped for a lazy rebuild), so the
 // pipeline's retained buffer can retry against unchanged state. In-place
@@ -988,7 +1008,6 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 	const (
 		undoWrite = iota
 		undoAppend
-		undoRemove
 	)
 	type undoRec struct {
 		kind int
@@ -996,6 +1015,7 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 		old  model.Edge
 	}
 	var undo []undoRec
+	prevFree := append([]int(nil), s.freeSlots...)
 	changedSet := make(map[int]bool, len(muts))
 	misses := 0
 	growTo := func(v model.VertexID) {
@@ -1016,6 +1036,17 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 				continue
 			}
 			undo = append(undo, undoRec{kind: undoWrite, slot: m.Slot, old: s.edges[m.Slot]})
+			if s.edges[m.Slot].IsHole() {
+				// Rewriting a freed slot revives it; take it off the
+				// free list so an add cannot claim it too.
+				for i, fs := range s.freeSlots {
+					if fs == m.Slot {
+						s.freeSlots[i] = s.freeSlots[len(s.freeSlots)-1]
+						s.freeSlots = s.freeSlots[:len(s.freeSlots)-1]
+						break
+					}
+				}
+			}
 			s.indexDropLocked(s.edges[m.Slot], m.Slot)
 			s.indexAddLocked(m.Edge, m.Slot)
 			s.edges[m.Slot] = m.Edge
@@ -1028,22 +1059,27 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 				misses++
 				continue
 			}
-			last := len(s.edges) - 1
-			undo = append(undo, undoRec{kind: undoRemove, slot: slot, old: s.edges[slot]})
-			if slot != last {
-				moved := s.edges[last]
-				s.indexDropLocked(moved, last)
-				s.indexAddLocked(moved, slot)
-				s.edges[slot] = moved
-				changedSet[slot] = true
-			}
-			s.edges = s.edges[:last]
-			changedSet[last] = true
+			// Punch a hole instead of swapping the tail in: only this
+			// slot's chunk changes, so the tail chunk stays shared and
+			// Restructure never recuts it for a plain remove.
+			undo = append(undo, undoRec{kind: undoWrite, slot: slot, old: s.edges[slot]})
+			s.edges[slot] = model.HoleEdge()
+			s.freeSlots = append(s.freeSlots, slot)
+			changedSet[slot] = true
 		case ingest.AddEdge:
-			slot := len(s.edges)
-			s.edges = append(s.edges, m.Edge)
+			var slot int
+			if n := len(s.freeSlots); n > 0 {
+				// Refill the most recently freed slot in place.
+				slot = s.freeSlots[n-1]
+				s.freeSlots = s.freeSlots[:n-1]
+				undo = append(undo, undoRec{kind: undoWrite, slot: slot, old: s.edges[slot]})
+				s.edges[slot] = m.Edge
+			} else {
+				slot = len(s.edges)
+				s.edges = append(s.edges, m.Edge)
+				undo = append(undo, undoRec{kind: undoAppend})
+			}
 			s.indexAddLocked(m.Edge, slot)
-			undo = append(undo, undoRec{kind: undoAppend})
 			changedSet[slot] = true
 			growTo(m.Edge.Src)
 			growTo(m.Edge.Dst)
@@ -1065,20 +1101,14 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 				s.edges[r.slot] = r.old
 			case undoAppend:
 				s.edges = s.edges[:len(s.edges)-1]
-			case undoRemove:
-				if r.slot == len(s.edges) {
-					s.edges = append(s.edges, r.old)
-				} else {
-					s.edges = append(s.edges, s.edges[r.slot])
-					s.edges[r.slot] = r.old
-				}
 			}
 		}
 		s.numVertices = prevN
+		s.freeSlots = prevFree
 		// Incremental index maintenance is not unwound; rebuild lazily.
 		s.edgeSlots = nil
 	}
-	if len(s.edges) == 0 {
+	if len(s.edges)-len(s.freeSlots) == 0 {
 		revert()
 		return ingest.Result{}, "", fmt.Errorf("cgraph: delta batch would remove every edge; at least one must remain")
 	}
@@ -1240,6 +1270,7 @@ func (s *System) ensureEngineLocked() {
 	s.byID = make(map[int]*Job)
 	s.engine = core.New(core.Config{
 		Workers:               s.cfg.workers,
+		Balance:               s.cfg.balance,
 		Hier:                  hier,
 		Scheduler:             schedKind(s.cfg.scheduler),
 		DisableStragglerSplit: s.cfg.disableSplit,
@@ -1356,6 +1387,55 @@ func (s *System) Stats() Stats {
 	}
 }
 
+// ExecStats is a point-in-time snapshot of the work-stealing executor's
+// counters, populated once the engine exists.
+type ExecStats struct {
+	// Workers and Balance are the effective executor configuration.
+	Workers int
+	Balance float64
+	// Tasks / Steals / Stolen are cumulative across rounds: tasks
+	// executed, successful steal operations, and tasks moved by them.
+	Tasks  int64
+	Steals int64
+	Stolen int64
+	// SkippedPartitions counts (job, partition) pairs excluded before
+	// scheduling because their frontier was empty (converged regions).
+	SkippedPartitions int64
+	// LastImbalance is the heaviest worker's realized share of the last
+	// round's task weight, ×Workers (1.0 = perfectly even).
+	LastImbalance float64
+}
+
+// ExecStats reports the work-stealing executor's counters; safe to call
+// while the system serves. Before any submission it reports only the
+// configured workers and balance.
+func (s *System) ExecStats() ExecStats {
+	s.mu.Lock()
+	eng := s.engine
+	s.mu.Unlock()
+	if eng == nil {
+		w := s.cfg.workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		b := s.cfg.balance
+		if b <= 0 {
+			b = 4
+		}
+		return ExecStats{Workers: w, Balance: b, LastImbalance: 1}
+	}
+	es := eng.ExecStats()
+	return ExecStats{
+		Workers:           es.Workers,
+		Balance:           es.Balance,
+		Tasks:             es.Tasks,
+		Steals:            es.Steals,
+		Stolen:            es.Stolen,
+		SkippedPartitions: es.SkippedPartitions,
+		LastImbalance:     es.LastImbalance,
+	}
+}
+
 // SchedGroup reports one correlation group from the engine's last round.
 type SchedGroup struct {
 	// JobIDs are the engine job IDs scheduled together (Job.ID values).
@@ -1453,6 +1533,12 @@ type RoundTrace struct {
 	Theta         float64
 	Groups        []RoundTraceGroup
 	Jobs          []JobRoundTrace
+	// Tasks / Steals are the work-stealing executor's per-round counts;
+	// Skipped is the number of (job, partition) pairs whose frontier was
+	// empty at round start (converged regions skipped before scheduling).
+	Tasks   int64
+	Steals  int64
+	Skipped int64
 }
 
 // JobTrace is one job's retained round-by-round timeline.
@@ -1492,6 +1578,9 @@ func (s *System) RoundTraces(limit int) []RoundTrace {
 			VirtualTimeUS: r.VirtualTimeUS,
 			Policy:        r.Policy,
 			Theta:         r.Theta,
+			Tasks:         r.Tasks,
+			Steals:        r.Steals,
+			Skipped:       r.Skipped,
 		}
 		for _, g := range r.Groups {
 			rt.Groups = append(rt.Groups, RoundTraceGroup{

@@ -537,6 +537,14 @@ func TestStructuralDeltaParity(t *testing.T) {
 	if ist.PartsShared < 1 {
 		t.Fatalf("structural delta rebuilt every partition: %+v", ist)
 	}
+	// Pin the recut split. Removals become holes in place (free-slot
+	// list), so only the chunks actually containing touched slots — the
+	// removed run, the rewrite, and the appended tail — are rebuilt; the
+	// rest are shared. A regression back to tail-shifting removals would
+	// dirty every chunk past the first removal and flip this split.
+	if ist.PartsRebuilt != 5 || ist.PartsShared != 6 {
+		t.Fatalf("recut split = %d rebuilt / %d shared, want 5 / 6", ist.PartsRebuilt, ist.PartsShared)
+	}
 	if ist.NumVertices != n+10 || ist.NewestSeq != 1 {
 		t.Fatalf("window stats = %+v", ist)
 	}
@@ -581,6 +589,90 @@ func TestStructuralDeltaParity(t *testing.T) {
 		}
 		if math.Abs(got[v]-ref[v]) > 1e-5 {
 			t.Fatalf("vertex %d: delta-built %v != refimpl %v", v, got[v], ref[v])
+		}
+	}
+}
+
+// TestRemoveFreeSlotNoTailRecut pins the free-slot removal path: removing
+// edges punches holes instead of shifting the tail down, so a remove-only
+// flush keeps the slot count and rebuilds only the chunks that contain
+// the removed slots — the tail chunk stays shared. A follow-up add-only
+// flush then reuses the holes in place, again leaving the tail untouched.
+func TestRemoveFreeSlotNoTailRecut(t *testing.T) {
+	const n = 140
+	base := gen.ER(23, n, 1800)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(10))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove a run of early edges: every removed slot lives in the first
+	// chunks, far from the tail.
+	d := Delta{Flush: true}
+	for s := 0; s < 10; s++ {
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationRemove, Edge: base[s]})
+	}
+	if _, err := sys.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	pg := sys.store.Latest().PG
+	if pg.G.Slots != 1800 || pg.G.NumEdges() != 1790 {
+		t.Fatalf("slots/live = %d/%d, want 1800/1790", pg.G.Slots, pg.G.NumEdges())
+	}
+	ist := sys.IngestStats()
+	if ist.PartsRebuilt != 2 || ist.PartsShared != 8 {
+		t.Fatalf("remove-only recut split = %d rebuilt / %d shared, want 2 / 8",
+			ist.PartsRebuilt, ist.PartsShared)
+	}
+
+	// Adds now pop the free slots and write in place: the slot count must
+	// not grow and the tail chunk must again be shared, not rebuilt.
+	d = Delta{Flush: true}
+	for i := 0; i < 5; i++ {
+		d.Mutations = append(d.Mutations, Mutation{
+			Op:   MutationAdd,
+			Edge: Edge{Src: VertexID(i), Dst: VertexID((i + 70) % n), Weight: 1},
+		})
+	}
+	if _, err := sys.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	pg = sys.store.Latest().PG
+	if pg.G.Slots != 1800 || pg.G.NumEdges() != 1795 {
+		t.Fatalf("slots/live after reuse = %d/%d, want 1800/1795", pg.G.Slots, pg.G.NumEdges())
+	}
+	ist = sys.IngestStats()
+	if got := ist.PartsRebuilt; got != 3 {
+		t.Fatalf("cumulative rebuilt after slot-reusing adds = %d, want 3", got)
+	}
+	if got := ist.PartsShared; got != 17 {
+		t.Fatalf("cumulative shared = %d, want 17", got)
+	}
+
+	// Parity: the holes must be invisible to computation.
+	live := make([]Edge, 0, 1795)
+	sys.mu.Lock()
+	for _, e := range sys.edges {
+		if !e.IsHole() {
+			live = append(live, e)
+		}
+	}
+	sys.mu.Unlock()
+	job, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refimpl.PageRank(graph.Build(n, live), 0.85, 1e-12, 3000)
+	for v := range got {
+		if math.Abs(got[v]-ref[v]) > 1e-5 {
+			t.Fatalf("vertex %d: %v != refimpl %v", v, got[v], ref[v])
 		}
 	}
 }

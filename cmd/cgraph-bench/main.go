@@ -7,11 +7,17 @@
 //
 // With no experiment arguments every experiment runs in paper order.
 // Experiment names: table1, fig1, fig2, fig8..fig19, ablation-straggler,
-// ablation-scheduler, ablation-batching, ablation-two-level, concurrent.
+// ablation-scheduler, ablation-batching, ablation-two-level, concurrent,
+// scaling.
 //
 // The `concurrent` experiment measures round-tracing overhead (traced vs
 // TraceDepth=0) on the 4-job workload; -json writes its machine-readable
 // result (BENCH_concurrent.json in CI).
+//
+// The `scaling` experiment sweeps simulated core counts 1, 2, 4, …
+// -max-cores over a skewed power-law workload, comparing the
+// work-stealing degree-weighted executor against legacy static
+// vertex-count chunking; -json writes its result (BENCH_scaling.json).
 package main
 
 import (
@@ -31,9 +37,10 @@ func main() {
 	eps := flag.Float64("eps", 1e-3, "PageRank convergence threshold")
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
 	verbose := flag.Bool("v", false, "stream progress to stderr")
-	jsonOut := flag.String("json", "", "write the concurrent bench result as JSON to this file")
+	jsonOut := flag.String("json", "", "write the concurrent/scaling bench result as JSON to this file")
 	traceDepth := flag.Int("trace-depth", 256, "trace ring depth for the concurrent bench's traced leg")
 	benchRuns := flag.Int("runs", 3, "runs per leg for the concurrent bench (best-of)")
+	maxCores := flag.Int("max-cores", 8, "largest simulated core count of the scaling sweep")
 	flag.Parse()
 
 	opt := harness.Options{Scale: *scale, Workers: *workers, Epsilon: *eps}
@@ -56,6 +63,17 @@ func main() {
 		"fig1": harness.Fig1, "fig2": harness.Fig2,
 	}
 
+	writeJSON := func(res any) error {
+		if *jsonOut == "" {
+			return nil
+		}
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*jsonOut, append(b, '\n'), 0o644)
+	}
+
 	var tables []*harness.Table
 	run := func(name string) error {
 		if name == "concurrent" || name == "bench-concurrent" {
@@ -64,14 +82,15 @@ func main() {
 				return err
 			}
 			tables = append(tables, t)
-			if *jsonOut != "" {
-				b, err := json.MarshalIndent(res, "", "  ")
-				if err != nil {
-					return err
-				}
-				return os.WriteFile(*jsonOut, append(b, '\n'), 0o644)
+			return writeJSON(res)
+		}
+		if name == "scaling" || name == "bench-scaling" {
+			t, res, err := harness.BenchScaling(opt, *maxCores)
+			if err != nil {
+				return err
 			}
-			return nil
+			tables = append(tables, t)
+			return writeJSON(res)
 		}
 		if fn, ok := single[name]; ok {
 			t, err := fn(opt)

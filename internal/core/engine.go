@@ -28,6 +28,7 @@ import (
 	"cgraph/internal/graph"
 	"cgraph/internal/memsim"
 	"cgraph/internal/metrics"
+	"cgraph/internal/pool"
 	"cgraph/internal/sched"
 	"cgraph/internal/storage"
 	"cgraph/internal/trace"
@@ -110,6 +111,16 @@ type Config struct {
 	// Fig. 8 ablation; sched.TwoLevel groups correlated jobs before
 	// applying Eq. 1 within each group).
 	Scheduler sched.Kind
+	// Balance is the task-granularity multiplier of the work-stealing
+	// executor: a trigger batch is sliced into tasks of roughly
+	// totalWeight/(Workers·Balance) scatter edges each (default 4).
+	// Higher values cut finer tasks — better balance, more per-task
+	// overhead.
+	Balance float64
+	// StaticChunking reverts the executor to the legacy skew-blind
+	// vertex-count chunking (the pre-pool behaviour); kept as the
+	// ablation/bench baseline for the degree-weighted slicing.
+	StaticChunking bool
 	// DisableStragglerSplit turns off the Fig. 6 load balancing, leaving
 	// each job's partition work on a single core (ablation).
 	DisableStragglerSplit bool
@@ -193,6 +204,22 @@ type Engine struct {
 	rounds  atomic.Int64
 	nowBits atomic.Uint64
 
+	// pool is the work-stealing executor shared by the compute and merge
+	// phases of every round.
+	pool *pool.Pool
+	// Cumulative executor counters (atomic mirrors for lock-free reads),
+	// plus their loop-private per-round accumulators (rt*).
+	execTasks   atomic.Int64
+	execSteals  atomic.Int64
+	execStolen  atomic.Int64
+	execSkipped atomic.Int64
+	imbBits     atomic.Uint64
+	rtTasks     int64
+	rtSteals    int64
+	rtStolen    int64
+	rtSkipped   int64
+	rtImb       float64
+
 	jobs []*runJob
 
 	now      float64
@@ -237,6 +264,9 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 	if cfg.MaxRounds <= 0 {
 		cfg.MaxRounds = 1 << 20
 	}
+	if cfg.Balance <= 0 {
+		cfg.Balance = 4
+	}
 	if cfg.Label == "" {
 		cfg.Label = "CGraph"
 	}
@@ -250,7 +280,9 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 		wake:      make(chan struct{}, 1),
 		tracer:    trace.New(cfg.TraceDepth),
 		roundHist: metrics.NewHistogram(metrics.LatencyBuckets()),
+		pool:      pool.New(cfg.Workers),
 	}
+	e.imbBits.Store(math.Float64bits(1))
 	for _, snap := range store.Snapshots() {
 		e.sched.ObserveSnapshot(snap.PG)
 	}
@@ -662,15 +694,21 @@ func (e *Engine) round() {
 	// pre snapshots each job's counters at round start so the tracer can
 	// attribute this round's deltas; only populated when tracing is on.
 	var pre []jobPreRound
+	e.rtTasks, e.rtSteals, e.rtStolen, e.rtSkipped, e.rtImb = 0, 0, 0, 0, 1
 	for _, rj := range e.jobs {
 		byID[rj.ID] = rj
 		rj.remaining = make(map[int64]int)
 		jf := sched.JobFootprint{JobID: rj.ID, Priority: rj.priority}
-		for _, pid := range rj.PT.ActiveParts() {
+		activeParts := rj.PT.ActiveParts()
+		for _, pid := range activeParts {
 			p := rj.PG.Parts[pid]
 			rj.remaining[p.UID] = pid
 			jf.Units = append(jf.Units, p)
+			jf.Active = append(jf.Active, rj.PT.ActiveCount[pid])
 		}
+		// Converged regions: partitions with an empty frontier never
+		// become scheduling units, let alone tasks.
+		e.rtSkipped += int64(len(rj.PG.Parts) - len(activeParts))
 		foot = append(foot, jf)
 		if e.tracer != nil {
 			pre = append(pre, jobPreRound{
@@ -740,6 +778,11 @@ func (e *Engine) round() {
 		}
 	}
 	e.jobs = still
+	e.execTasks.Add(e.rtTasks)
+	e.execSteals.Add(e.rtSteals)
+	e.execStolen.Add(e.rtStolen)
+	e.execSkipped.Add(e.rtSkipped)
+	e.imbBits.Store(math.Float64bits(e.rtImb))
 	e.recordPlan(plan, spans)
 	wall := time.Since(roundStart)
 	e.roundHist.Observe(wall.Seconds())
@@ -766,6 +809,9 @@ func (e *Engine) recordTrace(start time.Time, wall time.Duration, plan []sched.G
 		VirtualTimeUS: e.now,
 		Policy:        e.cfg.Scheduler.String(),
 		Theta:         e.sched.Theta(),
+		Tasks:         e.rtTasks,
+		Steals:        e.rtSteals,
+		Skipped:       e.rtSkipped,
 	}
 	for gi, g := range plan {
 		rec.Groups = append(rec.Groups, trace.Group{
@@ -929,92 +975,78 @@ func (e *Engine) processUnit(p *graph.Partition, items []unitJob) {
 	h.Unpin(structID(p))
 }
 
-// trigger concurrently processes one loaded partition version for a batch
-// of jobs on the worker pool, returning the virtual compute time of the
+// triggerTask is one executor task of a trigger batch: a degree-weighted
+// slice of a job's active frontier (frontier mode) or a fixed-size chunk of
+// its materialized active locals (static mode), with its private scratch
+// and result stats.
+type triggerTask struct {
+	rj     *runJob
+	pid    int
+	weight int64
+	r      exec.Range
+	locals []uint32
+	sc     exec.Scratch
+	stats  exec.Stats
+}
+
+// trigger processes one loaded partition version for a batch of jobs on the
+// shared work-stealing pool, returning the virtual compute time of the
 // phase. Each item carries its job-local partition index. With straggler
-// splitting each job's active range is chunked so idle cores help the
-// heaviest job (Fig. 6); without it, each job's work stays on one core.
+// splitting each job's frontier is sliced into edge-weighted tasks so idle
+// cores steal from the heaviest job (Fig. 6 generalized); without it, each
+// job's work stays one task.
 func (e *Engine) trigger(batch []unitJob) float64 {
-	type task struct {
-		rj     *runJob
-		pid    int
-		locals []uint32
-		sc     exec.Scratch
-		stats  exec.Stats
-	}
-	var tasks []*task
-	jobLocals := make([][]uint32, len(batch))
-	total := 0
-	for i, it := range batch {
-		jobLocals[i] = it.rj.ActiveLocals(it.pid, nil)
-		total += len(jobLocals[i])
-	}
 	split := !e.cfg.DisableStragglerSplit
-	chunk := total/(e.cfg.Workers*2) + 1
-	if chunk < 32 {
-		chunk = 32
-	}
-	for i, it := range batch {
-		locals := jobLocals[i]
-		if !split || len(locals) <= chunk {
-			tasks = append(tasks, &task{rj: it.rj, pid: it.pid, locals: locals})
-			continue
-		}
-		for lo := 0; lo < len(locals); lo += chunk {
-			hi := lo + chunk
-			if hi > len(locals) {
-				hi = len(locals)
-			}
-			tasks = append(tasks, &task{rj: it.rj, pid: it.pid, locals: locals[lo:hi]})
-		}
+	var tasks []*triggerTask
+	if e.cfg.StaticChunking {
+		tasks = e.staticTasks(batch, split)
+	} else {
+		tasks = e.frontierTasks(batch, split)
 	}
 
-	// Parallel apply phase: tasks touch disjoint vertex states.
-	var next atomic.Int64
-	workers := e.cfg.Workers
-	if workers > len(tasks) {
-		workers = len(tasks)
+	// Apply phase: tasks touch disjoint vertex states, so they are free
+	// to run on any worker.
+	ptasks := make([]pool.Task, len(tasks))
+	for i := range tasks {
+		t := tasks[i]
+		run := func(int) { t.stats = t.rj.ApplyRange(t.pid, t.r, &t.sc) }
+		if e.cfg.StaticChunking {
+			run = func(int) { t.stats = t.rj.ApplyChunk(t.pid, t.locals, &t.sc) }
+		}
+		ptasks[i] = pool.Task{Weight: t.weight, Run: run}
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) {
-					return
-				}
-				t := tasks[i]
-				t.stats = t.rj.ApplyChunk(t.pid, t.locals, &t.sc)
-			}
-		}()
-	}
-	wg.Wait()
+	applySt := e.pool.Run(ptasks)
 
-	// Merge phase: one goroutine per job folds its scratches in task
-	// order (deterministic float accumulation).
-	var mg sync.WaitGroup
+	// Merge phase on the same bounded pool — one task per job folds its
+	// scratches in task order (deterministic float accumulation) — instead
+	// of one unbounded goroutine per job.
 	perJob := make([]exec.Stats, len(batch))
+	mtasks := make([]pool.Task, 0, len(batch))
 	for i, it := range batch {
 		var scs []*exec.Scratch
+		var w int64
 		for _, t := range tasks {
 			if t.rj == it.rj {
 				scs = append(scs, &t.sc)
 				perJob[i].Add(t.stats)
+				w += int64(t.sc.Len())
 			}
 		}
-		mg.Add(1)
-		go func(it unitJob, scs []*exec.Scratch) {
-			defer mg.Done()
-			it.rj.Merge(it.pid, scs...)
-		}(it, scs)
+		if len(scs) == 0 {
+			continue
+		}
+		rj, pid, scs := it.rj, it.pid, scs
+		mtasks = append(mtasks, pool.Task{Weight: w, Run: func(int) {
+			rj.Merge(pid, scs...)
+		}})
 	}
-	mg.Wait()
+	mergeSt := e.pool.Run(mtasks)
 
-	// Virtual-time accounting.
+	// Virtual-time accounting: the phase takes the makespan lower bound of
+	// the realized task set — perfect rebalance (totalWork/Workers) unless
+	// a single indivisible task (a hub vertex's scatter) exceeds it.
 	cost := e.cfg.Hier.Cost()
-	var totalWork, maxWork float64
+	var totalWork, maxWork, maxTask float64
 	for i, it := range batch {
 		w := cost.ComputeTime(perJob[i].Edges, perJob[i].Vertices)
 		it.rj.m.ComputeTime += w
@@ -1025,15 +1057,123 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 			maxWork = w
 		}
 	}
+	for _, t := range tasks {
+		if w := cost.ComputeTime(t.stats.Edges, t.stats.Vertices); w > maxTask {
+			maxTask = w
+		}
+	}
 	var elapsed float64
 	if split {
 		elapsed = totalWork / float64(e.cfg.Workers)
+		if maxTask > elapsed {
+			elapsed = maxTask
+		}
 	} else {
 		// One core per job: the straggler dominates.
 		elapsed = maxWork
 	}
 	e.busyCore += totalWork
+
+	e.rtTasks += applySt.Tasks + mergeSt.Tasks
+	e.rtSteals += applySt.Steals + mergeSt.Steals
+	e.rtStolen += applySt.Stolen + mergeSt.Stolen
+	if imb := applySt.Imbalance(e.cfg.Workers); imb > e.rtImb {
+		e.rtImb = imb
+	}
 	return elapsed
+}
+
+// frontierTasks slices each job's active frontier into edge-weighted ranges
+// of roughly totalWeight/(Workers·Balance) scatter edges each. The weight
+// walk uses the partition CSR prefix sums, so a hub vertex becomes a task
+// of its own while runs of leaves coalesce.
+func (e *Engine) frontierTasks(batch []unitJob, split bool) []*triggerTask {
+	target := int64(math.MaxInt64)
+	if split {
+		var totalW int64
+		for _, it := range batch {
+			for _, r := range it.rj.SliceActive(it.pid, math.MaxInt64, nil) {
+				totalW += r.Weight
+			}
+		}
+		target = int64(float64(totalW)/(float64(e.cfg.Workers)*e.cfg.Balance)) + 1
+	}
+	var tasks []*triggerTask
+	var buf []exec.Range
+	for _, it := range batch {
+		buf = it.rj.SliceActive(it.pid, target, buf[:0])
+		for _, r := range buf {
+			tasks = append(tasks, &triggerTask{rj: it.rj, pid: it.pid, r: r, weight: r.Weight})
+		}
+	}
+	return tasks
+}
+
+// staticTasks is the legacy skew-blind decomposition (ablation/bench
+// baseline): materialize each job's active locals and cut them into
+// fixed-size vertex-count chunks, hub or leaf alike.
+func (e *Engine) staticTasks(batch []unitJob, split bool) []*triggerTask {
+	jobLocals := make([][]uint32, len(batch))
+	total := 0
+	for i, it := range batch {
+		jobLocals[i] = it.rj.ActiveLocals(it.pid, nil)
+		total += len(jobLocals[i])
+	}
+	chunk := total/(e.cfg.Workers*2) + 1
+	if chunk < 32 {
+		chunk = 32
+	}
+	var tasks []*triggerTask
+	for i, it := range batch {
+		locals := jobLocals[i]
+		if !split || len(locals) <= chunk {
+			tasks = append(tasks, &triggerTask{rj: it.rj, pid: it.pid, locals: locals, weight: int64(len(locals))})
+			continue
+		}
+		for lo := 0; lo < len(locals); lo += chunk {
+			hi := lo + chunk
+			if hi > len(locals) {
+				hi = len(locals)
+			}
+			tasks = append(tasks, &triggerTask{rj: it.rj, pid: it.pid, locals: locals[lo:hi], weight: int64(hi - lo)})
+		}
+	}
+	return tasks
+}
+
+// ExecStats is a point-in-time snapshot of the work-stealing executor's
+// counters. Safe to call concurrently with Run or Serve.
+type ExecStats struct {
+	// Workers and Balance are the effective executor configuration.
+	Workers int
+	Balance float64
+	// Static reports whether the legacy vertex-count chunking is active.
+	Static bool
+	// Tasks / Steals / Stolen are cumulative across rounds: tasks
+	// executed, successful steal operations, and tasks moved by them.
+	Tasks  int64
+	Steals int64
+	Stolen int64
+	// SkippedPartitions counts (job, partition) pairs excluded before
+	// scheduling because their frontier was empty (converged regions).
+	SkippedPartitions int64
+	// LastImbalance is the heaviest worker's realized share of the last
+	// round's task weight, ×Workers (1.0 = perfectly even).
+	LastImbalance float64
+}
+
+// ExecStats reports the executor's counters.
+func (e *Engine) ExecStats() ExecStats {
+	return ExecStats{
+		Workers:           e.cfg.Workers,
+		Balance:           e.cfg.Balance,
+		Static:            e.cfg.StaticChunking,
+		Tasks:             e.execTasks.Load(),
+		Steals:            e.execSteals.Load(),
+		Stolen:            e.execStolen.Load(),
+		SkippedPartitions: e.execSkipped.Load(),
+		LastImbalance:     math.Float64frombits(e.imbBits.Load()),
+	}
 }
 
 // finishIteration closes one job iteration: Algorithm 2 push with its data

@@ -96,6 +96,82 @@ func (j *Job) ActiveLocals(pid int, buf []uint32) []uint32 {
 	return buf
 }
 
+// Range is one edge-weighted slice of a partition's active frontier: the
+// local-index window [Lo, Hi) of which only active vertices are applied.
+// Weight is the slice's scatter cost estimate (1 + incident edges per
+// active vertex), the task weight fed to the work-stealing pool.
+type Range struct {
+	Lo, Hi int
+	Weight int64
+}
+
+// SliceActive cuts partition pid's active frontier into ranges of roughly
+// target weight each, appending to buf. Weight is measured in scatter
+// edges (via the partition CSR prefix sums), so a hub vertex lands in a
+// slice of its own while long runs of leaves coalesce — the degree-aware
+// task sizing that replaces vertex-count chunking. An empty frontier
+// appends nothing.
+func (j *Job) SliceActive(pid int, target int64, buf []Range) []Range {
+	p := j.PG.Parts[pid]
+	if target < 1 {
+		target = 1
+	}
+	start := -1
+	var w int64
+	j.PT.Active[pid].Range(func(li int) bool {
+		if start < 0 {
+			start = li
+		}
+		w += 1 + p.EdgeWork(uint32(li), j.Dir)
+		if w >= target {
+			buf = append(buf, Range{Lo: start, Hi: li + 1, Weight: w})
+			start, w = -1, 0
+		}
+		return true
+	})
+	if start >= 0 {
+		buf = append(buf, Range{Lo: start, Hi: p.NumVertices(), Weight: w})
+	}
+	return buf
+}
+
+// ApplyRange applies the active vertices of partition pid inside r's
+// window, buffering scattered contributions into sc. It walks the active
+// bitset directly (no materialized locals slice) and touches only those
+// vertices' own states plus sc, so disjoint ranges may run on different
+// workers concurrently.
+func (j *Job) ApplyRange(pid int, r Range, sc *Scratch) Stats {
+	p := j.PG.Parts[pid]
+	states := j.PT.States[pid]
+	act := j.PT.Active[pid]
+	var st Stats
+	for li := act.NextSet(r.Lo); li >= 0 && li < r.Hi; li = act.NextSet(li + 1) {
+		s := &states[li]
+		v := p.Globals[li]
+		deg := j.PG.G.Degree(v, j.Dir)
+		seed, scatter := j.Prog.Apply(v, s, deg)
+		st.Vertices++
+		if !scatter {
+			continue
+		}
+		if j.Dir == model.Out || j.Dir == model.Both {
+			for ei := p.OutOff[li]; ei < p.OutOff[li+1]; ei++ {
+				sc.dst = append(sc.dst, p.OutDst[ei])
+				sc.contrib = append(sc.contrib, j.Prog.Contribution(seed, p.OutW[ei]))
+				st.Edges++
+			}
+		}
+		if j.Dir == model.In || j.Dir == model.Both {
+			for ei := p.InOff[li]; ei < p.InOff[li+1]; ei++ {
+				sc.dst = append(sc.dst, p.InDst[ei])
+				sc.contrib = append(sc.contrib, j.Prog.Contribution(seed, p.InW[ei]))
+				st.Edges++
+			}
+		}
+	}
+	return st
+}
+
 // ApplyChunk applies the given active locals of partition pid, buffering
 // scattered contributions into sc. It touches only the locals' own states
 // plus sc, so disjoint chunks may run on different goroutines concurrently —

@@ -26,13 +26,23 @@ type Graph struct {
 	InOff  []uint64
 	InDst  []model.VertexID
 	InW    []float32
+	// Slots is the length of the edge list the graph was built from,
+	// including freed-slot holes (model.Edge.IsHole). NumEdges counts only
+	// live edges; the slot count is what keeps chunk boundaries stable
+	// across remove-bearing snapshots.
+	Slots int
 }
 
 // Build constructs the global CSR. numVertices of 0 means "infer from the
-// largest endpoint".
+// largest endpoint". Hole slots (freed by edge removals) are skipped.
 func Build(numVertices int, edges []model.Edge) *Graph {
 	n := numVertices
+	live := 0
 	for _, e := range edges {
+		if e.IsHole() {
+			continue
+		}
+		live++
 		if int(e.Src) >= n {
 			n = int(e.Src) + 1
 		}
@@ -43,13 +53,17 @@ func Build(numVertices int, edges []model.Edge) *Graph {
 	g := &Graph{
 		N:      n,
 		OutOff: make([]uint64, n+1),
-		OutDst: make([]model.VertexID, len(edges)),
-		OutW:   make([]float32, len(edges)),
+		OutDst: make([]model.VertexID, live),
+		OutW:   make([]float32, live),
 		InOff:  make([]uint64, n+1),
-		InDst:  make([]model.VertexID, len(edges)),
-		InW:    make([]float32, len(edges)),
+		InDst:  make([]model.VertexID, live),
+		InW:    make([]float32, live),
+		Slots:  len(edges),
 	}
 	for _, e := range edges {
+		if e.IsHole() {
+			continue
+		}
 		g.OutOff[e.Src+1]++
 		g.InOff[e.Dst+1]++
 	}
@@ -60,6 +74,9 @@ func Build(numVertices int, edges []model.Edge) *Graph {
 	outPos := append([]uint64(nil), g.OutOff[:n]...)
 	inPos := append([]uint64(nil), g.InOff[:n]...)
 	for _, e := range edges {
+		if e.IsHole() {
+			continue
+		}
 		g.OutDst[outPos[e.Src]] = e.Dst
 		g.OutW[outPos[e.Src]] = e.Weight
 		outPos[e.Src]++
@@ -152,6 +169,23 @@ func (p *Partition) LocalOf(v model.VertexID) (uint32, bool) {
 		return uint32(i), true
 	}
 	return 0, false
+}
+
+// EdgeWork returns the number of edges local vertex li touches when a
+// program scatters in direction d — the per-vertex weight the executor
+// uses to slice active frontiers into edge-balanced tasks. The CSR offset
+// arrays are the prefix sums, so this is O(1).
+func (p *Partition) EdgeWork(li uint32, d model.Direction) int64 {
+	out := int64(p.OutOff[li+1] - p.OutOff[li])
+	in := int64(p.InOff[li+1] - p.InOff[li])
+	switch d {
+	case model.Out:
+		return out
+	case model.In:
+		return in
+	default:
+		return out + in
+	}
 }
 
 // computeBytes accounts the structure bytes of the partition: 9 bytes per
@@ -303,9 +337,15 @@ func coreSet(g *Graph, fraction float64) map[model.VertexID]bool {
 }
 
 func buildPartition(g *Graph, id int, edges []model.Edge, core bool) *Partition {
-	// Collect the unique endpoints as the local vertex table.
+	// Collect the unique endpoints as the local vertex table. Hole slots
+	// (freed by removals) occupy chunk space but contribute nothing.
 	seen := make(map[model.VertexID]bool, len(edges))
+	live := 0
 	for _, e := range edges {
+		if e.IsHole() {
+			continue
+		}
+		live++
 		seen[e.Src] = true
 		seen[e.Dst] = true
 	}
@@ -323,13 +363,16 @@ func buildPartition(g *Graph, id int, edges []model.Edge, core bool) *Partition 
 		ID:       id,
 		UID:      uidCounter.Add(1),
 		Globals:  globals,
-		NumEdges: len(edges),
+		NumEdges: live,
 		Core:     core,
 	}
 	n := len(globals)
 	p.OutOff = make([]uint32, n+1)
 	p.InOff = make([]uint32, n+1)
 	for _, e := range edges {
+		if e.IsHole() {
+			continue
+		}
 		p.OutOff[local[e.Src]+1]++
 		p.InOff[local[e.Dst]+1]++
 	}
@@ -337,13 +380,16 @@ func buildPartition(g *Graph, id int, edges []model.Edge, core bool) *Partition 
 		p.OutOff[v+1] += p.OutOff[v]
 		p.InOff[v+1] += p.InOff[v]
 	}
-	p.OutDst = make([]uint32, len(edges))
-	p.OutW = make([]float32, len(edges))
-	p.InDst = make([]uint32, len(edges))
-	p.InW = make([]float32, len(edges))
+	p.OutDst = make([]uint32, live)
+	p.OutW = make([]float32, live)
+	p.InDst = make([]uint32, live)
+	p.InW = make([]float32, live)
 	outPos := append([]uint32(nil), p.OutOff[:n]...)
 	inPos := append([]uint32(nil), p.InOff[:n]...)
 	for _, e := range edges {
+		if e.IsHole() {
+			continue
+		}
 		ls, ld := local[e.Src], local[e.Dst]
 		p.OutDst[outPos[ls]] = ld
 		p.OutW[outPos[ls]] = e.Weight
@@ -502,8 +548,10 @@ func Restructure(prev *PGraph, numVertices int, edges []model.Edge, changedSlots
 	// boundary changed its slot range even if none of its slots were
 	// rewritten in place — unless the boundary lands exactly on a chunk
 	// edge, in which case that chunk is complete and identical in both
-	// lists and stays shared.
-	prevE := prev.G.NumEdges()
+	// lists and stays shared. Compared in slots, not live edges: holes
+	// occupy chunk space, which is exactly what keeps a remove-bearing
+	// flush from resizing the tail chunk.
+	prevE := prev.G.Slots
 	if b := min(len(edges), prevE); len(edges) != prevE && b%chunk != 0 {
 		if p := (b - 1) / chunk; p < wantParts {
 			rebuild[p] = true

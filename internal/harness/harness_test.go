@@ -354,3 +354,42 @@ func TestTableRendering(t *testing.T) {
 		t.Fatal("CSV escaping broken")
 	}
 }
+
+func TestBenchScalingInvariants(t *testing.T) {
+	_, res, err := BenchScaling(testOpt(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 { // cores 1, 2, 4
+		t.Fatalf("want 3 sweep points, got %d", len(res.Points))
+	}
+	one := res.Points[0]
+	if one.Workers != 1 {
+		t.Fatalf("first point at %d cores, want 1", one.Workers)
+	}
+	// At one core the two legs must tie exactly: same total work, no
+	// parallelism for static chunking to squander.
+	if one.StealMakespanUS != one.StaticMakespanUS {
+		t.Fatalf("1-core legs differ: steal %v, static %v", one.StealMakespanUS, one.StaticMakespanUS)
+	}
+	if one.Steals != 0 {
+		t.Fatalf("1-core leg stole %d times", one.Steals)
+	}
+	for _, p := range res.Points {
+		// Work stealing must never lose to static chunking (beyond float
+		// accumulation jitter).
+		if p.Speedup < 0.999 {
+			t.Fatalf("%d cores: work stealing slower than static (%.4fx)", p.Workers, p.Speedup)
+		}
+		if p.SkippedPartitions <= 0 || p.TailSkipped <= 0 {
+			t.Fatalf("%d cores: no converged-region skips recorded (%+v)", p.Workers, p)
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.Speedup <= 1.0 {
+		t.Fatalf("no speedup at %d cores on the skewed workload: %.4fx", last.Workers, last.Speedup)
+	}
+	if last.Steals == 0 {
+		t.Fatalf("no steals at %d cores", last.Workers)
+	}
+}

@@ -1,0 +1,232 @@
+// Package pool is the engine's work-stealing task executor: a bounded set
+// of workers, one mutex-guarded deque per worker, owner pops from the tail,
+// idle workers steal half a victim's deque from the head (CGgraph-style
+// steal-half). Tasks carry an integer weight (edge counts, in the engine's
+// use) so seeding can place heavy tasks first (LPT greedy) and callers can
+// read post-run imbalance. The pool is shared by the compute and merge
+// phases of a round, which bounds total goroutines at Workers instead of
+// jobs × scratches.
+//
+// Tasks must not submit further tasks: a run terminates when every deque
+// has been observed empty by an idle worker, which is only sound because
+// the task set is fixed up front.
+package pool
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is one unit of work. Weight is the caller's cost estimate (e.g. an
+// edge count) used for initial placement and imbalance accounting; zero
+// weights are placed round-robin-ish with an assumed cost of 1.
+type Task struct {
+	Run    func(worker int)
+	Weight int64
+}
+
+// Stats is the account of one Run call.
+type Stats struct {
+	// Tasks is the number of tasks executed.
+	Tasks int64
+	// Steals counts successful steal operations; Stolen counts the tasks
+	// they moved. Stolen/Steals ≈ batch size; both 0 means the initial
+	// placement was balanced enough that nobody went idle early.
+	Steals int64
+	Stolen int64
+	// MaxWorkerWeight / TotalWeight describe the realized per-worker load
+	// split: MaxWorkerWeight·Workers / TotalWeight is the imbalance factor
+	// (1.0 = perfectly even).
+	MaxWorkerWeight int64
+	TotalWeight     int64
+}
+
+// Imbalance returns MaxWorkerWeight·workers/TotalWeight, or 1 when no
+// weight was recorded.
+func (s Stats) Imbalance(workers int) float64 {
+	if s.TotalWeight <= 0 || workers <= 0 {
+		return 1
+	}
+	return float64(s.MaxWorkerWeight) * float64(workers) / float64(s.TotalWeight)
+}
+
+// deque is one worker's task queue. The owner pops from the tail; thieves
+// lock it and take half from the head.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func (d *deque) popTail() (Task, bool) {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return Task{}, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = Task{}
+	d.tasks = d.tasks[:n-1]
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealHalf moves ceil(len/2) tasks from the victim's head into dst.
+func (d *deque) stealHalf(dst *deque) int {
+	d.mu.Lock()
+	n := len(d.tasks)
+	if n == 0 {
+		d.mu.Unlock()
+		return 0
+	}
+	take := (n + 1) / 2
+	batch := make([]Task, take)
+	copy(batch, d.tasks[:take])
+	d.tasks = d.tasks[:copy(d.tasks, d.tasks[take:])]
+	d.mu.Unlock()
+
+	dst.mu.Lock()
+	dst.tasks = append(dst.tasks, batch...)
+	dst.mu.Unlock()
+	return take
+}
+
+// Pool executes task sets on a fixed number of workers. Goroutines are
+// spawned per Run (none are resident between rounds); the zero-value Pool
+// is not usable — construct with New.
+type Pool struct {
+	workers int
+	runMu   sync.Mutex // one task set at a time
+}
+
+// New returns a pool with the given worker bound (minimum 1).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the worker bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes every task and returns the run's stats. Tasks are seeded
+// LPT (heaviest first onto the currently lightest worker) and rebalanced
+// by stealing as workers drain. With one worker, or a single task, the
+// pool runs inline on the calling goroutine with zero scheduling overhead.
+func (p *Pool) Run(tasks []Task) Stats {
+	if len(tasks) == 0 {
+		return Stats{}
+	}
+	var st Stats
+	for _, t := range tasks {
+		st.TotalWeight += taskWeight(t)
+	}
+	st.Tasks = int64(len(tasks))
+	if p.workers == 1 || len(tasks) == 1 {
+		for _, t := range tasks {
+			t.Run(0)
+		}
+		st.MaxWorkerWeight = st.TotalWeight
+		return st
+	}
+
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+
+	n := p.workers
+	if len(tasks) < n {
+		n = len(tasks)
+	}
+	deques := make([]*deque, n)
+	for i := range deques {
+		deques[i] = &deque{}
+	}
+	seed(deques, tasks)
+
+	var steals, stolen atomic.Int64
+	executed := make([]int64, n) // per-worker executed weight, owner-written
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			self := deques[id]
+			for {
+				t, ok := self.popTail()
+				if !ok {
+					if !stealSweep(id, deques, &steals, &stolen) {
+						return
+					}
+					continue
+				}
+				t.Run(id)
+				executed[id] += taskWeight(t)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st.Steals = steals.Load()
+	st.Stolen = stolen.Load()
+	for _, w := range executed {
+		if w > st.MaxWorkerWeight {
+			st.MaxWorkerWeight = w
+		}
+	}
+	return st
+}
+
+func taskWeight(t Task) int64 {
+	if t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
+}
+
+// seed distributes tasks LPT-greedy: heaviest task onto the worker with
+// the least seeded weight. Equal-weight (or unweighted) tasks degrade to a
+// round-robin spread.
+func seed(deques []*deque, tasks []Task) {
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return taskWeight(tasks[order[a]]) > taskWeight(tasks[order[b]])
+	})
+	load := make([]int64, len(deques))
+	for _, ti := range order {
+		light := 0
+		for w := 1; w < len(load); w++ {
+			if load[w] < load[light] {
+				light = w
+			}
+		}
+		load[light] += taskWeight(tasks[ti])
+		deques[light].tasks = append(deques[light].tasks, tasks[ti])
+	}
+	// Owners pop from the tail; reverse so the heaviest seeded task runs
+	// first and the small tail tasks remain stealable at the head.
+	for _, d := range deques {
+		for i, j := 0, len(d.tasks)-1; i < j; i, j = i+1, j-1 {
+			d.tasks[i], d.tasks[j] = d.tasks[j], d.tasks[i]
+		}
+	}
+}
+
+// stealSweep tries every other deque once, starting after the thief.
+// Returns false only after a full idle sweep, which (with a fixed task
+// set) means no queued work remains anywhere.
+func stealSweep(id int, deques []*deque, steals, stolen *atomic.Int64) bool {
+	for off := 1; off < len(deques); off++ {
+		victim := deques[(id+off)%len(deques)]
+		if got := victim.stealHalf(deques[id]); got > 0 {
+			steals.Add(1)
+			stolen.Add(int64(got))
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		const n = 500
+		counts := make([]atomic.Int64, n)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			i := i
+			tasks[i] = Task{Run: func(int) { counts[i].Add(1) }, Weight: int64(i % 7)}
+		}
+		st := p.Run(tasks)
+		if st.Tasks != n {
+			t.Fatalf("workers=%d: Tasks = %d, want %d", workers, st.Tasks, n)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunEmptyAndSingle(t *testing.T) {
+	p := New(4)
+	if st := p.Run(nil); st.Tasks != 0 {
+		t.Fatalf("empty run: Tasks = %d", st.Tasks)
+	}
+	ran := 0
+	st := p.Run([]Task{{Run: func(w int) { ran++ }, Weight: 9}})
+	if ran != 1 || st.Tasks != 1 {
+		t.Fatalf("single task: ran=%d stats=%+v", ran, st)
+	}
+	if st.MaxWorkerWeight != 9 || st.TotalWeight != 9 {
+		t.Fatalf("single task weights: %+v", st)
+	}
+}
+
+func TestWorkerIDsWithinBound(t *testing.T) {
+	p := New(3)
+	var bad atomic.Int64
+	tasks := make([]Task, 64)
+	for i := range tasks {
+		tasks[i] = Task{Run: func(w int) {
+			if w < 0 || w >= 3 {
+				bad.Add(1)
+			}
+		}}
+	}
+	p.Run(tasks)
+	if bad.Load() != 0 {
+		t.Fatalf("%d tasks saw an out-of-range worker id", bad.Load())
+	}
+}
+
+// TestHeavyTaskDoesNotBlockSmall blocks one worker on a giant task and
+// checks every small task still completes while it is held — the hub-stall
+// scenario static chunking cannot escape.
+func TestHeavyTaskDoesNotBlockSmall(t *testing.T) {
+	p := New(4)
+	release := make(chan struct{})
+	var reached sync.WaitGroup
+	reached.Add(1)
+	var small atomic.Int64
+	tasks := []Task{
+		// One task heavy enough that LPT seeds everything else elsewhere,
+		// then blocks its worker until the small tasks have all run —
+		// forcing any tasks co-seeded behind it to be stolen.
+		{Weight: 1 << 40, Run: func(int) { reached.Done(); <-release }},
+	}
+	const nSmall = 200
+	for i := 0; i < nSmall; i++ {
+		tasks = append(tasks, Task{Weight: 1, Run: func(int) { small.Add(1) }})
+	}
+	done := make(chan Stats, 1)
+	go func() { done <- p.Run(tasks) }()
+	reached.Wait()
+	// All small tasks can finish while the heavy one is still blocked:
+	// they are spread over the other three workers and stealable.
+	for small.Load() != nSmall {
+		runtime.Gosched()
+	}
+	close(release)
+	st := <-done
+	if st.Tasks != nSmall+1 {
+		t.Fatalf("Tasks = %d, want %d", st.Tasks, nSmall+1)
+	}
+	if st.MaxWorkerWeight < 1<<40 {
+		t.Fatalf("MaxWorkerWeight = %d, want >= heavy task", st.MaxWorkerWeight)
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	st := Stats{MaxWorkerWeight: 50, TotalWeight: 100}
+	if got := st.Imbalance(2); got != 1.0 {
+		t.Fatalf("even split imbalance = %v", got)
+	}
+	st = Stats{MaxWorkerWeight: 100, TotalWeight: 100}
+	if got := st.Imbalance(4); got != 4.0 {
+		t.Fatalf("all-on-one imbalance = %v", got)
+	}
+	if got := (Stats{}).Imbalance(4); got != 1.0 {
+		t.Fatalf("zero stats imbalance = %v", got)
+	}
+}
+
+// TestConcurrentRunsSerialize checks Run is safe to call from multiple
+// goroutines (rounds never overlap in the engine, but the pool should not
+// corrupt state if they do).
+func TestConcurrentRunsSerialize(t *testing.T) {
+	p := New(4)
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tasks := make([]Task, 100)
+			for i := range tasks {
+				tasks[i] = Task{Run: func(int) { total.Add(1) }}
+			}
+			p.Run(tasks)
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 400 {
+		t.Fatalf("total = %d, want 400", total.Load())
+	}
+}
+
+func BenchmarkRunUniform(b *testing.B) {
+	p := New(8)
+	tasks := make([]Task, 256)
+	var sink atomic.Int64
+	for i := range tasks {
+		tasks[i] = Task{Weight: 100, Run: func(int) { sink.Add(1) }}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Run(tasks)
+	}
+}

@@ -77,6 +77,12 @@ type JobFootprint struct {
 	// first regardless of how many jobs it amortizes over.
 	Priority int
 	Units    []*graph.Partition
+	// Active, when set, is parallel to Units: the job's active-vertex
+	// count in each unit. The D(U)·C(U) term of Eq. 1 is scaled by the
+	// highest active fraction across the unit's jobs, so θ reflects the
+	// work actually remaining rather than the partition's full size. Nil
+	// means "assume fully active" (backward compatible).
+	Active []int
 }
 
 // UnitPlan is one entry of a group's load order: a snapshot partition
@@ -188,6 +194,9 @@ func (s *Scheduler) refit() {
 type unit struct {
 	part *graph.Partition
 	jobs []int
+	// frac is the highest active-vertex fraction any job has in this
+	// unit, scaling the D·C term of Eq. 1 down as frontiers shrink.
+	frac float64
 }
 
 // Plan orders this round's loads. jobs lists each job's footprint; c maps a
@@ -232,7 +241,7 @@ func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 	byUID := make(map[int64]*unit)
 	var units []*unit
 	for _, jf := range jobs {
-		for _, p := range jf.Units {
+		for ui, p := range jf.Units {
 			u := byUID[p.UID]
 			if u == nil {
 				u = &unit{part: p}
@@ -240,6 +249,13 @@ func (s *Scheduler) Plan(jobs []JobFootprint, c map[int64]float64) []Group {
 				units = append(units, u)
 			}
 			u.jobs = append(u.jobs, jf.JobID)
+			f := 1.0
+			if ui < len(jf.Active) && p.NumVertices() > 0 {
+				f = float64(jf.Active[ui]) / float64(p.NumVertices())
+			}
+			if f > u.frac {
+				u.frac = f
+			}
 		}
 	}
 
@@ -352,8 +368,9 @@ func (s *Scheduler) orderUnits(us []*unit, c map[int64]float64) {
 		// The clamp (which also catches NaN/Inf products) caps the
 		// tie-break strictly below any N difference, so the Eq. 1
 		// dominance guarantee holds even against drift θ has not yet
-		// chased.
-		term := s.theta * u.part.AvgDegree * c[u.part.UID]
+		// chased. The frontier fraction scales D·C down to the work
+		// actually remaining in the unit.
+		term := s.theta * u.part.AvgDegree * u.frac * c[u.part.UID]
 		if !(term < dominanceBudget) {
 			term = dominanceBudget
 		}

@@ -60,6 +60,14 @@ type Round struct {
 	Groups []Group
 	// Jobs is the per-job work split, one entry per job active this round.
 	Jobs []JobRound
+	// Tasks / Steals are the work-stealing executor's counts for the
+	// round: tasks executed across every trigger and merge phase, and
+	// successful steal operations among them.
+	Tasks  int64
+	Steals int64
+	// Skipped counts the (job, partition) pairs whose frontier was empty
+	// at round start — converged regions excluded before scheduling.
+	Skipped int64
 }
 
 // Timeline is one job's round-by-round history. Rounds is bounded by the

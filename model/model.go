@@ -24,6 +24,19 @@ type Edge struct {
 	Weight   float32
 }
 
+// HoleEdge returns the tombstone written into an edge slot freed by a
+// removal. Holes keep later slots' chunk assignment stable (so a remove
+// does not recut every chunk after it) and are skipped when the graph is
+// built; a later add refills the slot in place.
+func HoleEdge() Edge {
+	return Edge{Src: NoVertex, Dst: NoVertex, Weight: float32(math.NaN())}
+}
+
+// IsHole reports whether the edge is a freed-slot tombstone.
+func (e Edge) IsHole() bool {
+	return e.Src == NoVertex && e.Dst == NoVertex
+}
+
 // Direction selects which incident edges a program traverses when scattering.
 type Direction uint8
 

@@ -297,6 +297,16 @@ func (s *Service) metricsSnapshot() (api.Metrics, []api.JobStatus) {
 	stats := s.sys.Stats()
 	m.Rounds = stats.Rounds
 	m.VirtualTimeUS = stats.VirtualTimeUS
+	es := s.sys.ExecStats()
+	m.Exec = api.ExecInfo{
+		Workers:           es.Workers,
+		Balance:           es.Balance,
+		Tasks:             es.Tasks,
+		Steals:            es.Steals,
+		Stolen:            es.Stolen,
+		SkippedPartitions: es.SkippedPartitions,
+		Imbalance:         es.LastImbalance,
+	}
 	return m, live
 }
 
@@ -405,12 +415,15 @@ func (s *Service) RoundTraces(limit int) api.RoundTraces {
 	byEngine := s.engineNameMap()
 	for _, r := range recs {
 		rt := api.RoundTrace{
-			Round:         r.Round,
-			Start:         r.Start,
-			WallUS:        float64(r.Wall) / float64(time.Microsecond),
-			VirtualTimeUS: r.VirtualTimeUS,
-			Policy:        r.Policy,
-			Theta:         r.Theta,
+			Round:             r.Round,
+			Start:             r.Start,
+			WallUS:            float64(r.Wall) / float64(time.Microsecond),
+			VirtualTimeUS:     r.VirtualTimeUS,
+			Policy:            r.Policy,
+			Theta:             r.Theta,
+			Tasks:             r.Tasks,
+			Steals:            r.Steals,
+			SkippedPartitions: r.Skipped,
 		}
 		for _, g := range r.Groups {
 			wg := api.RoundTraceGroup{Priority: g.Priority, Units: g.Units, MakespanUS: g.MakespanUS}

@@ -420,6 +420,21 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 		e.Add("cgraph_sched_group_makespan_us", labels, g.MakespanUS)
 		e.Add("cgraph_sched_group_jobs", labels, float64(len(g.Jobs)))
 	}
+	ex := info.Exec
+	e.Declare("cgraph_exec_workers", "gauge", "Effective worker count of the work-stealing execution pool.")
+	e.Add("cgraph_exec_workers", nil, float64(ex.Workers))
+	e.Declare("cgraph_exec_balance", "gauge", "Task-granularity balance factor of the execution pool.")
+	e.Add("cgraph_exec_balance", nil, ex.Balance)
+	e.Declare("cgraph_exec_tasks_total", "counter", "Tasks executed by the work-stealing pool.")
+	e.Add("cgraph_exec_tasks_total", nil, float64(ex.Tasks))
+	e.Declare("cgraph_exec_steals_total", "counter", "Successful steal operations between pool workers.")
+	e.Add("cgraph_exec_steals_total", nil, float64(ex.Steals))
+	e.Declare("cgraph_exec_stolen_tasks_total", "counter", "Tasks moved between workers by steals.")
+	e.Add("cgraph_exec_stolen_tasks_total", nil, float64(ex.Stolen))
+	e.Declare("cgraph_exec_skipped_partitions_total", "counter", "Converged (job, partition) pairs skipped before scheduling (empty frontier).")
+	e.Add("cgraph_exec_skipped_partitions_total", nil, float64(ex.SkippedPartitions))
+	e.Declare("cgraph_exec_imbalance", "gauge", "Heaviest worker's share of last round's task weight, x workers (1.0 = even).")
+	e.Add("cgraph_exec_imbalance", nil, ex.Imbalance)
 	ing := info.Ingest
 	e.Declare("cgraph_ingest_batches_total", "counter", "Delta batches accepted by the ingestion pipeline.")
 	e.Add("cgraph_ingest_batches_total", nil, float64(ing.Batches))
