@@ -100,6 +100,8 @@ type JobStatus struct {
 
 // ListOptions selects a page of the job listing, optionally filtered.
 // Filters apply before pagination, so Total counts the matching jobs.
+//
+//cgraph:nowire query-parameter options, never JSON-encoded
 type ListOptions struct {
 	// Limit caps the returned jobs; 0 means no cap.
 	Limit int
@@ -128,6 +130,8 @@ type JobList struct {
 }
 
 // ResultsOptions selects how much of a job's converged values to return.
+//
+//cgraph:nowire query-parameter options, never JSON-encoded
 type ResultsOptions struct {
 	// Top, when positive, returns only the K largest values (with their
 	// vertex IDs) instead of the full per-vertex vector.

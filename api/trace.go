@@ -3,6 +3,8 @@ package api
 import "time"
 
 // TraceOptions tunes GET /v1/trace/rounds.
+//
+//cgraph:nowire query-parameter options, never JSON-encoded
 type TraceOptions struct {
 	// Limit caps the number of round records returned, newest retained
 	// first dropped (0 = everything in the ring).

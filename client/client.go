@@ -333,6 +333,7 @@ func (c *Client) Watch(ctx context.Context, id string) (<-chan api.Event, error)
 		return nil, err
 	}
 	ch := make(chan api.Event)
+	//cgraph:spawn one SSE reader per Watch call, exits with the watch ctx
 	go c.watchLoop(ctx, id, resp, ch)
 	return ch, nil
 }

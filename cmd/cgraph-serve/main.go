@@ -148,7 +148,7 @@ func main() {
 
 	httpSrv := &http.Server{Addr: *addr, Handler: svc.Handler(nil)}
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.ListenAndServe() }() //cgraph:spawn one HTTP listener for the process lifetime
 	logger.Info("cgraph-serve listening", "addr", *addr, "trace_depth", *traceDepth)
 
 	var pprofSrv *http.Server
@@ -162,6 +162,7 @@ func main() {
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pmux}
+		//cgraph:spawn one pprof listener for the process lifetime
 		go func() {
 			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -1,0 +1,76 @@
+// Command cgraph-vet runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and exits non-zero if
+// any invariant is violated. It is wired into CI as a required job:
+//
+//	go run ./cmd/cgraph-vet ./...
+//
+// Run with -help for the rule list; see the README's "Static analysis"
+// section for the annotation escape hatches.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cgraph/internal/lint"
+)
+
+func main() {
+	var only string
+	flag.StringVar(&only, "only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = usage
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers := lint.All()
+	if only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var selected []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				selected = append(selected, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fmt.Fprintf(os.Stderr, "cgraph-vet: unknown analyzer %q\n", name)
+			os.Exit(2)
+		}
+		analyzers = selected
+	}
+
+	fset, pkgs, err := lint.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgraph-vet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cgraph-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "cgraph-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: cgraph-vet [-only name,...] [packages]\n\nanalyzers:\n")
+	for _, a := range lint.All() {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}

@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go http.Serve(ln, svc.Handler(nil))
+	go http.Serve(ln, svc.Handler(nil)) //cgraph:spawn example HTTP listener for the process lifetime
 	log.Println("cgraph job service on :8039 (graph: 2000 vertices, 50000 edges)")
 
 	// The service is its own first tenant: everything below goes through

@@ -457,7 +457,7 @@ func (e *Engine) Run() (*metrics.RunReport, error) {
 		return nil, err
 	}
 	defer e.driving.Store(false)
-	wall := time.Now()
+	wall := time.Now() //cgraph:wallclock RunReport.WallClock is real elapsed time, not virtual time
 	rounds := 0
 	for {
 		e.reapRetired(false)
@@ -476,7 +476,7 @@ func (e *Engine) Run() (*metrics.RunReport, error) {
 		Makespan:     e.now,
 		BusyCoreTime: e.busyCore,
 		Counters:     e.cfg.Hier.Counters(),
-		WallClock:    time.Since(wall),
+		WallClock:    time.Since(wall), //cgraph:wallclock wall stamp paired with the Run start above
 	}
 	e.mu.Lock()
 	for _, rj := range e.finished {
@@ -687,7 +687,7 @@ func (e *Engine) SchedInfo() SchedInfo {
 // planned group/priority order, trigger its jobs, and close iterations for
 // jobs whose round-set is exhausted.
 func (e *Engine) round() {
-	roundStart := time.Now()
+	roundStart := time.Now() //cgraph:wallclock round wall-duration histogram measures real time per round
 	e.drainSnapshotObservations()
 	foot := make([]sched.JobFootprint, 0, len(e.jobs))
 	byID := make(map[int]*runJob, len(e.jobs))
@@ -784,7 +784,7 @@ func (e *Engine) round() {
 	e.execSkipped.Add(e.rtSkipped)
 	e.imbBits.Store(math.Float64bits(e.rtImb))
 	e.recordPlan(plan, spans)
-	wall := time.Since(roundStart)
+	wall := time.Since(roundStart) //cgraph:wallclock wall stamp paired with the round start above
 	e.roundHist.Observe(wall.Seconds())
 	if e.tracer != nil {
 		e.recordTrace(roundStart, wall, plan, spans, pre)

@@ -13,6 +13,7 @@ import (
 	"cgraph/internal/refimpl"
 	"cgraph/internal/sched"
 	"cgraph/internal/storage"
+	"cgraph/internal/testutil"
 	"cgraph/model"
 )
 
@@ -252,16 +253,10 @@ func TestServeStatsAndShutdownLeavesJobsResident(t *testing.T) {
 	spin := e.Submit(spinProgram{}, 0)
 
 	// Wait until the spin job is admitted so stats see it running.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		if st, _ := e.JobState(spin); st == JobRunning {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("spin job never admitted")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 30*time.Second, func() bool {
+		st, _ := e.JobState(spin)
+		return st == JobRunning
+	}, "spin job never admitted")
 	s := e.ServeStats()
 	if s.Done != 1 || s.Running != 1 {
 		t.Fatalf("stats %+v, want 1 done / 1 running", s)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"cgraph/internal/testutil"
 	"cgraph/model"
 )
 
@@ -166,13 +167,8 @@ func TestAgeTriggeredFlush(t *testing.T) {
 	if _, err := p.Apply([]Mutation{{Slot: 3, Edge: edge(1, 2)}}, 0, false); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for sink.count() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("age-triggered flush never fired")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 5*time.Second, func() bool { return sink.count() > 0 },
+		"age-triggered flush never fired")
 	st := p.Stats()
 	if st.AgeFlushes != 1 || st.Pending != 0 {
 		t.Fatalf("stats = %+v, want one age flush and empty buffer", st)
@@ -225,13 +221,8 @@ func TestFailedFlushRearmsAgeTimer(t *testing.T) {
 	sink.mu.Lock()
 	sink.fail = false
 	sink.mu.Unlock()
-	deadline := time.Now().Add(5 * time.Second)
-	for sink.count() == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("age timer never retried the failed flush")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, 5*time.Second, func() bool { return sink.count() > 0 },
+		"age timer never retried the failed flush")
 	st := p.Stats()
 	if st.Pending != 0 || st.AgeFlushes < 1 || st.SnapshotsBuilt != 1 {
 		t.Fatalf("stats after retry = %+v", st)

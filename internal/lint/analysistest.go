@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts the quoted expectation patterns of a `// want "..."`
+// comment, analysistest-style: each quoted string is a regexp one reported
+// diagnostic on that line must match.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// RunFixture parses every .go file under testdata/<dir>, runs the analyzer
+// over them as one package, and checks the findings against the fixture's
+// `// want "regexp"` comments: every want must be matched by a diagnostic
+// on its line, and every diagnostic must be claimed by a want. Fixture
+// files are parse-only — they are never compiled, so they may reference
+// whatever types the scenario needs.
+func RunFixture(t *testing.T, dir string, a *Analyzer) {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read fixture dir %s: %v", root, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	// wants maps file:line to pending expectation regexps.
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	pkgName := ""
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(root, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", path, err)
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				rest, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+				if !ok {
+					continue
+				}
+				k := key{path, fset.Position(c.Pos()).Line}
+				for _, m := range wantRE.FindAllStringSubmatch(rest, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", path, k.line, m[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s holds no .go files", root)
+	}
+
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     fset,
+		Files:    files,
+		PkgPath:  "cgraph/internal/lint/testdata/" + dir,
+		PkgName:  pkgName,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("run %s over %s: %v", a.Name, root, err)
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", a.Name, k.file, k.line, re)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// Errcodes keeps api.Error codes closed over the declared ErrorCode
+// constant set: raw string literals as codes — in Error composite
+// literals, Errorf/IsCode arguments, or ad-hoc ErrorCode conversions —
+// compile fine but invent wire values no client switch handles. The
+// constant declarations in the api package itself are the one legitimate
+// source of code strings and are not calls, so they pass untouched.
+var Errcodes = &Analyzer{
+	Name: "errcodes",
+	Doc: "require api.Error codes to come from the declared ErrorCode constants, never raw " +
+		"string literals",
+	Run: runErrcodes,
+}
+
+func runErrcodes(pass *Pass) error {
+	for _, f := range pass.Files {
+		apiName, imported := importName(f, "cgraph/api")
+		local := pass.PkgName == "api"
+		if !imported && !local {
+			continue
+		}
+		// isAPI reports whether the expression names the api package's
+		// identifier ident — api.<ident> in importers, bare <ident> in the
+		// api package itself.
+		isAPI := func(e ast.Expr, ident string) bool {
+			switch x := e.(type) {
+			case *ast.Ident:
+				return local && x.Name == ident
+			case *ast.SelectorExpr:
+				id, ok := x.X.(*ast.Ident)
+				return ok && imported && id.Name == apiName && x.Sel.Name == ident
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CompositeLit:
+				if isAPI(x.Type, "Error") {
+					for _, elt := range x.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Code" {
+							continue
+						}
+						if lit, ok := stringLit(kv.Value); ok {
+							pass.Reportf(kv.Value.Pos(), "Error.Code set to raw string %q; use a declared ErrorCode constant", lit)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				switch {
+				case isAPI(x.Fun, "Errorf") && len(x.Args) > 0:
+					if lit, ok := stringLit(x.Args[0]); ok {
+						pass.Reportf(x.Args[0].Pos(), "Errorf called with raw code %q; use a declared ErrorCode constant", lit)
+					}
+				case isAPI(x.Fun, "IsCode") && len(x.Args) > 1:
+					if lit, ok := stringLit(x.Args[1]); ok {
+						pass.Reportf(x.Args[1].Pos(), "IsCode called with raw code %q; use a declared ErrorCode constant", lit)
+					}
+				case isAPI(x.Fun, "ErrorCode") && len(x.Args) == 1:
+					if lit, ok := stringLit(x.Args[0]); ok {
+						pass.Reportf(x.Args[0].Pos(), "ad-hoc ErrorCode(%q) conversion; use a declared ErrorCode constant", lit)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package lint is cgraph-vet: a project-specific static-analysis suite
+// that turns the engine's correctness conventions into build-breaking
+// checks. Each analyzer encodes one invariant that has bitten (or nearly
+// bitten) before:
+//
+//   - wallclock: the engine's time is the virtual clock. time.Now /
+//     time.Since inside internal/core, internal/sched, and internal/exec
+//     must be annotated wall-stamp sites (//cgraph:wallclock <reason>) —
+//     everything else goes through Engine.Now (the PR 2 data-race class).
+//   - spawn: bounded-worker discipline. Bare go statements live only in
+//     internal/pool or at annotated launch sites (//cgraph:spawn <reason>),
+//     so the one-goroutine-per-job pattern cannot creep back in.
+//   - locksafe: the "never block the round loop" rule. Channel sends,
+//     On* callback invocations, and slog calls are flagged while an engine
+//     or server mutex is held, as are lock regions that return without
+//     unlocking on a branch.
+//   - wiretags: the /v1 wire contract. Exported api struct fields carry
+//     json tags (or the struct is //cgraph:nowire), per-vertex float
+//     vectors use api.Float, and request-body decoders set
+//     DisallowUnknownFields.
+//   - promnames: Prometheus families match cgraph_[a-z_]+, are declared
+//     exactly once with HELP text and a known type, and every Add targets
+//     a declared family.
+//   - errcodes: api.Error codes come from the declared ErrorCode constant
+//     set, never raw string literals.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, diagnostics, analysistest-style fixtures) but is
+// self-contained on the standard library: analyzers are purely syntactic,
+// which keeps the suite dependency-free and fast enough to run on every
+// build.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the reporting analyzer, and a
+// human-readable message that names the violated invariant and the escape
+// hatch (fix or annotation).
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Check)
+}
+
+// Analyzer is one named check over a single package's syntax.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and documentation.
+	Name string
+	// Doc is the one-paragraph rule statement shown by cgraph-vet -help.
+	Doc string
+	// Match restricts which packages the driver runs the analyzer over;
+	// nil matches every package. Fixture tests invoke Run directly and
+	// bypass it.
+	Match func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test files, comments included.
+	Files []*ast.File
+	// PkgPath is the package's import path; PkgName its package clause.
+	PkgPath string
+	PkgName string
+
+	diags      *[]Diagnostic
+	directives map[*ast.File]map[int]map[string]string
+}
+
+// Reportf records one diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Check:   p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Directive reports whether the line holding pos (or the line directly
+// above it, for comment-above-statement style) carries a
+// //cgraph:<name> <reason> annotation, and returns the reason. Annotations
+// with an empty reason do not count: every suppression must say why.
+func (p *Pass) Directive(pos token.Pos, name string) (string, bool) {
+	position := p.Fset.Position(pos)
+	for _, f := range p.Files {
+		fp := p.Fset.Position(f.Pos())
+		if fp.Filename != position.Filename {
+			continue
+		}
+		lines := p.fileDirectives(f)
+		for _, line := range []int{position.Line, position.Line - 1} {
+			if reason, ok := lines[line][name]; ok && strings.TrimSpace(reason) != "" {
+				return reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// fileDirectives lazily indexes a file's //cgraph: directive comments by
+// the line they annotate (their own line, i.e. trailing comments, and the
+// line below, i.e. comment-above-statement).
+func (p *Pass) fileDirectives(f *ast.File) map[int]map[string]string {
+	if p.directives == nil {
+		p.directives = make(map[*ast.File]map[int]map[string]string)
+	}
+	if m, ok := p.directives[f]; ok {
+		return m
+	}
+	m := make(map[int]map[string]string)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			if !strings.HasPrefix(text, "cgraph:") {
+				continue
+			}
+			rest := strings.TrimPrefix(text, "cgraph:")
+			name, reason, _ := strings.Cut(rest, " ")
+			line := p.Fset.Position(c.End()).Line
+			for _, l := range []int{line, line + 1} {
+				if m[l] == nil {
+					m[l] = make(map[string]string)
+				}
+				m[l][name] = reason
+			}
+		}
+	}
+	p.directives[f] = m
+	return m
+}
+
+// All returns the full cgraph-vet suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, Spawn, Locksafe, Wiretags, Promnames, Errcodes}
+}
+
+// RunAnalyzers applies each analyzer to each package it matches and
+// returns the findings sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				PkgPath:  pkg.Path,
+				PkgName:  pkg.Name,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Check < diags[j].Check
+	})
+	return diags, nil
+}
+
+// importName returns the file-local name the given import path is bound
+// to, and whether the file imports it at all. A default (unnamed) import
+// binds to the path's last element.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			p = p[i+1:]
+		}
+		return p, true
+	}
+	return "", false
+}
+
+// exprText renders a (selector/ident) expression as dotted text, e.g.
+// "e.mu" or "s.cfg.OnJobEvent"; unsupported shapes return "".
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprText(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	}
+	return ""
+}

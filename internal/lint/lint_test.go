@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestWallclockFixture(t *testing.T) { RunFixture(t, "wallclock", Wallclock) }
+func TestSpawnFixture(t *testing.T)     { RunFixture(t, "spawn", Spawn) }
+func TestLocksafeFixture(t *testing.T)  { RunFixture(t, "locksafe", Locksafe) }
+func TestWiretagsFixture(t *testing.T)  { RunFixture(t, "wiretags", Wiretags) }
+func TestPromnamesFixture(t *testing.T) { RunFixture(t, "promnames", Promnames) }
+func TestErrcodesFixture(t *testing.T)  { RunFixture(t, "errcodes", Errcodes) }
+
+// TestMatchScoping pins each analyzer's package scope: the suite must
+// cover the right packages even though fixtures bypass Match.
+func TestMatchScoping(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		pkg      string
+		want     bool
+	}{
+		{Wallclock, "cgraph/internal/core", true},
+		{Wallclock, "cgraph/internal/sched", true},
+		{Wallclock, "cgraph/internal/exec", true},
+		{Wallclock, "cgraph/server", false},
+		{Spawn, "cgraph/server", true},
+		{Spawn, "cgraph/internal/pool", false},
+		{Promnames, "cgraph/server", true},
+		{Promnames, "cgraph/client", false},
+	}
+	for _, c := range cases {
+		got := c.analyzer.Match == nil || c.analyzer.Match(c.pkg)
+		if got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.analyzer.Name, c.pkg, got, c.want)
+		}
+	}
+}
+
+// TestDirective pins the annotation grammar: same line or line above,
+// and a reason is mandatory.
+func TestDirective(t *testing.T) {
+	const src = `package p
+
+func a() {
+	work() //cgraph:spawn trailing reason
+}
+
+func b() {
+	//cgraph:spawn reason above
+	work()
+}
+
+func c() {
+	//cgraph:spawn
+	work()
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "directive.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Analyzer: Spawn, Fset: fset, Files: []*ast.File{f}, diags: new([]Diagnostic)}
+	find := func(line int) (string, bool) {
+		return pass.Directive(fset.File(f.Pos()).LineStart(line), "spawn")
+	}
+	if reason, ok := find(4); !ok || reason != "trailing reason" {
+		t.Errorf("trailing directive: got %q, %v", reason, ok)
+	}
+	if reason, ok := find(9); !ok || reason != "reason above" {
+		t.Errorf("above directive: got %q, %v", reason, ok)
+	}
+	if _, ok := find(14); ok {
+		t.Errorf("empty-reason directive should not count")
+	}
+}

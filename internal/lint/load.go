@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded (parsed, not type-checked) package.
+type Package struct {
+	// Path is the import path; Name the package clause; Dir the source
+	// directory.
+	Path string
+	Name string
+	Dir  string
+	// Files are the parsed non-test Go files, comments included. The suite
+	// deliberately skips _test.go files: test code may spawn goroutines,
+	// read the wall clock, and hand-build wire values freely.
+	Files []*ast.File
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+}
+
+// Load enumerates the packages matching the patterns via `go list` and
+// parses their non-test files into a shared FileSet.
+func Load(patterns ...string) (*token.FileSet, []*Package, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		pkg := &Package{Path: lp.ImportPath, Name: lp.Name, Dir: lp.Dir}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse %s: %w", filepath.Join(lp.Dir, name), err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return fset, pkgs, nil
+}

@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// Locksafe enforces the "never block the round loop" rule: while an
+// engine or server mutex is held, code must not perform channel sends,
+// invoke On* callbacks, or call the structured logger — all of those can
+// block or re-enter arbitrarily. It also flags manual (defer-less) lock
+// regions that return on a branch without unlocking. Mutexes are
+// recognised by name (fields or locals ending in "mu" or mentioning
+// "mutex"/"lock"), which is the project's naming convention. Deliberate
+// exceptions carry //cgraph:locksafe <reason>.
+var Locksafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "flag channel sends, On* callback invocations, and logger calls made while a " +
+		"mutex is held, and defer-less lock regions that return without unlocking",
+	Run: runLocksafe,
+}
+
+var callbackNameRE = regexp.MustCompile(`^On[A-Z]`)
+
+func runLocksafe(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					locksafeBlock(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				locksafeBlock(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// locksafeBlock scans one block for Lock/RLock statements and checks the
+// region each one opens. Nested blocks reached through statements are
+// handled by the recursive ast.Inspect in runLocksafe only for function
+// literals; plain nested blocks are scanned here.
+func locksafeBlock(pass *Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		if inner, ok := stmt.(*ast.BlockStmt); ok {
+			locksafeBlock(pass, inner)
+			continue
+		}
+		recv, method, ok := lockCall(stmt)
+		if !ok || (method != "Lock" && method != "RLock") {
+			continue
+		}
+		rest := block.List[i+1:]
+		if len(rest) > 0 && isDeferredUnlock(rest[0], recv) {
+			checkHeldStmts(pass, rest[1:], recv)
+			continue
+		}
+		checkManualRegion(pass, rest, recv)
+	}
+}
+
+// isDeferredUnlock matches `defer X.Unlock()` / `defer X.RUnlock()` for
+// the given receiver.
+func isDeferredUnlock(stmt ast.Stmt, recv string) bool {
+	d, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := d.Call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	return exprText(sel.X) == recv
+}
+
+// checkManualRegion walks the statements following a defer-less Lock
+// until the matching same-level Unlock, applying both the
+// blocking-call rule and the branch-unlock rule. Shapes the syntactic
+// analysis cannot follow precisely — loops that re-lock (the pool's
+// releaseSlot pattern) or selects that unlock in a case — end the scan
+// silently rather than risk a false positive.
+func checkManualRegion(pass *Pass, stmts []ast.Stmt, recv string) {
+	for _, stmt := range stmts {
+		if r, m, ok := lockCall(stmt); ok && r == recv && (m == "Unlock" || m == "RUnlock") {
+			return
+		}
+		switch s := stmt.(type) {
+		case *ast.ReturnStmt:
+			if _, ok := pass.Directive(s.Pos(), "locksafe"); !ok {
+				pass.Reportf(s.Pos(), "return while %s is held: unlock first or use defer %s.Unlock()", recv, recv)
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			if containsLockOp(stmt, recv) {
+				return // re-locking loop: region shape is beyond syntactic analysis
+			}
+			checkHeldStmts(pass, []ast.Stmt{stmt}, recv)
+		case *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			if containsUnlock(stmt, recv) {
+				return // a case unlocks: region shape is beyond syntactic analysis
+			}
+			checkHeldStmts(pass, []ast.Stmt{stmt}, recv)
+		case *ast.IfStmt:
+			checkIfUnderLock(pass, s, recv)
+		default:
+			checkHeldStmts(pass, []ast.Stmt{stmt}, recv)
+		}
+	}
+}
+
+// checkIfUnderLock handles an if statement inside a manual lock region:
+// a branch that terminates in a return must unlock first.
+func checkIfUnderLock(pass *Pass, s *ast.IfStmt, recv string) {
+	for _, branch := range ifBranches(s) {
+		if containsUnlock(branch, recv) {
+			continue // branch releases the lock; sends after that are fine
+		}
+		checkHeldStmts(pass, branch.List, recv)
+		if ret, ok := terminatingReturn(branch); ok {
+			if _, ok := pass.Directive(ret.Pos(), "locksafe"); !ok {
+				pass.Reportf(ret.Pos(), "branch returns while %s is held: unlock first or use defer %s.Unlock()", recv, recv)
+			}
+		}
+	}
+}
+
+// ifBranches flattens an if/else-if/else chain into its blocks.
+func ifBranches(s *ast.IfStmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for s != nil {
+		out = append(out, s.Body)
+		switch e := s.Else.(type) {
+		case *ast.IfStmt:
+			s = e
+		case *ast.BlockStmt:
+			out = append(out, e)
+			s = nil
+		default:
+			s = nil
+		}
+	}
+	return out
+}
+
+// terminatingReturn returns the block's final statement if it is a
+// return.
+func terminatingReturn(block *ast.BlockStmt) (*ast.ReturnStmt, bool) {
+	if len(block.List) == 0 {
+		return nil, false
+	}
+	ret, ok := block.List[len(block.List)-1].(*ast.ReturnStmt)
+	return ret, ok
+}
+
+// containsLockOp reports whether the subtree performs any lock operation
+// on recv.
+func containsLockOp(n ast.Node, recv string) bool {
+	return containsMutexCall(n, recv, "Lock", "RLock", "Unlock", "RUnlock")
+}
+
+// containsUnlock reports whether the subtree unlocks recv.
+func containsUnlock(n ast.Node, recv string) bool {
+	return containsMutexCall(n, recv, "Unlock", "RUnlock")
+}
+
+func containsMutexCall(n ast.Node, recv string, methods ...string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || exprText(sel.X) != recv {
+			return true
+		}
+		for _, m := range methods {
+			if sel.Sel.Name == m {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkHeldStmts applies the blocking-call rule to statements that run
+// with recv held: no channel sends (outside non-blocking selects), no
+// On* callback invocations, no logger calls. Goroutine bodies and
+// function literals are skipped — they do not run under the caller's
+// lock.
+func checkHeldStmts(pass *Pass, stmts []ast.Stmt, recv string) {
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt, *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.SelectStmt:
+				if selectHasDefault(x) {
+					return false // non-blocking by construction
+				}
+				return true
+			case *ast.SendStmt:
+				if _, ok := pass.Directive(x.Pos(), "locksafe"); !ok {
+					pass.Reportf(x.Pos(), "channel send while %s is held can block the lock holder; "+
+						"send after unlocking or annotate with //cgraph:locksafe <reason>", recv)
+				}
+				return true
+			case *ast.CallExpr:
+				checkHeldCall(pass, x, recv)
+				return true
+			}
+			return true
+		})
+	}
+}
+
+func checkHeldCall(pass *Pass, call *ast.CallExpr, recv string) {
+	var name, callee string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		callee = exprText(fun)
+	default:
+		return
+	}
+	if callbackNameRE.MatchString(name) {
+		if _, ok := pass.Directive(call.Pos(), "locksafe"); !ok {
+			pass.Reportf(call.Pos(), "callback %s invoked while %s is held can re-enter or block; "+
+				"capture it and invoke after unlocking", callee, recv)
+		}
+		return
+	}
+	switch name {
+	case "Info", "Warn", "Error", "Debug", "Log",
+		"InfoContext", "WarnContext", "ErrorContext", "DebugContext":
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if strings.Contains(strings.ToLower(exprText(sel.X)), "log") {
+				if _, ok := pass.Directive(call.Pos(), "locksafe"); !ok {
+					pass.Reportf(call.Pos(), "logger call while %s is held serialises the lock on log I/O; "+
+						"log after unlocking", recv)
+				}
+			}
+		}
+	}
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

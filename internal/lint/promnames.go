@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// Promnames checks the server's Prometheus exposition: family names
+// match the project prefix convention, each family is declared exactly
+// once with a known type and non-empty HELP text, and every sample added
+// targets a declared family. The analysis is literal-only — dynamically
+// built names (histogram vec helpers) pass through unchecked.
+var Promnames = &Analyzer{
+	Name: "promnames",
+	Doc: "require Prometheus family names matching cgraph_[a-z_]+, declared once with HELP " +
+		"text and a known type, and Add/AddHistogram calls that target declared families",
+	Match: func(path string) bool { return path == "cgraph/server" },
+	Run:   runPromnames,
+}
+
+var promNameRE = regexp.MustCompile(`^cgraph_[a-z_]+$`)
+
+var promTypes = map[string]bool{"counter": true, "gauge": true, "histogram": true}
+
+func runPromnames(pass *Pass) error {
+	declared := map[string]token.Pos{}
+	// Pass 1: collect and validate declarations across the package.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Declare" || len(call.Args) != 3 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				return true
+			}
+			if !promNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "metric family %q does not match cgraph_[a-z_]+", name)
+			}
+			if prev, dup := declared[name]; dup {
+				pass.Reportf(call.Args[0].Pos(), "metric family %q declared more than once (first at %s)",
+					name, pass.Fset.Position(prev))
+			} else {
+				declared[name] = call.Args[0].Pos()
+			}
+			if typ, ok := stringLit(call.Args[1]); ok && !promTypes[typ] {
+				pass.Reportf(call.Args[1].Pos(), "metric family %q has unknown TYPE %q (want counter, gauge, or histogram)", name, typ)
+			}
+			if help, ok := stringLit(call.Args[2]); ok && help == "" {
+				pass.Reportf(call.Args[2].Pos(), "metric family %q declared with empty HELP text", name)
+			}
+			return true
+		})
+	}
+	// Pass 2: every literal-named sample must target a declared family.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "AddHistogram") || len(call.Args) == 0 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				return true
+			}
+			if _, ok := declared[name]; !ok && promNameRE.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(), "%s targets undeclared metric family %q; Declare it with HELP text first",
+					sel.Sel.Name, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stringLit unquotes a string-literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

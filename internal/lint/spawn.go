@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Spawn forbids bare go statements outside internal/pool: PR 7 replaced
+// the one-goroutine-per-job pattern with a bounded work-stealing pool,
+// and unbounded spawns are exactly how that discipline rots back.
+// Long-lived or structurally bounded goroutines (accept loops, one
+// watcher per SSE subscriber) are annotated //cgraph:spawn <reason>.
+var Spawn = &Analyzer{
+	Name: "spawn",
+	Doc: "forbid bare go statements outside internal/pool and " +
+		"//cgraph:spawn-annotated launch sites; per-unit concurrency goes " +
+		"through the bounded worker pool",
+	Match: func(path string) bool { return path != "cgraph/internal/pool" },
+	Run:   runSpawn,
+}
+
+func runSpawn(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if _, ok := pass.Directive(g.Pos(), "spawn"); ok {
+				return true
+			}
+			pass.Reportf(g.Pos(), "bare go statement outside internal/pool; run the work on the "+
+				"bounded pool, or annotate a deliberate launch site with //cgraph:spawn <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// isMutexExpr reports whether the expression names something the suite
+// treats as a mutex: the final selector (or the ident itself) ends in
+// "mu" or mentions "mutex"/"lock".
+func isMutexExpr(e ast.Expr) bool {
+	text := exprText(e)
+	if text == "" {
+		return false
+	}
+	last := text
+	if i := strings.LastIndex(text, "."); i >= 0 {
+		last = text[i+1:]
+	}
+	l := strings.ToLower(last)
+	return strings.HasSuffix(l, "mu") || strings.Contains(l, "mutex") || strings.Contains(l, "lock")
+}
+
+// lockCall decomposes a statement of the form X.Lock() / X.RLock() /
+// X.Unlock() / X.RUnlock() on a mutex-named X, returning the receiver
+// text and the method name.
+func lockCall(stmt ast.Stmt) (recv string, method string, ok bool) {
+	es, okES := stmt.(*ast.ExprStmt)
+	if !okES {
+		return "", "", false
+	}
+	call, okC := es.X.(*ast.CallExpr)
+	if !okC || len(call.Args) != 0 {
+		return "", "", false
+	}
+	sel, okS := call.Fun.(*ast.SelectorExpr)
+	if !okS {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !isMutexExpr(sel.X) {
+		return "", "", false
+	}
+	return exprText(sel.X), sel.Sel.Name, true
+}

@@ -1,0 +1,24 @@
+// Package fixture exercises the errcodes analyzer: api.Error codes come
+// from the declared ErrorCode constant set, never raw string literals.
+package fixture
+
+import (
+	"fmt"
+
+	"cgraph/api"
+)
+
+func rawCodes(err error) {
+	_ = &api.Error{Code: "not_found", Message: "no such job"} // want "raw string \"not_found\""
+	_ = api.Error{Code: api.CodeNotFound, Message: "ok"}
+	_ = api.Errorf("internal", "round loop: %v", err) // want "raw code \"internal\""
+	_ = api.Errorf(api.CodeInternal, "round loop: %v", err)
+	_ = api.IsCode(err, "conflict") // want "raw code \"conflict\""
+	_ = api.IsCode(err, api.CodeConflict)
+	_ = api.ErrorCode("made_up") // want "ad-hoc ErrorCode"
+}
+
+func notTheAPIPackage(err error) {
+	// fmt.Errorf's format string is not an error code.
+	_ = fmt.Errorf("decode body: %w", err)
+}

@@ -1,0 +1,108 @@
+// Package fixture exercises the locksafe analyzer: no blocking calls
+// while a mutex is held, and manual lock regions must unlock on every
+// branch.
+package fixture
+
+import "sync"
+
+type logger struct{}
+
+func (logger) Info(msg string, args ...any)  {}
+func (logger) Debug(msg string, args ...any) {}
+
+type state struct {
+	mu     sync.Mutex
+	log    logger
+	events chan int
+	OnDone func(int)
+}
+
+func sendUnderDeferredLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events <- 1 // want "channel send while s.mu is held"
+}
+
+func nonBlockingSendIsFine(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.events <- 1:
+	default:
+	}
+}
+
+func blockingSelectSend(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.events <- 1: // want "channel send while s.mu is held"
+	}
+}
+
+func callbackUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.OnDone(1) // want "callback s.OnDone invoked while s.mu is held"
+}
+
+func loggerUnderLock(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log.Info("progress") // want "logger call while s.mu is held"
+}
+
+func callbackAfterUnlock(s *state) {
+	s.mu.Lock()
+	cb := s.OnDone
+	s.mu.Unlock()
+	cb(1)
+	s.log.Debug("done")
+}
+
+func goroutineBodyIsNotHeld(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() { //cgraph:spawn fixture: goroutine body runs without the caller's lock
+		s.events <- 1
+	}()
+}
+
+func returnWhileLocked(s *state) int {
+	s.mu.Lock()
+	return 1 // want "return while s.mu is held"
+}
+
+func branchReturnsWithoutUnlock(s *state, cond bool) int {
+	s.mu.Lock()
+	if cond {
+		return 1 // want "branch returns while s.mu is held"
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func branchUnlocksBeforeReturn(s *state, cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func annotatedSend(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events <- 1 //cgraph:locksafe fixture: buffered channel sized for the worst case
+}
+
+func relockingLoopIsSkipped(s *state) {
+	s.mu.Lock()
+	for {
+		s.mu.Unlock()
+		s.events <- 1
+		s.mu.Lock()
+	}
+}

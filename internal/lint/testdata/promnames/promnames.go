@@ -1,0 +1,28 @@
+// Package fixture exercises the promnames analyzer: family names match
+// the project prefix, are declared once with HELP and a known type, and
+// samples target declared families.
+package fixture
+
+type exposition struct{}
+
+func (exposition) Declare(name, typ, help string)             {}
+func (exposition) Add(name string, value float64)             {}
+func (exposition) AddHistogram(name string, buckets []uint64) {}
+
+func declare(e exposition) {
+	e.Declare("cgraph_jobs_total", "counter", "Jobs submitted since start.")
+	e.Declare("cgraph_rounds_total", "counter", "Engine rounds driven.")
+	e.Declare("CGraphBadName", "counter", "Camel case is not a family name.")  // want "does not match cgraph_"
+	e.Declare("http_requests_total", "counter", "Missing the project prefix.") // want "does not match cgraph_"
+	e.Declare("cgraph_jobs_total", "counter", "Re-declared elsewhere.")        // want "declared more than once"
+	e.Declare("cgraph_queue_depth", "summary", "Summaries are not supported.") // want "unknown TYPE"
+	e.Declare("cgraph_inflight", "gauge", "")                                  // want "empty HELP"
+}
+
+func sample(e exposition, family string) {
+	e.Add("cgraph_jobs_total", 1)
+	e.AddHistogram("cgraph_rounds_total", nil)
+	e.Add("cgraph_orphan_total", 1) // want "targets undeclared metric family"
+	e.Add(family, 1)                // dynamic names pass through unchecked
+	e.Add("queue_depth", 1)         // non-cgraph names belong to other Add methods
+}

@@ -1,0 +1,31 @@
+// Package fixture exercises the spawn analyzer: bare go statements need
+// a //cgraph:spawn annotation with a reason.
+package fixture
+
+func bareSpawn() {
+	go doWork() // want "bare go statement outside internal/pool"
+}
+
+func bareSpawnLiteral() {
+	go func() { // want "bare go statement outside internal/pool"
+		doWork()
+	}()
+}
+
+func annotatedTrailing() {
+	go doWork() //cgraph:spawn one resident listener for the process lifetime
+}
+
+func annotatedAbove() {
+	//cgraph:spawn one watcher per admitted job, bounded by MaxInFlight
+	go func() {
+		doWork()
+	}()
+}
+
+func emptyReasonDoesNotCount() {
+	//cgraph:spawn
+	go doWork() // want "bare go statement outside internal/pool"
+}
+
+func doWork() {}

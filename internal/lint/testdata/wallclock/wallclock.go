@@ -1,0 +1,37 @@
+// Package fixture exercises the wallclock analyzer: wall-clock reads in
+// a virtual-time package must be annotated wall-stamp sites.
+package fixture
+
+import (
+	"time"
+)
+
+func virtualTimeViolations() time.Duration {
+	start := time.Now()                    // want "time.Now reads the wall clock"
+	elapsed := time.Since(start)           // want "time.Since reads the wall clock"
+	_ = time.Until(start.Add(time.Second)) // want "time.Until reads the wall clock"
+	return elapsed
+}
+
+func annotatedWallStamp() time.Time {
+	return time.Now() //cgraph:wallclock report wall-clock field is real elapsed time
+}
+
+func annotatedAbove() time.Time {
+	//cgraph:wallclock wall stamp for the run report
+	return time.Now()
+}
+
+func emptyReasonDoesNotCount() time.Time {
+	//cgraph:wallclock
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+func notTheTimePackage() {
+	time := fakeClock{}
+	time.Now() // the local shadows the package; not a wall-clock read
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() {}

@@ -1,0 +1,63 @@
+// Package api is a fixture exercising the wiretags analyzer: exported
+// wire-struct fields need json tags, float vectors use Float, and
+// request-body decoders reject unknown fields.
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+type Float float64
+
+type Status struct {
+	ID     string  `json:"id"`
+	Score  float64 `json:"score,omitempty"`
+	Values []Float `json:"values"`
+
+	internal int // unexported fields are not wire surface
+}
+
+type Sloppy struct {
+	ID     string       // want "exported api field Sloppy.ID has no json tag"
+	Values []float64    `json:"values"` // want "cannot carry NaN"
+	Edges  [][3]float64 `json:"edges"`  // fixed-size elements never hold NaN scores
+}
+
+// QueryOpts never crosses the wire; it mirrors URL query parameters.
+//
+//cgraph:nowire query-parameter options, never JSON-encoded
+type QueryOpts struct {
+	Limit  int
+	Offset int
+}
+
+func handleCompliant(w http.ResponseWriter, r *http.Request) {
+	var in Status
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&in); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func handleSloppy(w http.ResponseWriter, r *http.Request) {
+	var in Status
+	dec := json.NewDecoder(r.Body) // want "never calls DisallowUnknownFields"
+	if err := dec.Decode(&in); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+func handleChained(w http.ResponseWriter, r *http.Request) {
+	var in Status
+	_ = json.NewDecoder(r.Body).Decode(&in) // want "chained straight into Decode"
+}
+
+func clientDecode(resp *http.Response) (Status, error) {
+	// Response decoding is exempt: clients must tolerate additive server
+	// fields, so DisallowUnknownFields would break forward compatibility.
+	var out Status
+	err := json.NewDecoder(resp.Body).Decode(&out)
+	return out, err
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallclockPkgs are the virtual-time packages: everything the round loop
+// touches accounts time on the engine's simulated clock, so a stray
+// time.Now there is either a data race waiting to happen (the PR 2
+// Engine.Now incident) or a unit bug (wall microseconds folded into
+// virtual microseconds). Deliberate wall-stamp sites — real-time
+// observability like round-duration histograms — carry
+// //cgraph:wallclock <reason>.
+var wallclockPkgs = map[string]bool{
+	"cgraph/internal/core":  true,
+	"cgraph/internal/sched": true,
+	"cgraph/internal/exec":  true,
+}
+
+// wallclockFuncs are the time package's wall-clock reads.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// Wallclock forbids wall-clock reads in the engine's virtual-time
+// packages outside annotated wall-stamp sites.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid time.Now/time.Since/time.Until in internal/core, internal/sched, and " +
+		"internal/exec outside //cgraph:wallclock-annotated wall-stamp sites; engine " +
+		"time is the virtual clock (Engine.Now)",
+	Match: func(path string) bool { return wallclockPkgs[path] },
+	Run:   runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	for _, f := range pass.Files {
+		timeName, ok := importName(f, "time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); !ok || id.Name != timeName || id.Obj != nil {
+				// id.Obj != nil means a local shadows the package name.
+				return true
+			}
+			if _, ok := pass.Directive(call.Pos(), "wallclock"); ok {
+				return true
+			}
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock inside a virtual-time package; "+
+				"use the engine clock (Engine.Now) or annotate the wall-stamp site with "+
+				"//cgraph:wallclock <reason>", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

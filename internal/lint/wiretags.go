@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Wiretags enforces the /v1 wire contract at its two edges. In the api
+// package every exported struct field must carry an explicit json tag
+// (field renames silently change the wire format otherwise) and
+// per-vertex float vectors must use api.Float, which round-trips NaN and
+// ±Inf through JSON. Structs that never cross the wire opt out with
+// //cgraph:nowire <reason>. Everywhere, a json.Decoder built over an
+// *http.Request body must call DisallowUnknownFields, so the server
+// rejects misspelled request fields instead of zeroing them — response
+// decoding is exempt, because clients must tolerate additive server
+// fields.
+var Wiretags = &Analyzer{
+	Name: "wiretags",
+	Doc: "require json tags on exported api struct fields, api.Float for non-finite-capable " +
+		"float slices, and DisallowUnknownFields on request-body decoders",
+	Run: runWiretags,
+}
+
+func runWiretags(pass *Pass) error {
+	if pass.PkgName == "api" {
+		for _, f := range pass.Files {
+			checkAPIStructs(pass, f)
+		}
+	}
+	for _, f := range pass.Files {
+		checkRequestDecoders(pass, f)
+	}
+	return nil
+}
+
+func checkAPIStructs(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok || !ts.Name.IsExported() {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		if _, ok := pass.Directive(ts.Pos(), "nowire"); ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			for _, name := range field.Names {
+				if !name.IsExported() {
+					continue
+				}
+				if !hasJSONTag(field) {
+					pass.Reportf(name.Pos(), "exported api field %s.%s has no json tag; tag it "+
+						"explicitly or mark the struct //cgraph:nowire <reason>", ts.Name.Name, name.Name)
+				}
+				if isFloat64Slice(field.Type) {
+					pass.Reportf(name.Pos(), "api field %s.%s is []float64, which cannot carry "+
+						"NaN/±Inf through JSON; use []Float", ts.Name.Name, name.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	return strings.Contains(field.Tag.Value, `json:"`)
+}
+
+func isFloat64Slice(t ast.Expr) bool {
+	arr, ok := t.(*ast.ArrayType)
+	if !ok || arr.Len != nil {
+		return false
+	}
+	id, ok := arr.Elt.(*ast.Ident)
+	return ok && id.Name == "float64"
+}
+
+// checkRequestDecoders applies the DisallowUnknownFields rule to every
+// function in the file.
+func checkRequestDecoders(pass *Pass, f *ast.File) {
+	jsonName, ok := importName(f, "encoding/json")
+	if !ok {
+		return
+	}
+	httpName, hasHTTP := importName(f, "net/http")
+	if !hasHTTP {
+		return
+	}
+	// Collect every function (declaration or literal) with its own
+	// parameter list; each is checked against its own body, nested
+	// literals excluded (they are in the list themselves).
+	type fn struct {
+		params *ast.FieldList
+		body   *ast.BlockStmt
+	}
+	var fns []fn
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				fns = append(fns, fn{x.Type.Params, x.Body})
+			}
+		case *ast.FuncLit:
+			fns = append(fns, fn{x.Type.Params, x.Body})
+		}
+		return true
+	})
+	for _, fun := range fns {
+		reqParams := requestParams(fun.params, httpName)
+		if len(reqParams) == 0 {
+			continue
+		}
+		hasDisallow := false
+		var decoders []*ast.CallExpr
+		chained := map[*ast.CallExpr]bool{}
+		ast.Inspect(fun.body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if sel.Sel.Name == "DisallowUnknownFields" {
+				hasDisallow = true
+			}
+			if inner, ok := sel.X.(*ast.CallExpr); ok && isRequestBodyDecoder(inner, jsonName, reqParams) {
+				chained[inner] = true // json.NewDecoder(r.Body).Decode(...): no chance to configure
+			}
+			if isRequestBodyDecoder(call, jsonName, reqParams) {
+				decoders = append(decoders, call)
+			}
+			return true
+		})
+		for _, d := range decoders {
+			if chained[d] {
+				pass.Reportf(d.Pos(), "request-body decoder is chained straight into Decode; bind it to a "+
+					"variable and call DisallowUnknownFields so unknown request fields are rejected")
+				continue
+			}
+			if !hasDisallow {
+				pass.Reportf(d.Pos(), "request-body decoder never calls DisallowUnknownFields; unknown "+
+					"request fields would be silently dropped")
+			}
+		}
+	}
+}
+
+// requestParams returns the names of parameters typed *http.Request.
+func requestParams(params *ast.FieldList, httpName string) map[string]bool {
+	out := map[string]bool{}
+	if params == nil {
+		return out
+	}
+	for _, field := range params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := star.X.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Request" {
+			continue
+		}
+		if id, ok := sel.X.(*ast.Ident); !ok || id.Name != httpName {
+			continue
+		}
+		for _, name := range field.Names {
+			out[name.Name] = true
+		}
+	}
+	return out
+}
+
+// isRequestBodyDecoder matches json.NewDecoder(X.Body) with X a
+// *http.Request parameter.
+func isRequestBodyDecoder(call *ast.CallExpr, jsonName string, reqParams map[string]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewDecoder" {
+		return false
+	}
+	if id, ok := sel.X.(*ast.Ident); !ok || id.Name != jsonName {
+		return false
+	}
+	if len(call.Args) != 1 {
+		return false
+	}
+	arg, ok := call.Args[0].(*ast.SelectorExpr)
+	if !ok || arg.Sel.Name != "Body" {
+		return false
+	}
+	id, ok := arg.X.(*ast.Ident)
+	return ok && reqParams[id.Name]
+}

@@ -330,7 +330,7 @@ func (s *Service) WatchJobFrom(ctx context.Context, id string, after int64) (<-c
 		// Compacted between the lookup and the subscription; fall through.
 	}
 	if st, ok := s.historyLookup(id); ok {
-		return replayTerminal(ctx, st, after), nil
+		return replayTerminal(st, after), nil
 	}
 	return nil, api.Errorf(api.CodeNotFound, "unknown job %q", id)
 }

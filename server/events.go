@@ -144,6 +144,7 @@ func (h *hub) subscribe(ctx context.Context, id string, after int64) (<-chan api
 	}
 	h.mu.Unlock()
 
+	//cgraph:spawn one pump per event-stream subscriber, exits with the watch ctx
 	go sub.run(ctx, func() {
 		h.mu.Lock()
 		if s, ok := h.jobs[id]; ok {
@@ -158,23 +159,17 @@ func (h *hub) subscribe(ctx context.Context, id string, after int64) (<-chan api
 // one synthesized terminal state event and closes. The synthesized Seq
 // lands strictly after the watcher's resume point, so a reconnecting
 // client deduplicating by sequence still accepts it.
-func replayTerminal(ctx context.Context, status api.JobStatus, after int64) <-chan api.Event {
+func replayTerminal(status api.JobStatus, after int64) <-chan api.Event {
 	out := make(chan api.Event, 1)
-	go func() {
-		defer close(out)
-		ev := api.Event{
-			Type:      api.EventState,
-			JobID:     status.ID,
-			Seq:       max(after+1, 1),
-			State:     status.State,
-			Error:     status.Error,
-			Iteration: status.Iterations,
-		}
-		select {
-		case out <- ev:
-		case <-ctx.Done():
-		}
-	}()
+	out <- api.Event{
+		Type:      api.EventState,
+		JobID:     status.ID,
+		Seq:       max(after+1, 1),
+		State:     status.State,
+		Error:     status.Error,
+		Iteration: status.Iterations,
+	}
+	close(out)
 	return out
 }
 

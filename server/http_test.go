@@ -19,6 +19,7 @@ import (
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
 	"cgraph/internal/refimpl"
+	"cgraph/internal/testutil"
 	"cgraph/model"
 	"cgraph/server"
 )
@@ -62,23 +63,19 @@ func errCode(t *testing.T, body map[string]any) string {
 
 func pollState(t *testing.T, client *http.Client, base, id string, want server.State) map[string]any {
 	t.Helper()
-	deadline := time.Now().Add(60 * time.Second)
-	for {
+	var last map[string]any
+	testutil.WaitFor(t, 60*time.Second, func() bool {
 		code, st := httpJSON(t, client, "GET", base+"/v1/jobs/"+id, nil)
 		if code != http.StatusOK {
 			t.Fatalf("GET /v1/jobs/%s = %d (%v)", id, code, st)
 		}
-		if st["state"] == string(want) {
-			return st
-		}
-		if s, _ := st["state"].(string); server.State(s).Terminal() {
+		last = st
+		if s, _ := st["state"].(string); s != string(want) && server.State(s).Terminal() {
 			t.Fatalf("job %s reached %s, want %s", id, s, want)
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s never reached %s (last %v)", id, want, st["state"])
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		return st["state"] == string(want)
+	}, "job %s never reached %s", id, want)
+	return last
 }
 
 // TestHTTPControlPlaneDemo is the acceptance demo: start Serve, submit

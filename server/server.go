@@ -198,6 +198,7 @@ func (s *Service) Start() error {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.stop = cancel
 	s.started = true
+	//cgraph:spawn one resident round-loop goroutine per service, exits with Serve
 	go func() {
 		err := s.sys.Serve(ctx)
 		if err != nil {
@@ -243,6 +244,7 @@ func (s *Service) Stop(ctx context.Context) error {
 		s.finalizeStop(ErrStopped)
 		return err
 	case <-ctx.Done():
+		//cgraph:spawn at most one teardown waiter per service, exits when the loop lands
 		go func() {
 			<-s.serveErr
 			s.finalizeStop(ErrStopped)
@@ -336,14 +338,12 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		s.mu.Unlock()
 		if spec.Timeout > 0 {
 			// A queued job must honour its deadline even if no slot ever
-			// frees; the watcher dissolves once the job leaves the queue.
-			go func() {
-				select {
-				case <-j.ctx.Done():
-					j.failIfQueued(j.ctx.Err())
-				case <-j.done:
-				}
-			}()
+			// frees. AfterFunc parks no goroutine; whichever way the job
+			// retires, finishIf cancels j.ctx and the callback dissolves
+			// (failIfQueued loses to any terminal state).
+			context.AfterFunc(j.ctx, func() {
+				j.failIfQueued(context.Cause(j.ctx))
+			})
 		}
 		return j, nil
 	}
@@ -398,6 +398,7 @@ func (s *Service) launch(j *Job) error {
 	s.mu.Lock()
 	s.byEngine[h.ID()] = j
 	s.mu.Unlock()
+	//cgraph:spawn one watcher per admitted job, bounded by MaxInFlight slots
 	go s.watch(j, h)
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
 	"cgraph/internal/refimpl"
+	"cgraph/internal/testutil"
 	"cgraph/model"
 	"cgraph/server"
 )
@@ -391,20 +392,13 @@ func TestServiceSurfacesDeadRoundLoop(t *testing.T) {
 	}
 	// The loop failure lands asynchronously; submissions must start
 	// failing with the cause rather than hanging forever.
-	deadline := time.Now().Add(30 * time.Second)
-	for {
+	testutil.WaitFor(t, 30*time.Second, func() bool {
 		_, err := svc.Submit(server.Spec{Program: algo.NewBFS(0)})
-		if err != nil {
-			if errors.Is(err, server.ErrStopped) {
-				t.Fatalf("got bare ErrStopped, want the loop's own error")
-			}
-			break
+		if err != nil && errors.Is(err, server.ErrStopped) {
+			t.Fatalf("got bare ErrStopped, want the loop's own error")
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("submissions kept succeeding on a dead service")
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return err != nil
+	}, "submissions kept succeeding on a dead service")
 	if err := sys.Shutdown(waitCtx(t)); err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 
 	"cgraph"
 	"cgraph/api"
+	"cgraph/internal/testutil"
 	"cgraph/model"
 	"cgraph/server"
 )
@@ -71,21 +72,14 @@ func TestHTTPJobAndRoundTraces(t *testing.T) {
 	spinID := spin["id"].(string)
 	pollState(t, c, ts.URL, spinID, server.StateRunning)
 	var running api.JobTrace
-	deadline := time.Now().Add(60 * time.Second)
-	for {
+	testutil.WaitFor(t, 60*time.Second, func() bool {
 		code, tr := getTrace(t, c, ts.URL+"/v1/jobs/"+spinID+"/trace")
 		if code != http.StatusOK {
 			t.Fatalf("GET trace = %d", code)
 		}
-		if len(tr.Rounds) > 0 {
-			running = tr
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("running job never produced a traced round")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		running = tr
+		return len(tr.Rounds) > 0
+	}, "running job never produced a traced round")
 	if running.ID != spinID || running.Algo == "" || running.State != api.JobRunning {
 		t.Fatalf("running trace envelope = %+v", running)
 	}
@@ -117,21 +111,14 @@ func TestHTTPJobAndRoundTraces(t *testing.T) {
 	// Cancelling the spin job above makes it terminal too, so pr1's results
 	// are released by now; poll briefly for the async compaction.
 	var compacted api.JobTrace
-	deadline = time.Now().Add(60 * time.Second)
-	for {
+	testutil.WaitFor(t, 60*time.Second, func() bool {
 		code, tr := getTrace(t, c, ts.URL+"/v1/jobs/"+pr1ID+"/trace")
 		if code != http.StatusOK {
 			t.Fatalf("GET compacted trace = %d", code)
 		}
-		if tr.Released {
-			compacted = tr
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job %s never compacted (last %+v)", pr1ID, tr)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+		compacted = tr
+		return tr.Released
+	}, "job %s never compacted", pr1ID)
 	if compacted.State != api.JobDone || compacted.Finished == nil || compacted.ExecMS <= 0 {
 		t.Fatalf("compacted trace envelope = %+v", compacted)
 	}
