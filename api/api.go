@@ -96,6 +96,10 @@ type JobStatus struct {
 	EdgesProcessed     int64   `json:"edges_processed,omitempty"`
 	SimulatedAccessUS  float64 `json:"simulated_access_us,omitempty"`
 	SimulatedComputeUS float64 `json:"simulated_compute_us,omitempty"`
+	// TraceID is the job's distributed-trace ID (32 lowercase hex digits):
+	// the trace its submission joined (the request's traceparent) or the
+	// one started for it. Feed it to the trace-spans endpoint.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ListOptions selects a page of the job listing, optionally filtered.
@@ -344,6 +348,9 @@ type Metrics struct {
 	Exec ExecInfo `json:"exec"`
 	// Ingest reports the streaming delta pipeline and snapshot lifecycle.
 	Ingest IngestStats `json:"ingest"`
+	// Attribution lists the per-job resource accounts computed from the
+	// span store, newest job first.
+	Attribution []JobAttribution `json:"attribution,omitempty"`
 }
 
 // Float is a float64 that survives JSON round-trips of non-finite values

@@ -54,6 +54,7 @@ import (
 	"cgraph/internal/memsim"
 	"cgraph/internal/metrics"
 	"cgraph/internal/sched"
+	"cgraph/internal/span"
 	"cgraph/internal/storage"
 	"cgraph/internal/trace"
 	"cgraph/model"
@@ -118,6 +119,15 @@ type Client interface {
 	// RoundTrace returns the service's retained per-round trace records,
 	// oldest first.
 	RoundTrace(ctx context.Context, opts api.TraceOptions) (api.RoundTraces, error)
+	// JobSpans returns one job's distributed-span tree (submit → queue
+	// wait → rounds → retire, plus sampled executor tasks) and the
+	// resource attribution computed from it. Only job-attributed spans are
+	// returned, so local and HTTP clients yield identical trees; transport
+	// spans (http.request, ingest.*) are reachable via TraceSpans.
+	JobSpans(ctx context.Context, id string) (api.JobSpans, error)
+	// TraceSpans returns every retained span of one trace, oldest first —
+	// including transport and ingest spans sharing the trace ID.
+	TraceSpans(ctx context.Context, traceID string) (api.SpanList, error)
 }
 
 // Convenient aliases so simple uses need only this package and algo.
@@ -181,6 +191,8 @@ type config struct {
 	maxVertexGrowth int
 	retainSnapshots int
 	traceDepth      int
+	spanStore       int
+	spanTaskEvery   int
 }
 
 // Option configures a System.
@@ -264,6 +276,17 @@ func WithRetainSnapshots(n int) Option { return func(c *config) { c.retainSnapsh
 // bookkeeping, so an untraced system pays nothing.
 func WithTraceDepth(n int) Option { return func(c *config) { c.traceDepth = n } }
 
+// WithSpanStore bounds the distributed-span store at n spans: beyond it the
+// oldest spans are evicted FIFO, so span memory stays bounded regardless of
+// traffic (default 4096).
+func WithSpanStore(n int) Option { return func(c *config) { c.spanStore = n } }
+
+// WithSpanSampling records a "pool.task" span for one in every n executor
+// tasks of span-carrying jobs. Zero (the default) samples 1-in-64; negative
+// disables task spans entirely while keeping job/round spans and
+// stolen-task attribution.
+func WithSpanSampling(n int) Option { return func(c *config) { c.spanTaskEvery = n } }
+
 // System is a CGraph instance: one shared (possibly evolving) graph plus
 // the concurrent jobs analysing it. It operates in two modes: the batch
 // Submit…Submit→Run API that drains every job and returns, and the resident
@@ -271,6 +294,10 @@ func WithTraceDepth(n int) Option { return func(c *config) { c.traceDepth = n } 
 // cancellations, and snapshots continuously until Shutdown.
 type System struct {
 	cfg config
+	// tracer records the system's distributed spans (job lifecycle, rounds,
+	// sampled executor tasks, ingest flushes) in a bounded in-memory store.
+	// Always non-nil after NewSystem; internally locked.
+	tracer *span.Tracer
 
 	mu       sync.Mutex
 	store    *storage.SnapshotStore
@@ -348,6 +375,11 @@ type IngestEvent struct {
 	Seq int
 	// Timestamp is the snapshot timestamp the event concerns.
 	Timestamp int64
+	// TraceID and RequestID identify the delta batch that opened the
+	// flushed window (IngestFlush), when its submitter carried them — they
+	// join flush log lines and spans back to the originating request.
+	TraceID   string
+	RequestID string
 }
 
 // OnIngestEvent registers fn to observe ingestion-path events: flushes,
@@ -487,8 +519,13 @@ func NewSystem(opts ...Option) *System {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &System{cfg: cfg}
+	return &System{cfg: cfg, tracer: span.New(span.Config{Capacity: cfg.spanStore})}
 }
+
+// SpanTracer exposes the system's span tracer: services start transport and
+// lifecycle spans on it and read the store for the span endpoints. Always
+// non-nil.
+func (s *System) SpanTracer() *span.Tracer { return s.tracer }
 
 // LoadEdges ingests the base graph. numVertices of 0 infers the count from
 // the largest endpoint.
@@ -658,6 +695,11 @@ type Delta struct {
 	// Flush forces materialization of the buffer (this batch included)
 	// instead of waiting for the count or age trigger.
 	Flush bool
+	// Span, when valid, parents the flush/materialize spans of the batching
+	// window this delta opens; RequestID tags the window's flush event for
+	// log joinability. Both are optional.
+	Span      span.Context
+	RequestID string
 }
 
 // DeltaAck confirms one accepted delta batch.
@@ -742,16 +784,22 @@ func (s *System) ensureIngestLocked() (*ingest.Pipeline, error) {
 		MaxBatch:    s.cfg.ingestBatch,
 		MaxPending:  s.cfg.ingestCap,
 		Window:      s.cfg.ingestWindow,
+		Tracer:      s.tracer,
 		Materialize: s.materializeDelta,
-		Observe: func(trigger string, d time.Duration, batch int, res ingest.Result) {
-			s.notifyIngest(IngestEvent{
+		Observe: func(trigger string, d time.Duration, batch int, res ingest.Result, o ingest.Origin) {
+			ev := IngestEvent{
 				Kind:      IngestFlush,
 				Trigger:   trigger,
 				Duration:  d,
 				Mutations: batch,
 				Built:     res.Built,
 				Timestamp: res.Timestamp,
-			})
+				RequestID: o.RequestID,
+			}
+			if o.Span.Valid() {
+				ev.TraceID = o.Span.Trace.String()
+			}
+			s.notifyIngest(ev)
 		},
 	})
 	if err != nil {
@@ -818,7 +866,7 @@ func (s *System) ApplyDelta(d Delta) (DeltaAck, error) {
 		}
 		muts[i] = ingest.Mutation{Op: ingest.Op(m.Op), Slot: m.Slot, Edge: m.Edge, Vertex: m.Vertex}
 	}
-	ack, err := p.Apply(muts, d.Timestamp, d.Flush)
+	ack, err := p.ApplyFrom(ingest.Origin{Span: d.Span, RequestID: d.RequestID}, muts, d.Timestamp, d.Flush)
 	if err != nil {
 		if errors.Is(err, ingest.ErrSaturated) {
 			return DeltaAck{}, fmt.Errorf("%w: %v", ErrIngestSaturated, err)
@@ -860,6 +908,10 @@ func (s *System) CloseIngest() error {
 	}
 	return p.Close()
 }
+
+// IngestCap reports the WithIngestCap admission bound (0 = uncapped), so
+// readiness probes can compare it against IngestStats().Pending.
+func (s *System) IngestCap() int { return s.cfg.ingestCap }
 
 // IngestStats reports the delta pipeline's counters and the snapshot
 // store's lifecycle state; zeros before any graph or delta activity.
@@ -979,11 +1031,20 @@ func (s *System) indexTakeLocked(e model.Edge) (int, bool) {
 // pipeline's retained buffer can retry against unchanged state. In-place
 // is safe: partitions copy the edge data into their own CSRs at build
 // time, so no snapshot aliases s.edges.
-func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64) (ingest.Result, error) {
+func (s *System) materializeDelta(muts []ingest.Mutation, minTS int64, sc span.Context) (ingest.Result, error) {
 	start := time.Now()
+	// Parent the materialize span under the flush span when the window
+	// carried one; with no origin there is no trace to join, so skip the
+	// span rather than orphan it in a fresh trace.
+	var sp *span.Span //cgraph:spanend conditional start; End below is nil-safe
+	if sc.Valid() {
+		sp = s.tracer.StartSpan(sc, "ingest.materialize")
+	}
 	s.mu.Lock()
 	res, path, err := s.materializeDeltaLocked(muts, minTS)
 	s.mu.Unlock()
+	sp.Attr(span.Str("path", path), span.Int("slots", int64(res.Applied)), span.Bool("built", res.Built))
+	sp.End()
 	if path != "" {
 		s.notifyIngest(IngestEvent{
 			Kind:      IngestMaterialize,
@@ -1167,6 +1228,8 @@ type jobConfig struct {
 	arrival  int64
 	priority int
 	ctx      context.Context
+	span     span.Context
+	spanJob  string
 }
 
 // AtTimestamp binds the job to the newest snapshot not younger than ts.
@@ -1181,6 +1244,17 @@ func WithPriority(p int) JobOption { return func(c *jobConfig) { c.priority = p 
 // passes, the job is retired at the next round boundary and Job.Err reports
 // the context's error.
 func WithContext(ctx context.Context) JobOption { return func(c *jobConfig) { c.ctx = ctx } }
+
+// WithSpan parents the job's engine-side spans ("job.round", sampled
+// "pool.task") under the given span context, attributed to jobID — the
+// service-level job identifier span queries use. A zero context leaves span
+// recording off for this job.
+func WithSpan(sc span.Context, jobID string) JobOption {
+	return func(c *jobConfig) {
+		c.span = sc
+		c.spanJob = jobID
+	}
+}
 
 // JobState is the lifecycle state of a submitted job.
 type JobState int
@@ -1248,7 +1322,12 @@ func (s *System) Submit(p Program, opts ...JobOption) (*Job, error) {
 		o(&jc)
 	}
 	s.ensureEngineLocked()
-	id := s.engine.SubmitWith(jc.ctx, p, core.SubmitOpts{Arrival: jc.arrival, Priority: jc.priority})
+	id := s.engine.SubmitWith(jc.ctx, p, core.SubmitOpts{
+		Arrival:  jc.arrival,
+		Priority: jc.priority,
+		Span:     jc.span,
+		SpanJob:  jc.spanJob,
+	})
 	j := &Job{sys: s, id: id, name: p.Name(), done: make(chan struct{})}
 	s.jobs = append(s.jobs, j)
 	s.byID[id] = j
@@ -1277,6 +1356,8 @@ func (s *System) ensureEngineLocked() {
 		OnJobEvent:            s.onJobEvent,
 		OnJobProgress:         s.onJobProgress,
 		TraceDepth:            s.cfg.traceDepth,
+		Tracer:                s.tracer,
+		TaskSampleEvery:       s.cfg.spanTaskEvery,
 	}, s.store)
 }
 

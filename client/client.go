@@ -39,6 +39,7 @@ import (
 
 	"cgraph"
 	"cgraph/api"
+	"cgraph/internal/span"
 )
 
 // Client speaks the /v1 control plane over HTTP. The zero value is not
@@ -155,6 +156,7 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		if in != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		c.propagate(ctx, req)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -173,6 +175,20 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 		}
 	}
 	return lastErr
+}
+
+// propagate stamps the wire-contract version and W3C trace-context headers
+// on one outbound request: a span context carried by ctx continues the
+// caller's trace (the service's http.request span parents under it);
+// otherwise a fresh context is minted, so every call is traceable and the
+// caller can correlate responses via the echoed X-Trace-ID header.
+func (c *Client) propagate(ctx context.Context, req *http.Request) {
+	req.Header.Set(api.VersionHeader, api.Version)
+	sc := span.FromContext(ctx)
+	if !sc.Valid() {
+		sc = span.Context{Trace: span.NewTraceID(), Span: span.NewSpanID()}
+	}
+	req.Header.Set(span.Traceparent, sc.Traceparent())
 }
 
 // handle consumes one response; retry reports whether the failure is a
@@ -290,6 +306,50 @@ func (c *Client) JobTrace(ctx context.Context, id string) (api.JobTrace, error) 
 	return tr, err
 }
 
+// JobSpans returns one job's retained span tree — job-attributed spans
+// only, identical to what the in-process client yields — plus its resource
+// attribution.
+func (c *Client) JobSpans(ctx context.Context, id string) (api.JobSpans, error) {
+	var js api.JobSpans
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/jobs/"+url.PathEscape(id)+"/spans", nil, nil, &js)
+	return js, err
+}
+
+// TraceSpans returns every retained span of one trace (32-hex trace ID),
+// transport and ingest spans included, oldest first.
+func (c *Client) TraceSpans(ctx context.Context, traceID string) (api.SpanList, error) {
+	q := url.Values{}
+	q.Set("trace_id", traceID)
+	var sl api.SpanList
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/trace/spans", q, nil, &sl)
+	return sl, err
+}
+
+// Healthz probes liveness. It is not part of the cgraph.Client contract —
+// probes are deployment plumbing, not job-service semantics — so only the
+// concrete *Client carries it.
+func (c *Client) Healthz(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/healthz", nil, nil, &h)
+	return h, err
+}
+
+// Readyz probes readiness. A not-ready service answers 503 with the checks
+// itemized; the *api.Error carries the envelope, so callers inspect
+// Readyz's Health only on nil error.
+func (c *Client) Readyz(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/readyz", nil, nil, &h)
+	return h, err
+}
+
+// Version reports the service's build and wire-contract version.
+func (c *Client) Version(ctx context.Context) (api.VersionInfo, error) {
+	var v api.VersionInfo
+	err := c.do(ctx, http.MethodGet, api.PathPrefix+"/version", nil, nil, &v)
+	return v, err
+}
+
 // RoundTrace returns the service's retained round-trace records, oldest
 // first.
 func (c *Client) RoundTrace(ctx context.Context, opts api.TraceOptions) (api.RoundTraces, error) {
@@ -347,6 +407,7 @@ func (c *Client) watchConnect(ctx context.Context, id string, after int64) (*htt
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	c.propagate(ctx, req)
 	if after > 0 {
 		req.Header.Set("Last-Event-ID", strconv.FormatInt(after, 10))
 	}

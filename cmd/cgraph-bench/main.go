@@ -11,8 +11,9 @@
 // scaling.
 //
 // The `concurrent` experiment measures round-tracing overhead (traced vs
-// TraceDepth=0) on the 4-job workload; -json writes its machine-readable
-// result (BENCH_concurrent.json in CI).
+// TraceDepth=0) on the 4-job workload, plus a third leg with the span
+// tracer on at default task sampling to price the distributed-span path;
+// -json writes its machine-readable result (BENCH_concurrent.json in CI).
 //
 // The `scaling` experiment sweeps simulated core counts 1, 2, 4, …
 // -max-cores over a skewed power-law workload, comparing the

@@ -25,8 +25,12 @@
 //	cgraph-serve -connect http://localhost:8040 delta add=3,9,1 remove=5,5 vertex=1200 flush
 //	cgraph-serve -connect http://localhost:8040 trace job-0
 //	cgraph-serve -connect http://localhost:8040 trace rounds 10
+//	cgraph-serve -connect http://localhost:8040 spans job-0
+//	cgraph-serve -connect http://localhost:8040 spans trace 0af7651916cd43dd8448eb211c80319c
 //	cgraph-serve -connect http://localhost:8040 sched
 //	cgraph-serve -connect http://localhost:8040 metrics
+//	cgraph-serve -connect http://localhost:8040 health
+//	cgraph-serve -connect http://localhost:8040 version
 //
 // Raw control plane (curl):
 //
@@ -226,7 +230,7 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 // admin drives a running instance through the HTTP client.
 func admin(base string, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, delta, trace, sched, metrics")
+		return fmt.Errorf("admin mode needs a command: submit, get, list, watch, results, cancel, delta, trace, spans, sched, metrics, health, version")
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
@@ -345,6 +349,38 @@ func admin(base string, args []string) error {
 		default:
 			return fmt.Errorf("usage: trace <job-id> | trace rounds [limit]")
 		}
+	case "spans":
+		switch {
+		case len(rest) == 1 && rest[0] != "trace":
+			js, err := c.JobSpans(ctx, rest[0])
+			if err != nil {
+				return err
+			}
+			renderJobSpans(os.Stdout, js)
+			return nil
+		case len(rest) == 2 && rest[0] == "trace":
+			sl, err := c.TraceSpans(ctx, rest[1])
+			if err != nil {
+				return err
+			}
+			fmt.Printf("trace %s (%d spans)\n", sl.TraceID, len(sl.Spans))
+			renderSpanTree(os.Stdout, sl.Spans)
+			return nil
+		default:
+			return fmt.Errorf("usage: spans <job-id> | spans trace <trace-id>")
+		}
+	case "health":
+		h, err := c.Readyz(ctx)
+		if err != nil {
+			return err
+		}
+		return dump(h)
+	case "version":
+		v, err := c.Version(ctx)
+		if err != nil {
+			return err
+		}
+		return dump(v)
 	case "sched":
 		si, err := c.SchedInfo(ctx)
 		if err != nil {
@@ -550,6 +586,60 @@ func renderJobTrace(w io.Writer, tr api.JobTrace) {
 	for _, r := range tr.Rounds {
 		fmt.Fprintf(w, "  %8d %12.1f %6d %7d %12.1f %12.1f %14.1f\n",
 			r.Round, r.WallUS, r.Parts, r.Pushes, r.AccessUS, r.ComputeUS, r.VirtualTimeUS)
+	}
+}
+
+// renderJobSpans prints one job's span tree followed by its resource
+// attribution block.
+func renderJobSpans(w io.Writer, js api.JobSpans) {
+	fmt.Fprintf(w, "job %s  trace %s  (%d spans)\n", js.ID, js.TraceID, len(js.Spans))
+	renderSpanTree(w, js.Spans)
+	a := js.Attribution
+	if a == nil {
+		return
+	}
+	fmt.Fprintf(w, "attribution:\n")
+	fmt.Fprintf(w, "  queue wait       %10.3f ms\n", a.QueueWaitMS)
+	fmt.Fprintf(w, "  exec             %10.3f ms\n", a.ExecMS)
+	fmt.Fprintf(w, "  rounds           %10d\n", a.Rounds)
+	fmt.Fprintf(w, "  tasks            %10d  (%d stolen)\n", a.Tasks, a.TasksStolen)
+	fmt.Fprintf(w, "  skipped parts    %10d\n", a.SkippedPartitions)
+	fmt.Fprintf(w, "  simulated        %10.1f us access, %.1f us compute\n", a.AccessUS, a.ComputeUS)
+	fmt.Fprintf(w, "  makespan share   %10.3f\n", a.MakespanShare)
+}
+
+// renderSpanTree prints spans as an indented tree: children under their
+// parents, roots (and spans whose parents were evicted) at the left edge,
+// each line carrying the span's name, duration, and attributes.
+func renderSpanTree(w io.Writer, spans []api.Span) {
+	byID := make(map[string]api.Span, len(spans))
+	children := make(map[string][]api.Span)
+	for _, s := range spans {
+		byID[s.SpanID] = s
+	}
+	var roots []api.Span
+	for _, s := range spans {
+		if s.Parent != "" {
+			if _, ok := byID[s.Parent]; ok {
+				children[s.Parent] = append(children[s.Parent], s)
+				continue
+			}
+		}
+		roots = append(roots, s)
+	}
+	var render func(s api.Span, depth int)
+	render = func(s api.Span, depth int) {
+		attrs := ""
+		for _, a := range s.Attrs {
+			attrs += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		fmt.Fprintf(w, "%s%-18s %10.3f ms%s\n", strings.Repeat("  ", depth+1), s.Name, s.DurationMS, attrs)
+		for _, c := range children[s.SpanID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"cgraph/internal/metrics"
 	"cgraph/internal/pool"
 	"cgraph/internal/sched"
+	"cgraph/internal/span"
 	"cgraph/internal/storage"
 	"cgraph/internal/trace"
 	"cgraph/model"
@@ -144,6 +145,14 @@ type Config struct {
 	// length (0 disables tracing entirely; the round loop then skips all
 	// per-round trace bookkeeping).
 	TraceDepth int
+	// Tracer, when set, receives distributed spans: one "job.round" span
+	// per (job, round) and sampled "pool.task" spans, all parented to the
+	// submission's span context. Nil disables span recording entirely.
+	Tracer *span.Tracer
+	// TaskSampleEvery records a "pool.task" span for one in every N
+	// executor tasks of span-carrying jobs (0 defaults to 64; negative
+	// disables task spans while keeping round spans and stolen counts).
+	TaskSampleEvery int
 }
 
 type runJob struct {
@@ -162,6 +171,17 @@ type runJob struct {
 	// engine holds a store reference under it until the job is terminal,
 	// so retention GC never evicts a snapshot out from under a bound job.
 	snapSeq int
+	// span is the submission's span context: the parent under which the
+	// engine records this job's "job.round" and "pool.task" spans. A zero
+	// context (or a nil Config.Tracer) disables span recording for the job.
+	span span.Context
+	// spanJob is the service-level job ID the spans are attributed to.
+	spanJob string
+	// roundTasks counts executor tasks constructed for the job this round
+	// (loop-goroutine only); roundStolen counts those that ran on a worker
+	// other than their seed, incremented from pool workers via Task.Trace.
+	roundTasks  int64
+	roundStolen atomic.Int64
 }
 
 // Engine executes CGP jobs with the LTP model. It runs in two modes: the
@@ -219,6 +239,10 @@ type Engine struct {
 	rtStolen    int64
 	rtSkipped   int64
 	rtImb       float64
+	// taskSeq numbers span-eligible executor tasks across rounds for the
+	// 1-in-N "pool.task" sampling; loop-goroutine only (sampling is decided
+	// at task construction, not execution).
+	taskSeq int64
 
 	jobs []*runJob
 
@@ -270,6 +294,9 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 	if cfg.Label == "" {
 		cfg.Label = "CGraph"
 	}
+	if cfg.TaskSampleEvery == 0 {
+		cfg.TaskSampleEvery = 64
+	}
 	e := &Engine{
 		cfg:       cfg,
 		store:     store,
@@ -283,6 +310,10 @@ func New(cfg Config, store *storage.SnapshotStore) *Engine {
 		pool:      pool.New(cfg.Workers),
 	}
 	e.imbBits.Store(math.Float64bits(1))
+	// Spans carry virtual-time edges alongside their wall stamps; the
+	// tracer reads the engine clock through its atomic mirror, so the
+	// closure is safe from any goroutine.
+	cfg.Tracer.SetVirtualClock(e.Now)
 	for _, snap := range store.Snapshots() {
 		e.sched.ObserveSnapshot(snap.PG)
 	}
@@ -318,6 +349,11 @@ type SubmitOpts struct {
 	Arrival int64
 	// Priority feeds the scheduler's group ordering; higher runs first.
 	Priority int
+	// Span is the parent span context for the job's engine-side spans; a
+	// zero context leaves span recording off for this job.
+	Span span.Context
+	// SpanJob is the service-level job ID span records are attributed to.
+	SpanJob string
 }
 
 // SubmitWith is SubmitCtx with the full submission envelope. The job takes
@@ -336,6 +372,8 @@ func (e *Engine) SubmitWith(ctx context.Context, prog model.Program, opts Submit
 		ctx:       ctx,
 		priority:  opts.Priority,
 		snapSeq:   snap.Seq,
+		span:      opts.Span,
+		spanJob:   opts.SpanJob,
 	}
 	e.pending = append(e.pending, rj)
 	e.state[id] = JobQueued
@@ -688,6 +726,7 @@ func (e *Engine) SchedInfo() SchedInfo {
 // jobs whose round-set is exhausted.
 func (e *Engine) round() {
 	roundStart := time.Now() //cgraph:wallclock round wall-duration histogram measures real time per round
+	virtStart := e.now
 	e.drainSnapshotObservations()
 	foot := make([]sched.JobFootprint, 0, len(e.jobs))
 	byID := make(map[int]*runJob, len(e.jobs))
@@ -708,15 +747,19 @@ func (e *Engine) round() {
 		}
 		// Converged regions: partitions with an empty frontier never
 		// become scheduling units, let alone tasks.
-		e.rtSkipped += int64(len(rj.PG.Parts) - len(activeParts))
+		skipped := len(rj.PG.Parts) - len(activeParts)
+		e.rtSkipped += int64(skipped)
 		foot = append(foot, jf)
-		if e.tracer != nil {
+		rj.roundTasks = 0
+		rj.roundStolen.Store(0)
+		if e.tracer != nil || e.cfg.Tracer != nil {
 			pre = append(pre, jobPreRound{
 				rj:      rj,
 				parts:   len(rj.remaining),
 				iters:   rj.Iterations,
 				access:  rj.m.AccessTime,
 				compute: rj.m.ComputeTime,
+				skipped: skipped,
 			})
 		}
 		// Jobs admitted with no active vertices (degenerate programs)
@@ -789,6 +832,9 @@ func (e *Engine) round() {
 	if e.tracer != nil {
 		e.recordTrace(roundStart, wall, plan, spans, pre)
 	}
+	if e.cfg.Tracer != nil {
+		e.recordRoundSpans(roundStart, wall, plan, spans, pre, virtStart)
+	}
 	e.rounds.Add(1)
 	e.nowBits.Store(math.Float64bits(e.now))
 }
@@ -798,6 +844,9 @@ type jobPreRound struct {
 	rj              *runJob
 	parts, iters    int
 	access, compute float64
+	// skipped is the job's converged-partition count this round (frontier
+	// empty, excluded before scheduling).
+	skipped int
 }
 
 // recordTrace folds one finished round into the trace recorder.
@@ -834,6 +883,54 @@ func (e *Engine) recordTrace(start time.Time, wall time.Duration, plan []sched.G
 		})
 	}
 	e.tracer.RecordRound(rec)
+}
+
+// recordRoundSpans retro-records one "job.round" span per span-carrying job
+// that participated in the finished round. The spans share the round's wall
+// edges (one start stamp, one duration) and virtual edges, and carry the
+// job's per-round deltas as attributes — the raw material of the per-job
+// resource attribution the service computes from the span store.
+func (e *Engine) recordRoundSpans(start time.Time, wall time.Duration, plan []sched.Group, spans []float64, pre []jobPreRound, virtStart float64) {
+	round := e.rounds.Load() + 1
+	var jobGroup map[int]int
+	for _, p := range pre {
+		rj := p.rj
+		if !rj.span.Valid() {
+			continue
+		}
+		if jobGroup == nil {
+			jobGroup = make(map[int]int, len(plan))
+			for gi, g := range plan {
+				for _, id := range g.Jobs {
+					jobGroup[id] = gi
+				}
+			}
+		}
+		attrs := []span.Attr{
+			span.Int("round", round),
+			span.Int("parts", int64(p.parts)),
+			span.Int("pushes", int64(rj.Iterations-p.iters)),
+			span.Float("access_us", rj.m.AccessTime-p.access),
+			span.Float("compute_us", rj.m.ComputeTime-p.compute),
+			span.Int("tasks", rj.roundTasks),
+			span.Int("stolen", rj.roundStolen.Load()),
+			span.Int("skipped_parts", int64(p.skipped)),
+		}
+		if gi, ok := jobGroup[rj.ID]; ok {
+			attrs = append(attrs, span.Float("group_makespan_us", spans[gi]))
+		}
+		e.cfg.Tracer.Record(span.Data{
+			Trace:          rj.span.Trace,
+			Parent:         rj.span.Span,
+			Name:           "job.round",
+			Job:            rj.spanJob,
+			StartWall:      start,
+			EndWall:        start.Add(wall),
+			StartVirtualUS: virtStart,
+			EndVirtualUS:   e.now,
+			Attrs:          attrs,
+		})
+	}
 }
 
 // RoundTraces returns up to limit of the most recent round-trace records
@@ -1014,6 +1111,10 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 			run = func(int) { t.stats = t.rj.ApplyChunk(t.pid, t.locals, &t.sc) }
 		}
 		ptasks[i] = pool.Task{Weight: t.weight, Run: run}
+		t.rj.roundTasks++
+		if e.cfg.Tracer != nil && t.rj.span.Valid() {
+			ptasks[i].Trace = e.taskTrace(t.rj, t.weight)
+		}
 	}
 	applySt := e.pool.Run(ptasks)
 
@@ -1081,6 +1182,32 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 		e.rtImb = imb
 	}
 	return elapsed
+}
+
+// taskTrace builds the pool bracket for one span-carrying job's task: every
+// execution feeds the job's stolen-task counter, and one task in every
+// TaskSampleEvery additionally records a "pool.task" span bracketing Run.
+// The bracket runs on pool workers, so it touches only the atomic stolen
+// counter and the internally-locked tracer.
+func (e *Engine) taskTrace(rj *runJob, weight int64) func(worker int, stolen bool) func() {
+	e.taskSeq++
+	sampled := e.cfg.TaskSampleEvery > 0 && e.taskSeq%int64(e.cfg.TaskSampleEvery) == 0
+	return func(worker int, stolen bool) func() {
+		if stolen {
+			rj.roundStolen.Add(1)
+		}
+		if !sampled {
+			return nil
+		}
+		sp := e.cfg.Tracer.StartSpan(rj.span, "pool.task")
+		sp.SetJob(rj.spanJob)
+		sp.Attr(
+			span.Int("worker", int64(worker)),
+			span.Bool("stolen", stolen),
+			span.Int("weight", weight),
+		)
+		return sp.End
+	}
 }
 
 // frontierTasks slices each job's active frontier into edge-weighted ranges

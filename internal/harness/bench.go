@@ -1,12 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"cgraph/internal/core"
 	"cgraph/internal/gen"
 	"cgraph/internal/sched"
+	"cgraph/internal/span"
 )
 
 // BenchJobExec is one job's execution account from the traced leg.
@@ -34,6 +36,17 @@ type BenchConcurrentResult struct {
 	// the difference drowned in run-to-run noise.
 	OverheadPct float64 `json:"overhead_pct"`
 
+	// SpannedWallMS is the traced leg re-run with the span tracer on at
+	// default task sampling (1 in 64); SpanOverheadPct compares it to the
+	// traced leg, isolating the span instrumentation's cost.
+	SpannedWallMS   float64 `json:"spanned_wall_ms"`
+	SpanOverheadPct float64 `json:"span_overhead_pct"`
+	// SpanStarted / SpanEvicted are the tracer's counters after the spans
+	// leg's best run: how many spans the workload generated and how many
+	// the bounded store dropped.
+	SpanStarted int64 `json:"span_started"`
+	SpanEvicted int64 `json:"span_evicted"`
+
 	// Wall-clock round-duration quantiles from the traced leg (seconds),
 	// out of the engine's always-on round histogram.
 	RoundP50S float64 `json:"round_p50_s"`
@@ -45,41 +58,67 @@ type BenchConcurrentResult struct {
 }
 
 // benchLeg runs the 4-job workload `runs` times at the given trace depth and
-// returns the best wall-clock makespan plus the engine of the best run.
-func (e *Env) benchLeg(o Options, depth, runs int) (time.Duration, *core.Engine, []BenchJobExec, error) {
+// returns the best wall-clock makespan plus the engine and span tracer of
+// the best run. When spans is true each run gets a fresh tracer at default
+// capacity and task sampling, with every job submitted under its own root
+// span — the full production span path, measured rather than assumed.
+func (e *Env) benchLeg(o Options, depth, runs int, spans bool) (time.Duration, *core.Engine, []BenchJobExec, *span.Tracer, error) {
 	best := time.Duration(0)
 	var bestEng *core.Engine
 	var bestJobs []BenchJobExec
+	var bestTracer *span.Tracer
 	for r := 0; r < runs; r++ {
 		store, err := e.Store(true)
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
-		eng := core.New(core.Config{
+		cfg := core.Config{
 			Workers:    e.Workers,
 			Hier:       e.Hier(),
 			Scheduler:  sched.Priority,
 			Label:      "CGraph",
 			TraceDepth: depth,
-		}, store)
-		for _, s := range benchmarks(4, o.Epsilon, func(int) int64 { return 0 }) {
-			eng.Submit(s.Prog, s.Arrival)
+		}
+		var tracer *span.Tracer
+		if spans {
+			tracer = span.New(span.Config{})
+			cfg.Tracer = tracer
+		}
+		eng := core.New(cfg, store)
+		var roots []*span.Span
+		for i, s := range benchmarks(4, o.Epsilon, func(int) int64 { return 0 }) {
+			if tracer == nil {
+				eng.Submit(s.Prog, s.Arrival)
+				continue
+			}
+			jobID := fmt.Sprintf("bench-%d", i)
+			sp := tracer.StartSpan(span.Context{}, "job.submit")
+			sp.SetJob(jobID)
+			roots = append(roots, sp)
+			eng.SubmitWith(context.Background(), s.Prog, core.SubmitOpts{
+				Arrival: s.Arrival,
+				Span:    sp.Context(),
+				SpanJob: jobID,
+			})
 		}
 		start := time.Now()
 		rep, err := eng.Run()
 		wall := time.Since(start)
+		for _, sp := range roots {
+			sp.End()
+		}
 		if err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		if bestEng == nil || wall < best {
-			best, bestEng = wall, eng
+			best, bestEng, bestTracer = wall, eng, tracer
 			bestJobs = bestJobs[:0]
 			for _, j := range rep.Jobs {
 				bestJobs = append(bestJobs, BenchJobExec{Job: j.Name, ExecUS: j.ExecTime(), Iterations: j.Iterations})
 			}
 		}
 	}
-	return best, bestEng, bestJobs, nil
+	return best, bestEng, bestJobs, bestTracer, nil
 }
 
 // BenchConcurrent measures the wall-clock cost of round tracing on the
@@ -101,30 +140,40 @@ func BenchConcurrent(opt Options, depth, runs int) (*Table, *BenchConcurrentResu
 	env := NewEnv(d, o.Workers, o.Scale)
 
 	o.logf("bench-concurrent: untraced leg (%d runs)", runs)
-	untraced, _, _, err := env.benchLeg(o, 0, runs)
+	untraced, _, _, _, err := env.benchLeg(o, 0, runs, false)
 	if err != nil {
 		return nil, nil, err
 	}
 	o.logf("bench-concurrent: traced leg (depth %d, %d runs)", depth, runs)
-	traced, eng, jobs, err := env.benchLeg(o, depth, runs)
+	traced, eng, jobs, _, err := env.benchLeg(o, depth, runs, false)
 	if err != nil {
 		return nil, nil, err
 	}
+	o.logf("bench-concurrent: span leg (depth %d, default sampling, %d runs)", depth, runs)
+	spanned, _, _, tracer, err := env.benchLeg(o, depth, runs, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	spanStats := tracer.Stats()
 
 	hist := eng.RoundDurations()
 	res := &BenchConcurrentResult{
-		Dataset:        d.Name,
-		Jobs:           4,
-		Workers:        o.Workers,
-		Runs:           runs,
-		TraceDepth:     depth,
-		TracedWallMS:   float64(traced) / float64(time.Millisecond),
-		UntracedWallMS: float64(untraced) / float64(time.Millisecond),
-		OverheadPct:    100 * (float64(traced) - float64(untraced)) / float64(untraced),
-		RoundP50S:      hist.Quantile(0.50),
-		RoundP95S:      hist.Quantile(0.95),
-		Rounds:         hist.Count,
-		JobExec:        jobs,
+		Dataset:         d.Name,
+		Jobs:            4,
+		Workers:         o.Workers,
+		Runs:            runs,
+		TraceDepth:      depth,
+		TracedWallMS:    float64(traced) / float64(time.Millisecond),
+		UntracedWallMS:  float64(untraced) / float64(time.Millisecond),
+		OverheadPct:     100 * (float64(traced) - float64(untraced)) / float64(untraced),
+		SpannedWallMS:   float64(spanned) / float64(time.Millisecond),
+		SpanOverheadPct: 100 * (float64(spanned) - float64(traced)) / float64(traced),
+		SpanStarted:     spanStats.Started,
+		SpanEvicted:     spanStats.Evicted,
+		RoundP50S:       hist.Quantile(0.50),
+		RoundP95S:       hist.Quantile(0.95),
+		Rounds:          hist.Count,
+		JobExec:         jobs,
 	}
 
 	t := &Table{
@@ -135,8 +184,11 @@ func BenchConcurrent(opt Options, depth, runs int) (*Table, *BenchConcurrentResu
 			{"untraced (depth 0)", f2(res.UntracedWallMS), "-", "-"},
 			{fmt.Sprintf("traced (depth %d)", depth), f2(res.TracedWallMS), f2(res.RoundP50S * 1e3), f2(res.RoundP95S * 1e3)},
 			{"overhead", fmt.Sprintf("%+.1f%%", res.OverheadPct), "", ""},
+			{"traced + spans (1/64 tasks)", f2(res.SpannedWallMS), "-", "-"},
+			{"span overhead vs traced", fmt.Sprintf("%+.1f%%", res.SpanOverheadPct), "", ""},
 		},
-		Notes: "wall-clock engine makespan; round quantiles from the traced leg's always-on histogram",
+		Notes: "wall-clock engine makespan; round quantiles from the traced leg's always-on histogram; " +
+			"span leg runs the full distributed-span path at default task sampling",
 	}
 	return t, res, nil
 }

@@ -34,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"cgraph/internal/span"
 	"cgraph/model"
 )
 
@@ -120,6 +121,16 @@ func opRank(o Op) int {
 	}
 }
 
+// Origin identifies the request that opened a batch window: the span
+// context and request ID of the first batch buffered since the last
+// flush. A flush's span is parented to its window's origin, and the
+// origin's request ID rides along on the flush observation so log lines
+// can be joined back to the request that caused them.
+type Origin struct {
+	Span      span.Context
+	RequestID string
+}
+
 // Result reports one materialized flush.
 type Result struct {
 	// Built is false when every buffered op was a no-op (rewrote the edge
@@ -160,14 +171,19 @@ type Config struct {
 	// Materialize applies one coalesced batch (rewrites by ascending slot,
 	// then removes, adds, and vertex growth) and builds the overlay
 	// snapshot. minTS is the lowest acceptable snapshot timestamp (0 when
-	// no batch requested one). Required.
-	Materialize func(muts []Mutation, minTS int64) (Result, error)
+	// no batch requested one). sc is the flush span's context, for
+	// parenting a materialize span (zero when tracing is off). Required.
+	Materialize func(muts []Mutation, minTS int64, sc span.Context) (Result, error)
 	// Observe, when set, is called after every flush attempt with the
 	// trigger ("manual", "count", "age"), the wall-clock materialize
-	// latency, the coalesced batch size, and the result (zero-valued when
-	// the materialization failed). It runs with the pipeline lock held, so
-	// it must be fast and must not call back into the pipeline.
-	Observe func(trigger string, d time.Duration, batch int, res Result)
+	// latency, the coalesced batch size, the result (zero-valued when
+	// the materialization failed), and the origin of the flushed window.
+	// It runs with the pipeline lock held, so it must be fast and must
+	// not call back into the pipeline.
+	Observe func(trigger string, d time.Duration, batch int, res Result, o Origin)
+	// Tracer, when set, records one "ingest.flush" span per flush attempt,
+	// parented to the window's origin span.
+	Tracer *span.Tracer
 }
 
 // Stats is a point-in-time snapshot of the pipeline's counters.
@@ -247,9 +263,12 @@ type Pipeline struct {
 	// requested by any buffered batch.
 	pending map[key]Mutation
 	minTS   int64
-	timer   *time.Timer
-	closed  bool
-	stats   Stats
+	// origin is the first batch origin buffered since the last successful
+	// flush — the request the current window's flush will be attributed to.
+	origin Origin
+	timer  *time.Timer
+	closed bool
+	stats  Stats
 }
 
 // New builds a pipeline. Config.Slots and Config.Materialize are required.
@@ -291,6 +310,13 @@ func (p *Pipeline) countOpLocked(o Op) {
 // Accepted/Pending report that — and the age timer re-arms so the window
 // keeps retrying.
 func (p *Pipeline) Apply(muts []Mutation, minTS int64, flushNow bool) (Ack, error) {
+	return p.ApplyFrom(Origin{}, muts, minTS, flushNow)
+}
+
+// ApplyFrom is Apply with the batch's origin: the first origin buffered
+// into an empty window becomes the window's, so the eventual flush span
+// and observation are attributed to the request that opened the window.
+func (p *Pipeline) ApplyFrom(o Origin, muts []Mutation, minTS int64, flushNow bool) (Ack, error) {
 	slots := p.cfg.Slots()
 	for _, m := range muts {
 		switch m.Op {
@@ -313,6 +339,9 @@ func (p *Pipeline) Apply(muts []Mutation, minTS int64, flushNow bool) (Ack, erro
 		return Ack{Pending: len(p.pending)}, fmt.Errorf(
 			"%w: %d pending + %d incoming exceeds cap %d; retry after a flush",
 			ErrSaturated, len(p.pending), len(muts), p.cfg.MaxPending)
+	}
+	if p.origin == (Origin{}) {
+		p.origin = o
 	}
 	for _, m := range muts {
 		k := keyOf(m)
@@ -420,10 +449,15 @@ func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
 	})
 	p.stats.Flushes++
 	*trigger++
+	o := p.origin
+	sp := p.cfg.Tracer.StartSpan(o.Span, "ingest.flush")
+	sp.Attr(span.Str("trigger", p.triggerName(trigger)), span.Int("batch", int64(len(muts))))
 	start := time.Now()
-	res, err := p.cfg.Materialize(muts, p.minTS)
+	res, err := p.cfg.Materialize(muts, p.minTS, sp.Context())
+	sp.Attr(span.Bool("built", res.Built), span.Bool("failed", err != nil))
+	sp.End()
 	if p.cfg.Observe != nil {
-		p.cfg.Observe(p.triggerName(trigger), time.Since(start), len(muts), res)
+		p.cfg.Observe(p.triggerName(trigger), time.Since(start), len(muts), res, o)
 	}
 	if err != nil {
 		p.stats.Failures++
@@ -432,6 +466,7 @@ func (p *Pipeline) flushLocked(trigger *int64) (Result, error) {
 	}
 	clear(p.pending)
 	p.minTS = 0
+	p.origin = Origin{}
 	if p.timer != nil {
 		p.timer.Stop()
 		p.timer = nil

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"cgraph/internal/span"
 	"cgraph/internal/testutil"
 	"cgraph/model"
 )
@@ -20,7 +21,7 @@ type recordingSink struct {
 	ts      int64
 }
 
-func (r *recordingSink) materialize(muts []Mutation, minTS int64) (Result, error) {
+func (r *recordingSink) materialize(muts []Mutation, minTS int64, _ span.Context) (Result, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.fail {
@@ -465,5 +466,56 @@ func TestFlushTriggerRace(t *testing.T) {
 	st := p.Stats()
 	if st.Pending != 0 || st.Mutations != goroutines*perG {
 		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestFlushSpanAndOrigin: the first batch buffered into an empty window
+// owns the window — the flush span is parented to its span context, the
+// Observe callback carries its origin, and a successful flush resets the
+// window so the next batch opens a new one.
+func TestFlushSpanAndOrigin(t *testing.T) {
+	sink := &recordingSink{}
+	tr := span.New(span.Config{Capacity: 64})
+	var origins []Origin
+	p, err := New(Config{
+		Slots:       slots(100),
+		Materialize: sink.materialize,
+		Tracer:      tr,
+		Observe: func(trigger string, d time.Duration, batch int, res Result, o Origin) {
+			origins = append(origins, o)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.StartSpan(span.Context{}, "http.request")
+	first := Origin{Span: root.Context(), RequestID: "req-1"}
+	if _, err := p.ApplyFrom(first, []Mutation{{Slot: 1, Edge: edge(1, 2)}}, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// A later batch in the same window does not displace the origin.
+	second := Origin{RequestID: "req-2"}
+	if _, err := p.ApplyFrom(second, []Mutation{{Slot: 2, Edge: edge(2, 3)}}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(origins) != 1 || origins[0] != first {
+		t.Fatalf("observed origins = %+v, want [%+v]", origins, first)
+	}
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 1 || spans[0].Name != "ingest.flush" {
+		t.Fatalf("trace spans = %+v, want one ingest.flush", spans)
+	}
+	if spans[0].Parent != root.Context().Span {
+		t.Fatal("flush span not parented to the window origin")
+	}
+	if a, ok := spans[0].Attr("trigger"); !ok || a.Value() != "manual" {
+		t.Fatalf("trigger attr = %+v", a)
+	}
+	// The window reset: the next flush is attributed to req-2's successor.
+	if _, err := p.ApplyFrom(second, []Mutation{{Slot: 3, Edge: edge(3, 4)}}, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if len(origins) != 2 || origins[1] != second {
+		t.Fatalf("second window origin = %+v, want %+v", origins[len(origins)-1], second)
 	}
 }

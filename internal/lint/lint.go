@@ -23,6 +23,9 @@
 //     a declared family.
 //   - errcodes: api.Error codes come from the declared ErrorCode constant
 //     set, never raw string literals.
+//   - spanend: span lifecycle. A StartSpan result bound to a local must be
+//     ended in the starting function (directly or deferred), escape it, or
+//     carry //cgraph:spanend <reason>; discarded results are always flagged.
 //
 // The framework mirrors the golang.org/x/tools/go/analysis API shape
 // (Analyzer, Pass, diagnostics, analysistest-style fixtures) but is
@@ -144,7 +147,7 @@ func (p *Pass) fileDirectives(f *ast.File) map[int]map[string]string {
 
 // All returns the full cgraph-vet suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, Spawn, Locksafe, Wiretags, Promnames, Errcodes}
+	return []*Analyzer{Wallclock, Spawn, Locksafe, Wiretags, Promnames, Errcodes, Spanend}
 }
 
 // RunAnalyzers applies each analyzer to each package it matches and

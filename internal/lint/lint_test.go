@@ -13,6 +13,7 @@ func TestLocksafeFixture(t *testing.T)  { RunFixture(t, "locksafe", Locksafe) }
 func TestWiretagsFixture(t *testing.T)  { RunFixture(t, "wiretags", Wiretags) }
 func TestPromnamesFixture(t *testing.T) { RunFixture(t, "promnames", Promnames) }
 func TestErrcodesFixture(t *testing.T)  { RunFixture(t, "errcodes", Errcodes) }
+func TestSpanendFixture(t *testing.T)   { RunFixture(t, "spanend", Spanend) }
 
 // TestMatchScoping pins each analyzer's package scope: the suite must
 // cover the right packages even though fixtures bypass Match.
@@ -28,8 +29,11 @@ func TestMatchScoping(t *testing.T) {
 		{Wallclock, "cgraph/server", false},
 		{Spawn, "cgraph/server", true},
 		{Spawn, "cgraph/internal/pool", false},
+		{Wallclock, "cgraph/internal/span", true},
 		{Promnames, "cgraph/server", true},
 		{Promnames, "cgraph/client", false},
+		{Spanend, "cgraph/server", true},
+		{Spanend, "cgraph/internal/ingest", true},
 	}
 	for _, c := range cases {
 		got := c.analyzer.Match == nil || c.analyzer.Match(c.pkg)

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Spanend enforces the span lifecycle: a span obtained from StartSpan is
+// invisible to the store until End is called, so a started-but-never-ended
+// span is silent data loss — the trace simply has a hole where the
+// operation should be. The check is syntactic and local: a span bound to a
+// local variable must be ended in the same function (directly, deferred,
+// or inside a nested function literal), unless it escapes the function
+// (returned, passed on, stored through a field, or re-assigned) or the
+// start site carries //cgraph:spanend <reason>. A StartSpan result that is
+// discarded outright can never be ended and is always flagged.
+var Spanend = &Analyzer{
+	Name: "spanend",
+	Doc: "require every locally-bound StartSpan result to be ended (x.End(), directly or " +
+		"deferred) within the starting function unless the span escapes it or the start " +
+		"carries //cgraph:spanend <reason>; StartSpan results discarded outright are " +
+		"always flagged",
+	Run: runSpanend,
+}
+
+func runSpanend(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpanStarts(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+// isStartSpan reports whether the call is a <recv>.StartSpan(…) call.
+func isStartSpan(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "StartSpan"
+}
+
+// checkSpanStarts collects every StartSpan binding in the function body and
+// reports the ones that neither end nor escape.
+func checkSpanStarts(pass *Pass, body *ast.BlockStmt) {
+	type start struct {
+		name string
+		call token.Pos // the StartSpan call, for the diagnostic
+		def  token.Pos // the binding identifier, exempt from escape analysis
+	}
+	var starts []start
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok || !isStartSpan(call) {
+				return true
+			}
+			if _, ok := pass.Directive(call.Pos(), "spanend"); !ok {
+				pass.Reportf(call.Pos(), "StartSpan result discarded; the span can never be ended — "+
+					"bind it and call End, or annotate with //cgraph:spanend <reason>")
+			}
+		case *ast.AssignStmt:
+			if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := st.Rhs[0].(*ast.CallExpr)
+			if !ok || !isStartSpan(call) {
+				return true
+			}
+			id, ok := st.Lhs[0].(*ast.Ident)
+			if !ok {
+				// Stores through fields or indices hand the span to longer-
+				// lived state; its lifecycle is that state's business.
+				return true
+			}
+			if _, ok := pass.Directive(call.Pos(), "spanend"); ok {
+				return true
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "StartSpan result discarded; the span can never be ended — "+
+					"bind it and call End, or annotate with //cgraph:spanend <reason>")
+				return true
+			}
+			starts = append(starts, start{id.Name, call.Pos(), id.Pos()})
+		}
+		return true
+	})
+	for _, s := range starts {
+		if spanEndedOrEscapes(body, s.name, s.def) {
+			continue
+		}
+		pass.Reportf(s.call, "span %q is started but never ended in this function; call %s.End() "+
+			"(directly or deferred), or annotate the start with //cgraph:spanend <reason>", s.name, s.name)
+	}
+}
+
+// spanEndedOrEscapes scans the function body for an End call on the named
+// span, or for a use that moves the span out of the function's hands
+// (returned, passed as an argument, or re-assigned) — escape analysis by
+// elimination: any mention of the name that is neither its binding nor the
+// receiver of a method call counts as an escape. Shadowing is not modelled;
+// a same-named inner span that ends keeps the outer one quiet, which is the
+// usual syntactic-suite trade.
+func spanEndedOrEscapes(body *ast.BlockStmt, name string, def token.Pos) bool {
+	ended := false
+	benign := map[token.Pos]bool{def: true}
+	var uses []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := x.X.(*ast.Ident); ok && id.Name == name {
+				// Receiver of a method call or field read: not an escape.
+				benign[id.Pos()] = true
+				// Any mention of x.End counts — a call, a defer, or a
+				// method value handed to someone who will call it.
+				if x.Sel.Name == "End" {
+					ended = true
+				}
+			}
+		case *ast.Ident:
+			if x.Name == name {
+				uses = append(uses, x.Pos())
+			}
+		}
+		return true
+	})
+	if ended {
+		return true
+	}
+	for _, p := range uses {
+		if !benign[p] {
+			return true
+		}
+	}
+	return false
+}

@@ -19,6 +19,24 @@ func declare(e exposition) {
 	e.Declare("cgraph_inflight", "gauge", "")                                  // want "empty HELP"
 }
 
+// declareSpanFamilies mirrors the PR 9 tracing and attribution families:
+// the span-store counters/gauges, the readiness and build-info gauges, and
+// the per-job attribution block all follow the same naming law.
+func declareSpanFamilies(e exposition) {
+	e.Declare("cgraph_span_started_total", "counter", "Spans started since process start.")
+	e.Declare("cgraph_span_ended_total", "counter", "Spans ended since process start.")
+	e.Declare("cgraph_span_evicted_total", "counter", "Spans evicted from the bounded store.")
+	e.Declare("cgraph_span_store_spans", "gauge", "Spans currently held in the store.")
+	e.Declare("cgraph_ready", "gauge", "1 when the readiness probe passes, 0 otherwise.")
+	e.Declare("cgraph_build_info", "gauge", "Build metadata as constant-1 labels.")
+	e.Declare("cgraph_job_attrib_exec_seconds", "gauge", "Per-job execution wall time.")
+	e.Declare("cgraph_job_attrib_makespan_share", "gauge", "Per-job share of group makespan.")
+	e.Declare("cgraph_span_Started_total", "counter", "Mixed case breaks the law.") // want "does not match cgraph_"
+	e.Declare("cgraph_ready", "gauge", "Probe gauges are declared once.")           // want "declared more than once"
+	e.Add("cgraph_span_started_total", 1)
+	e.Add("cgraph_job_attrib_rounds", 1) // want "targets undeclared metric family"
+}
+
 func sample(e exposition, family string) {
 	e.Add("cgraph_jobs_total", 1)
 	e.AddHistogram("cgraph_rounds_total", nil)

@@ -1,0 +1,86 @@
+// Package fixture exercises the spanend analyzer: every StartSpan result
+// bound to a local must be ended in the starting function, escape it, or
+// carry a //cgraph:spanend annotation; discarded results are always flagged.
+package fixture
+
+type tracer struct{}
+
+type spanCtx struct{}
+
+type span struct{}
+
+func (tracer) StartSpan(parent spanCtx, name string) *span { return nil }
+
+func (*span) End() {}
+
+func (*span) Attr(kvs ...string) {}
+
+func (*span) Context() spanCtx { return spanCtx{} }
+
+type job struct {
+	root *span
+}
+
+func endedDirectly(t tracer) {
+	sp := t.StartSpan(spanCtx{}, "ok.direct")
+	sp.Attr("k", "v")
+	sp.End()
+}
+
+func endedDeferred(t tracer) {
+	sp := t.StartSpan(spanCtx{}, "ok.deferred")
+	defer sp.End()
+	sp.Attr("k", "v")
+}
+
+func endedInClosure(t tracer) {
+	sp := t.StartSpan(spanCtx{}, "ok.closure")
+	defer func() {
+		sp.Attr("late", "attr")
+		sp.End()
+	}()
+}
+
+func neverEnded(t tracer) {
+	sp := t.StartSpan(spanCtx{}, "bad.leaked") // want "started but never ended"
+	sp.Attr("k", "v")
+}
+
+func onlyChildEnded(t tracer) {
+	parent := t.StartSpan(spanCtx{}, "bad.parent-leaked") // want "started but never ended"
+	child := t.StartSpan(parent.Context(), "ok.child")
+	child.End()
+}
+
+func discarded(t tracer) {
+	t.StartSpan(spanCtx{}, "bad.discarded") // want "result discarded"
+}
+
+func blankBound(t tracer) {
+	_ = t.StartSpan(spanCtx{}, "bad.blank") // want "result discarded"
+}
+
+func returned(t tracer) *span {
+	sp := t.StartSpan(spanCtx{}, "ok.returned")
+	return sp
+}
+
+func passedOn(t tracer, sink func(*span)) {
+	sp := t.StartSpan(spanCtx{}, "ok.passed")
+	sink(sp)
+}
+
+func storedInField(t tracer, j *job) {
+	sp := t.StartSpan(spanCtx{}, "ok.stored")
+	j.root = sp
+}
+
+func fieldBound(t tracer, j *job) {
+	// Binding straight into longer-lived state is an escape by construction.
+	j.root = t.StartSpan(spanCtx{}, "ok.field")
+}
+
+func annotated(t tracer) {
+	sp := t.StartSpan(spanCtx{}, "ok.annotated") //cgraph:spanend ended by the retire path, not locally
+	sp.Attr("k", "v")
+}

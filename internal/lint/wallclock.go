@@ -15,6 +15,7 @@ var wallclockPkgs = map[string]bool{
 	"cgraph/internal/core":  true,
 	"cgraph/internal/sched": true,
 	"cgraph/internal/exec":  true,
+	"cgraph/internal/span":  true,
 }
 
 // wallclockFuncs are the time package's wall-clock reads.

@@ -24,6 +24,25 @@ import (
 type Task struct {
 	Run    func(worker int)
 	Weight int64
+	// Trace, when non-nil, brackets the task's execution: it is invoked
+	// just before Run with the executing worker and whether the task ran
+	// on a worker other than the one it was seeded on (i.e. it was moved
+	// by a steal), and the returned func — if non-nil — runs right after
+	// Run returns. The engine uses this seam for per-task tracing and
+	// stolen-task attribution without the pool depending on the tracer.
+	Trace func(worker int, stolen bool) func()
+	// seed is the worker the task was initially placed on.
+	seed int
+}
+
+// exec runs the task on worker w, bracketing it with Trace when set.
+func (t *Task) exec(w int) {
+	if t.Trace != nil {
+		if done := t.Trace(w, w != t.seed); done != nil {
+			defer done()
+		}
+	}
+	t.Run(w)
 }
 
 // Stats is the account of one Run call.
@@ -125,8 +144,8 @@ func (p *Pool) Run(tasks []Task) Stats {
 	}
 	st.Tasks = int64(len(tasks))
 	if p.workers == 1 || len(tasks) == 1 {
-		for _, t := range tasks {
-			t.Run(0)
+		for i := range tasks {
+			tasks[i].exec(0)
 		}
 		st.MaxWorkerWeight = st.TotalWeight
 		return st
@@ -161,7 +180,7 @@ func (p *Pool) Run(tasks []Task) Stats {
 					}
 					continue
 				}
-				t.Run(id)
+				t.exec(id)
 				executed[id] += taskWeight(t)
 			}
 		}(w)
@@ -204,8 +223,10 @@ func seed(deques []*deque, tasks []Task) {
 				light = w
 			}
 		}
-		load[light] += taskWeight(tasks[ti])
-		deques[light].tasks = append(deques[light].tasks, tasks[ti])
+		t := tasks[ti]
+		t.seed = light
+		load[light] += taskWeight(t)
+		deques[light].tasks = append(deques[light].tasks, t)
 	}
 	// Owners pop from the tail; reverse so the heaviest seeded task runs
 	// first and the small tail tasks remain stealable at the head.

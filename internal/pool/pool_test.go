@@ -148,3 +148,59 @@ func BenchmarkRunUniform(b *testing.B) {
 		p.Run(tasks)
 	}
 }
+
+// TestTraceBracket verifies the Trace seam: the pre-hook fires once per
+// task with the executing worker, the returned post-hook fires after Run,
+// and stolen reporting is consistent (a task that never moved reports
+// stolen=false; the stolen count matches the pool's own Stolen stat at
+// least in the single-worker case where nothing can move).
+func TestTraceBracket(t *testing.T) {
+	var pre, post, stolen atomic.Int64
+	mk := func(n int) []Task {
+		tasks := make([]Task, n)
+		for i := range tasks {
+			ran := false
+			tasks[i] = Task{
+				Weight: int64(i + 1),
+				Run:    func(int) { ran = true },
+				Trace: func(worker int, st bool) func() {
+					if ran {
+						t.Error("Trace fired after Run")
+					}
+					pre.Add(1)
+					if st {
+						stolen.Add(1)
+					}
+					return func() {
+						if !ran {
+							t.Error("post-hook fired before Run completed")
+						}
+						post.Add(1)
+					}
+				},
+			}
+		}
+		return tasks
+	}
+
+	// Inline path: one worker, nothing can be stolen.
+	New(1).Run(mk(16))
+	if pre.Load() != 16 || post.Load() != 16 {
+		t.Fatalf("inline: pre/post = %d/%d, want 16/16", pre.Load(), post.Load())
+	}
+	if stolen.Load() != 0 {
+		t.Fatalf("inline: stolen = %d, want 0", stolen.Load())
+	}
+
+	// Parallel path: every task still brackets exactly once.
+	pre.Store(0)
+	post.Store(0)
+	stolen.Store(0)
+	st := New(4).Run(mk(64))
+	if pre.Load() != 64 || post.Load() != 64 {
+		t.Fatalf("parallel: pre/post = %d/%d, want 64/64", pre.Load(), post.Load())
+	}
+	if stolen.Load() > st.Stolen {
+		t.Fatalf("trace reported %d stolen tasks, pool moved only %d", stolen.Load(), st.Stolen)
+	}
+}

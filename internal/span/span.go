@@ -1,0 +1,453 @@
+// Package span is a stdlib-only, allocation-bounded span tracer for the
+// CGraph job service: the causal chain of one request — HTTP arrival, job
+// submission, queue wait, every engine round the job participates in,
+// ingest flush/materialize windows, sampled pool tasks, retirement — is
+// recorded as a tree of spans sharing one trace ID, compatible with the
+// W3C `traceparent` header so external callers can join their own traces.
+//
+// The tracer is deliberately small: IDs are generated from a seeded
+// counter (no per-span syscalls), spans are plain values pushed into a
+// bounded ring store with FIFO eviction and per-trace / per-job indexes,
+// and every entry point is nil-safe — a nil *Tracer hands out nil *Spans
+// whose methods no-op, so call sites need no "is tracing on" branches.
+//
+// Spans are dual-clocked. Wall timestamps bound each span's real duration
+// (stamped at the edges, annotated for the wallclock analyzer); the
+// engine's virtual clock, when wired via SetVirtualClock, additionally
+// stamps simulated microseconds so round spans line up with the engine's
+// makespan accounting.
+package span
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one causal chain (16 bytes, rendered as 32 hex).
+type TraceID [16]byte
+
+// IsZero reports whether the trace ID is the invalid all-zero ID.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// ParseTraceID decodes a 32-hex-digit trace ID. The all-zero ID is
+// rejected, as the W3C spec requires.
+func ParseTraceID(s string) (TraceID, error) {
+	var t TraceID
+	if len(s) != 32 {
+		return t, fmt.Errorf("span: trace id %q: want 32 hex digits", s)
+	}
+	if _, err := hex.Decode(t[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("span: trace id %q: %w", s, err)
+	}
+	if t.IsZero() {
+		return t, fmt.Errorf("span: trace id %q is all zero", s)
+	}
+	return t, nil
+}
+
+// SpanID identifies one span within a trace (8 bytes, 16 hex).
+type SpanID [8]byte
+
+// IsZero reports whether the span ID is the invalid all-zero ID.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// Context is the propagated half of a span: enough to parent children and
+// to format a traceparent header, without a reference to the span itself.
+type Context struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// Valid reports whether the context names a real span.
+func (c Context) Valid() bool { return !c.Trace.IsZero() && !c.Span.IsZero() }
+
+// idState seeds span/trace ID generation once per process from the OS
+// entropy source; per-ID generation is then a pure atomic counter mixed
+// through splitmix64 — no syscalls or allocation on the hot path.
+var idState = func() *atomic.Uint64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Entropy failure: fall back to the wall clock. IDs stay unique
+		// within the process (the counter), just less unpredictable.
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano())) //cgraph:wallclock one-time ID seed fallback, not a measurement
+	}
+	var s atomic.Uint64
+	s.Store(binary.LittleEndian.Uint64(b[:]))
+	return &s
+}()
+
+// splitmix64 is the SplitMix64 output function: a bijective mixer, so
+// distinct counter values always yield distinct IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nextID() uint64 {
+	for {
+		if id := splitmix64(idState.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID returns a fresh non-zero trace ID.
+func NewTraceID() TraceID {
+	var t TraceID
+	binary.BigEndian.PutUint64(t[:8], nextID())
+	binary.BigEndian.PutUint64(t[8:], nextID())
+	return t
+}
+
+// NewSpanID returns a fresh non-zero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	binary.BigEndian.PutUint64(s[:], nextID())
+	return s
+}
+
+// AttrKind tags the active arm of an Attr.
+type AttrKind uint8
+
+const (
+	// KindString: Str holds the value.
+	KindString AttrKind = iota
+	// KindInt: Num holds the value (as int64 bits of meaning).
+	KindInt
+	// KindFloat: Num holds the value.
+	KindFloat
+	// KindBool: Num is 0 or 1.
+	KindBool
+)
+
+// Attr is one typed key/value annotation on a span. Construct with Str,
+// Int, Float, or Bool; the tagged union keeps attribute lists free of
+// interface boxing.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Num  float64
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Kind: KindString, Str: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Kind: KindInt, Num: float64(v)} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Kind: KindFloat, Num: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr {
+	a := Attr{Key: k, Kind: KindBool}
+	if v {
+		a.Num = 1
+	}
+	return a
+}
+
+// Value renders the attribute's value as a string (wire/display form).
+func (a Attr) Value() string {
+	switch a.Kind {
+	case KindString:
+		return a.Str
+	case KindInt:
+		return fmt.Sprintf("%d", int64(a.Num))
+	case KindBool:
+		if a.Num != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("%g", a.Num)
+	}
+}
+
+// Data is one recorded span: the immutable value form held by the Store.
+type Data struct {
+	Trace  TraceID
+	ID     SpanID
+	Parent SpanID
+	// Name is the span's operation ("http.request", "job.submit",
+	// "job.round", "ingest.flush", "pool.task", …).
+	Name string
+	// Job is the owning service job ID for job-attributed spans ("" for
+	// request/ingest spans that precede or outlive any one job).
+	Job string
+	// Wall-clock edges (real time).
+	StartWall time.Time
+	EndWall   time.Time
+	// Virtual-clock edges in simulated microseconds (0 when the tracer
+	// has no virtual clock or the span predates engine work).
+	StartVirtualUS float64
+	EndVirtualUS   float64
+	Attrs          []Attr
+}
+
+// Attr returns the named attribute and whether it is present.
+func (d Data) Attr(key string) (Attr, bool) {
+	for _, a := range d.Attrs {
+		if a.Key == key {
+			return a, true
+		}
+	}
+	return Attr{}, false
+}
+
+// Span is one in-flight span. It is created by Tracer.StartSpan and
+// becomes visible in the store when End is called. A nil *Span is a valid
+// no-op receiver for every method, so disabled tracing costs one nil
+// check per call site.
+type Span struct {
+	tracer *Tracer
+	mu     sync.Mutex
+	data   Data
+	ended  bool
+}
+
+// Context returns the span's propagation context (zero for a nil span).
+func (s *Span) Context() Context {
+	if s == nil {
+		return Context{}
+	}
+	return Context{Trace: s.data.Trace, Span: s.data.ID}
+}
+
+// TraceID returns the span's trace ID (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.data.Trace
+}
+
+// SetJob attributes the span (and, via inheritance at call sites, its
+// children) to a service job ID.
+func (s *Span) SetJob(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.data.Job = id
+	}
+	s.mu.Unlock()
+}
+
+// Attr appends typed attributes to the span.
+func (s *Span) Attr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.data.Attrs = append(s.data.Attrs, attrs...)
+	}
+	s.mu.Unlock()
+}
+
+// End stamps the span's end edges and records it in the tracer's store.
+// End is idempotent: second and later calls no-op, so a span stored in a
+// struct can be End-ed on an early-exit path and again by the normal one.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.EndWall = time.Now() //cgraph:wallclock span end edges are wall-stamped by design
+	if v := s.tracer.virtualNow(); v > 0 {
+		s.data.EndVirtualUS = v
+	}
+	d := s.data
+	s.mu.Unlock()
+	s.tracer.ended.Add(1)
+	s.tracer.store.add(d)
+}
+
+// Tracer creates spans and owns their bounded store. The zero value is
+// not usable; construct with New. A nil *Tracer is a valid no-op tracer.
+type Tracer struct {
+	store *Store
+	// virtual, when set, reads the engine's virtual clock in simulated
+	// microseconds. Guarded by vmu: it is wired after construction, once
+	// the engine exists.
+	vmu     sync.RWMutex
+	virtual func() float64
+
+	started atomic.Int64
+	ended   atomic.Int64
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Capacity bounds the span store (default 4096 spans); the oldest
+	// span is evicted FIFO when a new one lands on a full store.
+	Capacity int
+}
+
+// New builds a tracer with a bounded store.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4096
+	}
+	return &Tracer{store: newStore(cfg.Capacity)}
+}
+
+// SetVirtualClock wires the engine's virtual clock, so spans started and
+// ended afterwards carry simulated-microsecond edges too.
+func (t *Tracer) SetVirtualClock(fn func() float64) {
+	if t == nil {
+		return
+	}
+	t.vmu.Lock()
+	t.virtual = fn
+	t.vmu.Unlock()
+}
+
+func (t *Tracer) virtualNow() float64 {
+	if t == nil {
+		return 0
+	}
+	t.vmu.RLock()
+	fn := t.virtual
+	t.vmu.RUnlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// StartSpan opens a span. A valid parent context places the span in the
+// parent's trace; an invalid one starts a fresh trace with this span as
+// its root. A nil tracer returns a nil (no-op) span.
+func (t *Tracer) StartSpan(parent Context, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	s := &Span{
+		tracer: t,
+		data: Data{
+			ID:        NewSpanID(),
+			Name:      name,
+			StartWall: time.Now(), //cgraph:wallclock span start edges are wall-stamped by design
+		},
+	}
+	if parent.Valid() {
+		s.data.Trace = parent.Trace
+		s.data.Parent = parent.Span
+	} else {
+		s.data.Trace = NewTraceID()
+	}
+	if v := t.virtualNow(); v > 0 {
+		s.data.StartVirtualUS = v
+	}
+	return s
+}
+
+// Record inserts a fully-formed span: the retro-recording entry point for
+// code that reconstructs spans at a boundary (the engine's round loop
+// builds each job's round span from loop-private counters after the round
+// completes). A zero ID is assigned; a zero Trace makes the span a root
+// of a fresh trace. Nil tracers no-op.
+func (t *Tracer) Record(d Data) Context {
+	if t == nil {
+		return Context{}
+	}
+	if d.ID.IsZero() {
+		d.ID = NewSpanID()
+	}
+	if d.Trace.IsZero() {
+		d.Trace = NewTraceID()
+	}
+	t.started.Add(1)
+	t.ended.Add(1)
+	t.store.add(d)
+	return Context{Trace: d.Trace, Span: d.ID}
+}
+
+// Spans returns every stored span of the trace, oldest first.
+func (t *Tracer) Spans(trace TraceID) []Data {
+	if t == nil {
+		return nil
+	}
+	return t.store.spansByTrace(trace)
+}
+
+// JobSpans returns every stored span attributed to the job, oldest first.
+func (t *Tracer) JobSpans(job string) []Data {
+	if t == nil {
+		return nil
+	}
+	return t.store.spansByJob(job)
+}
+
+// Jobs lists the job IDs with at least one stored span, in no particular
+// order.
+func (t *Tracer) Jobs() []string {
+	if t == nil {
+		return nil
+	}
+	return t.store.jobs()
+}
+
+// Stats is a point-in-time snapshot of the tracer's counters.
+type Stats struct {
+	// Started/Ended count spans opened and recorded since process start
+	// (Record counts as both).
+	Started int64
+	Ended   int64
+	// Evicted counts spans dropped FIFO from the full store.
+	Evicted int64
+	// StoreSpans/StoreTraces are the store's current population;
+	// Capacity its bound.
+	StoreSpans  int
+	StoreTraces int
+	Capacity    int
+}
+
+// Stats reports the tracer's counters (zero for a nil tracer).
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	st := t.store.stats()
+	st.Started = t.started.Load()
+	st.Ended = t.ended.Load()
+	return st
+}
+
+// ctxKey is the context key for span propagation through context.Context.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying the span context.
+func NewContext(ctx context.Context, c Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// FromContext extracts the span context carried by ctx (zero if none).
+func FromContext(ctx context.Context) Context {
+	c, _ := ctx.Value(ctxKey{}).(Context)
+	return c
+}

@@ -1,0 +1,314 @@
+package span
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestIDs(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("zero trace id generated")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %s", id)
+		}
+		seen[id] = true
+	}
+	if len(NewTraceID().String()) != 32 {
+		t.Fatal("trace id renders to 32 hex digits")
+	}
+	if len(NewSpanID().String()) != 16 {
+		t.Fatal("span id renders to 16 hex digits")
+	}
+	rt, err := ParseTraceID(NewTraceID().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.IsZero() {
+		t.Fatal("round-tripped trace id is zero")
+	}
+	if _, err := ParseTraceID("00000000000000000000000000000000"); err == nil {
+		t.Fatal("all-zero trace id accepted")
+	}
+	if _, err := ParseTraceID("xyz"); err == nil {
+		t.Fatal("malformed trace id accepted")
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	c := Context{Trace: NewTraceID(), Span: NewSpanID()}
+	h := c.Traceparent()
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected its own rendering", h)
+	}
+	if got != c {
+		t.Fatalf("round trip: got %+v want %+v", got, c)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"garbage",
+		"00-abc-def-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero parent
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // invalid version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+		"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+	// Future versions with trailing data are accepted (prefix-compatible).
+	if _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-future"); !ok {
+		t.Error("future-version traceparent with extra data rejected")
+	}
+}
+
+func TestNilTracerAndSpanNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan(Context{}, "noop")
+	if sp != nil {
+		t.Fatal("nil tracer handed out a non-nil span")
+	}
+	// All of these must be safe no-ops.
+	sp.SetJob("job-1")
+	sp.Attr(Str("k", "v"))
+	sp.End()
+	if c := sp.Context(); c.Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if got := tr.Spans(NewTraceID()); got != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+	if st := tr.Stats(); st != (Stats{}) {
+		t.Fatal("nil tracer has non-zero stats")
+	}
+	tr.Record(Data{Name: "x"})
+	tr.SetVirtualClock(func() float64 { return 1 })
+}
+
+func TestSpanTreeAndIndexes(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	root := tr.StartSpan(Context{}, "http.request")
+	child := tr.StartSpan(root.Context(), "job.submit")
+	child.SetJob("job-0")
+	child.Attr(Int("priority", 3), Str("algo", "pagerank"), Bool("flush", true), Float("share", 0.5))
+	grand := tr.StartSpan(child.Context(), "job.queue_wait")
+	grand.SetJob("job-0")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	// Oldest first = end order: grand, child, root.
+	if spans[0].Name != "job.queue_wait" || spans[2].Name != "http.request" {
+		t.Fatalf("unexpected order: %s … %s", spans[0].Name, spans[2].Name)
+	}
+	byName := map[string]Data{}
+	for _, d := range spans {
+		byName[d.Name] = d
+	}
+	if byName["job.submit"].Parent != byName["http.request"].ID {
+		t.Fatal("job.submit is not parented to http.request")
+	}
+	if byName["job.queue_wait"].Parent != byName["job.submit"].ID {
+		t.Fatal("job.queue_wait is not parented to job.submit")
+	}
+	for _, d := range spans {
+		if d.Trace != root.TraceID() {
+			t.Fatalf("span %s has trace %s, want %s", d.Name, d.Trace, root.TraceID())
+		}
+		if d.EndWall.Before(d.StartWall) {
+			t.Fatalf("span %s ends before it starts", d.Name)
+		}
+	}
+
+	job := tr.JobSpans("job-0")
+	if len(job) != 2 {
+		t.Fatalf("job-0 has %d spans, want 2", len(job))
+	}
+	if a, ok := byName["job.submit"].Attr("algo"); !ok || a.Value() != "pagerank" {
+		t.Fatalf("algo attr = %+v", a)
+	}
+	if a, _ := byName["job.submit"].Attr("priority"); a.Value() != "3" {
+		t.Fatalf("priority attr renders %q", a.Value())
+	}
+	if a, _ := byName["job.submit"].Attr("flush"); a.Value() != "true" {
+		t.Fatalf("flush attr renders %q", a.Value())
+	}
+	if jobs := tr.Jobs(); len(jobs) != 1 || jobs[0] != "job-0" {
+		t.Fatalf("Jobs() = %v", jobs)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Config{Capacity: 8})
+	sp := tr.StartSpan(Context{}, "once")
+	sp.End()
+	sp.End()
+	sp.End()
+	if got := len(tr.Spans(sp.TraceID())); got != 1 {
+		t.Fatalf("span recorded %d times, want 1", got)
+	}
+	if st := tr.Stats(); st.Ended != 1 {
+		t.Fatalf("Ended = %d, want 1", st.Ended)
+	}
+}
+
+// TestStoreEviction is the boundedness guarantee: a store of capacity N
+// never holds more than N spans, evicts FIFO, and keeps its per-trace and
+// per-job indexes exact across wrap-around.
+func TestStoreEviction(t *testing.T) {
+	const capacity = 32
+	tr := New(Config{Capacity: capacity})
+	traces := make([]TraceID, 0, 100)
+	for i := 0; i < 100; i++ {
+		sp := tr.StartSpan(Context{}, "s")
+		sp.SetJob(fmt.Sprintf("job-%d", i))
+		sp.End()
+		traces = append(traces, sp.TraceID())
+	}
+	st := tr.Stats()
+	if st.StoreSpans != capacity {
+		t.Fatalf("store holds %d spans, want %d", st.StoreSpans, capacity)
+	}
+	if st.StoreTraces != capacity {
+		t.Fatalf("store indexes %d traces, want %d", st.StoreTraces, capacity)
+	}
+	if st.Evicted != 100-capacity {
+		t.Fatalf("evicted %d, want %d", st.Evicted, 100-capacity)
+	}
+	// The oldest 68 traces are gone; the newest 32 remain.
+	for i, trace := range traces {
+		got := tr.Spans(trace)
+		if i < 100-capacity && len(got) != 0 {
+			t.Fatalf("evicted trace %d still has %d spans", i, len(got))
+		}
+		if i >= 100-capacity && len(got) != 1 {
+			t.Fatalf("retained trace %d has %d spans, want 1", i, len(got))
+		}
+	}
+	if got := tr.JobSpans("job-10"); len(got) != 0 {
+		t.Fatalf("evicted job still indexed: %d spans", len(got))
+	}
+	if got := tr.JobSpans("job-99"); len(got) != 1 {
+		t.Fatalf("retained job has %d spans, want 1", len(got))
+	}
+	if jobs := tr.Jobs(); len(jobs) != capacity {
+		t.Fatalf("Jobs() lists %d, want %d", len(jobs), capacity)
+	}
+}
+
+// TestStoreEvictionMultiSpanTrace exercises index-head pops when one trace
+// holds many spans spanning the eviction boundary.
+func TestStoreEvictionMultiSpanTrace(t *testing.T) {
+	tr := New(Config{Capacity: 10})
+	root := tr.StartSpan(Context{}, "root")
+	for i := 0; i < 25; i++ {
+		sp := tr.StartSpan(root.Context(), "child")
+		sp.SetJob("job-0")
+		sp.End()
+	}
+	root.End()
+	spans := tr.Spans(root.TraceID())
+	if len(spans) != 10 {
+		t.Fatalf("trace has %d spans, want 10 (capacity)", len(spans))
+	}
+	// The newest 10 recorded spans: children 16..24, then the root.
+	if spans[len(spans)-1].Name != "root" {
+		t.Fatalf("newest span is %q, want root", spans[len(spans)-1].Name)
+	}
+	if got := len(tr.JobSpans("job-0")); got != 9 {
+		t.Fatalf("job-0 has %d spans, want 9", got)
+	}
+}
+
+func TestRecordRetroSpan(t *testing.T) {
+	tr := New(Config{Capacity: 8})
+	parent := tr.StartSpan(Context{}, "job.submit")
+	c := tr.Record(Data{
+		Trace:          parent.TraceID(),
+		Parent:         parent.Context().Span,
+		Name:           "job.round",
+		Job:            "job-0",
+		StartVirtualUS: 10,
+		EndVirtualUS:   25,
+		Attrs:          []Attr{Int("round", 1)},
+	})
+	if !c.Valid() {
+		t.Fatal("Record returned invalid context")
+	}
+	parent.End()
+	spans := tr.Spans(parent.TraceID())
+	if len(spans) != 2 {
+		t.Fatalf("trace has %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "job.round" || spans[0].EndVirtualUS != 25 {
+		t.Fatalf("retro span mangled: %+v", spans[0])
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	tr := New(Config{Capacity: 8})
+	now := 100.0
+	tr.SetVirtualClock(func() float64 { return now })
+	sp := tr.StartSpan(Context{}, "round")
+	now = 250
+	sp.End()
+	d := tr.Spans(sp.TraceID())[0]
+	if d.StartVirtualUS != 100 || d.EndVirtualUS != 250 {
+		t.Fatalf("virtual edges = %v..%v, want 100..250", d.StartVirtualUS, d.EndVirtualUS)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	tr := New(Config{Capacity: 128})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartSpan(Context{}, "concurrent")
+				sp.SetJob(fmt.Sprintf("job-%d", g))
+				sp.Attr(Int("i", int64(i)))
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := tr.Stats()
+	if st.StoreSpans != 128 {
+		t.Fatalf("store holds %d, want 128", st.StoreSpans)
+	}
+	if st.Started != 1600 || st.Ended != 1600 {
+		t.Fatalf("started/ended = %d/%d, want 1600/1600", st.Started, st.Ended)
+	}
+	if st.Evicted != 1600-128 {
+		t.Fatalf("evicted = %d, want %d", st.Evicted, 1600-128)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	c := Context{Trace: NewTraceID(), Span: NewSpanID()}
+	ctx := NewContext(context.Background(), c)
+	if got := FromContext(ctx); got != c {
+		t.Fatalf("FromContext = %+v, want %+v", got, c)
+	}
+	if got := FromContext(context.Background()); got.Valid() {
+		t.Fatal("empty context yielded a valid span context")
+	}
+}

@@ -1,0 +1,118 @@
+package span
+
+import "sync"
+
+// Store is the bounded span sink: a FIFO ring of Data values with
+// per-trace and per-job indexes. When the ring is full the globally
+// oldest span is evicted, and — because insertion order is global — that
+// span is also the oldest entry of its trace's and job's index slices, so
+// eviction maintenance is O(1) pops off slice heads, no scans.
+type Store struct {
+	mu  sync.Mutex
+	cap int
+	// buf is the ring; seq numbers spans globally, head is the seq of
+	// buf's logical first element.
+	buf     []Data
+	headSeq int64
+	nextSeq int64
+	evicted int64
+	// byTrace and byJob map to ascending seq lists (insertion order).
+	byTrace map[TraceID][]int64
+	byJob   map[string][]int64
+}
+
+func newStore(capacity int) *Store {
+	return &Store{
+		cap:     capacity,
+		buf:     make([]Data, 0, capacity),
+		byTrace: make(map[TraceID][]int64),
+		byJob:   make(map[string][]int64),
+	}
+}
+
+func (s *Store) add(d Data) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) == s.cap {
+		old := s.buf[s.headSeq%int64(s.cap)]
+		s.dropIndexLocked(old)
+		s.headSeq++
+		s.evicted++
+		s.buf[s.nextSeq%int64(s.cap)] = d
+	} else {
+		s.buf = append(s.buf, d)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	s.byTrace[d.Trace] = append(s.byTrace[d.Trace], seq)
+	if d.Job != "" {
+		s.byJob[d.Job] = append(s.byJob[d.Job], seq)
+	}
+}
+
+// dropIndexLocked removes the evicted span's seq — necessarily the first
+// of its index slices — from both indexes.
+func (s *Store) dropIndexLocked(old Data) {
+	if seqs := s.byTrace[old.Trace]; len(seqs) <= 1 {
+		delete(s.byTrace, old.Trace)
+	} else {
+		s.byTrace[old.Trace] = seqs[1:]
+	}
+	if old.Job == "" {
+		return
+	}
+	if seqs := s.byJob[old.Job]; len(seqs) <= 1 {
+		delete(s.byJob, old.Job)
+	} else {
+		s.byJob[old.Job] = seqs[1:]
+	}
+}
+
+// atLocked returns the span stored under seq.
+func (s *Store) atLocked(seq int64) Data {
+	if len(s.buf) < s.cap {
+		return s.buf[seq]
+	}
+	return s.buf[seq%int64(s.cap)]
+}
+
+func (s *Store) collectLocked(seqs []int64) []Data {
+	out := make([]Data, len(seqs))
+	for i, seq := range seqs {
+		out[i] = s.atLocked(seq)
+	}
+	return out
+}
+
+func (s *Store) spansByTrace(trace TraceID) []Data {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collectLocked(s.byTrace[trace])
+}
+
+func (s *Store) spansByJob(job string) []Data {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.collectLocked(s.byJob[job])
+}
+
+func (s *Store) jobs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byJob))
+	for j := range s.byJob {
+		out = append(out, j)
+	}
+	return out
+}
+
+func (s *Store) stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Evicted:     s.evicted,
+		StoreSpans:  len(s.buf),
+		StoreTraces: len(s.byTrace),
+		Capacity:    s.cap,
+	}
+}

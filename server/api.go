@@ -3,12 +3,15 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
+	"runtime/debug"
 	"sort"
 	"time"
 
 	"cgraph"
 	"cgraph/api"
+	"cgraph/internal/span"
 	"cgraph/model"
 )
 
@@ -20,8 +23,10 @@ import (
 
 // SubmitSpec accepts one wire-form submission: the registry resolves the
 // algorithm name, and the spec's labels, priority, deadline, and snapshot
-// binding carry through to the service job.
-func (s *Service) SubmitSpec(reg Registry, spec api.JobSpec) (api.JobStatus, *api.Error) {
+// binding carry through to the service job. A span context and request ID
+// carried by ctx (the HTTP middleware plants both) parent the job's span
+// tree and join its log lines to the request.
+func (s *Service) SubmitSpec(ctx context.Context, reg Registry, spec api.JobSpec) (api.JobStatus, *api.Error) {
 	if reg == nil {
 		reg = DefaultRegistry()
 	}
@@ -33,10 +38,12 @@ func (s *Service) SubmitSpec(reg Registry, spec api.JobSpec) (api.JobStatus, *ap
 		return api.JobStatus{}, &api.Error{Code: api.CodeUnknownAlgorithm, Message: err.Error()}
 	}
 	sspec := Spec{
-		Program:  prog,
-		Arrival:  spec.AtTimestamp,
-		Labels:   spec.Labels,
-		Priority: spec.Priority,
+		Program:   prog,
+		Arrival:   spec.AtTimestamp,
+		Labels:    spec.Labels,
+		Priority:  spec.Priority,
+		Span:      span.FromContext(ctx),
+		RequestID: requestIDFrom(ctx),
 	}
 	if spec.TimeoutMS > 0 {
 		sspec.Timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
@@ -175,9 +182,12 @@ func (s *Service) IngestSnapshot(snap api.Snapshot) (api.SnapshotAck, *api.Error
 // for the structural ops (add_edge, remove_edge, add_vertex), the changed
 // topology; the pipeline coalesces batches and materializes incrementally
 // re-chunked snapshots per its batching window. When the ingest admission
-// cap is reached the batch is shed with ingest_saturated (HTTP 429).
-func (s *Service) IngestDelta(delta api.Delta) (api.DeltaAck, *api.Error) {
-	d := cgraph.Delta{Timestamp: delta.Timestamp, Flush: delta.Flush}
+// cap is reached the batch is shed with ingest_saturated (HTTP 429). Each
+// accepted batch is wrapped in an "ingest.accept" span parented under ctx's
+// span (if any); the pipeline chains its flush and materialize spans off
+// the first batch of each coalescing window.
+func (s *Service) IngestDelta(ctx context.Context, delta api.Delta) (api.DeltaAck, *api.Error) {
+	d := cgraph.Delta{Timestamp: delta.Timestamp, Flush: delta.Flush, RequestID: requestIDFrom(ctx)}
 	d.Mutations = make([]cgraph.Mutation, len(delta.Mutations))
 	for i, m := range delta.Mutations {
 		var op cgraph.MutationOp
@@ -204,23 +214,206 @@ func (s *Service) IngestDelta(delta api.Delta) (api.DeltaAck, *api.Error) {
 			Edge:   edge,
 		}
 	}
+	accept := s.sys.SpanTracer().StartSpan(span.FromContext(ctx), "ingest.accept")
+	defer accept.End()
+	accept.Attr(span.Int("mutations", int64(len(delta.Mutations))), span.Bool("flush", delta.Flush))
+	d.Span = accept.Context()
 	ack, err := s.sys.ApplyDelta(d)
 	if err != nil {
+		accept.Attr(span.Str("error", err.Error()))
 		if errors.Is(err, cgraph.ErrIngestSaturated) {
 			s.log.Warn("delta batch shed",
 				"trigger", "admission_cap",
 				"mutations", len(delta.Mutations),
-				"timestamp", delta.Timestamp)
+				"timestamp", delta.Timestamp,
+				"request_id", d.RequestID)
 			return api.DeltaAck{}, &api.Error{Code: api.CodeIngestSaturated, Message: err.Error()}
 		}
 		return api.DeltaAck{}, &api.Error{Code: api.CodeBadRequest, Message: err.Error()}
 	}
+	accept.Attr(span.Int("accepted", int64(ack.Accepted)), span.Int("pending", int64(ack.Pending)), span.Bool("flushed", ack.Flushed))
 	return api.DeltaAck{
 		Accepted:  ack.Accepted,
 		Pending:   ack.Pending,
 		Flushed:   ack.Flushed,
 		Timestamp: ack.Timestamp,
 	}, nil
+}
+
+// SpansOf returns one job's retained span tree plus its resource
+// attribution. Only job-attributed spans appear — the tree is identical
+// through the in-process and HTTP clients; transport spans of the same
+// trace are served by TraceSpansOf.
+func (s *Service) SpansOf(id string) (api.JobSpans, *api.Error) {
+	var traceID string
+	if j, ok := s.Get(id); ok {
+		traceID = j.TraceID()
+	} else if st, ok := s.historyLookup(id); ok {
+		traceID = st.TraceID
+	} else {
+		return api.JobSpans{}, api.Errorf(api.CodeNotFound, "unknown job %q", id)
+	}
+	spans := s.sys.SpanTracer().JobSpans(id)
+	out := api.JobSpans{ID: id, TraceID: traceID, Spans: wireSpans(spans)}
+	if a, ok := attributionOf(id, traceID, spans); ok {
+		out.Attribution = &a
+	}
+	return out, nil
+}
+
+// TraceSpansOf returns every retained span of one trace, oldest first —
+// job spans plus the transport and ingest spans sharing the trace ID.
+func (s *Service) TraceSpansOf(traceID string) (api.SpanList, *api.Error) {
+	t, err := span.ParseTraceID(traceID)
+	if err != nil {
+		return api.SpanList{}, api.Errorf(api.CodeBadRequest, "bad trace_id %q: %v", traceID, err)
+	}
+	return api.SpanList{TraceID: traceID, Spans: wireSpans(s.sys.SpanTracer().Spans(t))}, nil
+}
+
+// wireSpans converts stored spans to their wire form, preserving order.
+func wireSpans(ds []span.Data) []api.Span {
+	out := make([]api.Span, len(ds))
+	for i, d := range ds {
+		out[i] = wireSpan(d)
+	}
+	return out
+}
+
+// wireSpan converts one stored span, rendering typed attributes to strings.
+func wireSpan(d span.Data) api.Span {
+	w := api.Span{
+		TraceID:        d.Trace.String(),
+		SpanID:         d.ID.String(),
+		Name:           d.Name,
+		Job:            d.Job,
+		Start:          d.StartWall,
+		End:            d.EndWall,
+		StartVirtualUS: d.StartVirtualUS,
+		EndVirtualUS:   d.EndVirtualUS,
+	}
+	if !d.EndWall.IsZero() {
+		w.DurationMS = float64(d.EndWall.Sub(d.StartWall)) / float64(time.Millisecond)
+	}
+	if !d.Parent.IsZero() {
+		w.Parent = d.Parent.String()
+	}
+	for _, a := range d.Attrs {
+		w.Attrs = append(w.Attrs, api.SpanAttr{Key: a.Key, Value: a.Value()})
+	}
+	return w
+}
+
+// attributionOf folds a job's retained spans into its resource account:
+// queue wait and exec from the lifecycle spans, task/steal/skip counts and
+// simulated time summed over its round spans, and the job's share of its
+// correlation groups' makespan. ok is false when no spans survive in the
+// store (all evicted).
+func attributionOf(id, traceID string, spans []span.Data) (api.JobAttribution, bool) {
+	if len(spans) == 0 {
+		return api.JobAttribution{}, false
+	}
+	a := api.JobAttribution{ID: id, TraceID: traceID}
+	var totalMS, groupUS float64
+	num := func(d span.Data, key string) float64 {
+		at, _ := d.Attr(key)
+		return at.Num
+	}
+	for _, d := range spans {
+		switch d.Name {
+		case "job.submit":
+			if !d.EndWall.IsZero() {
+				totalMS = float64(d.EndWall.Sub(d.StartWall)) / float64(time.Millisecond)
+			}
+		case "job.queue_wait":
+			if !d.EndWall.IsZero() {
+				a.QueueWaitMS = float64(d.EndWall.Sub(d.StartWall)) / float64(time.Millisecond)
+			}
+		case "job.round":
+			a.Rounds++
+			a.Tasks += int64(num(d, "tasks"))
+			a.TasksStolen += int64(num(d, "stolen"))
+			a.SkippedPartitions += int64(num(d, "skipped_parts"))
+			a.AccessUS += num(d, "access_us")
+			a.ComputeUS += num(d, "compute_us")
+			groupUS += num(d, "group_makespan_us")
+		}
+	}
+	if totalMS > a.QueueWaitMS {
+		a.ExecMS = totalMS - a.QueueWaitMS
+	}
+	if groupUS > 0 {
+		a.MakespanShare = min((a.AccessUS+a.ComputeUS)/groupUS, 1)
+	}
+	return a, true
+}
+
+// Readyz evaluates the service's readiness checks: the engine's round loop
+// is serving, the ingest pipeline is below its admission cap, and the
+// snapshot store is within its retention bound. Liveness is weaker — a
+// process able to answer /v1/healthz at all is alive.
+func (s *Service) Readyz() api.Health {
+	s.mu.Lock()
+	started, stopped, runErr := s.started, s.stopped, s.runErr
+	s.mu.Unlock()
+	h := api.Health{Status: "ok"}
+	add := func(name string, ok bool, detail string) {
+		h.Checks = append(h.Checks, api.HealthCheck{Name: name, OK: ok, Detail: detail})
+		if !ok {
+			h.Status = "unavailable"
+		}
+	}
+	switch {
+	case runErr != nil:
+		add("engine", false, "round loop failed: "+runErr.Error())
+	case !started:
+		add("engine", false, "service not started")
+	case stopped:
+		add("engine", false, "service stopped")
+	default:
+		add("engine", true, "round loop serving")
+	}
+	ing := s.sys.IngestStats()
+	if limit := s.sys.IngestCap(); limit > 0 && ing.Pending >= limit {
+		add("ingest", false, fmt.Sprintf("saturated: %d pending at cap %d", ing.Pending, limit))
+	} else {
+		add("ingest", true, fmt.Sprintf("%d pending", ing.Pending))
+	}
+	if ing.RetainSnapshots > 0 && ing.SnapshotsLive > ing.RetainSnapshots {
+		add("snapshots", false, fmt.Sprintf("%d live over retention %d", ing.SnapshotsLive, ing.RetainSnapshots))
+	} else {
+		add("snapshots", true, fmt.Sprintf("%d live", ing.SnapshotsLive))
+	}
+	return h
+}
+
+// VersionInfo identifies the build: the wire-contract version, the module
+// version or VCS revision baked in by the toolchain, and the Go version.
+func (s *Service) VersionInfo() api.VersionInfo {
+	return buildVersion()
+}
+
+// buildVersion reads the serving binary's build info once per call — cheap
+// (ReadBuildInfo returns a cached parse) and dependency-free.
+func buildVersion() api.VersionInfo {
+	v := api.VersionInfo{API: api.Version, Version: "devel"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	v.GoVersion = info.GoVersion
+	if mv := info.Main.Version; mv != "" && mv != "(devel)" {
+		v.Version = mv
+	}
+	for _, kv := range info.Settings {
+		if kv.Key == "vcs.revision" && kv.Value != "" {
+			v.Version = kv.Value
+			if len(v.Version) > 12 {
+				v.Version = v.Version[:12]
+			}
+		}
+	}
+	return v
 }
 
 // ingestInfo reports the system's ingest counters in wire form.
@@ -307,7 +500,28 @@ func (s *Service) metricsSnapshot() (api.Metrics, []api.JobStatus) {
 		SkippedPartitions: es.SkippedPartitions,
 		Imbalance:         es.LastImbalance,
 	}
+	m.Attribution = s.attributions()
 	return m, live
+}
+
+// attributions computes the per-job resource account of every job with at
+// least one retained span, ordered by job ID. The span store bounds the
+// list, so a scrape stays O(store capacity) regardless of job history.
+func (s *Service) attributions() []api.JobAttribution {
+	tracer := s.sys.SpanTracer()
+	ids := tracer.Jobs()
+	sort.Strings(ids)
+	out := make([]api.JobAttribution, 0, len(ids))
+	for _, id := range ids {
+		ds := tracer.JobSpans(id)
+		if len(ds) == 0 {
+			continue
+		}
+		if a, ok := attributionOf(id, ds[0].Trace.String(), ds); ok {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // WatchJob streams the job's events: a replay of its lifecycle so far,

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -11,6 +12,7 @@ import (
 
 	"cgraph/api"
 	"cgraph/internal/metrics"
+	"cgraph/internal/span"
 )
 
 // Handler returns the versioned HTTP/JSON control plane over the service.
@@ -25,11 +27,16 @@ import (
 //	GET    /v1/jobs/{id}/results  converged values (?top=K for the K largest)
 //	GET    /v1/jobs/{id}/events   server-sent event stream (api.Event)
 //	GET    /v1/jobs/{id}/trace    round-by-round timeline (api.JobTrace)
+//	GET    /v1/jobs/{id}/spans    retained span tree + attribution (api.JobSpans)
 //	GET    /v1/trace/rounds       retained round traces, ?limit=N newest
+//	GET    /v1/trace/spans        one trace's spans, ?trace_id= (api.SpanList)
 //	POST   /v1/snapshots          ingest a graph version (api.Snapshot)
 //	POST   /v1/deltas             stream a mutation batch (api.Delta)
 //	GET    /v1/sched              the scheduler's last plan
 //	GET    /v1/metrics            structured metrics (api.Metrics)
+//	GET    /v1/healthz            liveness probe (api.Health)
+//	GET    /v1/readyz             readiness probe with checks (api.Health)
+//	GET    /v1/version            build and wire-contract version (api.VersionInfo)
 //	GET    /metrics               Prometheus text exposition (unversioned)
 //
 // Errors are api.ErrorBody envelopes with machine-readable codes and
@@ -63,6 +70,12 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	mux.HandleFunc(api.PathPrefix+"/jobs/{id}/trace", methods(map[string]http.HandlerFunc{
 		http.MethodGet: h.trace,
 	}))
+	mux.HandleFunc(api.PathPrefix+"/jobs/{id}/spans", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.jobSpans,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/trace/spans", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.traceSpans,
+	}))
 	mux.HandleFunc(api.PathPrefix+"/trace/rounds", methods(map[string]http.HandlerFunc{
 		http.MethodGet: h.roundTraces,
 	}))
@@ -77,6 +90,15 @@ func (s *Service) Handler(reg Registry) http.Handler {
 	}))
 	mux.HandleFunc(api.PathPrefix+"/metrics", methods(map[string]http.HandlerFunc{
 		http.MethodGet: h.metricsJSON,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/healthz", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.healthz,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/readyz", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.readyz,
+	}))
+	mux.HandleFunc(api.PathPrefix+"/version", methods(map[string]http.HandlerFunc{
+		http.MethodGet: h.version,
 	}))
 	mux.HandleFunc("/metrics", methods(map[string]http.HandlerFunc{
 		http.MethodGet: h.metrics,
@@ -111,9 +133,14 @@ func (s *Service) Handler(reg Registry) http.Handler {
 
 // instrument wraps the route mux with the service's HTTP observability:
 // every request gets a request ID (the caller's X-Request-ID, or a
-// service-assigned one — echoed back in the response header either way), a
-// latency observation labelled by route pattern, method, and status, and
-// one structured log line.
+// service-assigned one — echoed back in the response header either way), an
+// "http.request" span continuing the caller's W3C traceparent (or rooting a
+// fresh trace), a latency observation labelled by route pattern, method,
+// and status, and one structured log line carrying both IDs. The span
+// context and request ID ride r.Context() into the handlers, so job and
+// ingest spans parent under the request. Probe and scrape endpoints are
+// exempt from span creation — they fire on a tight external cadence and
+// would otherwise evict real request spans from the bounded store.
 func (s *Service) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -122,29 +149,75 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 			reqID = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", reqID)
+		w.Header().Set(api.VersionHeader, api.Version)
 		sw := &statusWriter{ResponseWriter: w}
+		traceID := ""
+		if !untraced(r.URL.Path) {
+			parent, _ := span.ParseTraceparent(r.Header.Get(span.Traceparent))
+			sp := s.sys.SpanTracer().StartSpan(parent, "http.request")
+			defer sp.End()
+			sp.Attr(span.Str("method", r.Method), span.Str("path", r.URL.Path), span.Str("request_id", reqID))
+			traceID = sp.TraceID().String()
+			w.Header().Set(api.TraceIDHeader, traceID)
+			ctx := span.NewContext(r.Context(), sp.Context())
+			r = r.WithContext(withRequestID(ctx, reqID))
+			defer func() {
+				sp.Attr(span.Str("route", routeOf(r)), span.Int("status", int64(sw.statusOr200())))
+			}()
+		} else {
+			r = r.WithContext(withRequestID(r.Context(), reqID))
+		}
 		next.ServeHTTP(sw, r)
-		status := sw.status
-		if status == 0 {
-			status = http.StatusOK
-		}
-		// The mux records the matched pattern on the request during
-		// dispatch, so the route label aggregates by template ("/v1/jobs/
-		// {id}") instead of exploding per job ID.
-		route := r.Pattern
-		if route == "" {
-			route = "unmatched"
-		}
+		status := sw.statusOr200()
+		route := routeOf(r)
 		elapsed := time.Since(start)
 		s.obs.httpLatency.With(route, r.Method, strconv.Itoa(status)).Observe(elapsed.Seconds())
 		s.log.Info("http request",
 			"request_id", reqID,
+			"trace_id", traceID,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"route", route,
 			"status", status,
 			"duration_ms", durationMS(elapsed))
 	})
+}
+
+// untraced reports whether the path is exempt from span creation: probes
+// and metric scrapes arrive on a fixed external cadence and would flood the
+// bounded span store with noise.
+func untraced(path string) bool {
+	switch path {
+	case "/metrics", api.PathPrefix + "/metrics", api.PathPrefix + "/healthz", api.PathPrefix + "/readyz":
+		return true
+	}
+	return false
+}
+
+// routeOf returns the mux's matched pattern: the mux records it on the
+// request during dispatch, so the label aggregates by template
+// ("/v1/jobs/{id}") instead of exploding per job ID.
+func routeOf(r *http.Request) string {
+	if r.Pattern == "" {
+		return "unmatched"
+	}
+	return r.Pattern
+}
+
+// reqIDKey carries the middleware-assigned request ID through
+// context.Context into the transport-neutral service methods, which join
+// engine and ingest log lines back to the request.
+type reqIDKey struct{}
+
+func withRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// requestIDFrom extracts the request ID planted by the HTTP middleware
+// (empty for in-process callers without one).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
 }
 
 // statusWriter captures the response status for the middleware. It
@@ -172,6 +245,15 @@ func (w *statusWriter) Flush() {
 	if fl, ok := w.ResponseWriter.(http.Flusher); ok {
 		fl.Flush()
 	}
+}
+
+// statusOr200 reports the captured status, defaulting to 200 when the
+// handler never wrote one explicitly.
+func (w *statusWriter) statusOr200() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 type httpAPI struct {
@@ -215,7 +297,7 @@ func (h *httpAPI) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
-	st, aerr := h.svc.SubmitSpec(h.reg, spec)
+	st, aerr := h.svc.SubmitSpec(r.Context(), h.reg, spec)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
@@ -281,6 +363,51 @@ func (h *httpAPI) roundTraces(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, h.svc.RoundTraces(limit))
+}
+
+func (h *httpAPI) jobSpans(w http.ResponseWriter, r *http.Request) {
+	js, aerr := h.svc.SpansOf(r.PathValue("id"))
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, js)
+}
+
+func (h *httpAPI) traceSpans(w http.ResponseWriter, r *http.Request) {
+	traceID := r.URL.Query().Get("trace_id")
+	if traceID == "" {
+		writeError(w, api.Errorf(api.CodeBadRequest, "missing trace_id query parameter"))
+		return
+	}
+	sl, aerr := h.svc.TraceSpansOf(traceID)
+	if aerr != nil {
+		writeError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, sl)
+}
+
+// healthz is the liveness probe: a process that can run this handler at
+// all is alive, so it always answers 200 with no checks.
+func (h *httpAPI) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
+}
+
+// readyz is the readiness probe: 200 when every check passes, 503 with the
+// failing checks itemized otherwise, so orchestrators stop routing to a
+// saturated or stopped service without killing it.
+func (h *httpAPI) readyz(w http.ResponseWriter, r *http.Request) {
+	health := h.svc.Readyz()
+	status := http.StatusOK
+	if health.Status != "ok" {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, health)
+}
+
+func (h *httpAPI) version(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.svc.VersionInfo())
 }
 
 func (h *httpAPI) get(w http.ResponseWriter, r *http.Request) {
@@ -383,7 +510,7 @@ func (h *httpAPI) delta(w http.ResponseWriter, r *http.Request) {
 		writeError(w, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
 		return
 	}
-	ack, aerr := h.svc.IngestDelta(delta)
+	ack, aerr := h.svc.IngestDelta(r.Context(), delta)
 	if aerr != nil {
 		writeError(w, aerr)
 		return
@@ -500,6 +627,44 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	addHistogramVec(e, "cgraph_delta_materialize_seconds", obs.materialize)
 	e.Declare("cgraph_http_request_seconds", "histogram", "HTTP request latency by route pattern, method, and status.")
 	addHistogramVec(e, "cgraph_http_request_seconds", obs.httpLatency)
+	tr := h.svc.sys.SpanTracer().Stats()
+	e.Declare("cgraph_span_started_total", "counter", "Spans opened since process start (retro-recorded spans count as started and ended).")
+	e.Add("cgraph_span_started_total", nil, float64(tr.Started))
+	e.Declare("cgraph_span_ended_total", "counter", "Spans ended and recorded into the bounded store.")
+	e.Add("cgraph_span_ended_total", nil, float64(tr.Ended))
+	e.Declare("cgraph_span_evicted_total", "counter", "Spans dropped FIFO from the full span store.")
+	e.Add("cgraph_span_evicted_total", nil, float64(tr.Evicted))
+	e.Declare("cgraph_span_store_spans", "gauge", "Spans currently retained in the bounded store.")
+	e.Add("cgraph_span_store_spans", nil, float64(tr.StoreSpans))
+	e.Declare("cgraph_span_store_traces", "gauge", "Distinct traces currently retained in the bounded store.")
+	e.Add("cgraph_span_store_traces", nil, float64(tr.StoreTraces))
+	e.Declare("cgraph_span_store_capacity", "gauge", "Capacity bound of the span store.")
+	e.Add("cgraph_span_store_capacity", nil, float64(tr.Capacity))
+	ready := 0.0
+	if h.svc.Readyz().Status == "ok" {
+		ready = 1
+	}
+	e.Declare("cgraph_ready", "gauge", "1 when every readiness check passes, 0 otherwise.")
+	e.Add("cgraph_ready", nil, ready)
+	v := buildVersion()
+	e.Declare("cgraph_build_info", "gauge", "Build identity carried in the labels; the value is always 1.")
+	e.Add("cgraph_build_info", map[string]string{"version": v.Version, "go_version": v.GoVersion, "api": v.API}, 1)
+	e.Declare("cgraph_job_attrib_queue_wait_seconds", "gauge", "Queue wait per job, from the retained span tree.")
+	e.Declare("cgraph_job_attrib_exec_seconds", "gauge", "Exec wall time per job, from the retained span tree.")
+	e.Declare("cgraph_job_attrib_rounds", "gauge", "Rounds the job participated in, as retained by the span store.")
+	e.Declare("cgraph_job_attrib_tasks", "gauge", "Executor tasks per job by kind (executed vs stolen to another worker).")
+	e.Declare("cgraph_job_attrib_skipped_partitions", "gauge", "Converged partitions skipped before scheduling, per job.")
+	e.Declare("cgraph_job_attrib_makespan_share", "gauge", "Job's simulated time as a share of its correlation groups' makespan.")
+	for _, a := range info.Attribution {
+		labels := map[string]string{"id": a.ID}
+		e.Add("cgraph_job_attrib_queue_wait_seconds", labels, a.QueueWaitMS/1000)
+		e.Add("cgraph_job_attrib_exec_seconds", labels, a.ExecMS/1000)
+		e.Add("cgraph_job_attrib_rounds", labels, float64(a.Rounds))
+		e.Add("cgraph_job_attrib_tasks", map[string]string{"id": a.ID, "kind": "executed"}, float64(a.Tasks))
+		e.Add("cgraph_job_attrib_tasks", map[string]string{"id": a.ID, "kind": "stolen"}, float64(a.TasksStolen))
+		e.Add("cgraph_job_attrib_skipped_partitions", labels, float64(a.SkippedPartitions))
+		e.Add("cgraph_job_attrib_makespan_share", labels, a.MakespanShare)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e.WriteTo(w)
 }

@@ -30,7 +30,7 @@ func (c *localClient) Submit(ctx context.Context, spec api.JobSpec) (api.JobStat
 	if err := ctx.Err(); err != nil {
 		return api.JobStatus{}, err
 	}
-	st, aerr := c.svc.SubmitSpec(c.reg, spec)
+	st, aerr := c.svc.SubmitSpec(ctx, c.reg, spec)
 	if aerr != nil {
 		return api.JobStatus{}, aerr
 	}
@@ -107,7 +107,7 @@ func (c *localClient) ApplyDelta(ctx context.Context, delta api.Delta) (api.Delt
 	if err := ctx.Err(); err != nil {
 		return api.DeltaAck{}, err
 	}
-	ack, aerr := c.svc.IngestDelta(delta)
+	ack, aerr := c.svc.IngestDelta(ctx, delta)
 	if aerr != nil {
 		return api.DeltaAck{}, aerr
 	}
@@ -123,6 +123,28 @@ func (c *localClient) JobTrace(ctx context.Context, id string) (api.JobTrace, er
 		return api.JobTrace{}, aerr
 	}
 	return tr, nil
+}
+
+func (c *localClient) JobSpans(ctx context.Context, id string) (api.JobSpans, error) {
+	if err := ctx.Err(); err != nil {
+		return api.JobSpans{}, err
+	}
+	js, aerr := c.svc.SpansOf(id)
+	if aerr != nil {
+		return api.JobSpans{}, aerr
+	}
+	return js, nil
+}
+
+func (c *localClient) TraceSpans(ctx context.Context, traceID string) (api.SpanList, error) {
+	if err := ctx.Err(); err != nil {
+		return api.SpanList{}, err
+	}
+	sl, aerr := c.svc.TraceSpansOf(traceID)
+	if aerr != nil {
+		return api.SpanList{}, aerr
+	}
+	return sl, nil
 }
 
 func (c *localClient) RoundTrace(ctx context.Context, opts api.TraceOptions) (api.RoundTraces, error) {

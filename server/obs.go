@@ -46,12 +46,16 @@ func (s *Service) onIngestEvent(ev cgraph.IngestEvent) {
 	case cgraph.IngestFlush:
 		s.obs.ingestFlush.With(ev.Trigger).Observe(ev.Duration.Seconds())
 		s.obs.ingestBatch.Observe(float64(ev.Mutations))
+		// request_id/trace_id join the flush to the HTTP request that opened
+		// its coalescing window, so a slow flush is attributable end-to-end.
 		s.log.Info("delta flush",
 			"trigger", ev.Trigger,
 			"mutations", ev.Mutations,
 			"built", ev.Built,
 			"latency_ms", durationMS(ev.Duration),
-			"timestamp", ev.Timestamp)
+			"timestamp", ev.Timestamp,
+			"request_id", ev.RequestID,
+			"trace_id", ev.TraceID)
 	case cgraph.IngestMaterialize:
 		s.obs.materialize.With(ev.Path).Observe(ev.Duration.Seconds())
 		s.log.Debug("snapshot materialized",

@@ -27,6 +27,7 @@ import (
 
 	"cgraph"
 	"cgraph/api"
+	"cgraph/internal/span"
 	"cgraph/model"
 )
 
@@ -111,6 +112,13 @@ type Spec struct {
 	// higher-priority submissions leave the wait queue first, FIFO within
 	// a priority. Zero is the default.
 	Priority int
+	// Span, when valid, parents the job's span tree under the caller's
+	// trace (the HTTP layer passes the request span here); invalid starts
+	// a fresh trace rooted at the job's submit span.
+	Span span.Context
+	// RequestID joins the job's log lines to the HTTP request that
+	// submitted it (empty for in-process submissions without one).
+	RequestID string
 }
 
 // Service is a resident CGraph job service over one shared graph.
@@ -318,6 +326,16 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 		ctx:       jctx,
 		cancelCtx: jcancel,
 	}
+	// The submit span roots the job's tree (under the caller's trace when
+	// one arrived); it stays open until the job retires, so its wall edges
+	// bound the job's full service-side lifetime. The queue-wait child ends
+	// at launch — or at retirement, for jobs that never launch.
+	tracer := s.sys.SpanTracer()
+	j.rootSpan = tracer.StartSpan(spec.Span, "job.submit") //cgraph:spanend ended by finishIf when the job retires
+	j.rootSpan.SetJob(id)
+	j.rootSpan.Attr(span.Str("algo", j.name), span.Int("priority", int64(spec.Priority)))
+	j.queueSpan = tracer.StartSpan(j.rootSpan.Context(), "job.queue_wait") //cgraph:spanend ended by launch, or by finishIf for jobs that never launch
+	j.queueSpan.SetJob(id)
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	s.events.create(id)
@@ -359,7 +377,14 @@ func (s *Service) Submit(spec Spec) (*Job, error) {
 
 // launch submits j to the engine and spawns its completion watcher.
 func (s *Service) launch(j *Job) error {
-	opts := []cgraph.JobOption{cgraph.WithContext(j.ctx), cgraph.WithPriority(j.spec.Priority)}
+	opts := []cgraph.JobOption{
+		cgraph.WithContext(j.ctx),
+		cgraph.WithPriority(j.spec.Priority),
+		// The engine parents its per-round spans under the job's root, so
+		// the tree reads http.request → job.submit → job.round regardless
+		// of transport.
+		cgraph.WithSpan(j.rootSpan.Context(), j.id),
+	}
 	if j.spec.Arrival != nil {
 		opts = append(opts, cgraph.AtTimestamp(*j.spec.Arrival))
 	}
@@ -367,6 +392,7 @@ func (s *Service) launch(j *Job) error {
 	if err != nil {
 		return err
 	}
+	j.queueSpan.End()
 	j.mu.Lock()
 	// A cancel or deadline may have landed between the slot grab and the
 	// engine submission; the job is already terminal, so drop the
@@ -389,7 +415,9 @@ func (s *Service) launch(j *Job) error {
 		"engine_id", h.ID(),
 		"algo", j.name,
 		"priority", j.spec.Priority,
-		"queue_wait_ms", durationMS(wait))
+		"queue_wait_ms", durationMS(wait),
+		"request_id", j.spec.RequestID,
+		"trace_id", j.rootSpan.TraceID().String())
 	// Publish the state transition before registering the engine→job
 	// mapping: progress events only resolve through byEngine, so none can
 	// enter the stream ahead of "running" (an iteration completing in
@@ -709,6 +737,13 @@ type Job struct {
 	ctx       context.Context
 	cancelCtx context.CancelFunc
 
+	// rootSpan ("job.submit") spans the job's full service-side lifetime;
+	// queueSpan ("job.queue_wait") its wait for an in-flight slot. Both are
+	// assigned once at submission and never reassigned, so they are read
+	// without j.mu (the Span type has its own lock).
+	rootSpan  *span.Span
+	queueSpan *span.Span
+
 	mu         sync.Mutex
 	state      State
 	err        error
@@ -722,6 +757,9 @@ type Job struct {
 	started    time.Time
 	finished   time.Time
 }
+
+// TraceID returns the job's trace ID in wire form (32 lowercase hex).
+func (j *Job) TraceID() string { return j.rootSpan.TraceID().String() }
 
 // engineJobID returns the engine job ID the job ran under, -1 if it never
 // launched.
@@ -835,12 +873,34 @@ func (j *Job) finishIf(cond func(State) bool, state State, err error, results []
 	if exec > 0 {
 		j.svc.obs.exec.With(j.name).Observe(exec.Seconds())
 	}
+	// Close out the job's span tree: the queue-wait span (a no-op when
+	// launch already ended it), an instant retirement marker, then the root
+	// span with the terminal state stamped on it.
+	j.queueSpan.End()
+	now := time.Now() //cgraph:wallclock span edges are wall-stamped by design
+	retire := span.Data{
+		Trace:     j.rootSpan.TraceID(),
+		Parent:    j.rootSpan.Context().Span,
+		Name:      "job.retire",
+		Job:       j.id,
+		StartWall: now,
+		EndWall:   now,
+		Attrs:     []span.Attr{span.Str("state", string(state))},
+	}
+	if state != StateDone && err != nil {
+		retire.Attrs = append(retire.Attrs, span.Str("error", err.Error()))
+	}
+	j.svc.sys.SpanTracer().Record(retire)
+	j.rootSpan.Attr(span.Str("state", string(state)), span.Int("iterations", int64(iters)))
+	j.rootSpan.End()
 	logAttrs := []any{
 		"job", j.id,
 		"algo", j.name,
 		"state", string(state),
 		"iterations", iters,
 		"exec_ms", durationMS(exec),
+		"request_id", j.spec.RequestID,
+		"trace_id", j.TraceID(),
 	}
 	if state != StateDone && err != nil {
 		logAttrs = append(logAttrs, "error", err.Error())
@@ -895,6 +955,7 @@ func (j *Job) Status() Status {
 		t := j.finished
 		st.Finished = &t
 	}
+	st.TraceID = j.TraceID()
 	st.EdgesProcessed = j.edges
 	if j.metrics != nil {
 		st.Iterations = j.metrics.Iterations

@@ -288,7 +288,8 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 	c := ts.Client()
 
 	_, pr := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{"algo": "pagerank"})
-	pollState(t, c, ts.URL, pr["id"].(string), server.StateDone)
+	prID := pr["id"].(string)
+	pollState(t, c, ts.URL, prID, server.StateDone)
 
 	resp, err := c.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -360,6 +361,62 @@ func TestMetricsExpositionWellFormed(t *testing.T) {
 		if typ[fam] != "histogram" {
 			t.Fatalf("family %s: TYPE %q, want histogram", fam, typ[fam])
 		}
+	}
+
+	// PR 9 tracing, probe, and attribution families: present with the right
+	// types, the readiness gauge reads 1 on a serving engine, build info
+	// carries its identity labels, and the finished job shows up in the
+	// per-job attribution block.
+	wantTyped := map[string]string{
+		"cgraph_span_started_total":            "counter",
+		"cgraph_span_ended_total":              "counter",
+		"cgraph_span_evicted_total":            "counter",
+		"cgraph_span_store_spans":              "gauge",
+		"cgraph_span_store_traces":             "gauge",
+		"cgraph_span_store_capacity":           "gauge",
+		"cgraph_ready":                         "gauge",
+		"cgraph_build_info":                    "gauge",
+		"cgraph_job_attrib_queue_wait_seconds": "gauge",
+		"cgraph_job_attrib_exec_seconds":       "gauge",
+		"cgraph_job_attrib_rounds":             "gauge",
+		"cgraph_job_attrib_tasks":              "gauge",
+		"cgraph_job_attrib_skipped_partitions": "gauge",
+		"cgraph_job_attrib_makespan_share":     "gauge",
+	}
+	for fam, want := range wantTyped {
+		if typ[fam] != want {
+			t.Fatalf("family %s: TYPE %q, want %q", fam, typ[fam], want)
+		}
+	}
+	byName := map[string][]promSample{}
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	if v := byName["cgraph_ready"]; len(v) != 1 || v[0].value != 1 {
+		t.Fatalf("cgraph_ready = %+v, want a single sample of 1", v)
+	}
+	if v := byName["cgraph_build_info"]; len(v) != 1 || v[0].value != 1 ||
+		v[0].labels["version"] == "" || v[0].labels["go_version"] == "" || v[0].labels["api"] == "" {
+		t.Fatalf("cgraph_build_info = %+v", v)
+	}
+	if v := byName["cgraph_span_started_total"]; len(v) != 1 || v[0].value <= 0 {
+		t.Fatalf("cgraph_span_started_total = %+v, want one sample > 0 after a traced job", v)
+	}
+	attribRounds := map[string]float64{}
+	for _, s := range byName["cgraph_job_attrib_rounds"] {
+		attribRounds[s.labels["id"]] = s.value
+	}
+	if attribRounds[prID] < 1 {
+		t.Fatalf("cgraph_job_attrib_rounds for job %s = %v, want >= 1 (saw %v)", prID, attribRounds[prID], attribRounds)
+	}
+	kinds := map[string]bool{}
+	for _, s := range byName["cgraph_job_attrib_tasks"] {
+		if s.labels["id"] == prID {
+			kinds[s.labels["kind"]] = true
+		}
+	}
+	if !kinds["executed"] || !kinds["stolen"] {
+		t.Fatalf("cgraph_job_attrib_tasks kinds for %s = %v, want executed and stolen series", prID, kinds)
 	}
 
 	// Cumulative bucket check per (family, labels-minus-le) series.
