@@ -72,6 +72,15 @@ type JobSpec struct {
 	// AtTimestamp binds the job to the newest graph snapshot not younger
 	// than this; absent means the latest snapshot at launch.
 	AtTimestamp *int64 `json:"at_timestamp,omitempty"`
+	// ExecMode selects the job's execution discipline: "bsp" (default,
+	// synchronous), "async" (fresh-state, eager folds within an
+	// iteration), or "delayed" (bounded-staleness async: merge barriers
+	// skipped up to the staleness bound). Unknown modes are rejected.
+	ExecMode string `json:"exec_mode,omitempty"`
+	// Staleness is the "delayed" mode's barrier bound (consecutive
+	// iterations allowed to skip the merge barrier); values < 1 use the
+	// service default. Ignored for other modes.
+	Staleness int `json:"staleness,omitempty"`
 }
 
 // JobStatus is the wire snapshot of one job's lifecycle.
@@ -92,6 +101,9 @@ type JobStatus struct {
 	// Iterations counts completed iterations; it advances while the job
 	// runs and is final once the job is terminal.
 	Iterations int `json:"iterations,omitempty"`
+	// ExecMode echoes the execution discipline the job runs under; empty
+	// for default-BSP jobs, so pre-mode payloads are unchanged.
+	ExecMode string `json:"exec_mode,omitempty"`
 	// Engine metrics, populated once the job converges.
 	EdgesProcessed     int64   `json:"edges_processed,omitempty"`
 	SimulatedAccessUS  float64 `json:"simulated_access_us,omitempty"`
@@ -262,6 +274,10 @@ type IngestStats struct {
 	// slots actually changed across them.
 	SnapshotsBuilt int64 `json:"snapshots_built"`
 	SlotsApplied   int64 `json:"slots_applied"`
+	// Compactions counts hole-compaction passes: flushes that squeezed
+	// removal tombstones out of the edge list because the free-slot share
+	// crossed the configured compaction ratio.
+	Compactions int64 `json:"compactions,omitempty"`
 	// PartsRebuilt/PartsShared split delta-built snapshots' partitions
 	// into rebuilt vs. pointer-shared with their predecessor; SharedRatio
 	// is shared/(shared+rebuilt).
@@ -332,6 +348,19 @@ type ExecInfo struct {
 	// Imbalance is the heaviest worker's realized share of the last
 	// round's task weight, ×Workers (1.0 = perfectly even).
 	Imbalance float64 `json:"imbalance"`
+	// FreshFolds counts contributions folded eagerly by fresh-state
+	// (async/delayed) jobs; zero on an all-BSP service.
+	FreshFolds int64 `json:"fresh_folds,omitempty"`
+	// BarriersSkipped / BarriersForced are the delayed-mode
+	// bounded-staleness counters: iterations that skipped the merge
+	// barrier within the staleness bound, and iterations that paid one.
+	BarriersSkipped int64 `json:"barriers_skipped,omitempty"`
+	BarriersForced  int64 `json:"barriers_forced,omitempty"`
+	// BSPJobs / AsyncJobs / DelayedJobs count submissions by execution
+	// mode.
+	BSPJobs     int64 `json:"bsp_jobs,omitempty"`
+	AsyncJobs   int64 `json:"async_jobs,omitempty"`
+	DelayedJobs int64 `json:"delayed_jobs,omitempty"`
 }
 
 // Metrics is the structured (JSON) counterpart of the Prometheus text

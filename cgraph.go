@@ -48,6 +48,7 @@ import (
 
 	"cgraph/api"
 	"cgraph/internal/core"
+	"cgraph/internal/exec"
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
 	"cgraph/internal/ingest"
@@ -188,6 +189,7 @@ type config struct {
 	ingestWindow    time.Duration
 	ingestBatch     int
 	ingestCap       int
+	compactRatio    float64
 	maxVertexGrowth int
 	retainSnapshots int
 	traceDepth      int
@@ -253,6 +255,16 @@ func WithIngestBatch(n int) Option { return func(c *config) { c.ingestBatch = n 
 // instead of buffering unboundedly, so a slow materializer surfaces as
 // backpressure. Zero (the default) disables admission control.
 func WithIngestCap(n int) Option { return func(c *config) { c.ingestCap = n } }
+
+// WithCompactionRatio sets the hole-compaction trigger: when a delta flush
+// is about to build a snapshot and at least ratio of the edge slots are
+// removal tombstones, the edge list is compacted in place first — holes
+// squeezed out, the slot space shrunk — so a long remove-heavy delta
+// stream cannot leave the partitions scanning mostly-dead slots forever.
+// Compaction recuts every partition at or after the first hole, so it is
+// deliberately rare: the default ratio is 0.25; negative disables
+// compaction entirely.
+func WithCompactionRatio(f float64) Option { return func(c *config) { c.compactRatio = f } }
 
 // WithMaxVertexGrowth bounds how far beyond the current vertex space a
 // single delta batch's structural mutations may reach (default 1<<20 new
@@ -320,6 +332,9 @@ type System struct {
 	// in, so a remove-bearing flush touches only the removed slots'
 	// chunks; adds refill holes before growing the list.
 	freeSlots []int
+	// compactions counts hole-compaction passes (WithCompactionRatio)
+	// performed by delta flushes.
+	compactions int64
 
 	serveCancel context.CancelFunc
 	serveDone   chan struct{}
@@ -733,6 +748,10 @@ type IngestStats struct {
 	// SlotsApplied the edge slots actually changed across them.
 	SnapshotsBuilt int64
 	SlotsApplied   int64
+	// Compactions counts hole-compaction passes: flushes that squeezed the
+	// removal tombstones out of the edge list before building, because the
+	// free-slot ratio crossed the WithCompactionRatio trigger.
+	Compactions int64
 	// PartsRebuilt/PartsShared split the delta-built snapshots' partitions
 	// into rebuilt ones and ones pointer-shared with their predecessor;
 	// SharedRatio is shared/(shared+rebuilt), the incremental win.
@@ -918,8 +937,9 @@ func (s *System) IngestCap() int { return s.cfg.ingestCap }
 func (s *System) IngestStats() IngestStats {
 	s.mu.Lock()
 	p, store := s.pipeline, s.store
+	compactions := s.compactions
 	s.mu.Unlock()
-	out := IngestStats{SharedRatio: 1}
+	out := IngestStats{SharedRatio: 1, Compactions: compactions}
 	if p != nil {
 		st := p.Stats()
 		out.Batches, out.Mutations, out.Coalesced = st.Batches, st.Mutations, st.Coalesced
@@ -943,6 +963,15 @@ func (s *System) IngestStats() IngestStats {
 		out.NumVertices = newest.PG.G.N
 	}
 	return out
+}
+
+// compactRatioLocked resolves the effective hole-compaction trigger:
+// the configured WithCompactionRatio, 0.25 by default, ≤0 when disabled.
+func (s *System) compactRatioLocked() float64 {
+	if s.cfg.compactRatio != 0 {
+		return s.cfg.compactRatio
+	}
+	return 0.25
 }
 
 // edgeKeyOf packs an edge's endpoint pair into the structural-remove
@@ -1154,7 +1183,14 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 		// version to build.
 		return ingest.Result{Misses: misses}, "", nil
 	}
+	// preCompact holds the full pre-compaction edge list when a compaction
+	// pass ran: the undo records reference pre-compaction slot positions,
+	// so revert must restore the uncompacted list before replaying them.
+	var preCompact []model.Edge
 	revert := func() {
+		if preCompact != nil {
+			s.edges = preCompact
+		}
 		for i := len(undo) - 1; i >= 0; i-- {
 			r := undo[i]
 			switch r.kind {
@@ -1172,6 +1208,43 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 	if len(s.edges)-len(s.freeSlots) == 0 {
 		revert()
 		return ingest.Result{}, "", fmt.Errorf("cgraph: delta batch would remove every edge; at least one must remain")
+	}
+	// Hole compaction: when the tombstone share of the slot space crosses
+	// the configured ratio, squeeze the holes out before building. Every
+	// live slot at or after the first hole shifts down, so those slots all
+	// join the changed set and the shrunk length forces the Restructure
+	// path; slots below the first hole keep their positions and their
+	// chunks stay shared.
+	if ratio := s.compactRatioLocked(); ratio > 0 && len(s.freeSlots) > 0 &&
+		float64(len(s.freeSlots)) >= ratio*float64(len(s.edges)) {
+		preCompact = append([]model.Edge(nil), s.edges...)
+		firstHole := -1
+		w := 0
+		for i := range s.edges {
+			if s.edges[i].IsHole() {
+				if firstHole < 0 {
+					firstHole = i
+				}
+				continue
+			}
+			if w != i {
+				s.edges[w] = s.edges[i]
+			}
+			w++
+		}
+		s.edges = s.edges[:w]
+		for slot := range changedSet {
+			if slot >= firstHole {
+				delete(changedSet, slot)
+			}
+		}
+		for slot := firstHole; slot < w; slot++ {
+			changedSet[slot] = true
+		}
+		s.freeSlots = s.freeSlots[:0]
+		// Slot positions moved; the remove index rebuilds lazily.
+		s.edgeSlots = nil
+		s.compactions++
 	}
 	ts := prev.Timestamp + 1
 	if minTS > ts {
@@ -1225,12 +1298,56 @@ func (s *System) materializeDeltaLocked(muts []ingest.Mutation, minTS int64) (in
 type JobOption func(*jobConfig)
 
 type jobConfig struct {
-	arrival  int64
-	priority int
-	ctx      context.Context
-	span     span.Context
-	spanJob  string
+	arrival   int64
+	priority  int
+	ctx       context.Context
+	span      span.Context
+	spanJob   string
+	mode      ExecMode
+	staleness int
 }
+
+// ExecMode selects a job's execution discipline.
+type ExecMode string
+
+const (
+	// ExecBSP is the default synchronous discipline: every iteration ends
+	// with an Algorithm 2 push that reconciles replicas before any vertex
+	// reads a neighbor's new value. Pre-existing behavior, byte-identical
+	// results round for round.
+	ExecBSP ExecMode = "bsp"
+	// ExecAsync is the fresh-state discipline: within an iteration,
+	// single-replica vertices fold incoming contributions immediately
+	// (Gauss-Seidel style), so later blocks of the same partition sweep
+	// read already-updated state. Monotonic programs (SSSP, WCC) converge
+	// to the exact BSP fixpoint in fewer iterations; PageRank converges to
+	// the same values within tolerance.
+	ExecAsync ExecMode = "async"
+	// ExecDelayed is the bounded-staleness variant of ExecAsync: merge
+	// barriers (pushes) are skipped while the job still has local progress,
+	// up to the WithStaleness bound, then forced. Fewer synchronizations at
+	// the price of bounded-stale replica reads.
+	ExecDelayed ExecMode = "delayed"
+)
+
+// ParseExecMode parses an execution-mode name ("bsp", "async", "delayed");
+// the empty string is ExecBSP.
+func ParseExecMode(s string) (ExecMode, error) {
+	m, err := exec.ParseMode(s)
+	if err != nil {
+		return ExecBSP, err
+	}
+	return ExecMode(m.String()), nil
+}
+
+// WithExecMode sets the job's execution discipline (default ExecBSP).
+// Unknown modes fail the submission.
+func WithExecMode(m ExecMode) JobOption { return func(c *jobConfig) { c.mode = m } }
+
+// WithStaleness sets an ExecDelayed job's staleness bound: the number of
+// consecutive iterations allowed to skip the merge barrier before one is
+// forced (default 3). Ignored for other modes; values < 1 use the default.
+func WithStaleness(k int) JobOption { return func(c *jobConfig) { c.staleness = k } }
 
 // AtTimestamp binds the job to the newest snapshot not younger than ts.
 func AtTimestamp(ts int64) JobOption { return func(c *jobConfig) { c.arrival = ts } }
@@ -1321,12 +1438,18 @@ func (s *System) Submit(p Program, opts ...JobOption) (*Job, error) {
 	for _, o := range opts {
 		o(&jc)
 	}
+	mode, err := exec.ParseMode(string(jc.mode))
+	if err != nil {
+		return nil, fmt.Errorf("cgraph: unknown execution mode %q (want bsp, async, or delayed)", jc.mode)
+	}
 	s.ensureEngineLocked()
 	id := s.engine.SubmitWith(jc.ctx, p, core.SubmitOpts{
-		Arrival:  jc.arrival,
-		Priority: jc.priority,
-		Span:     jc.span,
-		SpanJob:  jc.spanJob,
+		Arrival:   jc.arrival,
+		Priority:  jc.priority,
+		Span:      jc.span,
+		SpanJob:   jc.spanJob,
+		Mode:      mode,
+		Staleness: jc.staleness,
 	})
 	j := &Job{sys: s, id: id, name: p.Name(), done: make(chan struct{})}
 	s.jobs = append(s.jobs, j)
@@ -1436,6 +1559,10 @@ func jobReportOf(jm *metrics.JobMetrics) *JobReport {
 		SimulatedComputeUS:  jm.ComputeTime,
 		SimulatedFinishedUS: jm.FinishAt,
 		EdgesProcessed:      jm.Edges,
+		ExecMode:            ExecMode(jm.Mode),
+		FreshFolds:          jm.FreshFolds,
+		BarriersSkipped:     jm.BarriersSkipped,
+		BarriersForced:      jm.BarriersForced,
 	}
 }
 
@@ -1485,6 +1612,20 @@ type ExecStats struct {
 	// LastImbalance is the heaviest worker's realized share of the last
 	// round's task weight, ×Workers (1.0 = perfectly even).
 	LastImbalance float64
+	// FreshFolds counts contributions folded eagerly by fresh-state
+	// (ExecAsync/ExecDelayed) jobs instead of being deferred to the merge
+	// barrier; zero on an all-BSP system.
+	FreshFolds int64
+	// BarriersSkipped / BarriersForced are the ExecDelayed bounded-staleness
+	// counters: iterations that skipped the merge barrier because local
+	// progress continued within the staleness bound, and iterations that
+	// paid one (bound hit or local frontier drained).
+	BarriersSkipped int64
+	BarriersForced  int64
+	// BSPJobs / AsyncJobs / DelayedJobs count submissions by execution mode.
+	BSPJobs     int64
+	AsyncJobs   int64
+	DelayedJobs int64
 }
 
 // ExecStats reports the work-stealing executor's counters; safe to call
@@ -1514,6 +1655,12 @@ func (s *System) ExecStats() ExecStats {
 		Stolen:            es.Stolen,
 		SkippedPartitions: es.SkippedPartitions,
 		LastImbalance:     es.LastImbalance,
+		FreshFolds:        es.FreshFolds,
+		BarriersSkipped:   es.BarriersSkipped,
+		BarriersForced:    es.BarriersForced,
+		BSPJobs:           es.BSPJobs,
+		AsyncJobs:         es.AsyncJobs,
+		DelayedJobs:       es.DelayedJobs,
 	}
 }
 
@@ -1596,6 +1743,12 @@ type JobRoundTrace struct {
 	Parts int
 	// Pushes is the number of iterations the job closed this round.
 	Pushes int
+	// Mode is the job's execution discipline ("async", "delayed"); empty
+	// for default-BSP jobs, so pre-mode trace records are unchanged.
+	Mode string
+	// FreshFolds counts contributions the job folded eagerly (fresh-state)
+	// this round; zero for BSP jobs.
+	FreshFolds int64
 	// AccessUS / ComputeUS split the job's simulated time charged this
 	// round.
 	AccessUS  float64
@@ -1620,6 +1773,9 @@ type RoundTrace struct {
 	Tasks   int64
 	Steals  int64
 	Skipped int64
+	// FreshFolds counts contributions folded eagerly by fresh-state (async
+	// or delayed) jobs during the round; zero on all-BSP rounds.
+	FreshFolds int64
 }
 
 // JobTrace is one job's retained round-by-round timeline.
@@ -1662,6 +1818,7 @@ func (s *System) RoundTraces(limit int) []RoundTrace {
 			Tasks:         r.Tasks,
 			Steals:        r.Steals,
 			Skipped:       r.Skipped,
+			FreshFolds:    r.Fresh,
 		}
 		for _, g := range r.Groups {
 			rt.Groups = append(rt.Groups, RoundTraceGroup{
@@ -1707,6 +1864,8 @@ func jobRoundTraceOf(jr trace.JobRound) JobRoundTrace {
 		Wall:          jr.Wall,
 		Parts:         jr.Parts,
 		Pushes:        jr.Pushes,
+		Mode:          jr.Mode,
+		FreshFolds:    jr.Fresh,
 		AccessUS:      jr.AccessUS,
 		ComputeUS:     jr.ComputeUS,
 		VirtualTimeUS: jr.VirtualTimeUS,
@@ -1903,4 +2062,12 @@ type JobReport struct {
 	SimulatedComputeUS  float64
 	SimulatedFinishedUS float64
 	EdgesProcessed      int64
+	// ExecMode is the execution discipline the job ran under.
+	ExecMode ExecMode
+	// FreshFolds counts contributions folded eagerly under the fresh-state
+	// disciplines; BarriersSkipped / BarriersForced are the delayed-mode
+	// bounded-staleness counters. All zero for BSP jobs.
+	FreshFolds      int64
+	BarriersSkipped int64
+	BarriersForced  int64
 }

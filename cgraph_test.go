@@ -907,3 +907,207 @@ func TestVertexGrowthBound(t *testing.T) {
 		t.Fatalf("N = %d, want 140", got)
 	}
 }
+
+// TestHoleCompaction pins the WithCompactionRatio trigger: a remove-heavy
+// flush that pushes the tombstone share past the ratio compacts the edge
+// list in place — the snapshot's slot space shrinks to the live count, the
+// free-slot list empties (the next add appends instead of refilling), and
+// computation over the compacted snapshot still matches the reference.
+func TestHoleCompaction(t *testing.T) {
+	const n = 120
+	base := gen.ER(29, n, 1600)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(8))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remove 30% of the slots in one flush: crossing the default 0.25
+	// trigger must compact within the same materialization.
+	d := Delta{Flush: true}
+	for s := 0; s < 480; s++ {
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationRemove, Edge: base[s]})
+	}
+	if _, err := sys.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	pg := sys.store.Latest().PG
+	// Duplicate endpoint pairs in the generated list make the exact remove
+	// count data-dependent; the compaction contract is that no tombstone
+	// slot survives the flush.
+	if pg.G.Slots != pg.G.NumEdges() || pg.G.Slots >= 1600 {
+		t.Fatalf("slots/live after compaction = %d/%d, want equal and < 1600", pg.G.Slots, pg.G.NumEdges())
+	}
+	ist := sys.IngestStats()
+	if ist.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", ist.Compactions)
+	}
+	sys.mu.Lock()
+	holes := len(sys.freeSlots)
+	sys.mu.Unlock()
+	if holes != 0 {
+		t.Fatalf("free-slot list not cleared: %d holes", holes)
+	}
+
+	// With no holes left, an add must append a fresh slot.
+	compactedSlots := pg.G.Slots
+	d = Delta{Flush: true, Mutations: []Mutation{
+		{Op: MutationAdd, Edge: Edge{Src: 7, Dst: 90, Weight: 1}},
+	}}
+	if _, err := sys.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.store.Latest().PG.G.Slots; got != compactedSlots+1 {
+		t.Fatalf("slots after post-compaction add = %d, want %d", got, compactedSlots+1)
+	}
+	if got := sys.IngestStats().Compactions; got != 1 {
+		t.Fatalf("compactions after hole-free add = %d, want 1", got)
+	}
+
+	// Parity over the compacted list: the holes' disappearance must be
+	// invisible to computation.
+	sys.mu.Lock()
+	live := make([]Edge, 0, len(sys.edges))
+	for _, e := range sys.edges {
+		if !e.IsHole() {
+			live = append(live, e)
+		}
+	}
+	sys.mu.Unlock()
+	job, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := job.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := refimpl.PageRank(graph.Build(n, live), 0.85, 1e-12, 3000)
+	for v := range got {
+		if math.Abs(got[v]-ref[v]) > 1e-5 {
+			t.Fatalf("vertex %d: %v != refimpl %v", v, got[v], ref[v])
+		}
+	}
+}
+
+// TestHoleCompactionDisabled: a negative ratio turns the pass off — the
+// same remove-heavy flush keeps every tombstone slot in place.
+func TestHoleCompactionDisabled(t *testing.T) {
+	const n = 120
+	base := gen.ER(29, n, 1600)
+	sys := NewSystem(WithWorkers(2), WithCoreSubgraph(false), WithPartitions(8),
+		WithCompactionRatio(-1))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+	d := Delta{Flush: true}
+	for s := 0; s < 480; s++ {
+		d.Mutations = append(d.Mutations, Mutation{Op: MutationRemove, Edge: base[s]})
+	}
+	if _, err := sys.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	pg := sys.store.Latest().PG
+	if pg.G.Slots != 1600 || pg.G.NumEdges() >= 1600 {
+		t.Fatalf("slots/live with compaction disabled = %d/%d, want 1600 slots with holes", pg.G.Slots, pg.G.NumEdges())
+	}
+	if got := sys.IngestStats().Compactions; got != 0 {
+		t.Fatalf("compactions = %d, want 0", got)
+	}
+}
+
+// TestSubmitExecModes drives the public execution-mode surface: async and
+// delayed submissions converge to the BSP fixpoint (within tolerance for
+// PageRank), the per-job report and executor counters attribute the mode,
+// round traces carry it, and an unknown mode fails the submission.
+func TestSubmitExecModes(t *testing.T) {
+	const n = 400
+	base := gen.RMAT(31, n, 8000, 0.57, 0.19, 0.19)
+	sys := NewSystem(WithWorkers(4), WithPartitions(8), WithTraceDepth(1024))
+	if err := sys.LoadEdges(n, base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9},
+		WithExecMode("bogus")); err == nil {
+		t.Fatal("unknown exec mode accepted")
+	}
+
+	bsp, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asy, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, WithExecMode(ExecAsync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := sys.Submit(&algo.PageRank{Damping: 0.85, Epsilon: 1e-9},
+		WithExecMode(ExecDelayed), WithStaleness(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := refimpl.PageRank(graph.Build(n, base), 0.85, 1e-12, 3000)
+	for _, job := range []*Job{bsp, asy, del} {
+		got, err := job.Results()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range got {
+			if math.Abs(got[v]-ref[v]) > 1e-6 {
+				t.Fatalf("job %d vertex %d: %v != refimpl %v", job.ID(), v, got[v], ref[v])
+			}
+		}
+	}
+
+	rb := bsp.Metrics()
+	ra := asy.Metrics()
+	rd := del.Metrics()
+	if rb.ExecMode != ExecBSP || ra.ExecMode != ExecAsync || rd.ExecMode != ExecDelayed {
+		t.Fatalf("report modes = %q/%q/%q", rb.ExecMode, ra.ExecMode, rd.ExecMode)
+	}
+	if ra.Iterations >= rb.Iterations {
+		t.Fatalf("async took %d iterations, BSP %d — fresh state should converge faster",
+			ra.Iterations, rb.Iterations)
+	}
+	if ra.FreshFolds == 0 || rd.FreshFolds == 0 {
+		t.Fatalf("fresh folds not attributed: async=%d delayed=%d", ra.FreshFolds, rd.FreshFolds)
+	}
+	if rd.BarriersSkipped == 0 || rd.BarriersForced == 0 {
+		t.Fatalf("delayed barrier counters empty: %+v", rd)
+	}
+	if rb.FreshFolds != 0 || rb.BarriersSkipped != 0 || rb.BarriersForced != 0 {
+		t.Fatalf("BSP job recorded async counters: %+v", rb)
+	}
+
+	es := sys.ExecStats()
+	if es.FreshFolds == 0 || es.BarriersSkipped == 0 || es.BarriersForced == 0 {
+		t.Fatalf("executor async counters empty: %+v", es)
+	}
+	if es.BSPJobs != 1 || es.AsyncJobs != 1 || es.DelayedJobs != 1 {
+		t.Fatalf("per-mode job counts = %d/%d/%d, want 1/1/1",
+			es.BSPJobs, es.AsyncJobs, es.DelayedJobs)
+	}
+
+	modes := map[string]bool{}
+	var traceFresh int64
+	for _, rt := range sys.RoundTraces(0) {
+		traceFresh += rt.FreshFolds
+		for _, jr := range rt.Jobs {
+			modes[jr.Mode] = true
+		}
+	}
+	if !modes["async"] || !modes["delayed"] {
+		t.Fatalf("round traces missing mode attribution: %v", modes)
+	}
+	if modes["bsp"] {
+		t.Fatal("BSP rounds must keep an empty Mode field (pre-mode trace shape)")
+	}
+	if traceFresh == 0 {
+		t.Fatal("round traces carry no fresh-fold counts")
+	}
+}

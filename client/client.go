@@ -29,11 +29,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/url"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,10 +52,15 @@ type Client struct {
 	retries int
 	backoff time.Duration
 	log     *slog.Logger
+	// limiter, when set, paces the mutating write paths (Submit,
+	// ApplyDelta); nil means unlimited.
+	limiter *tokenBucket
 
 	// watchReconnects counts SSE streams that dropped before their
 	// terminal event and were reconnected — previously a silent recovery.
 	watchReconnects atomic.Int64
+	// throttled counts limiter acquisitions that had to wait.
+	throttled atomic.Int64
 }
 
 var _ cgraph.Client = (*Client)(nil)
@@ -88,16 +95,93 @@ func WithLogger(log *slog.Logger) Option {
 	}
 }
 
+// WithRateLimit paces the client's write paths (Submit, ApplyDelta) with a
+// token bucket: sustained throughput is capped at rps requests per second,
+// with up to burst requests (minimum 1) passing back to back from a full
+// bucket. Calls beyond the budget block until a token accrues or their
+// context ends — backpressure on the caller, not an error — so a delta
+// firehose cannot trip the service's ingest admission cap (HTTP 429) when
+// smoothing suffices. Reads are never paced. rps <= 0 disables the limit.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(c *Client) {
+		if rps <= 0 {
+			c.limiter = nil
+			return
+		}
+		c.limiter = newTokenBucket(rps, burst)
+	}
+}
+
 // Stats is a point-in-time snapshot of the client's internal counters.
 type Stats struct {
 	// WatchReconnects counts SSE watch streams that dropped before their
 	// terminal event and were transparently reconnected.
 	WatchReconnects int64
+	// Throttled counts WithRateLimit acquisitions that had to wait for a
+	// token (calls delayed by the client-side pacing).
+	Throttled int64
 }
 
 // Stats reports the client's internal counters.
 func (c *Client) Stats() Stats {
-	return Stats{WatchReconnects: c.watchReconnects.Load()}
+	return Stats{
+		WatchReconnects: c.watchReconnects.Load(),
+		Throttled:       c.throttled.Load(),
+	}
+}
+
+// tokenBucket is a minimal blocking token bucket: tokens accrue at rate per
+// second up to burst, one token per acquisition.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rps float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rps, burst: b, tokens: b, last: time.Now()}
+}
+
+// wait blocks until a token is available or ctx ends; waited reports
+// whether the call had to sleep.
+func (tb *tokenBucket) wait(ctx context.Context) (waited bool, err error) {
+	for {
+		tb.mu.Lock()
+		now := time.Now()
+		tb.tokens = math.Min(tb.burst, tb.tokens+now.Sub(tb.last).Seconds()*tb.rate)
+		tb.last = now
+		if tb.tokens >= 1 {
+			tb.tokens--
+			tb.mu.Unlock()
+			return waited, nil
+		}
+		need := time.Duration((1 - tb.tokens) / tb.rate * float64(time.Second))
+		tb.mu.Unlock()
+		waited = true
+		select {
+		case <-ctx.Done():
+			return waited, ctx.Err()
+		case <-time.After(need):
+		}
+	}
+}
+
+// acquire charges one limiter token when a limit is configured.
+func (c *Client) acquire(ctx context.Context) error {
+	if c.limiter == nil {
+		return nil
+	}
+	waited, err := c.limiter.wait(ctx)
+	if waited {
+		c.throttled.Add(1)
+	}
+	return err
 }
 
 // New builds a client for the service at baseURL (e.g.
@@ -217,8 +301,12 @@ func (c *Client) handle(resp *http.Response, out any) (retry bool, err error) {
 	}
 }
 
-// Submit registers a job and returns its initial status.
+// Submit registers a job and returns its initial status. With WithRateLimit
+// configured, the call first waits for a pacing token.
 func (c *Client) Submit(ctx context.Context, spec api.JobSpec) (api.JobStatus, error) {
+	if err := c.acquire(ctx); err != nil {
+		return api.JobStatus{}, err
+	}
 	var st api.JobStatus
 	err := c.do(ctx, http.MethodPost, api.PathPrefix+"/jobs", nil, spec, &st)
 	return st, err
@@ -290,8 +378,12 @@ func (c *Client) AddSnapshot(ctx context.Context, snap api.Snapshot) (api.Snapsh
 }
 
 // ApplyDelta streams one edge-mutation batch into the service's ingestion
-// pipeline. Like other mutating requests it is never retried.
+// pipeline. Like other mutating requests it is never retried. With
+// WithRateLimit configured, the call first waits for a pacing token.
 func (c *Client) ApplyDelta(ctx context.Context, delta api.Delta) (api.DeltaAck, error) {
+	if err := c.acquire(ctx); err != nil {
+		return api.DeltaAck{}, err
+	}
 	var ack api.DeltaAck
 	err := c.do(ctx, http.MethodPost, api.PathPrefix+"/deltas", nil, delta, &ack)
 	return ack, err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -708,5 +709,79 @@ func TestClientWatchLiveReconnectParity(t *testing.T) {
 	}
 	if !dropped.Load() {
 		t.Fatal("the drop leg never ran")
+	}
+}
+
+// TestClientRateLimit pins the WithRateLimit token bucket: the burst passes
+// immediately, sustained calls are paced to the configured rate (elapsed
+// time has a hard lower bound — tokens cannot accrue faster), reads are
+// never paced, and a blocked call honors context cancellation.
+func TestClientRateLimit(t *testing.T) {
+	var posts, gets atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			posts.Add(1)
+		} else {
+			gets.Add(1)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"accepted":1,"pending":1}`))
+	}))
+	defer ts.Close()
+
+	c := client.New(ts.URL, client.WithRateLimit(100, 2))
+	ctx := testCtx(t)
+	start := time.Now()
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		if _, err := c.ApplyDelta(ctx, api.Delta{Mutations: []api.Mutation{{Op: api.MutationAdd}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 2 burst tokens + 4 paced at 100/s: at least 40ms must have passed.
+	if want := 40 * time.Millisecond; elapsed < want {
+		t.Fatalf("6 writes at rps=100 burst=2 took %v, want >= %v", elapsed, want)
+	}
+	if got := posts.Load(); got != calls {
+		t.Fatalf("posts = %d, want %d", got, calls)
+	}
+	if thr := c.Stats().Throttled; thr < calls-2 {
+		t.Fatalf("throttled = %d, want >= %d", thr, calls-2)
+	}
+
+	// Reads bypass the limiter entirely: with an empty bucket, a burst of
+	// GETs completes without pacing delays.
+	start = time.Now()
+	for i := 0; i < 20; i++ {
+		if _, err := c.Metrics(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("20 reads took %v — reads must not be paced", elapsed)
+	}
+	if got := gets.Load(); got != 20 {
+		t.Fatalf("gets = %d, want 20", got)
+	}
+
+	// A blocked writer unblocks with its context's error.
+	slow := client.New(ts.URL, client.WithRateLimit(0.01, 1))
+	if _, err := slow.ApplyDelta(ctx, api.Delta{}); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := slow.Submit(cctx, api.JobSpec{Algo: "pagerank"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked submit = %v, want context.DeadlineExceeded", err)
+	}
+
+	// rps <= 0 turns the limiter off.
+	off := client.New(ts.URL, client.WithRateLimit(0, 5))
+	if _, err := off.ApplyDelta(ctx, api.Delta{}); err != nil {
+		t.Fatal(err)
+	}
+	if thr := off.Stats().Throttled; thr != 0 {
+		t.Fatalf("unlimited client throttled = %d, want 0", thr)
 	}
 }

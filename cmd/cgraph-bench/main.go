@@ -8,7 +8,7 @@
 // With no experiment arguments every experiment runs in paper order.
 // Experiment names: table1, fig1, fig2, fig8..fig19, ablation-straggler,
 // ablation-scheduler, ablation-batching, ablation-two-level, concurrent,
-// scaling.
+// scaling, async.
 //
 // The `concurrent` experiment measures round-tracing overhead (traced vs
 // TraceDepth=0) on the 4-job workload, plus a third leg with the span
@@ -19,6 +19,11 @@
 // -max-cores over a skewed power-law workload, comparing the
 // work-stealing degree-weighted executor against legacy static
 // vertex-count chunking; -json writes its result (BENCH_scaling.json).
+//
+// The `async` experiment compares the three execution disciplines (bsp,
+// async, delayed) on the same PageRank + SSSP workload, reporting
+// iterations-to-convergence and virtual makespan per leg; -json writes
+// its result (BENCH_async.json).
 package main
 
 import (
@@ -87,6 +92,14 @@ func main() {
 		}
 		if name == "scaling" || name == "bench-scaling" {
 			t, res, err := harness.BenchScaling(opt, *maxCores)
+			if err != nil {
+				return err
+			}
+			tables = append(tables, t)
+			return writeJSON(res)
+		}
+		if name == "async" || name == "bench-async" {
+			t, res, err := harness.BenchAsync(opt)
 			if err != nil {
 				return err
 			}

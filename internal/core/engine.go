@@ -239,6 +239,14 @@ type Engine struct {
 	rtStolen    int64
 	rtSkipped   int64
 	rtImb       float64
+	// Fresh-state accounting: cumulative eager folds (atomic mirror plus
+	// the loop-private per-round accumulator), delayed-mode barrier
+	// counters, and per-mode submission counts indexed by exec.Mode.
+	execFresh      atomic.Int64
+	rtFresh        int64
+	execBarSkipped atomic.Int64
+	execBarForced  atomic.Int64
+	modeJobs       [3]atomic.Int64
 	// taskSeq numbers span-eligible executor tasks across rounds for the
 	// 1-in-N "pool.task" sampling; loop-goroutine only (sampling is decided
 	// at task construction, not execution).
@@ -354,6 +362,12 @@ type SubmitOpts struct {
 	Span span.Context
 	// SpanJob is the service-level job ID span records are attributed to.
 	SpanJob string
+	// Mode selects the job's execution discipline (default exec.ModeBSP,
+	// the byte-stable bulk-synchronous path).
+	Mode exec.Mode
+	// Staleness bounds delayed-mode barrier skipping (0 = exec default;
+	// ignored outside exec.ModeDelayed).
+	Staleness int
 }
 
 // SubmitWith is SubmitCtx with the full submission envelope. The job takes
@@ -365,6 +379,11 @@ func (e *Engine) SubmitWith(ctx context.Context, prog model.Program, opts Submit
 	e.nextID++
 	snap := e.store.Acquire(opts.Arrival)
 	j := exec.NewJob(id, prog, snap.PG)
+	j.Mode = opts.Mode
+	j.Staleness = opts.Staleness
+	if int(opts.Mode) < len(e.modeJobs) {
+		e.modeJobs[opts.Mode].Add(1)
+	}
 	rj := &runJob{
 		Job:       j,
 		remaining: make(map[int64]int),
@@ -734,10 +753,11 @@ func (e *Engine) round() {
 	// attribute this round's deltas; only populated when tracing is on.
 	var pre []jobPreRound
 	e.rtTasks, e.rtSteals, e.rtStolen, e.rtSkipped, e.rtImb = 0, 0, 0, 0, 1
+	e.rtFresh = 0
 	for _, rj := range e.jobs {
 		byID[rj.ID] = rj
 		rj.remaining = make(map[int64]int)
-		jf := sched.JobFootprint{JobID: rj.ID, Priority: rj.priority}
+		jf := sched.JobFootprint{JobID: rj.ID, Priority: rj.priority, Fresh: rj.Mode != exec.ModeBSP}
 		activeParts := rj.PT.ActiveParts()
 		for _, pid := range activeParts {
 			p := rj.PG.Parts[pid]
@@ -760,6 +780,7 @@ func (e *Engine) round() {
 				access:  rj.m.AccessTime,
 				compute: rj.m.ComputeTime,
 				skipped: skipped,
+				fresh:   rj.FreshFolds,
 			})
 		}
 		// Jobs admitted with no active vertices (degenerate programs)
@@ -825,6 +846,7 @@ func (e *Engine) round() {
 	e.execSteals.Add(e.rtSteals)
 	e.execStolen.Add(e.rtStolen)
 	e.execSkipped.Add(e.rtSkipped)
+	e.execFresh.Add(e.rtFresh)
 	e.imbBits.Store(math.Float64bits(e.rtImb))
 	e.recordPlan(plan, spans)
 	wall := time.Since(roundStart) //cgraph:wallclock wall stamp paired with the round start above
@@ -847,6 +869,17 @@ type jobPreRound struct {
 	// skipped is the job's converged-partition count this round (frontier
 	// empty, excluded before scheduling).
 	skipped int
+	// fresh is the job's cumulative fresh-fold count at round start.
+	fresh int64
+}
+
+// traceMode renders a job's execution mode for trace records: empty for
+// default-BSP jobs, so pre-mode records and wire payloads are unchanged.
+func traceMode(m exec.Mode) string {
+	if m == exec.ModeBSP {
+		return ""
+	}
+	return m.String()
 }
 
 // recordTrace folds one finished round into the trace recorder.
@@ -861,6 +894,7 @@ func (e *Engine) recordTrace(start time.Time, wall time.Duration, plan []sched.G
 		Tasks:         e.rtTasks,
 		Steals:        e.rtSteals,
 		Skipped:       e.rtSkipped,
+		Fresh:         e.rtFresh,
 	}
 	for gi, g := range plan {
 		rec.Groups = append(rec.Groups, trace.Group{
@@ -877,6 +911,8 @@ func (e *Engine) recordTrace(start time.Time, wall time.Duration, plan []sched.G
 			Wall:          wall,
 			Parts:         p.parts,
 			Pushes:        p.rj.Iterations - p.iters,
+			Mode:          traceMode(p.rj.Mode),
+			Fresh:         p.rj.FreshFolds - p.fresh,
 			AccessUS:      p.rj.m.AccessTime - p.access,
 			ComputeUS:     p.rj.m.ComputeTime - p.compute,
 			VirtualTimeUS: e.now,
@@ -915,6 +951,12 @@ func (e *Engine) recordRoundSpans(start time.Time, wall time.Duration, plan []sc
 			span.Int("tasks", rj.roundTasks),
 			span.Int("stolen", rj.roundStolen.Load()),
 			span.Int("skipped_parts", int64(p.skipped)),
+		}
+		if rj.Mode != exec.ModeBSP {
+			attrs = append(attrs,
+				span.Str("exec_mode", rj.Mode.String()),
+				span.Int("fresh_folds", rj.FreshFolds-p.fresh),
+			)
 		}
 		if gi, ok := jobGroup[rj.ID]; ok {
 			attrs = append(attrs, span.Float("group_makespan_us", spans[gi]))
@@ -1101,20 +1143,40 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 		tasks = e.frontierTasks(batch, split)
 	}
 
-	// Apply phase: tasks touch disjoint vertex states, so they are free
-	// to run on any worker.
-	ptasks := make([]pool.Task, len(tasks))
-	for i := range tasks {
+	// Apply phase: BSP tasks touch disjoint vertex states, so they are
+	// free to run on any worker. Fresh-state (async/delayed) jobs
+	// additionally read neighbor state written earlier in the same sweep,
+	// so their per-(job, partition) subtasks — emitted contiguously and in
+	// block order by the task builders — are chained into one sequenced
+	// pool task: the block order is preserved on a single worker while
+	// distinct jobs and partitions still balance across the pool.
+	ptasks := make([]pool.Task, 0, len(tasks))
+	for i := 0; i < len(tasks); {
 		t := tasks[i]
-		run := func(int) { t.stats = t.rj.ApplyRange(t.pid, t.r, &t.sc) }
-		if e.cfg.StaticChunking {
-			run = func(int) { t.stats = t.rj.ApplyChunk(t.pid, t.locals, &t.sc) }
+		if t.rj.Mode == exec.ModeBSP {
+			pt := e.applyTask(t)
+			if e.cfg.Tracer != nil && t.rj.span.Valid() {
+				pt.Trace = e.taskTrace(t.rj, t.weight)
+			}
+			ptasks = append(ptasks, pt)
+			t.rj.roundTasks++
+			i++
+			continue
 		}
-		ptasks[i] = pool.Task{Weight: t.weight, Run: run}
-		t.rj.roundTasks++
+		start := i
+		for i < len(tasks) && tasks[i].rj == t.rj && tasks[i].pid == t.pid {
+			i++
+		}
+		sub := make([]pool.Task, 0, i-start)
+		for _, ft := range tasks[start:i] {
+			sub = append(sub, e.applyTask(ft))
+		}
+		ct := pool.Chain(sub)
 		if e.cfg.Tracer != nil && t.rj.span.Valid() {
-			ptasks[i].Trace = e.taskTrace(t.rj, t.weight)
+			ct.Trace = e.taskTrace(t.rj, ct.Weight)
 		}
+		ptasks = append(ptasks, ct)
+		t.rj.roundTasks++
 	}
 	applySt := e.pool.Run(ptasks)
 
@@ -1145,7 +1207,10 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 
 	// Virtual-time accounting: the phase takes the makespan lower bound of
 	// the realized task set — perfect rebalance (totalWork/Workers) unless
-	// a single indivisible task (a hub vertex's scatter) exceeds it.
+	// a single indivisible task (a hub vertex's scatter, or a fresh-state
+	// chain, which is sequenced onto one worker by construction) exceeds
+	// it. Pricing the whole chain as one unit keeps async virtual time
+	// honestly comparable to BSP.
 	cost := e.cfg.Hier.Cost()
 	var totalWork, maxWork, maxTask float64
 	for i, it := range batch {
@@ -1153,13 +1218,24 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 		it.rj.m.ComputeTime += w
 		it.rj.EdgesProcessed += perJob[i].Edges
 		it.rj.VerticesApplied += perJob[i].Vertices
+		it.rj.FreshFolds += perJob[i].Fresh
+		e.rtFresh += perJob[i].Fresh
 		totalWork += w
 		if w > maxWork {
 			maxWork = w
 		}
 	}
-	for _, t := range tasks {
-		if w := cost.ComputeTime(t.stats.Edges, t.stats.Vertices); w > maxTask {
+	for i := 0; i < len(tasks); {
+		t := tasks[i]
+		st := t.stats
+		i++
+		if t.rj.Mode != exec.ModeBSP {
+			for i < len(tasks) && tasks[i].rj == t.rj && tasks[i].pid == t.pid {
+				st.Add(tasks[i].stats)
+				i++
+			}
+		}
+		if w := cost.ComputeTime(st.Edges, st.Vertices); w > maxTask {
 			maxTask = w
 		}
 	}
@@ -1182,6 +1258,26 @@ func (e *Engine) trigger(batch []unitJob) float64 {
 		e.rtImb = imb
 	}
 	return elapsed
+}
+
+// applyTask builds the pool task body for one trigger subtask, picking the
+// BSP or fresh-state apply variant by the job's mode and the configured
+// decomposition. Trace hooks are attached by the caller (per task for BSP,
+// per chain for fresh-state jobs).
+func (e *Engine) applyTask(t *triggerTask) pool.Task {
+	fresh := t.rj.Mode != exec.ModeBSP
+	var run func(int)
+	switch {
+	case e.cfg.StaticChunking && fresh:
+		run = func(int) { t.stats = t.rj.ApplyChunkFresh(t.pid, t.locals, &t.sc) }
+	case e.cfg.StaticChunking:
+		run = func(int) { t.stats = t.rj.ApplyChunk(t.pid, t.locals, &t.sc) }
+	case fresh:
+		run = func(int) { t.stats = t.rj.ApplyRangeFresh(t.pid, t.r, &t.sc) }
+	default:
+		run = func(int) { t.stats = t.rj.ApplyRange(t.pid, t.r, &t.sc) }
+	}
+	return pool.Task{Weight: t.weight, Run: run}
 }
 
 // taskTrace builds the pool bracket for one span-carrying job's task: every
@@ -1287,6 +1383,17 @@ type ExecStats struct {
 	// LastImbalance is the heaviest worker's realized share of the last
 	// round's task weight, ×Workers (1.0 = perfectly even).
 	LastImbalance float64
+	// FreshFolds is the cumulative count of contributions folded eagerly
+	// by fresh-state (async/delayed) jobs; BarriersSkipped/BarriersForced
+	// count delayed-mode iteration closes that skipped vs. performed the
+	// merge barrier. All zero on BSP-only workloads.
+	FreshFolds      int64
+	BarriersSkipped int64
+	BarriersForced  int64
+	// BSPJobs/AsyncJobs/DelayedJobs count submissions per execution mode.
+	BSPJobs     int64
+	AsyncJobs   int64
+	DelayedJobs int64
 }
 
 // ExecStats reports the executor's counters.
@@ -1300,6 +1407,12 @@ func (e *Engine) ExecStats() ExecStats {
 		Stolen:            e.execStolen.Load(),
 		SkippedPartitions: e.execSkipped.Load(),
 		LastImbalance:     math.Float64frombits(e.imbBits.Load()),
+		FreshFolds:        e.execFresh.Load(),
+		BarriersSkipped:   e.execBarSkipped.Load(),
+		BarriersForced:    e.execBarForced.Load(),
+		BSPJobs:           e.modeJobs[exec.ModeBSP].Load(),
+		AsyncJobs:         e.modeJobs[exec.ModeAsync].Load(),
+		DelayedJobs:       e.modeJobs[exec.ModeDelayed].Load(),
 	}
 }
 
@@ -1309,7 +1422,10 @@ func (e *Engine) finishIteration(rj *runJob) {
 	if rj.Done {
 		return
 	}
+	preSkipped, preForced := rj.BarriersSkipped, rj.BarriersForced
 	sum := rj.FinishIteration()
+	e.execBarSkipped.Add(rj.BarriersSkipped - preSkipped)
+	e.execBarForced.Add(rj.BarriersForced - preForced)
 	h := e.cfg.Hier
 	t := h.Cost().SyncTime(sum.Entries)
 	for _, tp := range sum.TouchedParts {
@@ -1337,6 +1453,10 @@ func (e *Engine) finishIteration(rj *runJob) {
 		rj.m.Edges = rj.EdgesProcessed
 		rj.m.Vertices = rj.VerticesApplied
 		rj.m.SyncEntries = rj.SyncEntries
+		rj.m.Mode = rj.Mode.String()
+		rj.m.FreshFolds = rj.FreshFolds
+		rj.m.BarriersSkipped = rj.BarriersSkipped
+		rj.m.BarriersForced = rj.BarriersForced
 		e.mu.Lock()
 		e.finished = append(e.finished, rj)
 		e.state[rj.ID] = JobDone

@@ -1,0 +1,138 @@
+package exec
+
+import (
+	"testing"
+
+	"cgraph/algo"
+	"cgraph/internal/graph"
+	"cgraph/internal/refimpl"
+	"cgraph/model"
+)
+
+// runProgramMode drives a job to convergence under the given execution
+// mode and checks the replica-consistency invariant.
+func runProgramMode(t testing.TB, pg *graph.PGraph, prog model.Program, mode Mode, staleness int) *Job {
+	t.Helper()
+	j := NewJob(0, prog, pg)
+	j.Mode = mode
+	j.Staleness = staleness
+	if err := RunToConvergence(j, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.CheckReplicaConsistency(); err != nil {
+		t.Fatalf("mode %s: replica consistency: %v", mode, err)
+	}
+	return j
+}
+
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range []Mode{ModeBSP, ModeAsync, ModeDelayed} {
+		got, err := ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v", m.String(), got, err)
+		}
+	}
+	if m, err := ParseMode(""); err != nil || m != ModeBSP {
+		t.Fatalf("ParseMode(\"\") = %v, %v; want bsp default", m, err)
+	}
+	if _, err := ParseMode("eventual"); err == nil {
+		t.Fatal("ParseMode accepted unknown mode")
+	}
+}
+
+// TestAsyncMonotonicExactParity: for programs with an order-independent
+// min accumulator (SSSP, WCC) the fresh-state and delayed paths must land
+// on exactly the reference fixed point, at 1 and 4 partitions.
+func TestAsyncMonotonicExactParity(t *testing.T) {
+	edges, n := testGraph(7)
+	for _, parts := range []int{1, 4} {
+		pg := buildPG(t, edges, n, parts)
+		wantSS := refimpl.SSSP(pg.G, 0)
+		wantWCC := refimpl.WCC(pg.G)
+		for _, mode := range []Mode{ModeAsync, ModeDelayed} {
+			js := runProgramMode(t, pg, algo.NewSSSP(0), mode, 0)
+			wantClose(t, "sssp-"+mode.String(), js.Results(), wantSS, 0)
+			jw := runProgramMode(t, pg, algo.NewWCC(), mode, 0)
+			gotWCC := jw.Results()
+			for v := 0; v < n; v++ {
+				if pg.G.Degree(model.VertexID(v), model.Both) == 0 {
+					continue // isolated vertices stay untouched in both
+				}
+				if gotWCC[v] != wantWCC[v] {
+					t.Fatalf("parts=%d mode=%s: wcc vertex %d: got %v, want %v",
+						parts, mode, v, gotWCC[v], wantWCC[v])
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncPageRankToleranceAndFewerIterations: the additive PageRank
+// converges to the reference values within tolerance under async and
+// delayed. Async must close in strictly fewer iterations than BSP (the
+// point of fresh-state reads); delayed trades extra cheap local
+// iterations for fewer merge barriers, so its push count — the global
+// synchronizations actually paid — must be strictly below BSP's.
+func TestAsyncPageRankToleranceAndFewerIterations(t *testing.T) {
+	edges, n := testGraph(3)
+	want := refimpl.PageRank(graph.Build(n, edges), 0.85, 1e-12, 2000)
+	for _, parts := range []int{1, 4} {
+		pg := buildPG(t, edges, n, parts)
+		bsp := runProgramMode(t, pg, &algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, ModeBSP, 0)
+		wantClose(t, "pagerank-bsp", bsp.Results(), want, 1e-6)
+
+		async := runProgramMode(t, pg, &algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, ModeAsync, 0)
+		wantClose(t, "pagerank-async", async.Results(), want, 1e-6)
+		if async.FreshFolds == 0 {
+			t.Fatalf("parts=%d: async recorded no fresh folds", parts)
+		}
+		if async.Iterations >= bsp.Iterations {
+			t.Fatalf("parts=%d: async took %d iterations, BSP %d — fresh state should converge faster",
+				parts, async.Iterations, bsp.Iterations)
+		}
+
+		delayed := runProgramMode(t, pg, &algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, ModeDelayed, 0)
+		wantClose(t, "pagerank-delayed", delayed.Results(), want, 1e-6)
+		if delayed.FreshFolds == 0 {
+			t.Fatalf("parts=%d: delayed recorded no fresh folds", parts)
+		}
+		if delayed.BarriersForced >= int64(bsp.Iterations) {
+			t.Fatalf("parts=%d: delayed paid %d merge barriers, BSP %d pushes — staleness should cut synchronizations",
+				parts, delayed.BarriersForced, bsp.Iterations)
+		}
+	}
+}
+
+// TestDelayedBarrierAccounting: a delayed multi-partition job must
+// actually skip pushes (bounded by staleness) and force barriers, and the
+// per-job counters must reconcile with the iteration count.
+func TestDelayedBarrierAccounting(t *testing.T) {
+	edges, n := testGraph(11)
+	pg := buildPG(t, edges, n, 4)
+	j := runProgramMode(t, pg, &algo.PageRank{Damping: 0.85, Epsilon: 1e-9}, ModeDelayed, 2)
+	if j.BarriersSkipped == 0 {
+		t.Fatal("delayed job never skipped a barrier")
+	}
+	if j.BarriersForced == 0 {
+		t.Fatal("delayed job never took a merge barrier")
+	}
+	if got := j.BarriersSkipped + j.BarriersForced; got != int64(j.Iterations) {
+		t.Fatalf("skipped(%d) + forced(%d) = %d, want iterations %d",
+			j.BarriersSkipped, j.BarriersForced, got, j.Iterations)
+	}
+}
+
+// TestBSPPathUntouched: the default mode records no fresh-state or
+// barrier activity — the BSP path is byte-identical to the pre-mode code.
+func TestBSPPathUntouched(t *testing.T) {
+	edges, n := testGraph(5)
+	pg := buildPG(t, edges, n, 3)
+	j := runProgram(t, pg, &algo.PageRank{Damping: 0.85, Epsilon: 1e-8})
+	if j.Mode != ModeBSP {
+		t.Fatalf("default mode = %v, want bsp", j.Mode)
+	}
+	if j.FreshFolds != 0 || j.BarriersSkipped != 0 || j.BarriersForced != 0 {
+		t.Fatalf("BSP job recorded async counters: fresh=%d skipped=%d forced=%d",
+			j.FreshFolds, j.BarriersSkipped, j.BarriersForced)
+	}
+}

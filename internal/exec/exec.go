@@ -22,12 +22,16 @@ import (
 type Stats struct {
 	Edges    int64
 	Vertices int64
+	// Fresh counts contributions folded eagerly into the private table by
+	// the fresh-state (async/delayed) path; zero on the BSP path.
+	Fresh int64
 }
 
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.Edges += other.Edges
 	s.Vertices += other.Vertices
+	s.Fresh += other.Fresh
 }
 
 // Job is one running CGP job: a program bound to a snapshot, its private
@@ -39,6 +43,12 @@ type Job struct {
 	PT   *storage.PrivateTable
 	// Dir caches Prog.Direction() for the current phase.
 	Dir model.Direction
+
+	// Mode selects the execution discipline (bsp, async, delayed); see
+	// async.go. Staleness bounds delayed-mode barrier skipping (0 means
+	// DefaultStaleness; ignored outside ModeDelayed).
+	Mode      Mode
+	Staleness int
 
 	Iterations int
 	Phases     int
@@ -56,6 +66,20 @@ type Job struct {
 	EdgesProcessed  int64
 	VerticesApplied int64
 	SyncEntries     int64
+	// FreshFolds counts contributions folded eagerly by the fresh-state
+	// path; BarriersSkipped / BarriersForced count delayed-mode iteration
+	// closes that skipped the push (local advance) vs. performed it (the
+	// staleness bound was hit or the local frontier drained). All three
+	// stay zero under ModeBSP.
+	FreshFolds      int64
+	BarriersSkipped int64
+	BarriersForced  int64
+
+	// sinceBarrier counts delayed-mode iteration closes since the last
+	// push; pending preserves Received bits across barrier-skipping
+	// advances (lazily allocated, delayed mode only).
+	sinceBarrier int
+	pending      []*bitset.Set
 }
 
 // NewJob builds a job over the given snapshot, initializing its private
@@ -367,9 +391,17 @@ func (j *Job) Push() PushSummary {
 	return sum
 }
 
-// FinishIteration runs Push, advances the activity sets, and — when the job
-// ran dry — steps phased programs forward or marks the job done.
+// FinishIteration closes one iteration. In bsp and async modes (and at
+// delayed-mode merge barriers) it runs Push, advances the activity sets,
+// and — when the job ran dry — steps phased programs forward or marks the
+// job done. In delayed mode the push is skipped while the staleness bound
+// allows and local single-replica work remains (see closeIterationDelayed).
 func (j *Job) FinishIteration() PushSummary {
+	if j.Mode == ModeDelayed {
+		if sum, skipped := j.closeIterationDelayed(); skipped {
+			return sum
+		}
+	}
 	sum := j.Push()
 	j.PT.Advance()
 	j.Iterations++
@@ -466,7 +498,11 @@ func RunToConvergence(j *Job, maxRounds int) error {
 		}
 		for pid := range j.PG.Parts {
 			if j.PT.ActiveCount[pid] > 0 {
-				j.ProcessPartition(pid, sc)
+				if j.Mode == ModeBSP {
+					j.ProcessPartition(pid, sc)
+				} else {
+					j.ProcessPartitionFresh(pid, sc)
+				}
 			}
 		}
 		j.FinishIteration()

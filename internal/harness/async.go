@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+
+	"cgraph/algo"
+	"cgraph/internal/core"
+	"cgraph/internal/exec"
+	"cgraph/internal/gen"
+	"cgraph/internal/graph"
+	"cgraph/internal/metrics"
+	"cgraph/internal/sched"
+)
+
+// The async sweep runs the skewed R-MAT stand-in at a size where many
+// vertices keep a single replica under edge-chunk partitioning: the
+// fresh-state path only folds eagerly into single-replica receivers, so
+// this regime is where asynchronous execution can shorten convergence.
+const (
+	asyncSeed       = 31
+	asyncVertices   = 4000
+	asyncEdges      = 40000
+	asyncPartitions = 8
+	asyncStaleness  = 2
+)
+
+// BenchAsyncLeg is one execution discipline of the sweep, with both jobs
+// (PageRank and SSSP) run under that discipline in a single engine.
+type BenchAsyncLeg struct {
+	// Mode is the execution discipline: "bsp", "async", or "delayed".
+	Mode string `json:"mode"`
+	// PageRankIterations / SSSPIterations count iterations to convergence.
+	PageRankIterations int64 `json:"pagerank_iterations"`
+	SSSPIterations     int64 `json:"sssp_iterations"`
+	// MakespanUS is the virtual total execution time of the 2-job run.
+	MakespanUS float64 `json:"makespan_us"`
+	// FreshFolds counts contributions folded eagerly into live vertex
+	// state (zero on the bsp leg by construction).
+	FreshFolds int64 `json:"fresh_folds"`
+	// BarriersSkipped / BarriersForced count the delayed leg's deferred
+	// and staleness-forced merge barriers (zero outside delayed mode).
+	BarriersSkipped int64 `json:"barriers_skipped"`
+	BarriersForced  int64 `json:"barriers_forced"`
+}
+
+// BenchAsyncResult is the machine-readable artifact of the execution-mode
+// sweep (written as BENCH_async.json).
+type BenchAsyncResult struct {
+	Dataset    string  `json:"dataset"`
+	Vertices   int     `json:"vertices"`
+	Edges      int     `json:"edges"`
+	Partitions int     `json:"partitions"`
+	Workers    int     `json:"workers"`
+	Staleness  int     `json:"staleness"`
+	Epsilon    float64 `json:"epsilon"`
+
+	Legs []BenchAsyncLeg `json:"legs"`
+	// PageRankSpeedup is bsp iterations over async iterations (>1 = the
+	// fresh-state path converges in fewer sweeps).
+	PageRankSpeedup float64 `json:"pagerank_speedup"`
+}
+
+// Leg returns the named leg, or nil.
+func (r *BenchAsyncResult) Leg(mode string) *BenchAsyncLeg {
+	for i := range r.Legs {
+		if r.Legs[i].Mode == mode {
+			return &r.Legs[i]
+		}
+	}
+	return nil
+}
+
+// asyncLeg runs PageRank and SSSP under one execution mode on a fresh
+// engine and store (virtual time is deterministic, so a single run is
+// exact).
+func (e *Env) asyncLeg(o Options, mode exec.Mode) (*BenchAsyncLeg, error) {
+	store, err := e.Store(false)
+	if err != nil {
+		return nil, err
+	}
+	eng := core.New(core.Config{
+		Workers:   e.Workers,
+		Hier:      e.Hier(),
+		Scheduler: sched.Priority,
+		Label:     "CGraph",
+	}, store)
+	opts := core.SubmitOpts{Mode: mode}
+	if mode == exec.ModeDelayed {
+		opts.Staleness = asyncStaleness
+	}
+	prID := eng.SubmitWith(context.Background(), &algo.PageRank{Damping: 0.85, Epsilon: o.Epsilon}, opts)
+	ssID := eng.SubmitWith(context.Background(), algo.NewSSSP(0), opts)
+	rep, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	leg := &BenchAsyncLeg{Mode: mode.String(), MakespanUS: rep.Makespan}
+	jobOf := func(id int) *metrics.JobMetrics {
+		for i := range rep.Jobs {
+			if rep.Jobs[i].JobID == id {
+				return &rep.Jobs[i]
+			}
+		}
+		return nil
+	}
+	pr, ss := jobOf(prID), jobOf(ssID)
+	if pr == nil || ss == nil {
+		return nil, fmt.Errorf("harness: async leg %s: missing job metrics", mode)
+	}
+	leg.PageRankIterations = int64(pr.Iterations)
+	leg.SSSPIterations = int64(ss.Iterations)
+	leg.FreshFolds = pr.FreshFolds + ss.FreshFolds
+	leg.BarriersSkipped = pr.BarriersSkipped + ss.BarriersSkipped
+	leg.BarriersForced = pr.BarriersForced + ss.BarriersForced
+	return leg, nil
+}
+
+// asyncEnv prepares the execution-mode environment: like the scaling
+// sweep it sizes the hierarchy to hold the graph, so iteration counts and
+// trigger work — not partition loads — dominate the makespan, which is
+// exactly the axis the modes differ on.
+func asyncEnv(workers int, scale float64) *Env {
+	edges := gen.RMAT(asyncSeed, asyncVertices, int(float64(asyncEdges)*scale), 0.57, 0.19, 0.19)
+	g := graph.Build(asyncVertices, edges)
+	return &Env{
+		Dataset: gen.Dataset{
+			Name:        "rmat-social",
+			NumVertices: asyncVertices,
+			NumEdges:    len(edges),
+			Seed:        asyncSeed,
+		},
+		Edges:         edges,
+		G:             g,
+		Workers:       workers,
+		CacheBytes:    16 << 20,
+		MemoryBytes:   128 << 20,
+		Cost:          ExperimentCost(),
+		NumPartitions: asyncPartitions,
+	}
+}
+
+// BenchAsync compares the three execution disciplines — synchronous BSP,
+// asynchronous fresh-state, and delayed (bounded staleness) — on the same
+// PageRank + SSSP workload. Async reads already-written neighbor state
+// within a sweep, so PageRank converges in fewer iterations; SSSP, a
+// monotonic min program, is never worse. Delayed trades extra iterations
+// for fewer merge barriers under the staleness bound.
+func BenchAsync(opt Options) (*Table, *BenchAsyncResult, error) {
+	o := opt.withDefaults()
+	env := asyncEnv(o.Workers, o.Scale)
+
+	res := &BenchAsyncResult{
+		Dataset:    env.Dataset.Name,
+		Vertices:   env.G.N,
+		Edges:      len(env.Edges),
+		Partitions: env.NumPartitions,
+		Workers:    env.Workers,
+		Staleness:  asyncStaleness,
+		Epsilon:    o.Epsilon,
+	}
+
+	t := &Table{
+		ID:      "bench-async",
+		Title:   fmt.Sprintf("Execution modes on %s (V=%d, E=%d, P=%d)", env.Dataset.Name, env.G.N, len(env.Edges), env.NumPartitions),
+		Columns: []string{"Mode", "PR iters", "SSSP iters", "Makespan µs", "Fresh folds", "Barriers skipped", "Barriers forced"},
+		Notes:   "PageRank + SSSP per leg; async folds contributions into single-replica receivers mid-sweep, delayed defers merge barriers up to the staleness bound",
+	}
+
+	for _, mode := range []exec.Mode{exec.ModeBSP, exec.ModeAsync, exec.ModeDelayed} {
+		o.logf("bench-async: %s leg", mode)
+		leg, err := env.asyncLeg(o, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Legs = append(res.Legs, *leg)
+		t.Rows = append(t.Rows, []string{
+			leg.Mode,
+			fmt.Sprintf("%d", leg.PageRankIterations),
+			fmt.Sprintf("%d", leg.SSSPIterations),
+			f2(leg.MakespanUS),
+			fmt.Sprintf("%d", leg.FreshFolds),
+			fmt.Sprintf("%d", leg.BarriersSkipped),
+			fmt.Sprintf("%d", leg.BarriersForced),
+		})
+	}
+	if bsp, async := res.Leg("bsp"), res.Leg("async"); bsp != nil && async != nil && async.PageRankIterations > 0 {
+		res.PageRankSpeedup = float64(bsp.PageRankIterations) / float64(async.PageRankIterations)
+	}
+	return t, res, nil
+}

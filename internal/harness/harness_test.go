@@ -393,3 +393,59 @@ func TestBenchScalingInvariants(t *testing.T) {
 		t.Fatalf("no steals at %d cores", last.Workers)
 	}
 }
+
+// TestBenchAsyncInvariants regenerates the execution-mode sweep at the
+// exact configuration that produces the committed BENCH_async.json and
+// pins its claims: the fresh-state path converges PageRank in measurably
+// fewer iterations than BSP, SSSP (a monotonic min program) is never
+// worse, and the delayed leg's barrier ledger balances against its
+// iteration count.
+func TestBenchAsyncInvariants(t *testing.T) {
+	_, res, err := BenchAsync(Options{Scale: 1, Workers: 8, Epsilon: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Legs) != 3 {
+		t.Fatalf("want 3 legs, got %d", len(res.Legs))
+	}
+	bsp, async, delayed := res.Leg("bsp"), res.Leg("async"), res.Leg("delayed")
+	if bsp == nil || async == nil || delayed == nil {
+		t.Fatalf("missing leg: %+v", res.Legs)
+	}
+
+	// BSP by definition never folds eagerly and never touches barriers.
+	if bsp.FreshFolds != 0 || bsp.BarriersSkipped != 0 || bsp.BarriersForced != 0 {
+		t.Fatalf("bsp leg has fresh-state counters: %+v", bsp)
+	}
+	// The headline claim: async PageRank converges in measurably fewer
+	// iterations than BSP, and SSSP is no worse under either fresh mode.
+	if async.PageRankIterations >= bsp.PageRankIterations {
+		t.Fatalf("async PageRank took %d iterations, bsp %d — no convergence win",
+			async.PageRankIterations, bsp.PageRankIterations)
+	}
+	if async.SSSPIterations > bsp.SSSPIterations {
+		t.Fatalf("async SSSP took %d iterations, bsp %d", async.SSSPIterations, bsp.SSSPIterations)
+	}
+	if async.FreshFolds == 0 || delayed.FreshFolds == 0 {
+		t.Fatalf("fresh legs folded nothing: async %+v, delayed %+v", async, delayed)
+	}
+	if res.PageRankSpeedup <= 1 {
+		t.Fatalf("pagerank speedup %.4f, want > 1", res.PageRankSpeedup)
+	}
+	// Delayed-mode accounting: every iteration either skipped its merge
+	// barrier or was forced through one, and the staleness bound makes
+	// both legs of that ledger non-empty on this workload.
+	if delayed.BarriersSkipped == 0 || delayed.BarriersForced == 0 {
+		t.Fatalf("delayed barrier ledger empty: %+v", delayed)
+	}
+	if got, want := delayed.BarriersSkipped+delayed.BarriersForced,
+		delayed.PageRankIterations+delayed.SSSPIterations; got != want {
+		t.Fatalf("delayed barriers skipped+forced = %d, want iterations total %d", got, want)
+	}
+	// Virtual time is deterministic and positive on every leg.
+	for _, l := range res.Legs {
+		if l.MakespanUS <= 0 {
+			t.Fatalf("leg %s has non-positive makespan %v", l.Mode, l.MakespanUS)
+		}
+	}
+}

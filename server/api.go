@@ -33,6 +33,14 @@ func (s *Service) SubmitSpec(ctx context.Context, reg Registry, spec api.JobSpec
 	if spec.TimeoutMS < 0 {
 		return api.JobStatus{}, api.Errorf(api.CodeBadRequest, "negative timeout_ms %d", spec.TimeoutMS)
 	}
+	mode, err := cgraph.ParseExecMode(spec.ExecMode)
+	if err != nil {
+		return api.JobStatus{}, api.Errorf(api.CodeBadRequest,
+			"unknown exec_mode %q (want bsp, async, or delayed)", spec.ExecMode)
+	}
+	if spec.Staleness < 0 {
+		return api.JobStatus{}, api.Errorf(api.CodeBadRequest, "negative staleness %d", spec.Staleness)
+	}
 	prog, err := reg.Build(spec.Algo, ProgramParams{Source: model.VertexID(spec.Source), K: spec.K})
 	if err != nil {
 		return api.JobStatus{}, &api.Error{Code: api.CodeUnknownAlgorithm, Message: err.Error()}
@@ -44,6 +52,12 @@ func (s *Service) SubmitSpec(ctx context.Context, reg Registry, spec api.JobSpec
 		Priority:  spec.Priority,
 		Span:      span.FromContext(ctx),
 		RequestID: requestIDFrom(ctx),
+		Staleness: spec.Staleness,
+	}
+	// Echo the caller's non-default mode; an absent/empty exec_mode keeps
+	// the pre-mode status payload byte-identical.
+	if spec.ExecMode != "" {
+		sspec.ExecMode = mode
 	}
 	if spec.TimeoutMS > 0 {
 		sspec.Timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
@@ -437,6 +451,7 @@ func (s *Service) ingestInfo() api.IngestStats {
 		Shed:             st.Shed,
 		SnapshotsBuilt:   st.SnapshotsBuilt,
 		SlotsApplied:     st.SlotsApplied,
+		Compactions:      st.Compactions,
 		PartsRebuilt:     st.PartsRebuilt,
 		PartsShared:      st.PartsShared,
 		SharedRatio:      st.SharedRatio,
@@ -499,6 +514,12 @@ func (s *Service) metricsSnapshot() (api.Metrics, []api.JobStatus) {
 		Stolen:            es.Stolen,
 		SkippedPartitions: es.SkippedPartitions,
 		Imbalance:         es.LastImbalance,
+		FreshFolds:        es.FreshFolds,
+		BarriersSkipped:   es.BarriersSkipped,
+		BarriersForced:    es.BarriersForced,
+		BSPJobs:           es.BSPJobs,
+		AsyncJobs:         es.AsyncJobs,
+		DelayedJobs:       es.DelayedJobs,
 	}
 	m.Attribution = s.attributions()
 	return m, live

@@ -562,6 +562,15 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("cgraph_exec_skipped_partitions_total", nil, float64(ex.SkippedPartitions))
 	e.Declare("cgraph_exec_imbalance", "gauge", "Heaviest worker's share of last round's task weight, x workers (1.0 = even).")
 	e.Add("cgraph_exec_imbalance", nil, ex.Imbalance)
+	e.Declare("cgraph_exec_fresh_folds_total", "counter", "Contributions folded eagerly by fresh-state (async/delayed) jobs.")
+	e.Add("cgraph_exec_fresh_folds_total", nil, float64(ex.FreshFolds))
+	e.Declare("cgraph_exec_barriers_total", "counter", "Delayed-mode merge-barrier outcomes: skipped within the staleness bound vs forced.")
+	e.Add("cgraph_exec_barriers_total", map[string]string{"result": "skipped"}, float64(ex.BarriersSkipped))
+	e.Add("cgraph_exec_barriers_total", map[string]string{"result": "forced"}, float64(ex.BarriersForced))
+	e.Declare("cgraph_exec_mode_jobs", "gauge", "Jobs submitted to the engine by execution mode.")
+	e.Add("cgraph_exec_mode_jobs", map[string]string{"cgraph_exec_mode": "bsp"}, float64(ex.BSPJobs))
+	e.Add("cgraph_exec_mode_jobs", map[string]string{"cgraph_exec_mode": "async"}, float64(ex.AsyncJobs))
+	e.Add("cgraph_exec_mode_jobs", map[string]string{"cgraph_exec_mode": "delayed"}, float64(ex.DelayedJobs))
 	ing := info.Ingest
 	e.Declare("cgraph_ingest_batches_total", "counter", "Delta batches accepted by the ingestion pipeline.")
 	e.Add("cgraph_ingest_batches_total", nil, float64(ing.Batches))
@@ -582,6 +591,8 @@ func (h *httpAPI) metrics(w http.ResponseWriter, r *http.Request) {
 	e.Add("cgraph_ingest_pending", nil, float64(ing.Pending))
 	e.Declare("cgraph_ingest_shared_ratio", "gauge", "Partitions pointer-shared vs rebuilt across delta-built snapshots.")
 	e.Add("cgraph_ingest_shared_ratio", nil, ing.SharedRatio)
+	e.Declare("cgraph_ingest_compactions_total", "counter", "Hole-compaction passes: flushes that squeezed removal tombstones out of the edge list.")
+	e.Add("cgraph_ingest_compactions_total", nil, float64(ing.Compactions))
 	e.Declare("cgraph_snapshots_live", "gauge", "Snapshots retained in the global table.")
 	e.Add("cgraph_snapshots_live", nil, float64(ing.SnapshotsLive))
 	e.Declare("cgraph_snapshots_evicted_total", "counter", "Snapshots evicted by the retention policy.")

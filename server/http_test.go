@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"cgraph"
+	"cgraph/algo"
 	"cgraph/api"
 	"cgraph/internal/gen"
 	"cgraph/internal/graph"
@@ -935,5 +936,138 @@ func TestHTTPResumeCompactedJob(t *testing.T) {
 	resp.Body.Close()
 	if len(events) != 1 || !events[0].Terminal() || events[0].Seq <= 5 {
 		t.Fatalf("compacted resume = %+v, want one terminal event with seq > 5", events)
+	}
+}
+
+// TestHTTPExecModeWire drives the exec-mode vertical through the wire
+// contract: per-job exec_mode is validated, echoed on status, and the
+// fresh-state counters surface in both /v1/metrics and the Prometheus text
+// exposition. Default submissions keep exec_mode off the wire entirely so
+// pre-mode clients see byte-identical payloads.
+func TestHTTPExecModeWire(t *testing.T) {
+	edges := gen.RMAT(43, 400, 8000, 0.57, 0.19, 0.19)
+	sys := cgraph.NewSystem(cgraph.WithWorkers(2), cgraph.WithCoreSubgraph(false))
+	if err := sys.LoadEdges(400, edges); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(sys, server.Config{})
+	if err := svc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := contextWithTimeout(t)
+		defer cancel()
+		svc.Stop(ctx)
+	}()
+	// Tighten PageRank's tolerance so every mode can be checked against the
+	// reference implementation, not just against each other.
+	reg := server.DefaultRegistry()
+	reg["pagerank"] = func(server.ProgramParams) model.Program {
+		return &algo.PageRank{Damping: 0.85, Epsilon: 1e-9}
+	}
+	ts := httptest.NewServer(svc.Handler(reg))
+	defer ts.Close()
+	c := ts.Client()
+
+	// Bad requests are rejected before a job is created.
+	code, body := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{
+		"algo": "pagerank", "exec_mode": "bogus",
+	})
+	if code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("bogus exec_mode = %d %v, want 400 bad_request", code, body)
+	}
+	code, body = httpJSON(t, c, "POST", ts.URL+"/v1/jobs", map[string]any{
+		"algo": "pagerank", "exec_mode": "delayed", "staleness": -2,
+	})
+	if code != http.StatusBadRequest || errCode(t, body) != string(api.CodeBadRequest) {
+		t.Fatalf("negative staleness = %d %v, want 400 bad_request", code, body)
+	}
+
+	// One job per mode; the default submission must not carry exec_mode.
+	submit := func(spec map[string]any) string {
+		t.Helper()
+		code, st := httpJSON(t, c, "POST", ts.URL+"/v1/jobs", spec)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /v1/jobs %v = %d (%v)", spec, code, st)
+		}
+		return st["id"].(string)
+	}
+	defID := submit(map[string]any{"algo": "pagerank"})
+	asyncID := submit(map[string]any{"algo": "pagerank", "exec_mode": "async"})
+	delayID := submit(map[string]any{"algo": "pagerank", "exec_mode": "delayed", "staleness": 2})
+
+	defSt := pollState(t, c, ts.URL, defID, server.StateDone)
+	if _, present := defSt["exec_mode"]; present {
+		t.Fatalf("default job leaked exec_mode on the wire: %v", defSt)
+	}
+	asyncSt := pollState(t, c, ts.URL, asyncID, server.StateDone)
+	if asyncSt["exec_mode"] != "async" {
+		t.Fatalf("async job status = %v, want exec_mode async", asyncSt)
+	}
+	delaySt := pollState(t, c, ts.URL, delayID, server.StateDone)
+	if delaySt["exec_mode"] != "delayed" {
+		t.Fatalf("delayed job status = %v, want exec_mode delayed", delaySt)
+	}
+
+	// Results still match the reference implementation in every mode.
+	g := graph.Build(400, edges)
+	want := refimpl.PageRank(g, 0.85, 1e-12, 3000)
+	for _, id := range []string{defID, asyncID, delayID} {
+		code, res := httpJSON(t, c, "GET", ts.URL+"/v1/jobs/"+id+"/results", nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET results %s = %d (%v)", id, code, res)
+		}
+		vals := res["values"].([]any)
+		for v := range want {
+			if math.Abs(vals[v].(float64)-want[v]) > 1e-6 {
+				t.Fatalf("job %s vertex %d: got %v want %v", id, v, vals[v], want[v])
+			}
+		}
+	}
+
+	// Structured metrics carry the fresh-state counters and per-mode tallies.
+	code, m := httpJSON(t, c, "GET", ts.URL+"/v1/metrics", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/metrics = %d", code)
+	}
+	ex, _ := m["exec"].(map[string]any)
+	if ex == nil {
+		t.Fatalf("metrics missing exec block: %v", m)
+	}
+	if ff, _ := ex["fresh_folds"].(float64); ff <= 0 {
+		t.Fatalf("exec.fresh_folds = %v, want > 0", ex["fresh_folds"])
+	}
+	if aj, _ := ex["async_jobs"].(float64); aj != 1 {
+		t.Fatalf("exec.async_jobs = %v, want 1", ex["async_jobs"])
+	}
+	if dj, _ := ex["delayed_jobs"].(float64); dj != 1 {
+		t.Fatalf("exec.delayed_jobs = %v, want 1", ex["delayed_jobs"])
+	}
+	if bj, _ := ex["bsp_jobs"].(float64); bj < 1 {
+		t.Fatalf("exec.bsp_jobs = %v, want >= 1", ex["bsp_jobs"])
+	}
+
+	// Prometheus text exposition declares the mode-labeled families.
+	resp, err := c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"cgraph_exec_fresh_folds_total",
+		`cgraph_exec_barriers_total{result="skipped"}`,
+		`cgraph_exec_barriers_total{result="forced"}`,
+		`cgraph_exec_mode_jobs{cgraph_exec_mode="async"} 1`,
+		`cgraph_exec_mode_jobs{cgraph_exec_mode="delayed"} 1`,
+		"cgraph_ingest_compactions_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Prometheus exposition missing %q:\n%s", want, text)
+		}
 	}
 }
